@@ -1,0 +1,132 @@
+//! Guardedness checks: syntactic bts certificates.
+
+use chase_atoms::{Term, VarId};
+use chase_engine::{Rule, RuleSet};
+
+/// How strongly a single rule is guarded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GuardKind {
+    /// No body atom covers even the frontier variables.
+    Unguarded,
+    /// Some body atom contains all *frontier* variables.
+    FrontierGuarded,
+    /// Some body atom contains all *universal* (body) variables.
+    Guarded,
+    /// The body is a single atom (linear rules; trivially guarded).
+    Linear,
+}
+
+/// Guardedness summary of a ruleset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Guardedness {
+    /// Per-rule kinds, in ruleset order.
+    pub per_rule: Vec<GuardKind>,
+}
+
+impl Guardedness {
+    /// Is every rule guarded (⇒ bts, per Calì–Gottlob–Kifer)?
+    pub fn is_guarded(&self) -> bool {
+        self.per_rule
+            .iter()
+            .all(|&k| k >= GuardKind::Guarded)
+    }
+
+    /// Is every rule at least frontier-guarded (⇒ bts, per
+    /// Baget–Leclère–Mugnier / Baget–Mugnier–Rudolph–Thomazo)?
+    pub fn is_frontier_guarded(&self) -> bool {
+        self.per_rule
+            .iter()
+            .all(|&k| k >= GuardKind::FrontierGuarded)
+    }
+
+    /// Is every rule linear (single body atom)?
+    pub fn is_linear(&self) -> bool {
+        self.per_rule.iter().all(|&k| k == GuardKind::Linear)
+    }
+}
+
+fn atom_covers(rule: &Rule, vars: impl Iterator<Item = VarId> + Clone) -> bool {
+    rule.body().iter().any(|atom| {
+        vars.clone()
+            .all(|v| atom.mentions(Term::Var(v)))
+    })
+}
+
+/// Classifies one rule.
+pub fn guard_kind(rule: &Rule) -> GuardKind {
+    if rule.body().len() == 1 {
+        return GuardKind::Linear;
+    }
+    if atom_covers(rule, rule.universal_vars().iter().copied()) {
+        return GuardKind::Guarded;
+    }
+    if atom_covers(rule, rule.frontier_vars().iter().copied()) {
+        return GuardKind::FrontierGuarded;
+    }
+    GuardKind::Unguarded
+}
+
+/// Classifies every rule of a ruleset.
+pub fn guardedness(rules: &RuleSet) -> Guardedness {
+    Guardedness {
+        per_rule: rules.iter().map(|(_, r)| guard_kind(r)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_parser::parse_program;
+
+    fn rules(src: &str) -> RuleSet {
+        parse_program(src).expect("parses").rules
+    }
+
+    #[test]
+    fn linear_rule() {
+        let rs = rules("R: r(X, Y) -> r(Y, Z).");
+        let g = guardedness(&rs);
+        assert_eq!(g.per_rule, vec![GuardKind::Linear]);
+        assert!(g.is_linear() && g.is_guarded() && g.is_frontier_guarded());
+    }
+
+    #[test]
+    fn guarded_multi_atom_rule() {
+        // The triple atom guards X, Y, Z.
+        let rs = rules("R: t(X, Y, Z), r(X, Y) -> s(Z, W).");
+        let g = guardedness(&rs);
+        assert_eq!(g.per_rule, vec![GuardKind::Guarded]);
+        assert!(!g.is_linear());
+        assert!(g.is_guarded());
+    }
+
+    #[test]
+    fn frontier_guarded_only() {
+        // Body vars X, Y, Z; frontier is {X, Z} (head uses X, Z); atom
+        // s(X, Z) guards the frontier but nothing guards Y too.
+        let rs = rules("R: r(X, Y), r(Y, Z), s(X, Z) -> t(X, Z, W).");
+        let g = guardedness(&rs);
+        assert_eq!(g.per_rule, vec![GuardKind::FrontierGuarded]);
+        assert!(!g.is_guarded());
+        assert!(g.is_frontier_guarded());
+    }
+
+    #[test]
+    fn unguarded_transitivity() {
+        let rs = rules("T: r(X, Y), r(Y, Z) -> r(X, Z).");
+        let g = guardedness(&rs);
+        assert_eq!(g.per_rule, vec![GuardKind::Unguarded]);
+        assert!(!g.is_frontier_guarded());
+    }
+
+    #[test]
+    fn mixed_ruleset() {
+        let rs = rules(
+            "A: r(X, Y) -> s(Y).
+             B: r(X, Y), r(Y, Z) -> r(X, Z).",
+        );
+        let g = guardedness(&rs);
+        assert_eq!(g.per_rule, vec![GuardKind::Linear, GuardKind::Unguarded]);
+        assert!(!g.is_guarded());
+    }
+}

@@ -1,0 +1,40 @@
+//! # chase-analysis
+//!
+//! Static analyses of existential rulesets — the classic *sufficient*
+//! syntactic conditions for the abstract classes in the paper's Figure 1:
+//!
+//! * [`weakly_acyclic`] — Fagin, Kolaitis, Miller, Popa (TCS 2005): no
+//!   cycle through a "special" edge in the position dependency graph.
+//!   Weak acyclicity guarantees termination of **all** chase variants on
+//!   **all** fact bases, hence membership in **fes**.
+//! * [`jointly_acyclic`] — Krötzsch & Rudolph (IJCAI 2011, the paper's
+//!   [16]): acyclicity of the existential-variable dependency graph; a
+//!   strict generalization of weak acyclicity that still guarantees
+//!   semi-oblivious chase termination (hence fes).
+//! * [`guardedness`] — Calì, Gottlob, Kifer (KR 2008 / JAIR 2013, the
+//!   paper's [6, 7]): a rule is *guarded* if some body atom contains all
+//!   its universal variables, *frontier-guarded* if some body atom
+//!   contains all its frontier variables. (Frontier-)guarded rulesets
+//!   have treewidth-bounded restricted chases, hence are **bts**.
+//!
+//! * [`critical_instance_test`] — Marnette (PODS 2009, the paper's
+//!   [17]): semi-oblivious chase termination on the *critical instance*
+//!   implies termination on every instance — a dynamic fes certificate
+//!   that covers rulesets beyond every acyclicity notion.
+//!
+//! These analyses complement the dynamic probes in
+//! `chase_core::classes`: a syntactic certificate holds for *every* fact
+//! base, while a probe observes one chase on one fact base.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acyclicity;
+mod critical;
+mod guards;
+mod report;
+
+pub use acyclicity::{jointly_acyclic, weakly_acyclic, PositionGraph};
+pub use critical::{critical_instance, critical_instance_test, CriticalOutcome};
+pub use guards::{guardedness, GuardKind, Guardedness};
+pub use report::{analyze, RulesetReport};

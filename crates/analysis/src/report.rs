@@ -1,0 +1,128 @@
+//! Combined static-analysis report for a ruleset.
+
+use std::fmt;
+
+use chase_engine::RuleSet;
+
+use crate::acyclicity::{jointly_acyclic, weakly_acyclic};
+use crate::guards::{guardedness, Guardedness};
+
+/// Everything the static analyses can certify about a ruleset, with the
+/// class memberships they imply (Figure 1 vocabulary).
+#[derive(Clone, Debug)]
+pub struct RulesetReport {
+    /// Is every rule datalog (no existential variables)?
+    pub datalog: bool,
+    /// Weak acyclicity (Fagin et al.).
+    pub weakly_acyclic: bool,
+    /// Joint acyclicity (Krötzsch & Rudolph).
+    pub jointly_acyclic: bool,
+    /// Guardedness classification.
+    pub guardedness: Guardedness,
+}
+
+impl RulesetReport {
+    /// Does some syntactic certificate guarantee **fes** membership
+    /// (chase termination on every fact base)?
+    pub fn certified_fes(&self) -> bool {
+        self.datalog || self.weakly_acyclic || self.jointly_acyclic
+    }
+
+    /// Does some syntactic certificate guarantee **bts** membership
+    /// (a treewidth-bounded restricted chase on every fact base)?
+    pub fn certified_bts(&self) -> bool {
+        // fes ⊆ "every chase is finite" ⇒ trivially bounded; plus the
+        // guarded family.
+        self.certified_fes()
+            || self.guardedness.is_guarded()
+            || self.guardedness.is_frontier_guarded()
+            || self.guardedness.is_linear()
+    }
+
+    /// Does some certificate guarantee **core-bts** membership? Per
+    /// Proposition 13 core-bts subsumes both fes and bts, so any
+    /// certificate for either suffices.
+    pub fn certified_core_bts(&self) -> bool {
+        self.certified_fes() || self.certified_bts()
+    }
+}
+
+impl fmt::Display for RulesetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "datalog:          {}", self.datalog)?;
+        writeln!(f, "weakly acyclic:   {}", self.weakly_acyclic)?;
+        writeln!(f, "jointly acyclic:  {}", self.jointly_acyclic)?;
+        writeln!(f, "guarded:          {}", self.guardedness.is_guarded())?;
+        writeln!(
+            f,
+            "frontier-guarded: {}",
+            self.guardedness.is_frontier_guarded()
+        )?;
+        writeln!(f, "⇒ fes certified:      {}", self.certified_fes())?;
+        writeln!(f, "⇒ bts certified:      {}", self.certified_bts())?;
+        write!(f, "⇒ core-bts certified: {}", self.certified_core_bts())
+    }
+}
+
+/// Runs every static analysis on a ruleset.
+pub fn analyze(rules: &RuleSet) -> RulesetReport {
+    RulesetReport {
+        datalog: rules.iter().all(|(_, r)| r.is_datalog()),
+        weakly_acyclic: weakly_acyclic(rules),
+        jointly_acyclic: jointly_acyclic(rules),
+        guardedness: guardedness(rules),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_parser::parse_program;
+
+    fn rules(src: &str) -> RuleSet {
+        parse_program(src).expect("parses").rules
+    }
+
+    #[test]
+    fn datalog_certifies_everything() {
+        let report = analyze(&rules("T: r(X, Y), r(Y, Z) -> r(X, Z)."));
+        assert!(report.datalog);
+        assert!(report.certified_fes());
+        assert!(report.certified_bts());
+        assert!(report.certified_core_bts());
+    }
+
+    #[test]
+    fn linear_chain_certifies_bts_not_fes() {
+        let report = analyze(&rules("R: r(X, Y) -> r(Y, Z)."));
+        assert!(!report.certified_fes());
+        assert!(report.certified_bts(), "linear rules are guarded ⇒ bts");
+        assert!(report.certified_core_bts());
+    }
+
+    #[test]
+    fn unguarded_cyclic_ruleset_certifies_nothing() {
+        let report = analyze(&rules(
+            "Fill: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2).",
+        ));
+        assert!(!report.certified_fes());
+        assert!(!report.certified_bts());
+        assert!(!report.certified_core_bts());
+    }
+
+    #[test]
+    fn weakly_acyclic_existential_ruleset() {
+        let report = analyze(&rules("R: r(X, Y) -> s(Y, Z). S: s(X, Y) -> t(X)."));
+        assert!(!report.datalog);
+        assert!(report.weakly_acyclic);
+        assert!(report.certified_fes());
+    }
+
+    #[test]
+    fn display_renders() {
+        let report = analyze(&rules("R: r(X, Y) -> r(Y, Z)."));
+        let text = report.to_string();
+        assert!(text.contains("weakly acyclic:   false"));
+        assert!(text.contains("bts certified:      true"));
+    }
+}

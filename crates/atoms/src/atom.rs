@@ -1,0 +1,135 @@
+//! Atoms: a predicate applied to a tuple of terms.
+
+use std::fmt;
+
+use crate::term::{Term, VarId};
+use crate::vocab::PredId;
+
+/// An atom `p(t₁, …, t_k)` over some schema.
+///
+/// The argument tuple is stored inline as a boxed slice, so an `Atom` is a
+/// pointer-sized header plus one allocation; clones are cheap and equality
+/// and hashing are over `(PredId, args)` only.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    pred: PredId,
+    args: Box<[Term]>,
+}
+
+impl Atom {
+    /// Creates an atom from a predicate and its arguments.
+    pub fn new(pred: PredId, args: impl Into<Box<[Term]>>) -> Self {
+        Atom {
+            pred,
+            args: args.into(),
+        }
+    }
+
+    /// The predicate of this atom.
+    pub fn pred(&self) -> PredId {
+        self.pred
+    }
+
+    /// The argument tuple.
+    pub fn args(&self) -> &[Term] {
+        &self.args
+    }
+
+    /// The arity of the atom (length of the argument tuple).
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterates over the terms of the atom (with multiplicity).
+    pub fn terms(&self) -> impl Iterator<Item = Term> + '_ {
+        self.args.iter().copied()
+    }
+
+    /// Iterates over the variables of the atom (with multiplicity).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Does the atom mention the given term?
+    pub fn mentions(&self, term: Term) -> bool {
+        self.args.contains(&term)
+    }
+
+    /// Is the atom ground (variable-free)?
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Returns a copy with each argument rewritten by `f`.
+    pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|&t| f(t)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{ConstId, VarId};
+
+    fn p() -> PredId {
+        PredId::from_raw(0)
+    }
+
+    #[test]
+    fn accessors() {
+        let a = Atom::new(
+            p(),
+            vec![
+                Term::Var(VarId::from_raw(1)),
+                Term::Const(ConstId::from_raw(2)),
+            ],
+        );
+        assert_eq!(a.pred(), p());
+        assert_eq!(a.arity(), 2);
+        assert!(a.mentions(Term::Var(VarId::from_raw(1))));
+        assert!(!a.mentions(Term::Var(VarId::from_raw(9))));
+        assert!(!a.is_ground());
+        assert_eq!(a.vars().collect::<Vec<_>>(), vec![VarId::from_raw(1)]);
+    }
+
+    #[test]
+    fn ground_atom() {
+        let a = Atom::new(p(), vec![Term::Const(ConstId::from_raw(0))]);
+        assert!(a.is_ground());
+        assert_eq!(a.vars().count(), 0);
+    }
+
+    #[test]
+    fn map_terms_rewrites_all_positions() {
+        let x = Term::Var(VarId::from_raw(0));
+        let a = Atom::new(p(), vec![x, x]);
+        let b = a.map_terms(|_| Term::Const(ConstId::from_raw(5)));
+        assert!(b.is_ground());
+        assert_eq!(b.args().len(), 2);
+        assert_eq!(b.pred(), a.pred());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let x = Term::Var(VarId::from_raw(0));
+        let y = Term::Var(VarId::from_raw(1));
+        assert_eq!(Atom::new(p(), vec![x, y]), Atom::new(p(), vec![x, y]));
+        assert_ne!(Atom::new(p(), vec![x, y]), Atom::new(p(), vec![y, x]));
+    }
+}

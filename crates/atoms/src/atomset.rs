@@ -1,0 +1,415 @@
+//! Atomsets (instances): indexed, deterministic sets of atoms.
+//!
+//! An [`AtomSet`] corresponds to the paper's notion of a (finite) atomset /
+//! instance. It keeps two secondary indexes — by predicate and by term —
+//! so the homomorphism engine can enumerate candidate atoms without a full
+//! scan, and iterates in insertion order so every printout and derived
+//! artifact is deterministic.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::substitution::Substitution;
+use crate::term::{ConstId, Term, VarId};
+use crate::vocab::PredId;
+
+/// A stable handle to an atom inside one [`AtomSet`].
+///
+/// Ids are allocated in insertion order and never reused, so sorting by
+/// `AtomId` recovers insertion order even after removals.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AtomId(u32);
+
+impl AtomId {
+    /// The raw index of this atom id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A finite set of atoms with predicate and term-occurrence indexes.
+#[derive(Clone, Default)]
+pub struct AtomSet {
+    /// Arena of atoms; `None` marks a removed (tombstoned) slot.
+    slots: Vec<Option<Atom>>,
+    /// Exact-match lookup (also the deduplication map).
+    lookup: HashMap<Atom, AtomId>,
+    /// Ids of live atoms per predicate, in insertion order.
+    by_pred: HashMap<PredId, BTreeSet<AtomId>>,
+    /// Ids of live atoms per occurring term, in insertion order.
+    by_term: HashMap<Term, BTreeSet<AtomId>>,
+    /// Number of live atoms.
+    live: usize,
+}
+
+impl AtomSet {
+    /// Creates an empty atomset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of atoms in the set.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts an atom; returns `true` if it was not already present.
+    pub fn insert(&mut self, atom: Atom) -> bool {
+        if self.lookup.contains_key(&atom) {
+            return false;
+        }
+        let id = AtomId(u32::try_from(self.slots.len()).expect("too many atoms"));
+        for t in atom.terms() {
+            self.by_term.entry(t).or_default().insert(id);
+        }
+        self.by_pred.entry(atom.pred()).or_default().insert(id);
+        self.lookup.insert(atom.clone(), id);
+        self.slots.push(Some(atom));
+        self.live += 1;
+        true
+    }
+
+    /// Removes an atom; returns `true` if it was present.
+    pub fn remove(&mut self, atom: &Atom) -> bool {
+        let Some(id) = self.lookup.remove(atom) else {
+            return false;
+        };
+        let stored = self.slots[id.0 as usize]
+            .take()
+            .expect("lookup/slot desync");
+        for t in stored.terms() {
+            if let Some(ids) = self.by_term.get_mut(&t) {
+                ids.remove(&id);
+                if ids.is_empty() {
+                    self.by_term.remove(&t);
+                }
+            }
+        }
+        if let Some(ids) = self.by_pred.get_mut(&stored.pred()) {
+            ids.remove(&id);
+            if ids.is_empty() {
+                self.by_pred.remove(&stored.pred());
+            }
+        }
+        self.live -= 1;
+        true
+    }
+
+    /// Does the set contain the given atom?
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.lookup.contains_key(atom)
+    }
+
+    /// Returns the id of an atom if present.
+    pub fn id_of(&self, atom: &Atom) -> Option<AtomId> {
+        self.lookup.get(atom).copied()
+    }
+
+    /// Returns the atom behind an id, if still live.
+    pub fn get(&self, id: AtomId) -> Option<&Atom> {
+        self.slots.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Iterates over the atoms in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates over `(id, atom)` pairs in insertion order.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|a| (AtomId(i as u32), a)))
+    }
+
+    /// Iterates over atoms with the given predicate, in insertion order.
+    pub fn with_pred(&self, pred: PredId) -> impl Iterator<Item = &Atom> {
+        self.by_pred
+            .get(&pred)
+            .into_iter()
+            .flat_map(|ids| ids.iter())
+            .map(|&id| self.get(id).expect("index/slot desync"))
+    }
+
+    /// Number of atoms with the given predicate.
+    pub fn pred_count(&self, pred: PredId) -> usize {
+        self.by_pred.get(&pred).map_or(0, BTreeSet::len)
+    }
+
+    /// Iterates over atoms mentioning the given term, in insertion order.
+    pub fn with_term(&self, term: Term) -> impl Iterator<Item = &Atom> {
+        self.by_term
+            .get(&term)
+            .into_iter()
+            .flat_map(|ids| ids.iter())
+            .map(|&id| self.get(id).expect("index/slot desync"))
+    }
+
+    /// Number of atoms mentioning the given term.
+    pub fn term_count(&self, term: Term) -> usize {
+        self.by_term.get(&term).map_or(0, BTreeSet::len)
+    }
+
+    /// Does any atom mention the given term?
+    pub fn mentions(&self, term: Term) -> bool {
+        self.by_term.contains_key(&term)
+    }
+
+    /// The set of terms occurring in the atomset (`terms(A)`), sorted.
+    pub fn terms(&self) -> BTreeSet<Term> {
+        self.by_term.keys().copied().collect()
+    }
+
+    /// The set of variables occurring in the atomset (`vars(A)`), sorted.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        self.by_term.keys().filter_map(|t| t.as_var()).collect()
+    }
+
+    /// The set of constants occurring in the atomset, sorted.
+    pub fn constants(&self) -> BTreeSet<ConstId> {
+        self.by_term.keys().filter_map(|t| t.as_const()).collect()
+    }
+
+    /// The set of predicates with at least one atom, sorted.
+    pub fn preds(&self) -> BTreeSet<PredId> {
+        self.by_pred.keys().copied().collect()
+    }
+
+    /// Applies a substitution, producing a new atomset `σ(A)`.
+    pub fn apply(&self, sigma: &Substitution) -> AtomSet {
+        self.iter().map(|a| sigma.apply_atom(a)).collect()
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset_of(&self, other: &AtomSet) -> bool {
+        self.len() <= other.len() && self.iter().all(|a| other.contains(a))
+    }
+
+    /// The sub-atomset *induced* by a set of terms: atoms whose terms all
+    /// belong to `keep`.
+    pub fn induced_by_terms(&self, keep: &BTreeSet<Term>) -> AtomSet {
+        self.iter()
+            .filter(|a| a.terms().all(|t| keep.contains(&t)))
+            .cloned()
+            .collect()
+    }
+
+    /// Removes every atom mentioning the given term; returns how many were
+    /// removed.
+    pub fn remove_term(&mut self, term: Term) -> usize {
+        let victims: Vec<Atom> = self.with_term(term).cloned().collect();
+        for a in &victims {
+            self.remove(a);
+        }
+        victims.len()
+    }
+
+    /// Inserts all atoms of `other`; returns how many were new.
+    pub fn union_with(&mut self, other: &AtomSet) -> usize {
+        let mut added = 0;
+        for a in other.iter() {
+            if self.insert(a.clone()) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// The atoms as a sorted vector (canonical form, independent of
+    /// insertion order). Useful for hashing and set-level comparison.
+    pub fn sorted_atoms(&self) -> Vec<Atom> {
+        let mut v: Vec<Atom> = self.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Rebuilds the arena, dropping tombstones while preserving insertion
+    /// order. Ids are *not* stable across compaction.
+    pub fn compact(&mut self) {
+        let atoms: Vec<Atom> = self.iter().cloned().collect();
+        *self = atoms.into_iter().collect();
+    }
+}
+
+impl PartialEq for AtomSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|a| other.contains(a))
+    }
+}
+
+impl Eq for AtomSet {}
+
+impl FromIterator<Atom> for AtomSet {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        let mut s = AtomSet::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl Extend<Atom> for AtomSet {
+    fn extend<I: IntoIterator<Item = Atom>>(&mut self, iter: I) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a AtomSet {
+    type Item = &'a Atom;
+    type IntoIter = Box<dyn Iterator<Item = &'a Atom> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl fmt::Debug for AtomSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarId;
+
+    fn p(i: u32) -> PredId {
+        PredId::from_raw(i)
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(p(pr), args.to_vec())
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AtomSet::new();
+        let a = atom(0, &[v(1), v(2)]);
+        assert!(s.insert(a.clone()));
+        assert!(!s.insert(a.clone()), "duplicate insert is a no-op");
+        assert!(s.contains(&a));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(&a));
+        assert!(!s.remove(&a));
+        assert!(s.is_empty());
+        assert!(!s.mentions(v(1)));
+    }
+
+    #[test]
+    fn indexes_track_membership() {
+        let mut s = AtomSet::new();
+        s.insert(atom(0, &[v(1), v(2)]));
+        s.insert(atom(0, &[v(2), v(3)]));
+        s.insert(atom(1, &[v(1)]));
+        assert_eq!(s.pred_count(p(0)), 2);
+        assert_eq!(s.pred_count(p(1)), 1);
+        assert_eq!(s.pred_count(p(9)), 0);
+        assert_eq!(s.term_count(v(2)), 2);
+        assert_eq!(s.with_term(v(1)).count(), 2);
+
+        s.remove(&atom(0, &[v(2), v(3)]));
+        assert_eq!(s.term_count(v(2)), 1);
+        assert!(!s.mentions(v(3)));
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut s = AtomSet::new();
+        let a1 = atom(1, &[v(9)]);
+        let a2 = atom(0, &[v(1)]);
+        let a3 = atom(2, &[v(5)]);
+        s.insert(a1.clone());
+        s.insert(a2.clone());
+        s.insert(a3.clone());
+        let order: Vec<&Atom> = s.iter().collect();
+        assert_eq!(order, vec![&a1, &a2, &a3]);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let mut s1 = AtomSet::new();
+        let mut s2 = AtomSet::new();
+        s1.insert(atom(0, &[v(1)]));
+        s1.insert(atom(0, &[v(2)]));
+        s2.insert(atom(0, &[v(2)]));
+        s2.insert(atom(0, &[v(1)]));
+        assert_eq!(s1, s2);
+        s2.remove(&atom(0, &[v(1)]));
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn induced_subset() {
+        let mut s = AtomSet::new();
+        s.insert(atom(0, &[v(1), v(2)]));
+        s.insert(atom(0, &[v(2), v(3)]));
+        let keep: BTreeSet<Term> = [v(1), v(2)].into_iter().collect();
+        let ind = s.induced_by_terms(&keep);
+        assert_eq!(ind.len(), 1);
+        assert!(ind.contains(&atom(0, &[v(1), v(2)])));
+    }
+
+    #[test]
+    fn remove_term_drops_all_occurrences() {
+        let mut s = AtomSet::new();
+        s.insert(atom(0, &[v(1), v(2)]));
+        s.insert(atom(0, &[v(2), v(3)]));
+        s.insert(atom(1, &[v(3)]));
+        assert_eq!(s.remove_term(v(2)), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&atom(1, &[v(3)])));
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let small: AtomSet = [atom(0, &[v(1)])].into_iter().collect();
+        let mut big: AtomSet = [atom(0, &[v(1)]), atom(0, &[v(2)])].into_iter().collect();
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert_eq!(big.union_with(&small), 0);
+        let other: AtomSet = [atom(1, &[v(7)])].into_iter().collect();
+        assert_eq!(big.union_with(&other), 1);
+        assert_eq!(big.len(), 3);
+    }
+
+    #[test]
+    fn compact_preserves_contents_and_order() {
+        let mut s = AtomSet::new();
+        for i in 0..10 {
+            s.insert(atom(0, &[v(i)]));
+        }
+        for i in (0..10).step_by(2) {
+            s.remove(&atom(0, &[v(i)]));
+        }
+        let before: Vec<Atom> = s.iter().cloned().collect();
+        s.compact();
+        let after: Vec<Atom> = s.iter().cloned().collect();
+        assert_eq!(before, after);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn terms_vars_constants() {
+        let mut s = AtomSet::new();
+        let c = Term::Const(crate::term::ConstId::from_raw(0));
+        s.insert(atom(0, &[c, v(1)]));
+        assert_eq!(s.terms().len(), 2);
+        assert_eq!(s.vars().len(), 1);
+        assert_eq!(s.constants().len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Human-readable rendering of ids, terms, atoms and atomsets against a
+//! [`Vocabulary`].
+//!
+//! The hot data structures carry only numeric ids, so `Display` needs the
+//! vocabulary as context. The [`DisplayWith`] trait plus the [`WithVocab`]
+//! adapter let call sites write `atom.with(&vocab)` inside any `format!`.
+
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::atomset::AtomSet;
+use crate::substitution::Substitution;
+use crate::term::{ConstId, Term, VarId};
+use crate::vocab::{PredId, Vocabulary};
+
+/// Types renderable against a vocabulary.
+pub trait DisplayWith {
+    /// Writes `self` using names from `vocab`.
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Wraps `self` for use in `format!`-style macros.
+    fn with<'a>(&'a self, vocab: &'a Vocabulary) -> WithVocab<'a, Self>
+    where
+        Self: Sized,
+    {
+        WithVocab { value: self, vocab }
+    }
+}
+
+/// Adapter pairing a value with a vocabulary so it implements
+/// [`fmt::Display`].
+pub struct WithVocab<'a, T> {
+    value: &'a T,
+    vocab: &'a Vocabulary,
+}
+
+impl<T: DisplayWith> fmt::Display for WithVocab<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt_with(self.vocab, f)
+    }
+}
+
+impl DisplayWith for VarId {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match vocab.var_name(*self) {
+            Some(name) => f.write_str(name),
+            None => write!(f, "_N{}", self.raw()),
+        }
+    }
+}
+
+impl DisplayWith for ConstId {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match vocab.const_name(*self) {
+            Some(name) => f.write_str(name),
+            None => write!(f, "_c{}", self.raw()),
+        }
+    }
+}
+
+impl DisplayWith for PredId {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(vocab.pred_name(*self))
+    }
+}
+
+impl DisplayWith for Term {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => c.fmt_with(vocab, f),
+            Term::Var(v) => v.fmt_with(vocab, f),
+        }
+    }
+}
+
+impl DisplayWith for Atom {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.pred().fmt_with(vocab, f)?;
+        f.write_str("(")?;
+        for (i, t) in self.args().iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            t.fmt_with(vocab, f)?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl DisplayWith for AtomSet {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        let mut atoms = self.sorted_atoms();
+        atoms.sort();
+        for (i, a) in atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            a.fmt_with(vocab, f)?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl DisplayWith for Substitution {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (v, t)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            v.fmt_with(vocab, f)?;
+            f.write_str(" ↦ ")?;
+            t.fmt_with(vocab, f)?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_named_symbols() {
+        let mut vocab = Vocabulary::new();
+        let h = vocab.pred("h", 2);
+        let a = vocab.constant("a");
+        let x = vocab.named_var("X");
+        let atom = Atom::new(h, vec![Term::Const(a), Term::Var(x)]);
+        assert_eq!(format!("{}", atom.with(&vocab)), "h(a, X)");
+    }
+
+    #[test]
+    fn renders_anonymous_null() {
+        let mut vocab = Vocabulary::new();
+        let h = vocab.pred("h", 1);
+        let n = vocab.fresh_var();
+        let atom = Atom::new(h, vec![Term::Var(n)]);
+        assert_eq!(format!("{}", atom.with(&vocab)), format!("h(_N{})", n.raw()));
+    }
+
+    #[test]
+    fn renders_atomset_sorted() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.pred("p", 1);
+        let q = vocab.pred("q", 1);
+        let a = vocab.constant("a");
+        let mut s = AtomSet::new();
+        s.insert(Atom::new(q, vec![Term::Const(a)]));
+        s.insert(Atom::new(p, vec![Term::Const(a)]));
+        // p interned before q ⇒ p sorts first regardless of insertion order.
+        assert_eq!(format!("{}", s.with(&vocab)), "{p(a), q(a)}");
+    }
+
+    #[test]
+    fn renders_substitution() {
+        let mut vocab = Vocabulary::new();
+        let x = vocab.named_var("X");
+        let y = vocab.named_var("Y");
+        let s = Substitution::from_pairs([(x, Term::Var(y))]);
+        assert_eq!(format!("{}", s.with(&vocab)), "{X ↦ Y}");
+    }
+}

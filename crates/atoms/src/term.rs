@@ -1,0 +1,156 @@
+//! Terms: constants and variables.
+//!
+//! Following the paper, the set of terms is `Δ_T = Δ_C ∪ Δ_V` where `Δ_C`
+//! are constants and `Δ_V` are variables. Labeled nulls (created by rule
+//! applications) are conflated with variables, as the paper does.
+
+use std::fmt;
+
+/// An interned constant symbol (an element of `Δ_C`).
+///
+/// The associated name lives in a [`crate::Vocabulary`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstId(u32);
+
+impl ConstId {
+    /// Builds a constant id from its raw index. Prefer
+    /// [`crate::Vocabulary::constant`] for named constants.
+    pub const fn from_raw(raw: u32) -> Self {
+        ConstId(raw)
+    }
+
+    /// The raw index of this constant.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ConstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A variable (an element of `Δ_V`), also used for labeled nulls.
+///
+/// Variables are totally ordered by their raw index; this order doubles as
+/// the `rank` bijection required by the paper's *robust renaming*
+/// (Definition 14) unless a custom rank is supplied.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Builds a variable id from its raw index. Prefer
+    /// [`crate::Vocabulary::fresh_var`] / [`crate::Vocabulary::named_var`]
+    /// in production code so freshness is tracked.
+    pub const fn from_raw(raw: u32) -> Self {
+        VarId(raw)
+    }
+
+    /// The raw index of this variable.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A term: either a constant or a variable.
+///
+/// `Term` is a 2-word `Copy` value so it can be passed around and stored in
+/// indexes without allocation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant from `Δ_C`.
+    Const(ConstId),
+    /// A variable (or labeled null) from `Δ_V`.
+    Var(VarId),
+}
+
+impl Term {
+    /// Is this term a variable?
+    pub const fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Is this term a constant?
+    pub const fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Returns the variable id if this term is a variable.
+    pub const fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant id if this term is a constant.
+    pub const fn as_const(self) -> Option<ConstId> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<ConstId> for Term {
+    fn from(c: ConstId) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c:?}"),
+            Term::Var(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let v = Term::Var(VarId::from_raw(3));
+        let c = Term::Const(ConstId::from_raw(7));
+        assert!(v.is_var() && !v.is_const());
+        assert!(c.is_const() && !c.is_var());
+        assert_eq!(v.as_var(), Some(VarId::from_raw(3)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_const(), Some(ConstId::from_raw(7)));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn term_ordering_groups_constants_first() {
+        let c = Term::Const(ConstId::from_raw(1000));
+        let v = Term::Var(VarId::from_raw(0));
+        assert!(c < v, "all constants order before all variables");
+    }
+
+    #[test]
+    fn var_order_matches_raw_order() {
+        assert!(VarId::from_raw(1) < VarId::from_raw(2));
+        assert!(Term::Var(VarId::from_raw(1)) < Term::Var(VarId::from_raw(2)));
+    }
+
+    #[test]
+    fn term_is_two_words_max() {
+        assert!(std::mem::size_of::<Term>() <= 2 * std::mem::size_of::<usize>());
+    }
+}

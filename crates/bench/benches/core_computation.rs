@@ -1,0 +1,75 @@
+//! B2 — core computation: folding redundancy-laden instances (the inner
+//! loop of the core chase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
+use chase_homomorphism::{core_of, is_core};
+use chase_kbs::Staircase;
+
+/// A path of length `n` feeding into a loop — folds down to the loop.
+fn path_into_loop(vocab: &mut Vocabulary, n: usize) -> AtomSet {
+    let r = vocab.pred("r", 2);
+    let mut vars: Vec<Term> = Vec::new();
+    for _ in 0..=n {
+        vars.push(Term::Var(vocab.fresh_var()));
+    }
+    let mut set = AtomSet::new();
+    for i in 0..n {
+        set.insert(Atom::new(r, vec![vars[i], vars[i + 1]]));
+    }
+    set.insert(Atom::new(r, vec![vars[n], vars[n]]));
+    set
+}
+
+fn bench_fold_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/path-into-loop");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 16] {
+        let mut vocab = Vocabulary::new();
+        let set = path_into_loop(&mut vocab, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
+            b.iter(|| core_of(s).core.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_staircase_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/staircase-step");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for k in [2u32, 4, 6] {
+        let mut s = Staircase::new();
+        let step = s.step_rect(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &step, |b, st| {
+            b.iter(|| core_of(st).core.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_is_core_on_cores(c: &mut Criterion) {
+    // The expensive *negative* case: proving nothing folds.
+    let mut group = c.benchmark_group("core/is-core-on-core");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for k in [2u32, 4, 6] {
+        let mut s = Staircase::new();
+        let col = s.column(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &col, |b, cset| {
+            b.iter(|| is_core(cset))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fold_paths,
+    bench_staircase_steps,
+    bench_is_core_on_cores
+);
+criterion_main!(benches);

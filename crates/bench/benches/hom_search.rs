@@ -1,0 +1,86 @@
+//! B1 — homomorphism search scaling: pattern size and target size sweeps
+//! on grids (worst-case-ish structure) and random instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chase_atoms::Vocabulary;
+use chase_homomorphism::{find_homomorphism, maps_to};
+use chase_kbs::grids::labeled_grid;
+use chase_kbs::random::{random_instance, InstanceConfig};
+
+fn bench_grid_self_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/grid-self-match");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [4usize, 6, 8] {
+        let mut vocab = Vocabulary::new();
+        let (grid, _) = labeled_grid(&mut vocab, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &grid, |b, g| {
+            b.iter(|| find_homomorphism(g, g).is_some())
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_into_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/path-into-grid");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut vocab = Vocabulary::new();
+    let (grid, lab) = labeled_grid(&mut vocab, 8);
+    for len in [4usize, 8, 12] {
+        // An h-path pattern of the given length.
+        let h = vocab.lookup_pred("h").unwrap();
+        let mut pattern = chase_atoms::AtomSet::new();
+        for i in 0..len.min(7) {
+            pattern.insert(chase_atoms::Atom::new(
+                h,
+                vec![lab.terms[i][0], lab.terms[i + 1][0]],
+            ));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(len), &pattern, |b, p| {
+            b.iter(|| maps_to(p, &grid))
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_instance_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hom/random");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for atoms in [50usize, 200, 800] {
+        let mut vocab = Vocabulary::new();
+        let cfg = InstanceConfig {
+            atoms,
+            terms: atoms / 3,
+            ..InstanceConfig::default()
+        };
+        let target = random_instance(&mut vocab, &cfg, 7);
+        let pattern = random_instance(
+            &mut vocab,
+            &InstanceConfig {
+                atoms: 4,
+                terms: 5,
+                const_percent: 0,
+                ..InstanceConfig::default()
+            },
+            8,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(atoms),
+            &(pattern, target),
+            |b, (p, t)| b.iter(|| maps_to(p, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grid_self_match,
+    bench_path_into_grid,
+    bench_random_instance_match
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! B5 — robust aggregation overhead: building the robust sequence
+//! (Definition 15) over recorded core chases, compared with the natural
+//! aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chase_engine::aggregation::natural_aggregation;
+use chase_engine::robust::RobustSequence;
+use chase_kbs::Staircase;
+
+fn bench_robust_sequence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust/build-sequence");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for steps in [2u32, 4, 6] {
+        let mut s = Staircase::new();
+        let d = s.scripted_core_chase(steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &d, |b, d| {
+            b.iter(|| RobustSequence::build(d).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_natural_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust/natural-aggregation");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for steps in [2u32, 4, 6] {
+        let mut s = Staircase::new();
+        let d = s.scripted_core_chase(steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &d, |b, d| {
+            b.iter(|| natural_aggregation(d).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation_prefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust/aggregation-prefix");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut s = Staircase::new();
+    let d = s.scripted_core_chase(6);
+    let rs = RobustSequence::build(&d);
+    for margin in [5usize, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(margin), &rs, |b, rs| {
+            b.iter(|| rs.aggregation_prefix(margin).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_robust_sequence,
+    bench_natural_aggregation,
+    bench_aggregation_prefix
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! B4 — treewidth solvers: heuristics vs exact branch-and-bound on
+//! grids, paths and the paper's structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chase_atoms::Vocabulary;
+use chase_kbs::grids::labeled_grid;
+use chase_kbs::{Elevator, Staircase};
+use chase_treewidth::{
+    exact_treewidth, min_degree_decomposition, min_fill_decomposition, treewidth_bounds,
+};
+
+fn bench_heuristics_on_grids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tw/heuristics-grid");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 12] {
+        let mut vocab = Vocabulary::new();
+        let (grid, _) = labeled_grid(&mut vocab, n);
+        group.bench_with_input(BenchmarkId::new("min-degree", n), &grid, |b, g| {
+            b.iter(|| min_degree_decomposition(g).width())
+        });
+        group.bench_with_input(BenchmarkId::new("min-fill", n), &grid, |b, g| {
+            b.iter(|| min_fill_decomposition(g).width())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_on_grids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tw/exact-grid");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for n in [3usize, 4] {
+        let mut vocab = Vocabulary::new();
+        let (grid, _) = labeled_grid(&mut vocab, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &grid, |b, g| {
+            b.iter(|| exact_treewidth(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounds_on_paper_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tw/paper-structures");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut s = Staircase::new();
+    let step = s.step_rect(5);
+    group.bench_with_input(BenchmarkId::new("staircase-step", 5), &step, |b, st| {
+        b.iter(|| treewidth_bounds(st))
+    });
+    let mut e = Elevator::new();
+    let cabin = e.cabin(4);
+    group.bench_with_input(BenchmarkId::new("elevator-cabin", 4), &cabin, |b, cb| {
+        b.iter(|| treewidth_bounds(cb))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristics_on_grids,
+    bench_exact_on_grids,
+    bench_bounds_on_paper_structures
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! # chase-bench
+//!
+//! Experiment harness shared by the `e1`–`e6` binaries (one per paper
+//! figure/table, see `DESIGN.md` §4) and the Criterion benchmarks.
+//!
+//! Each experiment prints a human-readable report to stdout and appends a
+//! machine-readable JSON line per claim to `results/<experiment>.jsonl`
+//! (relative to the workspace root), which `EXPERIMENTS.md` summarizes.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// One checked claim of an experiment.
+#[derive(Serialize, Clone, Debug)]
+pub struct Claim {
+    /// Experiment id (`e1` … `e6`).
+    pub experiment: String,
+    /// Short claim id (stable across runs).
+    pub claim: String,
+    /// What the paper asserts.
+    pub paper: String,
+    /// What we measured.
+    pub measured: String,
+    /// Did the measurement confirm the claim?
+    pub ok: bool,
+}
+
+/// Collects claims, pretty-prints them, and persists a JSONL record.
+pub struct Report {
+    experiment: &'static str,
+    claims: Vec<Claim>,
+}
+
+impl Report {
+    /// Starts a report for the given experiment id.
+    pub fn new(experiment: &'static str) -> Self {
+        println!("== {experiment} ==");
+        Report {
+            experiment,
+            claims: Vec::new(),
+        }
+    }
+
+    /// Records and prints one claim.
+    pub fn claim(&mut self, claim: &str, paper: impl Display, measured: impl Display, ok: bool) {
+        let c = Claim {
+            experiment: self.experiment.to_string(),
+            claim: claim.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            ok,
+        };
+        println!(
+            "  [{}] {:<38} paper: {:<34} measured: {}",
+            if ok { "ok" } else { "!!" },
+            c.claim,
+            c.paper,
+            c.measured
+        );
+        self.claims.push(c);
+    }
+
+    /// Prints a free-form data row (kept out of the JSONL).
+    pub fn row(&self, text: impl Display) {
+        println!("    {text}");
+    }
+
+    /// Writes the JSONL file and returns whether all claims held.
+    pub fn finish(self) -> bool {
+        let all_ok = self.claims.iter().all(|c| c.ok);
+        let dir = results_dir();
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.jsonl", self.experiment));
+            if let Ok(mut f) = fs::File::create(&path) {
+                for c in &self.claims {
+                    let _ = writeln!(f, "{}", serde_json::to_string(c).expect("serialize"));
+                }
+            }
+        }
+        println!(
+            "== {}: {}/{} claims confirmed ==\n",
+            self.experiment,
+            self.claims.iter().filter(|c| c.ok).count(),
+            self.claims.len()
+        );
+        all_ok
+    }
+}
+
+/// The `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = …/crates/bench
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.join("results")
+}
+
+/// Exit with a conventional status after finishing a report.
+pub fn exit_with(ok: bool) -> ! {
+    std::process::exit(if ok { 0 } else { 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_tracks_ok_status() {
+        let mut r = Report::new("e0-test");
+        r.claim("always", "x", "x", true);
+        r.claim("broken", "x", "y", false);
+        assert!(!r.finish());
+        let path = results_dir().join("e0-test.jsonl");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,343 @@
+//! Conjunctive-query operations built on the homomorphism/core
+//! machinery: containment, equivalence, minimization (via cores), and
+//! certain answers for queries with answer variables.
+//!
+//! These are the classical applications of the paper's Section 2 toolbox:
+//! CQ containment is homomorphism existence (Chandra–Merlin), and the
+//! unique minimal equivalent CQ is the *core* of the query.
+
+use std::collections::BTreeSet;
+
+use chase_atoms::{AtomSet, ConstId, Substitution, Term, VarId};
+use chase_engine::{run_chase_observed, ChaseConfig, ChaseOutcome, RecordLevel};
+use chase_homomorphism::{core_of, find_homomorphism, for_each_homomorphism, MatchConfig};
+
+use crate::kb::KnowledgeBase;
+
+/// A union of conjunctive queries (UCQ): entailed iff some disjunct is.
+#[derive(Clone, Debug, Default)]
+pub struct Ucq {
+    /// The disjuncts.
+    pub disjuncts: Vec<AtomSet>,
+}
+
+impl Ucq {
+    /// Builds a UCQ from disjuncts.
+    pub fn new(disjuncts: Vec<AtomSet>) -> Self {
+        Ucq { disjuncts }
+    }
+
+    /// Removes disjuncts subsumed by others (`q ⊑ q'` makes `q`
+    /// redundant… careful with direction: a disjunct `q` is redundant if
+    /// some *other* disjunct `q'` is more general, i.e. `q ⊑ q'`), and
+    /// minimizes each survivor to its core.
+    pub fn minimized(&self) -> Ucq {
+        let cores: Vec<AtomSet> = self.disjuncts.iter().map(minimize_cq).collect();
+        let mut keep: Vec<AtomSet> = Vec::new();
+        'outer: for (i, q) in cores.iter().enumerate() {
+            for (j, other) in cores.iter().enumerate() {
+                if i != j && cq_contained_in(q, other) {
+                    // q ⊑ other: whenever q holds, other holds, so q is
+                    // redundant — unless they are equivalent, in which
+                    // case keep the first occurrence only.
+                    if !cq_contained_in(other, q) || j < i {
+                        continue 'outer;
+                    }
+                }
+            }
+            keep.push(q.clone());
+        }
+        Ucq { disjuncts: keep }
+    }
+}
+
+/// Decides `K ⊨ Q₁ ∨ … ∨ Q_n` with the given chase configuration: the
+/// chase runs once, checking every disjunct after each application.
+pub fn entail_ucq(
+    kb: &KnowledgeBase,
+    ucq: &Ucq,
+    cfg: &chase_engine::ChaseConfig,
+) -> crate::entail::Entailment {
+    use crate::entail::Entailment;
+    if ucq.disjuncts.iter().any(|q| maps_to_facts(kb, q)) {
+        return Entailment::Entailed { applications: 0 };
+    }
+    let mut vocab = kb.vocab.clone();
+    let mut hit_at = None;
+    let res = run_chase_observed(&mut vocab, &kb.facts, &kb.rules, cfg, |inst, stats| {
+        if ucq
+            .disjuncts
+            .iter()
+            .any(|q| chase_homomorphism::maps_to(q, inst))
+        {
+            hit_at = Some(stats.applications);
+            std::ops::ControlFlow::Break(())
+        } else {
+            std::ops::ControlFlow::Continue(())
+        }
+    });
+    if let Some(applications) = hit_at {
+        return Entailment::Entailed { applications };
+    }
+    match res.outcome {
+        ChaseOutcome::Terminated => Entailment::NotEntailed {
+            universal_model_atoms: res.final_instance.len(),
+        },
+        _ => Entailment::Unknown {
+            applications: res.stats.applications,
+        },
+    }
+}
+
+fn maps_to_facts(kb: &KnowledgeBase, q: &AtomSet) -> bool {
+    chase_homomorphism::maps_to(q, &kb.facts)
+}
+
+/// Is `q1 ⊑ q2` (every KB entailing `q1` entails `q2`)?
+///
+/// By Chandra–Merlin this holds iff `q2` maps homomorphically into `q1`.
+pub fn cq_contained_in(q1: &AtomSet, q2: &AtomSet) -> bool {
+    find_homomorphism(q2, q1).is_some()
+}
+
+/// Are the two Boolean CQs equivalent?
+pub fn cq_equivalent(q1: &AtomSet, q2: &AtomSet) -> bool {
+    cq_contained_in(q1, q2) && cq_contained_in(q2, q1)
+}
+
+/// The unique (up to isomorphism) minimal CQ equivalent to `q`: its core.
+pub fn minimize_cq(q: &AtomSet) -> AtomSet {
+    core_of(q).core
+}
+
+/// A conjunctive query with distinguished answer variables.
+#[derive(Clone, Debug)]
+pub struct AnswerQuery {
+    /// The query atoms.
+    pub atoms: AtomSet,
+    /// The answer (distinguished) variables, in output order.
+    pub answer_vars: Vec<VarId>,
+}
+
+impl AnswerQuery {
+    /// Builds an answer query; every answer variable must occur in the
+    /// atoms.
+    pub fn new(atoms: AtomSet, answer_vars: Vec<VarId>) -> Result<Self, String> {
+        let vars = atoms.vars();
+        for v in &answer_vars {
+            if !vars.contains(v) {
+                return Err(format!("answer variable {v:?} does not occur in the query"));
+            }
+        }
+        Ok(AnswerQuery { atoms, answer_vars })
+    }
+}
+
+/// The result of a certain-answer computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertainAnswers {
+    /// The answer tuples (constants only), sorted and deduplicated.
+    pub answers: Vec<Vec<ConstId>>,
+    /// Whether the set is *complete* (the chase terminated, so the final
+    /// instance is a universal model). When `false` the set is a sound
+    /// under-approximation computed from a universal chase prefix.
+    pub complete: bool,
+}
+
+/// Computes the certain answers of `query` over `kb`.
+///
+/// Soundness: an answer tuple of constants found in any chase element is
+/// certain, because chase elements map into every model fixing constants.
+/// Completeness requires chase termination (then the final instance is a
+/// universal model and answers are exactly the constant-tuples in it).
+pub fn certain_answers(
+    kb: &KnowledgeBase,
+    query: &AnswerQuery,
+    cfg: &ChaseConfig,
+) -> CertainAnswers {
+    let mut vocab = kb.vocab.clone();
+    let run_cfg = cfg.clone().with_record(RecordLevel::FinalOnly);
+    let res = run_chase_observed(
+        &mut vocab,
+        &kb.facts,
+        &kb.rules,
+        &run_cfg,
+        |_, _| std::ops::ControlFlow::Continue(()),
+    );
+    let complete = res.outcome == ChaseOutcome::Terminated;
+    let mut answers: BTreeSet<Vec<ConstId>> = BTreeSet::new();
+    for_each_homomorphism(
+        &query.atoms,
+        &res.final_instance,
+        &Substitution::new(),
+        &MatchConfig::default(),
+        |sub| {
+            let tuple: Option<Vec<ConstId>> = query
+                .answer_vars
+                .iter()
+                .map(|&v| match sub.apply_term(Term::Var(v)) {
+                    Term::Const(c) => Some(c),
+                    Term::Var(_) => None, // nulls are not certain answers
+                })
+                .collect();
+            if let Some(t) = tuple {
+                answers.insert(t);
+            }
+            std::ops::ControlFlow::Continue(())
+        },
+    );
+    CertainAnswers {
+        answers: answers.into_iter().collect(),
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId};
+    use chase_engine::ChaseVariant;
+    use chase_homomorphism::isomorphism;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn containment_is_reverse_homomorphism() {
+        // q1 = r(X,Y), r(Y,Z) (a 2-path); q2 = r(A,B). q1 ⊑ q2.
+        let q1 = set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]);
+        let q2 = set(&[atom(0, &[v(10), v(11)])]);
+        assert!(cq_contained_in(&q1, &q2));
+        assert!(!cq_contained_in(&q2, &q1));
+        assert!(!cq_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn minimization_removes_redundant_atoms() {
+        // r(X,Y) ∧ r(X,Z) is equivalent to r(X,Y).
+        let q = set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(0), v(2)])]);
+        let m = minimize_cq(&q);
+        assert_eq!(m.len(), 1);
+        assert!(cq_equivalent(&q, &m));
+        // Idempotent up to isomorphism.
+        assert!(isomorphism(&m, &minimize_cq(&m)).is_some());
+    }
+
+    #[test]
+    fn minimization_keeps_non_redundant_queries() {
+        let q = set(&[atom(0, &[v(0), v(1)]), atom(1, &[v(1), v(2)])]);
+        assert_eq!(minimize_cq(&q), q);
+    }
+
+    #[test]
+    fn certain_answers_on_terminating_kb() {
+        let mut kb = KnowledgeBase::from_text(
+            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
+        )
+        .unwrap();
+        let q_atoms = kb.parse_query("r(a, X)").unwrap();
+        let x = *q_atoms.vars().iter().next().unwrap();
+        let query = AnswerQuery::new(q_atoms, vec![x]).unwrap();
+        let res = certain_answers(&kb, &query, &ChaseConfig::variant(ChaseVariant::Core));
+        assert!(res.complete);
+        let names: Vec<&str> = res
+            .answers
+            .iter()
+            .map(|t| kb.vocab.const_name(t[0]).unwrap())
+            .collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn nulls_are_not_certain_answers() {
+        // r(a, b) plus r(X,Y) → ∃Z. s(Y, Z): s's second position holds a
+        // null; asking for it must yield no certain answer.
+        let mut kb =
+            KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> s(Y, Z).").unwrap();
+        let q_atoms = kb.parse_query("s(b, W)").unwrap();
+        let w = *q_atoms.vars().iter().next().unwrap();
+        let query = AnswerQuery::new(q_atoms, vec![w]).unwrap();
+        let res = certain_answers(&kb, &query, &ChaseConfig::variant(ChaseVariant::Core));
+        assert!(res.complete);
+        assert!(res.answers.is_empty());
+    }
+
+    #[test]
+    fn answer_vars_must_occur() {
+        let q = set(&[atom(0, &[v(0), v(1)])]);
+        assert!(AnswerQuery::new(q, vec![VarId::from_raw(99)]).is_err());
+    }
+
+    #[test]
+    fn incomplete_answers_flagged_on_budget() {
+        let mut kb =
+            KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
+        let q_atoms = kb.parse_query("r(a, X)").unwrap();
+        let x = *q_atoms.vars().iter().next().unwrap();
+        let query = AnswerQuery::new(q_atoms, vec![x]).unwrap();
+        let cfg = ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(5);
+        let res = certain_answers(&kb, &query, &cfg);
+        assert!(!res.complete);
+        assert_eq!(res.answers.len(), 1, "r(a,b) still found");
+    }
+}
+
+#[cfg(test)]
+mod ucq_tests {
+    use super::*;
+    use chase_engine::{ChaseConfig, ChaseVariant};
+
+    #[test]
+    fn ucq_entailed_if_any_disjunct_is() {
+        let mut kb = KnowledgeBase::from_text(
+            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
+        )
+        .unwrap();
+        let q_yes = kb.parse_query("r(a, c)").unwrap();
+        let q_no = kb.parse_query("r(c, a)").unwrap();
+        let ucq = Ucq::new(vec![q_no.clone(), q_yes]);
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        assert!(entail_ucq(&kb, &ucq, &cfg).is_entailed());
+        let ucq_no = Ucq::new(vec![q_no]);
+        assert!(entail_ucq(&kb, &ucq_no, &cfg).is_not_entailed());
+    }
+
+    #[test]
+    fn ucq_minimization_drops_subsumed_disjuncts() {
+        let mut kb = KnowledgeBase::from_text("r(a, b).").unwrap();
+        // r(X,Y) ∨ (r(X,Y) ∧ r(Y,Z)): the longer disjunct is subsumed
+        // (it is contained in the shorter one).
+        let short = kb.parse_query("r(X, Y)").unwrap();
+        let long = kb.parse_query("r(X, Y), r(Y, Z)").unwrap();
+        let ucq = Ucq::new(vec![long, short.clone()]);
+        let min = ucq.minimized();
+        assert_eq!(min.disjuncts.len(), 1);
+        assert!(cq_equivalent(&min.disjuncts[0], &short));
+    }
+
+    #[test]
+    fn ucq_minimization_keeps_equivalent_once() {
+        let mut kb = KnowledgeBase::from_text("r(a, b).").unwrap();
+        let q1 = kb.parse_query("r(X, Y)").unwrap();
+        let q2 = kb.parse_query("r(A, B), r(A, C)").unwrap(); // core = r(A,B)
+        let ucq = Ucq::new(vec![q1, q2]);
+        let min = ucq.minimized();
+        assert_eq!(min.disjuncts.len(), 1);
+    }
+
+    #[test]
+    fn empty_ucq_never_entailed() {
+        let kb = KnowledgeBase::from_text("r(a, b).").unwrap();
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        assert!(entail_ucq(&kb, &Ucq::default(), &cfg).is_not_entailed());
+    }
+}

@@ -1,0 +1,113 @@
+//! Knowledge bases: the `(F, Σ)` pairs of the paper, with convenience
+//! constructors and chase access.
+
+use chase_atoms::{AtomSet, Vocabulary};
+use chase_engine::{run_chase, ChaseConfig, ChaseResult, RuleSet};
+use chase_parser::{parse_atoms_with, parse_program, ParseError, Program};
+
+/// A knowledge base `K = (F, Σ)` together with its vocabulary.
+#[derive(Clone, Debug)]
+pub struct KnowledgeBase {
+    /// Symbol tables.
+    pub vocab: Vocabulary,
+    /// The fact base `F` (a finite instance).
+    pub facts: AtomSet,
+    /// The rule set `Σ`.
+    pub rules: RuleSet,
+}
+
+impl KnowledgeBase {
+    /// Builds a KB from parts.
+    pub fn new(vocab: Vocabulary, facts: AtomSet, rules: RuleSet) -> Self {
+        KnowledgeBase {
+            vocab,
+            facts,
+            rules,
+        }
+    }
+
+    /// Parses a KB from the `chase-parser` text syntax. Queries in the
+    /// source are ignored here (use [`KnowledgeBase::from_program`] to
+    /// keep them).
+    pub fn from_text(src: &str) -> Result<Self, ParseError> {
+        Ok(Self::from_program(parse_program(src)?).0)
+    }
+
+    /// Converts a parsed [`Program`], returning the KB and its queries.
+    pub fn from_program(prog: Program) -> (Self, Vec<(String, AtomSet)>) {
+        (
+            KnowledgeBase {
+                vocab: prog.vocab,
+                facts: prog.facts,
+                rules: prog.rules,
+            },
+            prog.queries,
+        )
+    }
+
+    /// The paper's steepening staircase KB `K_h` (Section 6).
+    pub fn staircase() -> Self {
+        let s = chase_kbs::Staircase::new();
+        KnowledgeBase {
+            vocab: s.vocab,
+            facts: s.facts,
+            rules: s.rules,
+        }
+    }
+
+    /// The paper's inflating elevator KB `K_v` (Section 7).
+    pub fn elevator() -> Self {
+        let e = chase_kbs::Elevator::new();
+        KnowledgeBase {
+            vocab: e.vocab,
+            facts: e.facts,
+            rules: e.rules,
+        }
+    }
+
+    /// Parses a CQ against this KB's vocabulary (fresh variable scope).
+    pub fn parse_query(&mut self, src: &str) -> Result<AtomSet, ParseError> {
+        parse_atoms_with(&mut self.vocab, "q", src)
+    }
+
+    /// Runs a chase on this KB (the vocabulary is cloned, so the KB is
+    /// reusable afterwards).
+    pub fn chase(&self, cfg: &ChaseConfig) -> ChaseResult {
+        let mut vocab = self.vocab.clone();
+        run_chase(&mut vocab, &self.facts, &self.rules, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_engine::ChaseVariant;
+
+    #[test]
+    fn from_text_and_chase() {
+        let kb = KnowledgeBase::from_text(
+            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
+        )
+        .unwrap();
+        let res = kb.chase(&ChaseConfig::variant(ChaseVariant::Core));
+        assert!(res.outcome.terminated());
+        assert_eq!(res.final_instance.len(), 3);
+    }
+
+    #[test]
+    fn paper_kbs_construct() {
+        let kh = KnowledgeBase::staircase();
+        assert_eq!(kh.rules.len(), 4);
+        assert_eq!(kh.facts.len(), 2);
+        let kv = KnowledgeBase::elevator();
+        assert_eq!(kv.rules.len(), 7);
+        assert_eq!(kv.facts.len(), 4);
+    }
+
+    #[test]
+    fn parse_query_against_kb() {
+        let mut kb = KnowledgeBase::from_text("r(a, b).").unwrap();
+        let q = kb.parse_query("r(X, Y)").unwrap();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,962 @@
+//! The budgeted, fair chase runner for the oblivious, semi-oblivious,
+//! restricted and core chase variants.
+//!
+//! ## Fairness
+//!
+//! The runner works in **rounds**: at the start of a round it snapshots
+//! the currently active triggers; during the round it applies them one by
+//! one, *forwarding* each queued trigger through the simplifications
+//! performed meanwhile (the trace maps `σ_i^j` of Definition 2) and
+//! re-checking activity right before application. Triggers discovered
+//! during a round wait for the next round. Every trigger that stays active
+//! is therefore applied within a bounded number of rounds, which is
+//! exactly Definition 3 fairness on the produced derivation.
+//!
+//! ## Variants
+//!
+//! * **Oblivious** — applies every trigger once (deduplicated by rule +
+//!   full body image), regardless of satisfaction.
+//! * **Semi-oblivious** (skolem) — deduplicates by rule + frontier image.
+//! * **Restricted** (standard) — applies only triggers not satisfied in
+//!   the current instance; simplifications are the identity.
+//! * **Core** — restricted, plus a retraction to the core after every
+//!   `core_interval` applications (Definition 1's simplifications).
+
+use std::collections::HashSet;
+
+use chase_atoms::{AtomSet, Substitution, Vocabulary};
+use chase_homomorphism::{core_of, find_retraction_eliminating_frozen};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::derivation::Derivation;
+use crate::rule::RuleSet;
+use crate::skolem::SkolemTable;
+use crate::trigger::{all_triggers, apply_trigger, triggers_using_delta, Trigger};
+
+/// Which chase variant to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChaseVariant {
+    /// Apply every trigger exactly once, never checking satisfaction.
+    Oblivious,
+    /// Apply one trigger per (rule, frontier image) class.
+    SemiOblivious,
+    /// Apply only unsatisfied triggers; no simplification.
+    Restricted,
+    /// Restricted + fold only the freshly minted nulls of each
+    /// application (the *frugal* chase of Konstantinidis & Ambite, the
+    /// paper's [15] — strictly between restricted and core in redundancy
+    /// removal).
+    Frugal,
+    /// Restricted + retraction to the core every `core_interval`
+    /// applications.
+    Core,
+}
+
+/// How the runner orders the triggers within a round. All options preserve
+/// fairness (the round structure does); they differ in *which* fair
+/// sequence gets built — Propositions 8.3/8.4 quantify over all of them.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Deterministic order: rule-major, then by body image.
+    Deterministic,
+    /// Seeded random shuffle of each round's snapshot.
+    Random(u64),
+    /// Datalog (existential-free) rules first, then deterministic — the
+    /// priority scheme of the paper's Proposition 6 proof.
+    DatalogFirst,
+}
+
+/// Whether to keep every intermediate instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecordLevel {
+    /// Record the full derivation (required for robust aggregation and
+    /// treewidth profiles).
+    Full,
+    /// Keep only the final instance (cheapest; for benchmarks).
+    FinalOnly,
+}
+
+/// Chase configuration.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// The chase variant.
+    pub variant: ChaseVariant,
+    /// Trigger ordering within a round.
+    pub scheduler: SchedulerKind,
+    /// Recording level.
+    pub record: RecordLevel,
+    /// Budget: maximum number of rule applications.
+    pub max_applications: usize,
+    /// Budget: stop once an instance exceeds this many atoms.
+    pub max_atoms: usize,
+    /// Core variant only: retract to the core every this many
+    /// applications (≥ 1).
+    pub core_interval: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            variant: ChaseVariant::Restricted,
+            scheduler: SchedulerKind::Deterministic,
+            record: RecordLevel::Full,
+            max_applications: 10_000,
+            max_atoms: 1_000_000,
+            core_interval: 1,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// A config for the given variant with default budgets.
+    pub fn variant(variant: ChaseVariant) -> Self {
+        ChaseConfig {
+            variant,
+            ..ChaseConfig::default()
+        }
+    }
+
+    /// Sets the application budget.
+    pub fn with_max_applications(mut self, n: usize) -> Self {
+        self.max_applications = n;
+        self
+    }
+
+    /// Sets the atom budget.
+    pub fn with_max_atoms(mut self, n: usize) -> Self {
+        self.max_atoms = n;
+        self
+    }
+
+    /// Sets the scheduler.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Sets the recording level.
+    pub fn with_record(mut self, r: RecordLevel) -> Self {
+        self.record = r;
+        self
+    }
+
+    /// Sets the core retraction interval.
+    pub fn with_core_interval(mut self, k: usize) -> Self {
+        assert!(k >= 1);
+        self.core_interval = k;
+        self
+    }
+}
+
+/// Why the chase stopped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// A fixpoint was reached: no active trigger remains, the final
+    /// instance is a (finite universal, for restricted/core) model.
+    Terminated,
+    /// The application budget was exhausted.
+    ApplicationBudgetExhausted,
+    /// The atom budget was exhausted.
+    AtomBudgetExhausted,
+    /// The observer callback requested a stop.
+    Stopped,
+}
+
+impl ChaseOutcome {
+    /// Did the chase reach a fixpoint?
+    pub fn terminated(self) -> bool {
+        self == ChaseOutcome::Terminated
+    }
+}
+
+/// Counters describing a chase run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Number of rule applications performed.
+    pub applications: usize,
+    /// Number of fairness rounds executed.
+    pub rounds: usize,
+    /// Number of non-identity simplifications (core retractions).
+    pub retractions: usize,
+    /// Largest instance (in atoms) ever produced, pre-simplification.
+    pub peak_atoms: usize,
+}
+
+/// The result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The recorded derivation ([`RecordLevel::Full`] only).
+    pub derivation: Option<Derivation>,
+    /// The final instance `F_k`.
+    pub final_instance: AtomSet,
+    /// Why the run stopped.
+    pub outcome: ChaseOutcome,
+    /// Run counters.
+    pub stats: ChaseStats,
+}
+
+fn order_snapshot(snapshot: &mut [Trigger], rules: &RuleSet, cfg: &ChaseConfig, rng: &mut StdRng) {
+    match cfg.scheduler {
+        SchedulerKind::Deterministic => {}
+        SchedulerKind::Random(_) => snapshot.shuffle(rng),
+        SchedulerKind::DatalogFirst => {
+            snapshot.sort_by_key(|t| !rules.get(t.rule).is_datalog());
+        }
+    }
+}
+
+/// Runs the chase from `(facts, rules)` under `cfg`, minting fresh nulls
+/// from `vocab`.
+pub fn run_chase(
+    vocab: &mut Vocabulary,
+    facts: &AtomSet,
+    rules: &RuleSet,
+    cfg: &ChaseConfig,
+) -> ChaseResult {
+    run_chase_observed(vocab, facts, rules, cfg, |_, _| {
+        std::ops::ControlFlow::Continue(())
+    })
+}
+
+/// Like [`run_chase`], but invokes `observer` after every rule
+/// application with the freshly produced instance `F_i` and the running
+/// stats. Returning `ControlFlow::Break` stops the chase with
+/// [`ChaseOutcome::Stopped`] — the mechanism behind the Theorem 1 twin
+/// semi-decision procedure in `chase-core`.
+pub fn run_chase_observed(
+    vocab: &mut Vocabulary,
+    facts: &AtomSet,
+    rules: &RuleSet,
+    cfg: &ChaseConfig,
+    mut observer: impl FnMut(&AtomSet, &ChaseStats) -> std::ops::ControlFlow<()>,
+) -> ChaseResult {
+    // Make sure the supply is ahead of every variable already mentioned.
+    for v in facts.vars() {
+        vocab.ensure_var(v);
+    }
+    for (_, rule) in rules.iter() {
+        for v in rule.body().vars().union(&rule.head().vars()) {
+            vocab.ensure_var(*v);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(match cfg.scheduler {
+        SchedulerKind::Random(seed) => seed,
+        _ => 0,
+    });
+
+    let sigma0 = match cfg.variant {
+        ChaseVariant::Core => core_of(facts).retraction,
+        _ => Substitution::new(),
+    };
+    let mut derivation = Derivation::start(rules.clone(), facts.clone(), sigma0);
+    let mut stats = ChaseStats {
+        peak_atoms: facts.len(),
+        ..ChaseStats::default()
+    };
+
+    // Dedup memory for the oblivious variants (monotonic, so keys stay
+    // valid across the whole run).
+    let mut applied_keys: HashSet<(usize, Vec<(chase_atoms::VarId, chase_atoms::Term)>)> =
+        HashSet::new();
+
+    // Semi-naive discovery for the monotonic variants: a trigger only
+    // needs to be considered in the round after its last body atom
+    // appeared, because in a monotonic chase satisfaction is preserved
+    // under extension. The non-monotonic variants (frugal, core) re-scan,
+    // since retractions can invalidate earlier satisfaction.
+    let monotonic = matches!(
+        cfg.variant,
+        ChaseVariant::Oblivious | ChaseVariant::SemiOblivious | ChaseVariant::Restricted
+    );
+    let mut delta: Vec<chase_atoms::Atom> = facts.iter().cloned().collect();
+
+    let mut skolem = SkolemTable::new();
+    let mut since_core = 0usize;
+    let outcome = 'outer: loop {
+        let current = derivation.last_instance().clone();
+        let discovered = if monotonic {
+            let d = triggers_using_delta(rules, &current, &delta);
+            delta.clear();
+            d
+        } else {
+            all_triggers(rules, &current)
+        };
+        let mut snapshot: Vec<Trigger> = discovered
+            .into_iter()
+            .filter(|t| match cfg.variant {
+                ChaseVariant::Oblivious => !applied_keys.contains(&t.universal_key(rules)),
+                ChaseVariant::SemiOblivious => !applied_keys.contains(&t.frontier_key(rules)),
+                ChaseVariant::Restricted | ChaseVariant::Frugal | ChaseVariant::Core => {
+                    !t.is_satisfied_in(rules, &current)
+                }
+            })
+            .collect();
+        if snapshot.is_empty() {
+            break ChaseOutcome::Terminated;
+        }
+        order_snapshot(&mut snapshot, rules, cfg, &mut rng);
+        stats.rounds += 1;
+
+        // Simplifications performed during this round, composed.
+        let mut forward = Substitution::new();
+        for tr in snapshot {
+            if stats.applications >= cfg.max_applications {
+                break 'outer ChaseOutcome::ApplicationBudgetExhausted;
+            }
+            let tr = tr.map(rules, &forward);
+            let f = derivation.last_instance();
+            let active = match cfg.variant {
+                ChaseVariant::Oblivious => !applied_keys.contains(&tr.universal_key(rules)),
+                ChaseVariant::SemiOblivious => !applied_keys.contains(&tr.frontier_key(rules)),
+                ChaseVariant::Restricted | ChaseVariant::Frugal | ChaseVariant::Core => {
+                    tr.is_trigger_for(rules, f) && !tr.is_satisfied_in(rules, f)
+                }
+            };
+            if !active {
+                continue;
+            }
+            let before_len = f.len();
+            let app = if cfg.variant == ChaseVariant::SemiOblivious {
+                // Skolem semantics: nulls are interned per (rule,
+                // frontier image), making the run deterministic and
+                // restart-safe.
+                let pi_safe = skolem.pi_safe(vocab, rules, &tr);
+                let mut result = f.clone();
+                for head_atom in rules.get(tr.rule).head().iter() {
+                    result.insert(pi_safe.apply_atom(head_atom));
+                }
+                crate::trigger::TriggerApplication {
+                    result,
+                    pi_safe,
+                    fresh: Vec::new(),
+                }
+            } else {
+                apply_trigger(vocab, rules, f, &tr)
+            };
+            stats.applications += 1;
+            since_core += 1;
+            stats.peak_atoms = stats.peak_atoms.max(app.result.len());
+            if monotonic && app.result.len() > before_len {
+                let prev = derivation.last_instance();
+                delta.extend(app.result.iter().filter(|a| !prev.contains(a)).cloned());
+            }
+            match cfg.variant {
+                ChaseVariant::Oblivious => {
+                    applied_keys.insert(tr.universal_key(rules));
+                }
+                ChaseVariant::SemiOblivious => {
+                    applied_keys.insert(tr.frontier_key(rules));
+                }
+                _ => {}
+            }
+            let (sigma, next) = match cfg.variant {
+                ChaseVariant::Core if since_core >= cfg.core_interval => {
+                    since_core = 0;
+                    let res = core_of(&app.result);
+                    if !res.retraction.is_empty() {
+                        stats.retractions += 1;
+                    }
+                    (res.retraction, res.core)
+                }
+                ChaseVariant::Frugal => {
+                    // Fold only the freshly minted nulls of this
+                    // application; everything older is frozen.
+                    let mut current = app.result.clone();
+                    let mut sigma = Substitution::new();
+                    for &z in &app.fresh {
+                        if !current.mentions(chase_atoms::Term::Var(z)) {
+                            continue;
+                        }
+                        let frozen: Vec<chase_atoms::VarId> = current
+                            .vars()
+                            .into_iter()
+                            .filter(|v| !app.fresh.contains(v))
+                            .collect();
+                        if let Some(r) = find_retraction_eliminating_frozen(&current, z, frozen)
+                        {
+                            current = r.apply_set(&current);
+                            sigma = sigma.then(&r);
+                        }
+                    }
+                    if !sigma.is_empty() {
+                        stats.retractions += 1;
+                    }
+                    (sigma, current)
+                }
+                _ => (Substitution::new(), app.result),
+            };
+            forward = forward.then(&sigma);
+            let too_big = next.len() > cfg.max_atoms;
+            derivation.push_step(tr, app.pi_safe, sigma, next);
+            if too_big {
+                break 'outer ChaseOutcome::AtomBudgetExhausted;
+            }
+            if observer(derivation.last_instance(), &stats).is_break() {
+                break 'outer ChaseOutcome::Stopped;
+            }
+        }
+    };
+
+    let final_instance = derivation.last_instance().clone();
+    ChaseResult {
+        derivation: match cfg.record {
+            RecordLevel::Full => Some(derivation),
+            RecordLevel::FinalOnly => None,
+        },
+        final_instance,
+        outcome,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use crate::trigger::is_model_of_rules;
+    use chase_atoms::{Atom, PredId, Term, VarId};
+    use chase_homomorphism::{is_core, maps_to};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.ensure_var(VarId::from_raw(99));
+        v
+    }
+
+    /// Transitivity (datalog, terminating).
+    fn transitivity() -> RuleSet {
+        [Rule::new(
+            "trans",
+            set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]),
+            set(&[atom(0, &[v(0), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect()
+    }
+
+    /// r(X, Y) → ∃Z. r(Y, Z) (non-terminating for restricted on a path).
+    fn chain() -> RuleSet {
+        [Rule::new(
+            "chain",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(0, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn datalog_chase_terminates_with_transitive_closure() {
+        let rules = transitivity();
+        let facts = set(&[
+            atom(0, &[v(10), v(11)]),
+            atom(0, &[v(11), v(12)]),
+            atom(0, &[v(12), v(13)]),
+        ]);
+        let mut vocab = vocab();
+        let res = run_chase(&mut vocab, &facts, &rules, &ChaseConfig::default());
+        assert!(res.outcome.terminated());
+        // Closure of a 4-chain: 3 + 2 + 1 = 6 atoms.
+        assert_eq!(res.final_instance.len(), 6);
+        assert!(is_model_of_rules(&rules, &res.final_instance));
+        let d = res.derivation.unwrap();
+        assert_eq!(d.validate(), Ok(()));
+        assert!(d.check_fair_up_to_horizon().is_ok());
+    }
+
+    #[test]
+    fn restricted_chase_hits_budget_on_chain() {
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::default().with_max_applications(5);
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+        assert_eq!(res.stats.applications, 5);
+        assert_eq!(res.final_instance.len(), 6);
+        let d = res.derivation.unwrap();
+        assert!(d.is_monotonic());
+        assert_eq!(d.validate(), Ok(()));
+    }
+
+    #[test]
+    fn restricted_chase_terminates_on_loop() {
+        // Facts contain a loop ⇒ the chain trigger is satisfied.
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(10)])]);
+        let mut vocab = vocab();
+        let res = run_chase(&mut vocab, &facts, &rules, &ChaseConfig::default());
+        assert!(res.outcome.terminated());
+        assert_eq!(res.stats.applications, 0);
+    }
+
+    #[test]
+    fn core_chase_folds_redundancy() {
+        // Rule r(X,Y) → ∃Z. r(X,Z), plus facts {r(a-var, b-var), loop}:
+        // facts: r(10,11), r(10,10). Trigger on (10,11) is satisfied by
+        // r(10,10)? Satisfaction needs an extension of π = {X↦10, Y↦11}
+        // mapping Z somewhere with r(10, Z): yes, Z↦11 or 10. So chase
+        // terminates immediately. Core chase's σ_0 folds 11 into 10?
+        // r(10,11): folding 11↦10 needs r(10,10) ∈ F — yes! So F_0 is the
+        // loop alone.
+        let rules: RuleSet = [Rule::new(
+            "mk",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(0, &[v(0), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(10), v(10)])]);
+        let mut vocab = vocab();
+        let res = run_chase(
+            &mut vocab,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Core),
+        );
+        assert!(res.outcome.terminated());
+        assert_eq!(res.final_instance, set(&[atom(0, &[v(10), v(10)])]));
+        assert!(is_core(&res.final_instance));
+    }
+
+    #[test]
+    fn core_chase_result_is_core_after_termination() {
+        let rules = transitivity();
+        let facts = set(&[
+            atom(0, &[v(10), v(11)]),
+            atom(0, &[v(11), v(10)]),
+            atom(0, &[v(11), v(12)]),
+        ]);
+        let mut vocab = vocab();
+        let res = run_chase(
+            &mut vocab,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Core),
+        );
+        assert!(res.outcome.terminated());
+        assert!(is_core(&res.final_instance));
+        assert!(is_model_of_rules(&rules, &res.final_instance));
+        let d = res.derivation.unwrap();
+        assert_eq!(d.validate(), Ok(()));
+    }
+
+    #[test]
+    fn oblivious_applies_satisfied_triggers() {
+        // chain rule on a loop: restricted stops at once, oblivious keeps
+        // going (each new atom spawns a new trigger) until budget.
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(10)])]);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(4);
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+        assert_eq!(res.final_instance.len(), 5);
+    }
+
+    #[test]
+    fn semi_oblivious_dedupes_by_frontier() {
+        // r(X, Y) → ∃Z. s(Y, Z): triggers sharing Y produce one null under
+        // semi-oblivious, two under oblivious.
+        let rules: RuleSet = [Rule::new(
+            "mk",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(1, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(12)]), atom(0, &[v(11), v(12)])]);
+
+        let mut vocab1 = vocab();
+        let semi = run_chase(
+            &mut vocab1,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::SemiOblivious),
+        );
+        assert!(semi.outcome.terminated());
+        assert_eq!(semi.final_instance.pred_count(PredId::from_raw(1)), 1);
+
+        let mut vocab2 = vocab();
+        let obl = run_chase(
+            &mut vocab2,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Oblivious),
+        );
+        assert!(obl.outcome.terminated());
+        assert_eq!(obl.final_instance.pred_count(PredId::from_raw(1)), 2);
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let rules = transitivity();
+        let facts = set(&[
+            atom(0, &[v(10), v(11)]),
+            atom(0, &[v(11), v(12)]),
+            atom(0, &[v(12), v(13)]),
+            atom(0, &[v(13), v(14)]),
+        ]);
+        let run = |seed| {
+            let mut vc = vocab();
+            let cfg =
+                ChaseConfig::default().with_scheduler(SchedulerKind::Random(seed));
+            run_chase(&mut vc, &facts, &rules, &cfg)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.final_instance, b.final_instance);
+        assert_eq!(a.stats, b.stats);
+        // Different seeds still converge to the same closure (confluence
+        // of datalog).
+        let c = run(8);
+        assert_eq!(a.final_instance, c.final_instance);
+    }
+
+    #[test]
+    fn all_variants_agree_on_datalog_closure() {
+        let rules = transitivity();
+        let facts = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(11), v(12)])]);
+        let mut results = Vec::new();
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+            ChaseVariant::Core,
+        ] {
+            let mut vc = vocab();
+            let res = run_chase(&mut vc, &facts, &rules, &ChaseConfig::variant(variant));
+            assert!(res.outcome.terminated(), "{variant:?}");
+            results.push(res.final_instance);
+        }
+        // Datalog creates no nulls, so all variants coincide exactly.
+        for r in &results[1..] {
+            assert_eq!(&results[0], r);
+        }
+    }
+
+    #[test]
+    fn chase_instances_map_into_any_model() {
+        // Proposition 1.(1) smoke test: each F_i maps into a hand-built
+        // model of the KB.
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        // Model: r(10,11) plus loop on 11.
+        let model = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(11), v(11)])]);
+        assert!(is_model_of_rules(&rules, &model));
+        let mut vc = vocab();
+        let cfg = ChaseConfig::variant(ChaseVariant::Core).with_max_applications(6);
+        let res = run_chase(&mut vc, &facts, &rules, &cfg);
+        let d = res.derivation.unwrap();
+        assert!(d.all_instances_map_into(&model));
+        assert!(maps_to(&facts, &model));
+    }
+
+    #[test]
+    fn final_only_record_level_omits_derivation() {
+        let rules = transitivity();
+        let facts = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(11), v(12)])]);
+        let mut vc = vocab();
+        let cfg = ChaseConfig::default().with_record(RecordLevel::FinalOnly);
+        let res = run_chase(&mut vc, &facts, &rules, &cfg);
+        assert!(res.derivation.is_none());
+        assert_eq!(res.final_instance.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod frugal_tests {
+    use super::*;
+    use crate::rule::{Rule, RuleSet};
+    use chase_atoms::{Atom, PredId, Term, VarId};
+    use chase_homomorphism::is_core;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.ensure_var(VarId::from_raw(99));
+        v
+    }
+
+    #[test]
+    fn frugal_folds_redundant_fresh_nulls() {
+        // r(X, Y) → ∃Z, W. s(Y, Z) ∧ s(Y, W): the two fresh nulls are
+        // interchangeable; the frugal chase keeps only one.
+        let rules: RuleSet = [Rule::new(
+            "mk",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(1, &[v(1), v(2)]), atom(1, &[v(1), v(3)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+
+        let mut vc = vocab();
+        let frugal = run_chase(
+            &mut vc,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Frugal),
+        );
+        assert!(frugal.outcome.terminated());
+        assert_eq!(
+            frugal.final_instance.pred_count(PredId::from_raw(1)),
+            1,
+            "one of the twin nulls folds away"
+        );
+        assert!(frugal.stats.retractions >= 1);
+
+        let mut vc = vocab();
+        let restricted = run_chase(
+            &mut vc,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Restricted),
+        );
+        assert_eq!(
+            restricted.final_instance.pred_count(PredId::from_raw(1)),
+            2,
+            "restricted keeps both"
+        );
+    }
+
+    #[test]
+    fn frugal_leaves_old_redundancy_untouched() {
+        // Initial facts carry a redundancy the frugal chase must never
+        // fold (only fresh nulls move), while the core chase removes it.
+        let rules: RuleSet = [Rule::new(
+            "noop",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(2, &[v(0)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        // p(10,11) is redundant given p(10,10).
+        let facts = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(10), v(10)])]);
+
+        let mut vc = vocab();
+        let frugal = run_chase(
+            &mut vc,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Frugal),
+        );
+        assert!(frugal.outcome.terminated());
+        assert!(frugal.final_instance.contains(&atom(0, &[v(10), v(11)])));
+        assert!(!is_core(&frugal.final_instance));
+
+        let mut vc = vocab();
+        let core = run_chase(
+            &mut vc,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Core),
+        );
+        assert!(core.outcome.terminated());
+        assert!(is_core(&core.final_instance));
+        assert!(core.final_instance.len() < frugal.final_instance.len());
+    }
+
+    #[test]
+    fn frugal_derivation_validates() {
+        let rules: RuleSet = [Rule::new(
+            "mk",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(1, &[v(1), v(2)]), atom(1, &[v(1), v(3)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let mut vc = vocab();
+        let res = run_chase(
+            &mut vc,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Frugal),
+        );
+        let d = res.derivation.unwrap();
+        assert_eq!(d.validate(), Ok(()));
+    }
+}
+
+#[cfg(test)]
+mod semi_naive_tests {
+    use super::*;
+    use crate::rule::{Rule, RuleSet};
+    use chase_atoms::{Atom, PredId, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    /// On datalog the Frugal variant never folds (no fresh nulls to
+    /// move), so it behaves as a full-rescan restricted chase — a perfect
+    /// oracle for the semi-naive Restricted runner.
+    #[test]
+    fn semi_naive_matches_full_rescan_on_datalog() {
+        let rules: RuleSet = [
+            Rule::new(
+                "trans",
+                set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]),
+                set(&[atom(0, &[v(0), v(2)])]),
+            )
+            .unwrap(),
+            Rule::new(
+                "inv",
+                set(&[atom(0, &[v(0), v(1)])]),
+                set(&[atom(1, &[v(1), v(0)])]),
+            )
+            .unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let facts = set(&[
+            atom(0, &[v(10), v(11)]),
+            atom(0, &[v(11), v(12)]),
+            atom(0, &[v(12), v(13)]),
+            atom(0, &[v(13), v(10)]),
+        ]);
+        let run = |variant| {
+            let mut vocab = Vocabulary::new();
+            run_chase(&mut vocab, &facts, &rules, &ChaseConfig::variant(variant))
+        };
+        let semi = run(ChaseVariant::Restricted);
+        let full = run(ChaseVariant::Frugal);
+        assert!(semi.outcome.terminated() && full.outcome.terminated());
+        assert_eq!(semi.final_instance, full.final_instance);
+    }
+
+    /// Existential rules: semi-naive restricted still reaches the same
+    /// fixpoint as the (full-rescan) core chase up to hom-equivalence on
+    /// a terminating KB.
+    #[test]
+    fn semi_naive_reaches_fixpoint_with_existentials() {
+        // r(X,Y) → ∃Z. s(Y,Z); s(X,Y) → t(X): terminates after 2 rounds.
+        let rules: RuleSet = [
+            Rule::new(
+                "mk",
+                set(&[atom(0, &[v(0), v(1)])]),
+                set(&[atom(1, &[v(1), v(2)])]),
+            )
+            .unwrap(),
+            Rule::new(
+                "mark",
+                set(&[atom(1, &[v(0), v(1)])]),
+                set(&[atom(2, &[v(0)])]),
+            )
+            .unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(12), v(11)])]);
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(50));
+        let res = run_chase(
+            &mut vocab,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Restricted),
+        );
+        assert!(res.outcome.terminated());
+        assert!(crate::trigger::is_model_of_rules(&rules, &res.final_instance));
+        assert_eq!(res.final_instance.pred_count(PredId::from_raw(2)), 1);
+    }
+}
+
+#[cfg(test)]
+mod skolem_chase_tests {
+    use super::*;
+    use crate::rule::{Rule, RuleSet};
+    use chase_atoms::{Atom, PredId, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    /// Restart safety: two independent semi-oblivious runs on the same KB
+    /// produce literally identical instances (not merely isomorphic).
+    #[test]
+    fn semi_oblivious_runs_are_bitwise_reproducible() {
+        let rules: RuleSet = [
+            Rule::new(
+                "mk",
+                set(&[atom(0, &[v(0), v(1)])]),
+                set(&[atom(1, &[v(1), v(2)])]),
+            )
+            .unwrap(),
+            Rule::new(
+                "back",
+                set(&[atom(1, &[v(0), v(1)])]),
+                set(&[atom(0, &[v(1), v(0)])]),
+            )
+            .unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(12), v(11)])]);
+        let run = || {
+            let mut vocab = Vocabulary::new();
+            vocab.ensure_var(VarId::from_raw(50));
+            run_chase(
+                &mut vocab,
+                &facts,
+                &rules,
+                &ChaseConfig::variant(ChaseVariant::SemiOblivious)
+                    .with_max_applications(20),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_instance, b.final_instance);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,370 @@
+//! Derivations (Definition 1), trace maps (Definition 2) and fairness
+//! checks (Definition 3).
+
+use chase_atoms::{AtomSet, Substitution, Vocabulary};
+
+use crate::rule::RuleSet;
+use crate::trigger::{all_triggers, Trigger};
+
+/// One element of a derivation: `(tr_i, σ_i, F_i)` plus the bookkeeping
+/// needed to reconstruct the pre-simplification instance
+/// `A_i = α(F_{i-1}, tr_i)`.
+#[derive(Clone, Debug)]
+pub struct DerivationStep {
+    /// The trigger applied at this step (`None` for step 0).
+    pub trigger: Option<Trigger>,
+    /// The safe substitution used by the application (`π` on the frontier
+    /// plus fresh nulls for existentials); `None` for step 0.
+    pub pi_safe: Option<Substitution>,
+    /// The simplification `σ_i` — a retraction of `A_i` with
+    /// `F_i = σ_i(A_i)`.
+    pub simplification: Substitution,
+    /// The instance `F_i`.
+    pub instance: AtomSet,
+}
+
+/// A recorded (finite prefix of a) derivation
+/// `D = ((tr_i, σ_i, F_i))_{i}` from a knowledge base `(F, Σ)`.
+#[derive(Clone, Debug)]
+pub struct Derivation {
+    rules: RuleSet,
+    initial: AtomSet,
+    steps: Vec<DerivationStep>,
+}
+
+impl Derivation {
+    /// Starts a derivation: records step 0 with `F_0 = σ_0(F)`.
+    pub fn start(rules: RuleSet, initial: AtomSet, sigma0: Substitution) -> Self {
+        let f0 = sigma0.apply_set(&initial);
+        Derivation {
+            rules,
+            initial,
+            steps: vec![DerivationStep {
+                trigger: None,
+                pi_safe: None,
+                simplification: sigma0,
+                instance: f0,
+            }],
+        }
+    }
+
+    /// Appends step `i`: `F_i = σ(α(F_{i-1}, tr))`.
+    pub fn push_step(
+        &mut self,
+        trigger: Trigger,
+        pi_safe: Substitution,
+        simplification: Substitution,
+        instance: AtomSet,
+    ) {
+        self.steps.push(DerivationStep {
+            trigger: Some(trigger),
+            pi_safe: Some(pi_safe),
+            simplification,
+            instance,
+        });
+    }
+
+    /// The rule set `Σ`.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The original fact set `F` (before `σ_0`).
+    pub fn initial(&self) -> &AtomSet {
+        &self.initial
+    }
+
+    /// Number of recorded elements (including step 0), i.e. `k + 1` for a
+    /// derivation `(F_i)_{0 ≤ i ≤ k}`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Always false — a derivation records at least `F_0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The step records.
+    pub fn steps(&self) -> &[DerivationStep] {
+        &self.steps
+    }
+
+    /// The instance `F_i`.
+    pub fn instance(&self, i: usize) -> &AtomSet {
+        &self.steps[i].instance
+    }
+
+    /// The final recorded instance.
+    pub fn last_instance(&self) -> &AtomSet {
+        &self.steps.last().expect("derivation is never empty").instance
+    }
+
+    /// All instances `F_0 … F_k` in order.
+    pub fn instances(&self) -> impl Iterator<Item = &AtomSet> {
+        self.steps.iter().map(|s| &s.instance)
+    }
+
+    /// Reconstructs the pre-simplification instance
+    /// `A_i = α(F_{i-1}, tr_i)` (for `i = 0`, the original facts `F`).
+    pub fn pre_instance(&self, i: usize) -> AtomSet {
+        if i == 0 {
+            return self.initial.clone();
+        }
+        let step = &self.steps[i];
+        let trigger = step.trigger.as_ref().expect("step > 0 has a trigger");
+        let pi_safe = step.pi_safe.as_ref().expect("step > 0 has pi_safe");
+        let mut a = self.steps[i - 1].instance.clone();
+        for atom in self.rules.get(trigger.rule).head().iter() {
+            a.insert(pi_safe.apply_atom(atom));
+        }
+        a
+    }
+
+    /// The trace map `σ_i^j = σ_j ∘ … ∘ σ_{i+1}` of Definition 2
+    /// (identity when `i = j`).
+    pub fn trace(&self, i: usize, j: usize) -> Substitution {
+        assert!(i <= j && j < self.steps.len());
+        let mut composed = Substitution::new();
+        for k in i + 1..=j {
+            composed = composed.then(&self.steps[k].simplification);
+        }
+        composed
+    }
+
+    /// Is the derivation monotonic (`F_{i-1} ⊆ F_i` for all `i`)?
+    pub fn is_monotonic(&self) -> bool {
+        self.steps
+            .windows(2)
+            .all(|w| w[0].instance.is_subset_of(&w[1].instance))
+    }
+
+    /// Checks the Definition 1 invariants on every recorded step:
+    ///
+    /// 1. `tr_i` is a trigger for `F_{i-1}` that is *not satisfied* in
+    ///    `F_{i-1}`;
+    /// 2. `σ_i` is a retraction of `A_i = α(F_{i-1}, tr_i)`;
+    /// 3. `F_i = σ_i(A_i)`.
+    ///
+    /// Returns the index of the first violating step, if any.
+    pub fn validate(&self) -> Result<(), usize> {
+        // Step 0: σ_0 retraction of F with F_0 = σ_0(F).
+        let s0 = &self.steps[0];
+        if !s0.simplification.is_retraction_of(&self.initial)
+            || s0.simplification.apply_set(&self.initial) != s0.instance
+        {
+            return Err(0);
+        }
+        for i in 1..self.steps.len() {
+            let prev = &self.steps[i - 1].instance;
+            let step = &self.steps[i];
+            let Some(trigger) = step.trigger.as_ref() else {
+                return Err(i);
+            };
+            if !trigger.is_trigger_for(&self.rules, prev)
+                || trigger.is_satisfied_in(&self.rules, prev)
+            {
+                return Err(i);
+            }
+            let a = self.pre_instance(i);
+            if !step.simplification.is_retraction_of(&a)
+                || step.simplification.apply_set(&a) != step.instance
+            {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fairness check on a *terminating* derivation prefix: every trigger
+    /// of every `F_i`, forwarded through the trace maps, must be satisfied
+    /// in the final instance. Returns the offending `(step, trigger)` if
+    /// any.
+    ///
+    /// For non-terminating prefixes this is only a necessary condition up
+    /// to the recorded horizon.
+    pub fn check_fair_up_to_horizon(&self) -> Result<(), (usize, Trigger)> {
+        let last = self.steps.len() - 1;
+        for i in 0..self.steps.len() {
+            let trace = self.trace(i, last);
+            for tr in all_triggers(&self.rules, &self.steps[i].instance) {
+                let fwd = tr.map(&self.rules, &trace);
+                if !fwd.is_satisfied_in(&self.rules, self.last_instance()) {
+                    return Err((i, tr));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks Proposition 1.(1) on the recorded prefix: every `F_i` maps
+    /// homomorphically into `model` (so the natural aggregation is
+    /// universal). `model` must be a model of the KB for this to be
+    /// meaningful.
+    pub fn all_instances_map_into(&self, model: &AtomSet) -> bool {
+        self.instances()
+            .all(|f| chase_homomorphism::maps_to(f, model))
+    }
+
+    /// Convenience: does the final instance satisfy every trigger (i.e. is
+    /// it a model of the rules)? Together with `F ⊆`-reachability this is
+    /// the termination criterion of the chase.
+    pub fn final_is_model(&self, _vocab: &Vocabulary) -> bool {
+        crate::trigger::is_model_of_rules(&self.rules, self.last_instance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use crate::trigger::apply_trigger;
+    use chase_atoms::{Atom, PredId, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    /// r(X, Y) → ∃Z. r(Y, Z) with rule vars 0,1,2; facts r(10, 11).
+    fn setup() -> (Vocabulary, RuleSet, AtomSet) {
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(50));
+        let rules: RuleSet = [Rule::new(
+            "chain",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(0, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        (vocab, rules, facts)
+    }
+
+    fn extend_once(vocab: &mut Vocabulary, d: &mut Derivation) {
+        let rules = d.rules().clone();
+        let current = d.last_instance().clone();
+        let tr = crate::trigger::unsatisfied_triggers(&rules, &current)
+            .into_iter()
+            .next()
+            .expect("an unsatisfied trigger exists");
+        let app = apply_trigger(vocab, &rules, &current, &tr);
+        d.push_step(tr, app.pi_safe, Substitution::new(), app.result);
+    }
+
+    #[test]
+    fn monotonic_derivation_validates() {
+        let (mut vocab, rules, facts) = setup();
+        let mut d = Derivation::start(rules, facts, Substitution::new());
+        for _ in 0..3 {
+            extend_once(&mut vocab, &mut d);
+        }
+        assert_eq!(d.len(), 4);
+        assert!(d.is_monotonic());
+        assert_eq!(d.validate(), Ok(()));
+        assert!(d.trace(0, 3).is_empty(), "monotonic traces are identity");
+    }
+
+    #[test]
+    fn pre_instance_reconstruction() {
+        let (mut vocab, rules, facts) = setup();
+        let mut d = Derivation::start(rules, facts.clone(), Substitution::new());
+        extend_once(&mut vocab, &mut d);
+        assert_eq!(d.pre_instance(0), facts);
+        // With identity simplification, A_1 = F_1.
+        assert_eq!(&d.pre_instance(1), d.instance(1));
+    }
+
+    #[test]
+    fn simplified_derivation_validates() {
+        // Apply the chain rule then fold the new null back: σ maps the
+        // fresh Z to 10, giving F_1 = {r(10,11), r(11,10)}? No — fold must
+        // be a retraction of A_1 = {r(10,11), r(11,Z)}. Mapping Z ↦ 10
+        // requires r(11,10) ∈ A_1 — not there. Instead fold 10 ↦ Z? Also
+        // not a retraction. Use a rule where folding works:
+        // r(X,Y) → ∃Z. r(Y,Z) on facts {r(10,10)} is satisfied; use facts
+        // {r(10,11), r(11,11)}: trigger on (10,11) is satisfied. So use the
+        // trigger on (11,11)? Also satisfied. Build the fold scenario
+        // manually: start from r(10,11); apply to get r(11,Z); apply to
+        // get r(Z,W); now σ folding nothing is identity. Simplest
+        // non-identity retraction test: duplicate-producing datalog rule.
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(50));
+        // s(X,Y) → ∃W. r(Y,W); facts {s(10,11), r(11,12), r(12,12)}.
+        // A_1 = facts ∪ {r(11, Z)}; σ: Z ↦ 12 is a retraction
+        // (r(11,12) present).
+        let rules: RuleSet = [Rule::new(
+            "mk",
+            set(&[atom(1, &[v(0), v(1)])]),
+            set(&[atom(0, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[
+            atom(1, &[v(10), v(11)]),
+            atom(0, &[v(11), v(12)]),
+            atom(0, &[v(12), v(12)]),
+        ]);
+        let mut d = Derivation::start(rules.clone(), facts.clone(), Substitution::new());
+        let tr = crate::trigger::all_triggers(&rules, &facts)
+            .into_iter()
+            .find(|t| !t.is_satisfied_in(&rules, &facts));
+        // The trigger IS satisfied (r(11,12) witnesses it) — so Definition
+        // 1 forbids applying it. Check that validate() catches a violation.
+        assert!(tr.is_none());
+        let satisfied = crate::trigger::all_triggers(&rules, &facts)
+            .into_iter()
+            .next()
+            .unwrap();
+        let app = apply_trigger(&mut vocab, &rules, &facts, &satisfied);
+        d.push_step(
+            satisfied,
+            app.pi_safe,
+            Substitution::new(),
+            app.result,
+        );
+        assert_eq!(d.validate(), Err(1));
+    }
+
+    #[test]
+    fn fairness_on_terminated_chase() {
+        // Datalog transitivity on a 3-path terminates; afterwards every
+        // trigger is satisfied.
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(50));
+        let rules: RuleSet = [Rule::new(
+            "trans",
+            set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]),
+            set(&[atom(0, &[v(0), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(11), v(12)])]);
+        let mut d = Derivation::start(rules.clone(), facts, Substitution::new());
+        loop {
+            let current = d.last_instance().clone();
+            let Some(tr) = crate::trigger::unsatisfied_triggers(&rules, &current)
+                .into_iter()
+                .next()
+            else {
+                break;
+            };
+            let app = apply_trigger(&mut vocab, &rules, &current, &tr);
+            d.push_step(tr, app.pi_safe, Substitution::new(), app.result);
+        }
+        assert_eq!(d.validate(), Ok(()));
+        assert!(d.check_fair_up_to_horizon().is_ok());
+        assert!(d.final_is_model(&vocab));
+        assert!(d.all_instances_map_into(d.last_instance()));
+    }
+}

@@ -1,0 +1,282 @@
+//! Existential rules `B → H` and rule sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use chase_atoms::{AtomSet, DisplayWith, VarId, Vocabulary};
+
+/// Index of a rule within a [`RuleSet`].
+pub type RuleId = usize;
+
+/// Errors raised by [`Rule::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleError {
+    /// The paper requires rule bodies to be nonempty finite atomsets.
+    EmptyBody,
+    /// The paper requires rule heads to be nonempty finite atomsets.
+    EmptyHead,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::EmptyBody => write!(f, "rule body must be nonempty"),
+            RuleError::EmptyHead => write!(f, "rule head must be nonempty"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// An existential rule `∀X∀Y. B[X,Y] → ∃Z. H[X,Z]`.
+///
+/// * **universal** variables: all variables of the body;
+/// * **frontier** variables: shared between body and head;
+/// * **existential** variables: head-only.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Rule {
+    name: String,
+    body: AtomSet,
+    head: AtomSet,
+    universal: BTreeSet<VarId>,
+    frontier: BTreeSet<VarId>,
+    existential: BTreeSet<VarId>,
+}
+
+impl Rule {
+    /// Creates a rule, computing its variable partition.
+    pub fn new(
+        name: impl Into<String>,
+        body: AtomSet,
+        head: AtomSet,
+    ) -> Result<Self, RuleError> {
+        if body.is_empty() {
+            return Err(RuleError::EmptyBody);
+        }
+        if head.is_empty() {
+            return Err(RuleError::EmptyHead);
+        }
+        let universal = body.vars();
+        let head_vars = head.vars();
+        let frontier: BTreeSet<VarId> = universal.intersection(&head_vars).copied().collect();
+        let existential: BTreeSet<VarId> = head_vars.difference(&universal).copied().collect();
+        Ok(Rule {
+            name: name.into(),
+            body,
+            head,
+            universal,
+            frontier,
+            existential,
+        })
+    }
+
+    /// The rule's display name (e.g. `R1h`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The body `B`.
+    pub fn body(&self) -> &AtomSet {
+        &self.body
+    }
+
+    /// The head `H`.
+    pub fn head(&self) -> &AtomSet {
+        &self.head
+    }
+
+    /// All body variables (universally quantified).
+    pub fn universal_vars(&self) -> &BTreeSet<VarId> {
+        &self.universal
+    }
+
+    /// Variables shared between body and head.
+    pub fn frontier_vars(&self) -> &BTreeSet<VarId> {
+        &self.frontier
+    }
+
+    /// Head-only (existentially quantified) variables.
+    pub fn existential_vars(&self) -> &BTreeSet<VarId> {
+        &self.existential
+    }
+
+    /// Is this a datalog rule (no existential variables)?
+    pub fn is_datalog(&self) -> bool {
+        self.existential.is_empty()
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:?} -> {:?}", self.name, self.body, self.head)
+    }
+}
+
+impl DisplayWith for Rule {
+    fn fmt_with(&self, vocab: &Vocabulary, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut body: Vec<_> = self.body.sorted_atoms();
+        body.sort();
+        for (i, a) in body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            a.fmt_with(vocab, f)?;
+        }
+        f.write_str(" → ")?;
+        if !self.existential.is_empty() {
+            f.write_str("∃")?;
+            for (i, &z) in self.existential.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                z.fmt_with(vocab, f)?;
+            }
+            f.write_str(". ")?;
+        }
+        let mut head: Vec<_> = self.head.sorted_atoms();
+        head.sort();
+        for (i, a) in head.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            a.fmt_with(vocab, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of rules (`Σ`).
+#[derive(Clone, Default, Debug)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule, returning its id.
+    pub fn push(&mut self, rule: Rule) -> RuleId {
+        self.rules.push(rule);
+        self.rules.len() - 1
+    }
+
+    /// The rule behind an id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    pub fn get(&self, id: RuleId) -> &Rule {
+        &self.rules[id]
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Is the rule set empty?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over `(id, rule)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules.iter().enumerate()
+    }
+
+    /// Looks a rule up by name.
+    pub fn by_name(&self, name: &str) -> Option<(RuleId, &Rule)> {
+        self.iter().find(|(_, r)| r.name() == name)
+    }
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        RuleSet {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId, Term};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn vid(i: u32) -> VarId {
+        VarId::from_raw(i)
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn variable_partition() {
+        // r(X, Y) → ∃Z. s(Y, Z)
+        let rule = Rule::new(
+            "r1",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(1, &[v(1), v(2)])]),
+        )
+        .unwrap();
+        assert_eq!(
+            rule.universal_vars().iter().copied().collect::<Vec<_>>(),
+            vec![vid(0), vid(1)]
+        );
+        assert_eq!(
+            rule.frontier_vars().iter().copied().collect::<Vec<_>>(),
+            vec![vid(1)]
+        );
+        assert_eq!(
+            rule.existential_vars().iter().copied().collect::<Vec<_>>(),
+            vec![vid(2)]
+        );
+        assert!(!rule.is_datalog());
+    }
+
+    #[test]
+    fn datalog_rule_has_no_existentials() {
+        let rule = Rule::new(
+            "t",
+            set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]),
+            set(&[atom(0, &[v(0), v(2)])]),
+        )
+        .unwrap();
+        assert!(rule.is_datalog());
+        assert_eq!(rule.frontier_vars().len(), 2);
+    }
+
+    #[test]
+    fn empty_body_or_head_rejected() {
+        let some = set(&[atom(0, &[v(0)])]);
+        assert_eq!(
+            Rule::new("x", AtomSet::new(), some.clone()).unwrap_err(),
+            RuleError::EmptyBody
+        );
+        assert_eq!(
+            Rule::new("x", some, AtomSet::new()).unwrap_err(),
+            RuleError::EmptyHead
+        );
+    }
+
+    #[test]
+    fn ruleset_lookup() {
+        let r1 = Rule::new("a", set(&[atom(0, &[v(0)])]), set(&[atom(1, &[v(0)])])).unwrap();
+        let r2 = Rule::new("b", set(&[atom(1, &[v(0)])]), set(&[atom(0, &[v(0)])])).unwrap();
+        let rs: RuleSet = [r1, r2].into_iter().collect();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.by_name("b").unwrap().0, 1);
+        assert!(rs.by_name("zzz").is_none());
+    }
+}

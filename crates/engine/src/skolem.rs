@@ -1,0 +1,178 @@
+//! Skolem null management for the semi-oblivious (skolem) chase.
+//!
+//! The semi-oblivious chase is equivalent to chasing with *skolemized*
+//! rules: each existential variable `z` of rule `R` becomes a function
+//! term `f_{R,z}(x̄)` over the frontier. This module interns those
+//! function terms as reusable nulls, making the skolem chase
+//! **deterministic and restart-safe**: re-applying a trigger with the
+//! same frontier image yields the *same* null, so independently computed
+//! chases of the same KB produce literally identical instances.
+
+use std::collections::HashMap;
+
+use chase_atoms::{Substitution, Term, VarId, Vocabulary};
+
+use crate::rule::{RuleId, RuleSet};
+use crate::trigger::Trigger;
+
+/// Interning table for skolem nulls: `(rule, existential var, frontier
+/// image) → null`.
+#[derive(Clone, Debug, Default)]
+pub struct SkolemTable {
+    map: HashMap<(RuleId, VarId, Vec<Term>), VarId>,
+}
+
+impl SkolemTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct skolem nulls minted so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The skolem null `f_{R,z}(frontier image)`, minted on first use.
+    pub fn null_for(
+        &mut self,
+        vocab: &mut Vocabulary,
+        rules: &RuleSet,
+        rule: RuleId,
+        z: VarId,
+        pi: &Substitution,
+    ) -> VarId {
+        let frontier_image: Vec<Term> = rules
+            .get(rule)
+            .frontier_vars()
+            .iter()
+            .map(|&x| pi.apply_term(Term::Var(x)))
+            .collect();
+        *self
+            .map
+            .entry((rule, z, frontier_image))
+            .or_insert_with(|| vocab.fresh_var())
+    }
+
+    /// The safe substitution of a trigger under skolem semantics: `π` on
+    /// the frontier plus interned skolem nulls for the existentials.
+    pub fn pi_safe(
+        &mut self,
+        vocab: &mut Vocabulary,
+        rules: &RuleSet,
+        tr: &Trigger,
+    ) -> Substitution {
+        let rule = rules.get(tr.rule);
+        let mut pi_safe = tr.pi.restrict(rule.frontier_vars());
+        let existentials: Vec<VarId> = rule.existential_vars().iter().copied().collect();
+        for z in existentials {
+            let null = self.null_for(vocab, rules, tr.rule, z, &tr.pi);
+            pi_safe.bind(z, Term::Var(null));
+        }
+        pi_safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use chase_atoms::{Atom, AtomSet, PredId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn vid(i: u32) -> VarId {
+        VarId::from_raw(i)
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    /// r(X, Y) → ∃Z. s(Y, Z): frontier {Y}, existential {Z}.
+    fn rules() -> RuleSet {
+        [Rule::new(
+            "mk",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(1, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn same_frontier_image_reuses_null() {
+        let rules = rules();
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(vid(50));
+        let mut table = SkolemTable::new();
+        // Two triggers with the same Y image but different X images.
+        let t1 = Trigger::new(
+            &rules,
+            0,
+            &Substitution::from_pairs([(vid(0), v(10)), (vid(1), v(12))]),
+        );
+        let t2 = Trigger::new(
+            &rules,
+            0,
+            &Substitution::from_pairs([(vid(0), v(11)), (vid(1), v(12))]),
+        );
+        let s1 = table.pi_safe(&mut vocab, &rules, &t1);
+        let s2 = table.pi_safe(&mut vocab, &rules, &t2);
+        assert_eq!(s1.get(vid(2)), s2.get(vid(2)), "skolem nulls coincide");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn different_frontier_images_get_distinct_nulls() {
+        let rules = rules();
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(vid(50));
+        let mut table = SkolemTable::new();
+        let t1 = Trigger::new(
+            &rules,
+            0,
+            &Substitution::from_pairs([(vid(0), v(10)), (vid(1), v(12))]),
+        );
+        let t2 = Trigger::new(
+            &rules,
+            0,
+            &Substitution::from_pairs([(vid(0), v(10)), (vid(1), v(13))]),
+        );
+        let s1 = table.pi_safe(&mut vocab, &rules, &t1);
+        let s2 = table.pi_safe(&mut vocab, &rules, &t2);
+        assert_ne!(s1.get(vid(2)), s2.get(vid(2)));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_tables() {
+        // Two independent (table, vocab) pairs mint identical ids when
+        // fed the same call sequence — restart safety.
+        let rules = rules();
+        let mk = || {
+            let mut vocab = Vocabulary::new();
+            vocab.ensure_var(vid(50));
+            let mut table = SkolemTable::new();
+            let t = Trigger::new(
+                &rules,
+                0,
+                &Substitution::from_pairs([(vid(0), v(10)), (vid(1), v(12))]),
+            );
+            table.pi_safe(&mut vocab, &rules, &t).get(vid(2))
+        };
+        assert_eq!(mk(), mk());
+    }
+}

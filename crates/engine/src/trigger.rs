@@ -1,0 +1,401 @@
+//! Triggers and trigger application (`α(I, tr)`).
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use chase_atoms::{AtomSet, Substitution, Term, VarId, Vocabulary};
+use chase_homomorphism::{find_homomorphism_extending, for_each_homomorphism, MatchConfig};
+
+use crate::rule::{RuleId, RuleSet};
+
+/// A trigger `tr = (R, π)`: a rule together with a homomorphism of its
+/// body into an instance.
+///
+/// `π` is stored restricted to the rule's universal variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trigger {
+    /// The rule being triggered.
+    pub rule: RuleId,
+    /// The body homomorphism, restricted to the rule's universal
+    /// variables.
+    pub pi: Substitution,
+}
+
+impl Trigger {
+    /// Creates a trigger, restricting `pi` to the rule's universal
+    /// variables.
+    pub fn new(rules: &RuleSet, rule: RuleId, pi: &Substitution) -> Self {
+        Trigger {
+            rule,
+            pi: pi.restrict(rules.get(rule).universal_vars()),
+        }
+    }
+
+    /// Is this a trigger *for* `instance`, i.e. does `π` map the rule body
+    /// into it?
+    pub fn is_trigger_for(&self, rules: &RuleSet, instance: &AtomSet) -> bool {
+        self.pi
+            .is_homomorphism(rules.get(self.rule).body(), instance)
+    }
+
+    /// Is the trigger *satisfied* in `instance`: can `π` be extended to a
+    /// homomorphism from `B ∪ H` to `instance`?
+    pub fn is_satisfied_in(&self, rules: &RuleSet, instance: &AtomSet) -> bool {
+        let rule = rules.get(self.rule);
+        if !self.is_trigger_for(rules, instance) {
+            return false;
+        }
+        let head_vars: BTreeSet<VarId> = rule.head().vars();
+        let seed = self.pi.restrict(&head_vars);
+        find_homomorphism_extending(rule.head(), instance, &seed).is_some()
+    }
+
+    /// Applies a substitution to the trigger: `σ(tr) = (R, σ ∘ π)`,
+    /// restricted back to the rule's universal variables.
+    pub fn map(&self, rules: &RuleSet, sigma: &Substitution) -> Trigger {
+        Trigger {
+            rule: self.rule,
+            pi: self
+                .pi
+                .then(sigma)
+                .restrict(rules.get(self.rule).universal_vars()),
+        }
+    }
+
+    /// A canonical key identifying the trigger up to its frontier image —
+    /// the deduplication notion of the *semi-oblivious* (skolem) chase.
+    pub fn frontier_key(&self, rules: &RuleSet) -> (RuleId, Vec<(VarId, Term)>) {
+        let rule = rules.get(self.rule);
+        let key = rule
+            .frontier_vars()
+            .iter()
+            .map(|&x| (x, self.pi.apply_term(Term::Var(x))))
+            .collect();
+        (self.rule, key)
+    }
+
+    /// A canonical key identifying the trigger up to its full universal
+    /// image — the deduplication notion of the *oblivious* chase.
+    pub fn universal_key(&self, rules: &RuleSet) -> (RuleId, Vec<(VarId, Term)>) {
+        let rule = rules.get(self.rule);
+        let key = rule
+            .universal_vars()
+            .iter()
+            .map(|&x| (x, self.pi.apply_term(Term::Var(x))))
+            .collect();
+        (self.rule, key)
+    }
+}
+
+/// The result of a trigger application `α(I, tr) = I ∪ π_safe(H)`.
+#[derive(Clone, Debug)]
+pub struct TriggerApplication {
+    /// The produced instance `α(I, tr)`.
+    pub result: AtomSet,
+    /// The safe substitution: `π` on frontier variables plus a fresh null
+    /// for each existential variable of the rule.
+    pub pi_safe: Substitution,
+    /// The fresh nulls minted for this application, in the order of the
+    /// rule's existential variables.
+    pub fresh: Vec<VarId>,
+}
+
+/// Applies trigger `tr` to `instance`, minting fresh nulls from `vocab`.
+pub fn apply_trigger(
+    vocab: &mut Vocabulary,
+    rules: &RuleSet,
+    instance: &AtomSet,
+    tr: &Trigger,
+) -> TriggerApplication {
+    let rule = rules.get(tr.rule);
+    debug_assert!(
+        tr.is_trigger_for(rules, instance),
+        "applying a non-trigger"
+    );
+    let mut pi_safe = tr.pi.restrict(rule.frontier_vars());
+    let mut fresh = Vec::new();
+    for &z in rule.existential_vars() {
+        let null = vocab.fresh_var();
+        pi_safe.bind(z, Term::Var(null));
+        fresh.push(null);
+    }
+    let mut result = instance.clone();
+    for atom in rule.head().iter() {
+        result.insert(pi_safe.apply_atom(atom));
+    }
+    TriggerApplication {
+        result,
+        pi_safe,
+        fresh,
+    }
+}
+
+/// Enumerates all triggers of `rules` for `instance`, in deterministic
+/// order (rule-major, then matcher order).
+pub fn all_triggers(rules: &RuleSet, instance: &AtomSet) -> Vec<Trigger> {
+    let mut out = Vec::new();
+    for (id, rule) in rules.iter() {
+        for_each_homomorphism(
+            rule.body(),
+            instance,
+            &Substitution::new(),
+            &MatchConfig::default(),
+            |pi| {
+                out.push(Trigger {
+                    rule: id,
+                    pi: pi.restrict(rule.universal_vars()),
+                });
+                ControlFlow::Continue(())
+            },
+        );
+    }
+    // Matcher order depends on dynamic candidate counts; sort for a stable
+    // cross-run order.
+    out.sort_by(|a, b| {
+        a.rule.cmp(&b.rule).then_with(|| {
+            let ka: Vec<_> = a.pi.iter().collect();
+            let kb: Vec<_> = b.pi.iter().collect();
+            ka.cmp(&kb)
+        })
+    });
+    out.dedup();
+    out
+}
+
+/// Enumerates the triggers for `instance` whose body image uses at least
+/// one atom from `delta` — the *semi-naive* discovery step: in a
+/// monotonic chase every trigger is discovered in the round after its
+/// last body atom appears, and (since satisfaction is preserved under
+/// extension) a trigger handled once never needs to be revisited.
+///
+/// The result is deduplicated and sorted like [`all_triggers`].
+pub fn triggers_using_delta(
+    rules: &RuleSet,
+    instance: &AtomSet,
+    delta: &[chase_atoms::Atom],
+) -> Vec<Trigger> {
+    let mut out = Vec::new();
+    for (id, rule) in rules.iter() {
+        for body_atom in rule.body().iter() {
+            for new_atom in delta {
+                if new_atom.pred() != body_atom.pred()
+                    || new_atom.arity() != body_atom.arity()
+                {
+                    continue;
+                }
+                // Seed: unify this body atom against the new atom.
+                let mut seed = Substitution::new();
+                let mut ok = true;
+                for (&bt, &nt) in body_atom.args().iter().zip(new_atom.args()) {
+                    match bt {
+                        chase_atoms::Term::Const(_) => {
+                            if bt != nt {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        chase_atoms::Term::Var(v) => match seed.get(v) {
+                            Some(prev) if prev != nt => {
+                                ok = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                seed.bind(v, nt);
+                            }
+                        },
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                for_each_homomorphism(
+                    rule.body(),
+                    instance,
+                    &seed,
+                    &MatchConfig::default(),
+                    |pi| {
+                        out.push(Trigger {
+                            rule: id,
+                            pi: pi.restrict(rule.universal_vars()),
+                        });
+                        ControlFlow::Continue(())
+                    },
+                );
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        a.rule.cmp(&b.rule).then_with(|| {
+            let ka: Vec<_> = a.pi.iter().collect();
+            let kb: Vec<_> = b.pi.iter().collect();
+            ka.cmp(&kb)
+        })
+    });
+    out.dedup();
+    out
+}
+
+/// Enumerates the *unsatisfied* triggers for `instance` — the active
+/// triggers of the restricted chase. `instance` is a model of the rules
+/// iff this is empty.
+pub fn unsatisfied_triggers(rules: &RuleSet, instance: &AtomSet) -> Vec<Trigger> {
+    all_triggers(rules, instance)
+        .into_iter()
+        .filter(|t| !t.is_satisfied_in(rules, instance))
+        .collect()
+}
+
+/// Is `instance` a model of every rule (every trigger satisfied)?
+pub fn is_model_of_rules(rules: &RuleSet, instance: &AtomSet) -> bool {
+    let mut ok = true;
+    'outer: for (id, rule) in rules.iter() {
+        let mut triggers = Vec::new();
+        for_each_homomorphism(
+            rule.body(),
+            instance,
+            &Substitution::new(),
+            &MatchConfig::default(),
+            |pi| {
+                triggers.push(Trigger {
+                    rule: id,
+                    pi: pi.restrict(rule.universal_vars()),
+                });
+                ControlFlow::Continue(())
+            },
+        );
+        for t in triggers {
+            if !t.is_satisfied_in(rules, instance) {
+                ok = false;
+                break 'outer;
+            }
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use chase_atoms::{Atom, PredId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    /// r(X, Y) → ∃Z. r(Y, Z) over variables 0, 1, 2.
+    fn chain_rule() -> RuleSet {
+        [Rule::new(
+            "chain",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(0, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect()
+    }
+
+    fn vocab_with_vars(n: u32) -> Vocabulary {
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(n));
+        vocab
+    }
+
+    #[test]
+    fn trigger_enumeration_and_application() {
+        let rules = chain_rule();
+        // instance: r(10, 11)
+        let inst = set(&[atom(0, &[v(10), v(11)])]);
+        let triggers = all_triggers(&rules, &inst);
+        assert_eq!(triggers.len(), 1);
+        let tr = &triggers[0];
+        assert!(tr.is_trigger_for(&rules, &inst));
+        assert!(!tr.is_satisfied_in(&rules, &inst));
+
+        let mut vocab = vocab_with_vars(100);
+        let app = apply_trigger(&mut vocab, &rules, &inst, tr);
+        assert_eq!(app.result.len(), 2);
+        assert_eq!(app.fresh.len(), 1);
+        // Now the trigger is satisfied.
+        assert!(tr.is_satisfied_in(&rules, &app.result));
+    }
+
+    #[test]
+    fn satisfied_trigger_detected() {
+        let rules = chain_rule();
+        // r(10, 11), r(11, 12): the trigger on r(10, 11) is satisfied.
+        let inst = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(11), v(12)])]);
+        let triggers = all_triggers(&rules, &inst);
+        assert_eq!(triggers.len(), 2);
+        let unsat = unsatisfied_triggers(&rules, &inst);
+        assert_eq!(unsat.len(), 1);
+        assert_eq!(unsat[0].pi.apply_term(v(0)), v(11));
+    }
+
+    #[test]
+    fn loop_makes_model() {
+        let rules = chain_rule();
+        // r(10, 10) satisfies everything.
+        let inst = set(&[atom(0, &[v(10), v(10)])]);
+        assert!(unsatisfied_triggers(&rules, &inst).is_empty());
+        assert!(is_model_of_rules(&rules, &inst));
+    }
+
+    #[test]
+    fn trigger_map_forwards_through_retraction() {
+        let rules = chain_rule();
+        let inst = set(&[atom(0, &[v(10), v(11)])]);
+        let tr = &all_triggers(&rules, &inst)[0];
+        // Retraction folding 11 onto 10 in some later instance.
+        let sigma = Substitution::from_pairs([(VarId::from_raw(11), v(10))]);
+        let mapped = tr.map(&rules, &sigma);
+        assert_eq!(mapped.pi.apply_term(v(0)), v(10));
+        assert_eq!(mapped.pi.apply_term(v(1)), v(10));
+    }
+
+    #[test]
+    fn keys_distinguish_variants() {
+        // Rule with a non-frontier universal variable:
+        // r(X, Y) → s(X) ; triggers differing only in Y share the frontier
+        // key but not the universal key.
+        let rules: RuleSet = [Rule::new(
+            "proj",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(1, &[v(0)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let inst = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(10), v(12)])]);
+        let triggers = all_triggers(&rules, &inst);
+        assert_eq!(triggers.len(), 2);
+        assert_eq!(
+            triggers[0].frontier_key(&rules),
+            triggers[1].frontier_key(&rules)
+        );
+        assert_ne!(
+            triggers[0].universal_key(&rules),
+            triggers[1].universal_key(&rules)
+        );
+    }
+
+    #[test]
+    fn fresh_nulls_are_globally_fresh() {
+        let rules = chain_rule();
+        let inst = set(&[atom(0, &[v(10), v(11)])]);
+        let tr = all_triggers(&rules, &inst)[0].clone();
+        let mut vocab = vocab_with_vars(100);
+        let app1 = apply_trigger(&mut vocab, &rules, &inst, &tr);
+        let app2 = apply_trigger(&mut vocab, &rules, &app1.result, &tr);
+        assert_ne!(app1.fresh, app2.fresh);
+    }
+}

@@ -1,0 +1,505 @@
+//! The backtracking homomorphism matcher.
+//!
+//! The matcher finds substitutions `π` with `π(pattern) ⊆ target`,
+//! optionally extending a seed assignment and optionally subject to the
+//! constraints in [`MatchConfig`] (injectivity, retraction fixpoints,
+//! forbidden images, must-move variables).
+//!
+//! Search strategy: at each step pick the unmatched pattern atom with the
+//! fewest candidate target atoms under the current partial assignment
+//! (most-constrained-first), enumerating candidates through the target's
+//! per-term and per-predicate indexes. This is the classic CSP ordering
+//! used by CQ evaluators; it makes the crafted instances in this workspace
+//! (grids, staircases, elevator columns) match in near-linear time.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
+
+use chase_atoms::{Atom, AtomSet, Substitution, Term, VarId};
+
+/// Constraints layered on top of plain homomorphism search.
+#[derive(Clone, Default, Debug)]
+pub struct MatchConfig {
+    /// Require variables to map to *variables*, injectively. Used for
+    /// isomorphism search.
+    pub injective_vars: bool,
+    /// Retraction mode: pattern and target are the same atomset and every
+    /// term in the image must be a fixpoint (binding `v ↦ u` forces
+    /// `u ↦ u`).
+    pub retraction: bool,
+    /// Terms that must not occur as the image of any variable.
+    pub forbidden_images: BTreeSet<Term>,
+    /// Variables that must not be mapped to themselves.
+    pub must_move: BTreeSet<VarId>,
+    /// Abort the search after this many candidate trials (`None` =
+    /// unbounded). A budgeted search that finds a homomorphism is still a
+    /// certificate; a budgeted *miss* is inconclusive — callers that need
+    /// refutations must leave this unset.
+    pub node_limit: Option<usize>,
+}
+
+struct Search<'a> {
+    pattern: Vec<&'a Atom>,
+    target: &'a AtomSet,
+    cfg: &'a MatchConfig,
+    bind: HashMap<VarId, Term>,
+    used_images: HashSet<Term>,
+    matched: Vec<bool>,
+    n_matched: usize,
+    nodes: usize,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        pattern: &'a AtomSet,
+        target: &'a AtomSet,
+        seed: &Substitution,
+        cfg: &'a MatchConfig,
+    ) -> Option<Self> {
+        let pattern_atoms: Vec<&Atom> = pattern.iter().collect();
+        let mut s = Search {
+            matched: vec![false; pattern_atoms.len()],
+            pattern: pattern_atoms,
+            target,
+            cfg,
+            bind: HashMap::new(),
+            used_images: HashSet::new(),
+            n_matched: 0,
+            nodes: 0,
+        };
+        for (v, t) in seed.iter() {
+            let mut trail = Vec::new();
+            if !s.try_bind(v, t, &mut trail) {
+                return None;
+            }
+        }
+        Some(s)
+    }
+
+    /// Attempts to bind `v ↦ t` under the active constraints, recording
+    /// every new binding in `trail`. On failure the caller must undo the
+    /// trail (bindings already pushed stay recorded there).
+    fn try_bind(&mut self, v: VarId, t: Term, trail: &mut Vec<VarId>) -> bool {
+        if let Some(&existing) = self.bind.get(&v) {
+            return existing == t;
+        }
+        if self.cfg.forbidden_images.contains(&t) {
+            return false;
+        }
+        if t == Term::Var(v) {
+            if self.cfg.must_move.contains(&v) {
+                return false;
+            }
+        } else if self.cfg.injective_vars
+            && (!t.is_var() || self.used_images.contains(&t)) {
+                return false;
+            }
+        self.bind.insert(v, t);
+        if self.cfg.injective_vars {
+            self.used_images.insert(t);
+        }
+        trail.push(v);
+        if self.cfg.retraction {
+            // Image terms must be fixpoints: binding v ↦ u forces u ↦ u.
+            if let Term::Var(u) = t {
+                if u != v && !self.try_bind(u, Term::Var(u), trail) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn undo(&mut self, trail: &[VarId]) {
+        for &v in trail {
+            if let Some(t) = self.bind.remove(&v) {
+                if self.cfg.injective_vars {
+                    self.used_images.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Image of a pattern term under the current partial assignment, if
+    /// determined.
+    fn image(&self, t: Term) -> Option<Term> {
+        match t {
+            Term::Const(_) => Some(t),
+            Term::Var(v) => self.bind.get(&v).copied(),
+        }
+    }
+
+    /// Estimated number of candidate target atoms for a pattern atom.
+    fn candidate_estimate(&self, atom: &Atom) -> usize {
+        let mut best = self.target.pred_count(atom.pred());
+        for &t in atom.args() {
+            if let Some(img) = self.image(t) {
+                best = best.min(self.target.term_count(img));
+            }
+        }
+        best
+    }
+
+    /// Picks the unmatched pattern atom with the fewest candidates.
+    fn select_atom(&self) -> usize {
+        let mut best_idx = usize::MAX;
+        let mut best_est = usize::MAX;
+        for (i, atom) in self.pattern.iter().enumerate() {
+            if self.matched[i] {
+                continue;
+            }
+            let est = self.candidate_estimate(atom);
+            if est < best_est {
+                best_est = est;
+                best_idx = i;
+                if est == 0 {
+                    break;
+                }
+            }
+        }
+        best_idx
+    }
+
+    /// Candidate target atoms for a pattern atom: same predicate/arity,
+    /// narrowed through the most selective determined-term index.
+    fn candidates(&self, atom: &Atom) -> Vec<&'a Atom> {
+        let mut anchor: Option<Term> = None;
+        let mut anchor_count = usize::MAX;
+        for &t in atom.args() {
+            if let Some(img) = self.image(t) {
+                let c = self.target.term_count(img);
+                if c < anchor_count {
+                    anchor_count = c;
+                    anchor = Some(img);
+                }
+            }
+        }
+        match anchor {
+            Some(term) => self
+                .target
+                .with_term(term)
+                .filter(|c| c.pred() == atom.pred() && c.arity() == atom.arity())
+                .collect(),
+            None => self
+                .target
+                .with_pred(atom.pred())
+                .filter(|c| c.arity() == atom.arity())
+                .collect(),
+        }
+    }
+
+    fn try_unify(&mut self, pattern: &Atom, cand: &Atom, trail: &mut Vec<VarId>) -> bool {
+        for (&pt, &tt) in pattern.args().iter().zip(cand.args()) {
+            match pt {
+                Term::Const(_) => {
+                    if pt != tt {
+                        return false;
+                    }
+                }
+                Term::Var(v) => {
+                    if !self.try_bind(v, tt, trail) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn run(&mut self, on_found: &mut dyn FnMut(Substitution) -> ControlFlow<()>) -> ControlFlow<()> {
+        if self.n_matched == self.pattern.len() {
+            let sub = Substitution::from_pairs(self.bind.iter().map(|(&v, &t)| (v, t)));
+            return on_found(sub);
+        }
+        let idx = self.select_atom();
+        let pattern_atom = self.pattern[idx];
+        let cands = self.candidates(pattern_atom);
+        self.matched[idx] = true;
+        self.n_matched += 1;
+        for cand in cands {
+            self.nodes += 1;
+            if let Some(limit) = self.cfg.node_limit {
+                if self.nodes > limit {
+                    self.matched[idx] = false;
+                    self.n_matched -= 1;
+                    return ControlFlow::Break(());
+                }
+            }
+            let mut trail = Vec::new();
+            let ok = self.try_unify(pattern_atom, cand, &mut trail);
+            if ok {
+                if let ControlFlow::Break(()) = self.run(on_found) {
+                    self.undo(&trail);
+                    self.matched[idx] = false;
+                    self.n_matched -= 1;
+                    return ControlFlow::Break(());
+                }
+            }
+            self.undo(&trail);
+        }
+        self.matched[idx] = false;
+        self.n_matched -= 1;
+        ControlFlow::Continue(())
+    }
+}
+
+/// Enumerates homomorphisms `π` extending `seed` with
+/// `π(pattern) ⊆ target`, subject to `cfg`, invoking `on_found` for each.
+///
+/// Return [`ControlFlow::Break`] from the callback to stop early. Each
+/// reported substitution binds exactly the variables of `pattern` plus the
+/// seed domain (plus fixpoint propagations in retraction mode).
+pub fn for_each_homomorphism(
+    pattern: &AtomSet,
+    target: &AtomSet,
+    seed: &Substitution,
+    cfg: &MatchConfig,
+    mut on_found: impl FnMut(Substitution) -> ControlFlow<()>,
+) {
+    let Some(mut search) = Search::new(pattern, target, seed, cfg) else {
+        return;
+    };
+    let _ = search.run(&mut on_found);
+}
+
+/// Finds one homomorphism from `pattern` to `target`, if any.
+pub fn find_homomorphism(pattern: &AtomSet, target: &AtomSet) -> Option<Substitution> {
+    find_homomorphism_extending(pattern, target, &Substitution::new())
+}
+
+/// Finds one homomorphism from `pattern` to `target` extending `seed`.
+///
+/// This is exactly the paper's *trigger satisfaction* check: a trigger
+/// `(B → H, π)` is satisfied in `I` iff `π` extends to a homomorphism from
+/// `B ∪ H` to `I`.
+pub fn find_homomorphism_extending(
+    pattern: &AtomSet,
+    target: &AtomSet,
+    seed: &Substitution,
+) -> Option<Substitution> {
+    let mut found = None;
+    for_each_homomorphism(
+        pattern,
+        target,
+        seed,
+        &MatchConfig::default(),
+        |sub| {
+            found = Some(sub);
+            ControlFlow::Break(())
+        },
+    );
+    found
+}
+
+/// Does `a` homomorphically map to `b` (i.e. `b ⊨ a` as existentially
+/// closed conjunctions)?
+pub fn maps_to(a: &AtomSet, b: &AtomSet) -> bool {
+    find_homomorphism(a, b).is_some()
+}
+
+/// Collects *all* homomorphisms from `pattern` to `target`. Intended for
+/// tests and small instances — the number of homomorphisms can be
+/// exponential.
+pub fn all_homomorphisms(pattern: &AtomSet, target: &AtomSet) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    for_each_homomorphism(
+        pattern,
+        target,
+        &Substitution::new(),
+        &MatchConfig::default(),
+        |sub| {
+            out.push(sub);
+            ControlFlow::Continue(())
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{ConstId, PredId};
+
+    fn p(i: u32) -> PredId {
+        PredId::from_raw(i)
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(p(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn finds_simple_homomorphism() {
+        // pattern: r(X, Y) ; target: r(a, b)
+        let pattern = set(&[atom(0, &[v(0), v(1)])]);
+        let target = set(&[atom(0, &[c(0), c(1)])]);
+        let h = find_homomorphism(&pattern, &target).unwrap();
+        assert_eq!(h.apply_term(v(0)), c(0));
+        assert_eq!(h.apply_term(v(1)), c(1));
+        assert!(h.is_homomorphism(&pattern, &target));
+    }
+
+    #[test]
+    fn respects_shared_variables() {
+        // pattern: r(X, X) does not map to r(a, b) but maps to r(a, a).
+        let pattern = set(&[atom(0, &[v(0), v(0)])]);
+        assert!(!maps_to(&pattern, &set(&[atom(0, &[c(0), c(1)])])));
+        assert!(maps_to(&pattern, &set(&[atom(0, &[c(0), c(0)])])));
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let pattern = set(&[atom(0, &[c(0), v(0)])]);
+        assert!(maps_to(&pattern, &set(&[atom(0, &[c(0), c(1)])])));
+        assert!(!maps_to(&pattern, &set(&[atom(0, &[c(1), c(1)])])));
+    }
+
+    #[test]
+    fn path_into_cycle() {
+        // path X0-X1-X2-X3 maps into a 2-cycle a-b.
+        let pattern = set(&[
+            atom(0, &[v(0), v(1)]),
+            atom(0, &[v(1), v(2)]),
+            atom(0, &[v(2), v(3)]),
+        ]);
+        let target = set(&[atom(0, &[c(0), c(1)]), atom(0, &[c(1), c(0)])]);
+        assert!(maps_to(&pattern, &target));
+        // And the 2-cycle does not map into the path.
+        assert!(!maps_to(&target, &pattern));
+    }
+
+    #[test]
+    fn seed_extension_restricts_search() {
+        // r(X, Y) into {r(a,b), r(b,a)} with X seeded to b ⇒ Y must be a.
+        let pattern = set(&[atom(0, &[v(0), v(1)])]);
+        let target = set(&[atom(0, &[c(0), c(1)]), atom(0, &[c(1), c(0)])]);
+        let seed = Substitution::from_pairs([(VarId::from_raw(0), c(1))]);
+        let h = find_homomorphism_extending(&pattern, &target, &seed).unwrap();
+        assert_eq!(h.apply_term(v(1)), c(0));
+
+        let bad_seed = Substitution::from_pairs([(VarId::from_raw(0), c(7))]);
+        assert!(find_homomorphism_extending(&pattern, &target, &bad_seed).is_none());
+    }
+
+    #[test]
+    fn counts_all_homomorphisms() {
+        // r(X, Y) into a 2-clique-with-loops has 4 homomorphisms... use
+        // target {r(a,a), r(a,b), r(b,a), r(b,b)}: 4 homs.
+        let pattern = set(&[atom(0, &[v(0), v(1)])]);
+        let target = set(&[
+            atom(0, &[c(0), c(0)]),
+            atom(0, &[c(0), c(1)]),
+            atom(0, &[c(1), c(0)]),
+            atom(0, &[c(1), c(1)]),
+        ]);
+        assert_eq!(all_homomorphisms(&pattern, &target).len(), 4);
+    }
+
+    #[test]
+    fn empty_pattern_has_empty_homomorphism() {
+        let target = set(&[atom(0, &[c(0)])]);
+        let h = find_homomorphism(&AtomSet::new(), &target).unwrap();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn injective_mode_requires_distinct_var_images() {
+        // r(X, Y) injectively into r(a, a): X,Y would both map to constant a
+        // — forbidden in injective mode (vars must map to vars).
+        let pattern = set(&[atom(0, &[v(0), v(1)])]);
+        let target = set(&[atom(0, &[c(0), c(0)])]);
+        let cfg = MatchConfig {
+            injective_vars: true,
+            ..MatchConfig::default()
+        };
+        let mut found = 0;
+        for_each_homomorphism(&pattern, &target, &Substitution::new(), &cfg, |_| {
+            found += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(found, 0);
+
+        // Injectively into r(Z, W): exactly one assignment.
+        let target2 = set(&[atom(0, &[v(10), v(11)])]);
+        let mut subs = Vec::new();
+        for_each_homomorphism(&pattern, &target2, &Substitution::new(), &cfg, |s| {
+            subs.push(s);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn retraction_mode_enforces_fixpoints() {
+        // a: {r(0,1), r(1,1)}. Retractions eliminating 0 exist (0↦1);
+        // the search must NOT return the non-retraction 0↦1, 1↦0.
+        let a = set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(1)])]);
+        let cfg = MatchConfig {
+            retraction: true,
+            forbidden_images: [v(0)].into_iter().collect(),
+            must_move: [VarId::from_raw(0)].into_iter().collect(),
+            ..MatchConfig::default()
+        };
+        let mut results = Vec::new();
+        for_each_homomorphism(&a, &a, &Substitution::new(), &cfg, |s| {
+            results.push(s);
+            ControlFlow::Continue(())
+        });
+        assert!(!results.is_empty());
+        for r in &results {
+            assert!(r.is_retraction_of(&a), "search returned non-retraction {r:?}");
+            assert_ne!(r.apply_term(v(0)), v(0));
+        }
+    }
+
+    #[test]
+    fn must_move_blocks_identity() {
+        // a: {r(0,0)}; any endomorphism must map 0 to 0, so must_move {0}
+        // yields nothing.
+        let a = set(&[atom(0, &[v(0), v(0)])]);
+        let cfg = MatchConfig {
+            retraction: true,
+            must_move: [VarId::from_raw(0)].into_iter().collect(),
+            ..MatchConfig::default()
+        };
+        let mut found = false;
+        for_each_homomorphism(&a, &a, &Substitution::new(), &cfg, |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        assert!(!found);
+    }
+
+    #[test]
+    fn grid_pattern_matches_itself_quickly() {
+        // 8×8 grid pattern onto itself — a smoke test that the
+        // most-constrained-first ordering keeps this tractable.
+        let n = 8u32;
+        let idx = |i: u32, j: u32| v(i * n + j);
+        let mut atoms = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i + 1 < n {
+                    atoms.push(atom(0, &[idx(i, j), idx(i + 1, j)]));
+                }
+                if j + 1 < n {
+                    atoms.push(atom(1, &[idx(i, j), idx(i, j + 1)]));
+                }
+            }
+        }
+        let grid = set(&atoms);
+        assert!(maps_to(&grid, &grid));
+    }
+}

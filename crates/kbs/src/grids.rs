@@ -1,0 +1,153 @@
+//! Grid workloads and an injective grid *search* giving certified
+//! Definition 5 lower bounds on arbitrary instances.
+
+use std::ops::ControlFlow;
+
+use chase_atoms::{Atom, AtomSet, PredId, Substitution, Term, VarId, Vocabulary};
+use chase_homomorphism::{for_each_homomorphism, MatchConfig};
+use chase_treewidth::GridLabeling;
+
+/// Builds a fresh `n × n` grid instance over predicates `h`/`v` with
+/// vocabulary-registered nulls; returns the atomset and its labeling.
+pub fn labeled_grid(vocab: &mut Vocabulary, n: usize) -> (AtomSet, GridLabeling) {
+    let h = vocab.pred("h", 2);
+    let v = vocab.pred("v", 2);
+    let mut terms = vec![vec![Term::Var(VarId::from_raw(0)); n]; n];
+    for (i, row) in terms.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let var = vocab.fresh_var();
+            vocab.set_var_name(var, &format!("g{i}_{j}"));
+            *cell = Term::Var(var);
+        }
+    }
+    let labeling = GridLabeling {
+        terms: terms.clone(),
+    };
+    let mut set = AtomSet::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i + 1 < n {
+                set.insert(Atom::new(h, vec![terms[i][j], terms[i + 1][j]]));
+            }
+            if j + 1 < n {
+                set.insert(Atom::new(v, vec![terms[i][j], terms[i][j + 1]]));
+            }
+        }
+    }
+    (set, labeling)
+}
+
+/// Searches for an **injective** embedding of an `n × n` grid pattern
+/// (built from `h` column-steps and `v` row-steps) into `a`.
+///
+/// A hit is a certified `n × n`-grid in the sense of Definition 5 (the
+/// `n²` image terms are pairwise distinct and adjacent coordinates
+/// co-occur in an atom), hence `tw(a) ≥ n` by Fact 2. A miss certifies
+/// only that no grid uses `h`/`v` atoms *directionally*; it is not a
+/// treewidth upper bound.
+pub fn find_grid(a: &AtomSet, n: usize, h: PredId, v: PredId) -> Option<GridLabeling> {
+    if n == 0 {
+        return Some(GridLabeling { terms: vec![] });
+    }
+    // Pattern variables: chosen outside the instance's variable space by
+    // offsetting beyond its maximum raw id.
+    let max_var = a
+        .vars()
+        .iter()
+        .map(|v| v.raw())
+        .max()
+        .unwrap_or(0);
+    let var_at = |i: usize, j: usize| -> Term {
+        Term::Var(VarId::from_raw(max_var + 1 + (i * n + j) as u32))
+    };
+    let mut pattern = AtomSet::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i + 1 < n {
+                pattern.insert(Atom::new(h, vec![var_at(i, j), var_at(i + 1, j)]));
+            }
+            if j + 1 < n {
+                pattern.insert(Atom::new(v, vec![var_at(i, j), var_at(i, j + 1)]));
+            }
+        }
+    }
+    if n == 1 {
+        // No adjacency constraints; any term works if the instance is
+        // nonempty.
+        let t = a.terms().into_iter().next()?;
+        return Some(GridLabeling {
+            terms: vec![vec![t]],
+        });
+    }
+    let cfg = MatchConfig {
+        injective_vars: true,
+        node_limit: Some(500_000),
+        ..MatchConfig::default()
+    };
+    let mut found = None;
+    for_each_homomorphism(&pattern, a, &Substitution::new(), &cfg, |sub| {
+        found = Some(sub);
+        ControlFlow::Break(())
+    });
+    let sub = found?;
+    Some(GridLabeling::from_fn(n, |i, j| {
+        sub.apply_term(var_at(i, j))
+    }))
+}
+
+/// The largest `n` (up to `cap`) for which [`find_grid`] succeeds;
+/// `tw(a) ≥` the returned value by Fact 2 (0 when even a single term is
+/// absent).
+pub fn best_grid_lower_bound(a: &AtomSet, cap: usize, h: PredId, v: PredId) -> usize {
+    let mut best = 0;
+    for n in 1..=cap {
+        if find_grid(a, n, h, v).is_some() {
+            best = n;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_treewidth::contains_grid;
+
+    #[test]
+    fn finds_grid_in_labeled_grid() {
+        let mut vocab = Vocabulary::new();
+        let (set, lab) = labeled_grid(&mut vocab, 4);
+        assert!(contains_grid(&set, &lab));
+        let h = vocab.pred("h", 2);
+        let v = vocab.pred("v", 2);
+        let found = find_grid(&set, 4, h, v).expect("grid must be found");
+        assert!(contains_grid(&set, &found));
+        assert!(find_grid(&set, 5, h, v).is_none());
+        assert_eq!(best_grid_lower_bound(&set, 8, h, v), 4);
+    }
+
+    #[test]
+    fn injectivity_rejects_collapsed_grids() {
+        // A single h/v loop pair satisfies grid adjacencies only
+        // non-injectively.
+        let mut vocab = Vocabulary::new();
+        let h = vocab.pred("h", 2);
+        let v = vocab.pred("v", 2);
+        let x = Term::Var(vocab.fresh_var());
+        let set: AtomSet = [Atom::new(h, vec![x, x]), Atom::new(v, vec![x, x])]
+            .into_iter()
+            .collect();
+        assert!(find_grid(&set, 2, h, v).is_none());
+        assert_eq!(best_grid_lower_bound(&set, 4, h, v), 1);
+    }
+
+    #[test]
+    fn empty_instance_has_no_grid() {
+        let mut vocab = Vocabulary::new();
+        let h = vocab.pred("h", 2);
+        let v = vocab.pred("v", 2);
+        assert_eq!(best_grid_lower_bound(&AtomSet::new(), 3, h, v), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # chase-kbs
+//!
+//! The paper's knowledge bases and workload generators:
+//!
+//! * [`staircase`] — the **steepening staircase** `K_h` (Section 6,
+//!   Figure 2): a KB whose core chase is uniformly treewidth-bounded by 2
+//!   while *no* universal model has finite treewidth. Includes the
+//!   analytic universal model `I^h`, the infinite column `Ĩ^h`, the
+//!   columns `C_k` / steps `S_k`, the scripted canonical restricted and
+//!   core chases, and the Table 1 rule-application schedule.
+//! * [`elevator`] — the **inflating elevator** `K_v` (Section 7,
+//!   Figures 3–4): a KB with a universal model of treewidth 1 whose every
+//!   core-chase sequence has ever-growing treewidth. Includes `I^v`, the
+//!   spine `I^v*`, and the cabin substructures `I^v_n`.
+//! * [`witnesses`] — the small rulesets separating the decidable classes
+//!   of Figure 1 / Proposition 13 (`bts ∖ fes`, `fes ∖ bts`, plain
+//!   datalog, a grid grower outside both).
+//! * [`grids`] — grid workloads and an injective grid *search* (certified
+//!   Definition 5 lower bounds on arbitrary instances).
+//! * [`random`] — seeded random instances and rulesets for benchmarks.
+//! * [`queries`] — CQ suites with ground-truth entailment per KB.
+//!
+//! ### A note on reconstructed indices
+//!
+//! The machine-extracted paper text garbles a few sub/superscript
+//! conditions. This crate uses the unique reconstruction consistent with
+//! the rules and proofs; each generator documents its reading (e.g. the
+//! staircase's h-loops sit at heights `j ≤ i`, which is forced by rules
+//! `R3h`/`R4h` and by the column retraction `S_k → C_{k+1}` being a
+//! retraction). Every reconstruction is machine-checked by this crate's
+//! tests (models are models, cores are cores, retractions retract).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elevator;
+pub mod grids;
+pub mod queries;
+pub mod random;
+pub mod staircase;
+pub mod witnesses;
+
+pub use elevator::Elevator;
+pub use staircase::Staircase;

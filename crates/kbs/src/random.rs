@@ -1,0 +1,129 @@
+//! Seeded random instances and rulesets for benchmarks and property
+//! tests.
+
+use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
+use chase_engine::{Rule, RuleSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random instance generation.
+#[derive(Clone, Debug)]
+pub struct InstanceConfig {
+    /// Number of atoms to draw.
+    pub atoms: usize,
+    /// Size of the term pool (mixture of constants and nulls).
+    pub terms: usize,
+    /// Fraction (0..=100) of pool terms that are constants.
+    pub const_percent: u8,
+    /// Binary predicates to draw from.
+    pub preds: Vec<&'static str>,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> Self {
+        InstanceConfig {
+            atoms: 50,
+            terms: 20,
+            const_percent: 30,
+            preds: vec!["r", "s"],
+        }
+    }
+}
+
+/// Draws a random instance over binary predicates.
+pub fn random_instance(vocab: &mut Vocabulary, cfg: &InstanceConfig, seed: u64) -> AtomSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let preds: Vec<_> = cfg.preds.iter().map(|p| vocab.pred(p, 2)).collect();
+    let mut pool: Vec<Term> = Vec::with_capacity(cfg.terms);
+    for i in 0..cfg.terms {
+        if (i * 100) < cfg.terms * cfg.const_percent as usize {
+            pool.push(Term::Const(vocab.constant(&format!("k{i}"))));
+        } else {
+            pool.push(Term::Var(vocab.fresh_var()));
+        }
+    }
+    let mut out = AtomSet::new();
+    while out.len() < cfg.atoms {
+        let p = preds[rng.gen_range(0..preds.len())];
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        out.insert(Atom::new(p, vec![a, b]));
+    }
+    out
+}
+
+/// Draws a random *linear* existential ruleset (single-body-atom rules),
+/// which keeps the chase well-behaved enough for benchmarking.
+pub fn random_linear_ruleset(vocab: &mut Vocabulary, rules: usize, seed: u64) -> RuleSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let preds: Vec<_> = ["r", "s", "t"]
+        .iter()
+        .map(|p| vocab.pred(p, 2))
+        .collect();
+    let mut out = RuleSet::new();
+    for idx in 0..rules {
+        let x = vocab.fresh_var();
+        let y = vocab.fresh_var();
+        let z = vocab.fresh_var();
+        let bp = preds[rng.gen_range(0..preds.len())];
+        let hp = preds[rng.gen_range(0..preds.len())];
+        let body: AtomSet = [Atom::new(bp, vec![Term::Var(x), Term::Var(y)])]
+            .into_iter()
+            .collect();
+        // Half the rules are datalog-ish (swap), half existential (chain).
+        let head: AtomSet = if rng.gen_bool(0.5) {
+            [Atom::new(hp, vec![Term::Var(y), Term::Var(x)])]
+                .into_iter()
+                .collect()
+        } else {
+            [Atom::new(hp, vec![Term::Var(y), Term::Var(z)])]
+                .into_iter()
+                .collect()
+        };
+        out.push(Rule::new(format!("rand{idx}"), body, head).expect("nonempty"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_reproducible() {
+        let mut v1 = Vocabulary::new();
+        let mut v2 = Vocabulary::new();
+        let cfg = InstanceConfig::default();
+        let a = random_instance(&mut v1, &cfg, 42);
+        let b = random_instance(&mut v2, &cfg, 42);
+        assert_eq!(a, b);
+        let c = random_instance(&mut v2, &cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instance_respects_config() {
+        let mut vocab = Vocabulary::new();
+        let cfg = InstanceConfig {
+            atoms: 30,
+            terms: 10,
+            const_percent: 100,
+            preds: vec!["e"],
+        };
+        let a = random_instance(&mut vocab, &cfg, 1);
+        assert_eq!(a.len(), 30);
+        assert!(a.vars().is_empty());
+        assert!(a.terms().len() <= 10);
+    }
+
+    #[test]
+    fn rulesets_are_reproducible_and_valid() {
+        let mut v1 = Vocabulary::new();
+        let rs = random_linear_ruleset(&mut v1, 8, 7);
+        assert_eq!(rs.len(), 8);
+        for (_, r) in rs.iter() {
+            assert_eq!(r.body().len(), 1);
+            assert_eq!(r.head().len(), 1);
+        }
+    }
+}

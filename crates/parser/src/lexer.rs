@@ -1,0 +1,255 @@
+//! Tokenizer for the rule/fact/query syntax.
+
+use crate::parser_impl::{ParseError, Span};
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or number literal (classification happens in the
+    /// parser based on position and capitalization).
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Period,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `?-`
+    QueryMark,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// A hand-rolled tokenizer tracking line/column positions.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Produces the next token.
+    pub fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia();
+        let span = self.here();
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
+        };
+        let kind = match b {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Period
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'-' if self.peek2() == Some(b'>') => {
+                self.bump();
+                self.bump();
+                TokenKind::Arrow
+            }
+            b'?' if self.peek2() == Some(b'-') => {
+                self.bump();
+                self.bump();
+                TokenKind::QueryMark
+            }
+            b if b.is_ascii_alphanumeric() || b == b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(self.src[start..self.pos].to_owned())
+            }
+            other => {
+                return Err(ParseError::new(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Token { kind, span })
+    }
+
+    /// Tokenizes the whole input (including the trailing [`TokenKind::Eof`]).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_atoms_and_arrows() {
+        let ks = kinds("h(X, a) -> c(Y).");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("h".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("X".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("a".into()),
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("Y".into()),
+                TokenKind::RParen,
+                TokenKind::Period,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("% hello\nh(a). // tail\n");
+        assert_eq!(ks.len(), 6); // h ( a ) . EOF
+    }
+
+    #[test]
+    fn query_mark() {
+        let ks = kinds("?- p(X).");
+        assert_eq!(ks[0], TokenKind::QueryMark);
+    }
+
+    #[test]
+    fn primed_identifiers() {
+        let ks = kinds("Y'");
+        assert_eq!(ks[0], TokenKind::Ident("Y'".into()));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        let err = Lexer::new("h(@)").tokenize().unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = Lexer::new("a\nb").tokenize().unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+    }
+}

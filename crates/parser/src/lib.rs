@@ -1,0 +1,40 @@
+//! # chase-parser
+//!
+//! A small datalog±-style text syntax for existential rules, facts and
+//! conjunctive queries, with spanned error reporting.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! % comments run to end of line (also //)
+//! h(a, b).                          % facts (constants are lowercase)
+//! R1: h(X, X) -> h(X, Y), c(Y).    % rule; head-only vars are existential
+//! Q1: ?- h(X, Y), c(Y).            % boolean conjunctive query
+//! ```
+//!
+//! * Identifiers starting with an uppercase letter (or `_`) are
+//!   **variables**, scoped to their statement (rule / query / fact
+//!   statement).
+//! * Lowercase identifiers and numbers in term position are **constants**;
+//!   in predicate position they are predicate symbols (arity inferred and
+//!   checked on first use).
+//! * Statement names (`R1:`, `Q1:`) are optional.
+//!
+//! ## Entry points
+//!
+//! [`parse_program`] parses a whole source text into a [`Program`]
+//! (vocabulary + facts + rules + named queries); [`parse_atoms_with`] and
+//! [`parse_rule_with`] parse fragments against an existing vocabulary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lexer;
+mod lower;
+mod parser_impl;
+mod printer;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::{parse_atoms_with, parse_program, parse_rule_with, Program};
+pub use parser_impl::{AtomAst, ParseError, RuleAst, Span, StmtAst, TermAst};
+pub use printer::{program_to_text, rule_to_text};

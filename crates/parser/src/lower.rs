@@ -1,0 +1,256 @@
+//! Lowering the AST into `chase-atoms` / `chase-engine` values.
+
+use std::collections::HashMap;
+
+use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
+use chase_engine::{Rule, RuleSet};
+
+use crate::parser_impl::{parse_stmts, AtomAst, ParseError, StmtAst, TermAst};
+
+/// A fully lowered program: vocabulary, fact set, rules and named queries.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Symbol tables (predicates, constants, variable names).
+    pub vocab: Vocabulary,
+    /// The fact base `F`. Variables occurring in facts are labeled nulls
+    /// scoped per fact *statement*.
+    pub facts: AtomSet,
+    /// The rule set `Σ`, in source order.
+    pub rules: RuleSet,
+    /// Boolean CQs, keyed by name (`q0`, `q1`, … for anonymous queries).
+    pub queries: Vec<(String, AtomSet)>,
+}
+
+struct Scope<'v> {
+    vocab: &'v mut Vocabulary,
+    vars: HashMap<String, chase_atoms::VarId>,
+    prefix: String,
+}
+
+impl<'v> Scope<'v> {
+    fn new(vocab: &'v mut Vocabulary, prefix: impl Into<String>) -> Self {
+        Scope {
+            vocab,
+            vars: HashMap::new(),
+            prefix: prefix.into(),
+        }
+    }
+
+    fn lower_atom(&mut self, ast: &AtomAst) -> Result<Atom, ParseError> {
+        // Arity checking against earlier uses.
+        if let Some(pred) = self.vocab.lookup_pred(&ast.pred) {
+            let expected = self.vocab.arity(pred);
+            if expected != ast.args.len() {
+                return Err(ParseError::new(
+                    ast.span,
+                    format!(
+                        "predicate `{}` used with arity {}, but declared with arity {expected}",
+                        ast.pred,
+                        ast.args.len()
+                    ),
+                ));
+            }
+        }
+        let pred = self.vocab.pred(&ast.pred, ast.args.len());
+        let args: Vec<Term> = ast
+            .args
+            .iter()
+            .map(|t| match t {
+                TermAst::Const(name) => Term::Const(self.vocab.constant(name)),
+                TermAst::Var(name) => {
+                    let id = *self.vars.entry(name.clone()).or_insert_with(|| {
+                        let v = self.vocab.fresh_var();
+                        self.vocab.set_var_name(v, &format!("{}{}", self.prefix, name));
+                        v
+                    });
+                    Term::Var(id)
+                }
+            })
+            .collect();
+        Ok(Atom::new(pred, args))
+    }
+
+    fn lower_atoms(&mut self, atoms: &[AtomAst]) -> Result<AtomSet, ParseError> {
+        atoms.iter().map(|a| self.lower_atom(a)).collect()
+    }
+}
+
+/// Parses a whole program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let stmts = parse_stmts(src)?;
+    let mut vocab = Vocabulary::new();
+    let mut facts = AtomSet::new();
+    let mut rules = RuleSet::new();
+    let mut queries = Vec::new();
+    let mut anon_rules = 0usize;
+    let mut anon_queries = 0usize;
+    let mut fact_stmts = 0usize;
+    for stmt in &stmts {
+        match stmt {
+            StmtAst::Facts(atoms) => {
+                let mut scope = Scope::new(&mut vocab, format!("f{fact_stmts}."));
+                fact_stmts += 1;
+                let lowered = scope.lower_atoms(atoms)?;
+                facts.union_with(&lowered);
+            }
+            StmtAst::Rule(rule) => {
+                let name = rule.name.clone().unwrap_or_else(|| {
+                    anon_rules += 1;
+                    format!("r{}", anon_rules - 1)
+                });
+                let mut scope = Scope::new(&mut vocab, format!("{name}."));
+                let body = scope.lower_atoms(&rule.body)?;
+                let head = scope.lower_atoms(&rule.head)?;
+                let lowered = Rule::new(name, body, head)
+                    .map_err(|e| ParseError::new(rule.span, e.to_string()))?;
+                rules.push(lowered);
+            }
+            StmtAst::Query { name, atoms, span } => {
+                let name = name.clone().unwrap_or_else(|| {
+                    anon_queries += 1;
+                    format!("q{}", anon_queries - 1)
+                });
+                let mut scope = Scope::new(&mut vocab, format!("{name}."));
+                let lowered = scope.lower_atoms(atoms)?;
+                if lowered.is_empty() {
+                    return Err(ParseError::new(*span, "query must not be empty"));
+                }
+                queries.push((name, lowered));
+            }
+        }
+    }
+    Ok(Program {
+        vocab,
+        facts,
+        rules,
+        queries,
+    })
+}
+
+/// Parses a comma-separated atom list (e.g. a CQ) against an existing
+/// vocabulary; variables get a fresh scope with the given prefix.
+pub fn parse_atoms_with(
+    vocab: &mut Vocabulary,
+    prefix: &str,
+    src: &str,
+) -> Result<AtomSet, ParseError> {
+    let stmts = parse_stmts(&format!("{src}."))?;
+    let [StmtAst::Facts(atoms)] = &stmts[..] else {
+        return Err(ParseError::new(
+            crate::parser_impl::Span { line: 1, col: 1 },
+            "expected a plain atom list",
+        ));
+    };
+    Scope::new(vocab, format!("{prefix}.")).lower_atoms(atoms)
+}
+
+/// Parses a single rule (`body -> head`) against an existing vocabulary.
+pub fn parse_rule_with(
+    vocab: &mut Vocabulary,
+    name: &str,
+    src: &str,
+) -> Result<Rule, ParseError> {
+    let stmts = parse_stmts(&format!("{src}."))?;
+    let [StmtAst::Rule(rule)] = &stmts[..] else {
+        return Err(ParseError::new(
+            crate::parser_impl::Span { line: 1, col: 1 },
+            "expected a single rule",
+        ));
+    };
+    let mut scope = Scope::new(vocab, format!("{name}."));
+    let body = scope.lower_atoms(&rule.body)?;
+    let head = scope.lower_atoms(&rule.head)?;
+    Rule::new(name, body, head).map_err(|e| ParseError::new(rule.span, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::DisplayWith;
+
+    #[test]
+    fn lowers_full_program() {
+        let src = "
+            % the chain KB
+            r(a, b).
+            R1: r(X, Y) -> r(Y, Z).
+            Q1: ?- r(X, Y), r(Y, Z).
+        ";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.facts.len(), 1);
+        assert_eq!(prog.rules.len(), 1);
+        assert_eq!(prog.queries.len(), 1);
+        let rule = prog.rules.get(0);
+        assert_eq!(rule.existential_vars().len(), 1);
+        assert_eq!(rule.frontier_vars().len(), 1);
+    }
+
+    #[test]
+    fn variables_scoped_per_statement() {
+        let src = "
+            R1: p(X) -> q(X).
+            R2: q(X) -> p(X).
+        ";
+        let prog = parse_program(src).unwrap();
+        let x1 = *prog.rules.get(0).body().vars().iter().next().unwrap();
+        let x2 = *prog.rules.get(1).body().vars().iter().next().unwrap();
+        assert_ne!(x1, x2, "X in R1 and R2 are distinct variables");
+    }
+
+    #[test]
+    fn shared_variable_inside_rule() {
+        let prog = parse_program("R: p(X, X) -> q(X).").unwrap();
+        let rule = prog.rules.get(0);
+        assert_eq!(rule.body().vars().len(), 1);
+        assert_eq!(rule.frontier_vars().len(), 1);
+    }
+
+    #[test]
+    fn fact_variables_are_nulls() {
+        let prog = parse_program("p(X, a).").unwrap();
+        assert_eq!(prog.facts.vars().len(), 1);
+        assert_eq!(prog.facts.constants().len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = parse_program("p(a). p(a, b).").unwrap_err();
+        assert!(err.message.contains("arity"));
+    }
+
+    #[test]
+    fn display_roundtrip_names() {
+        let prog = parse_program("r(a, b). R1: r(X, Y) -> r(Y, Z).").unwrap();
+        let rendered = format!("{}", prog.rules.get(0).with(&prog.vocab));
+        assert!(rendered.contains("r(R1.X, R1.Y)"), "{rendered}");
+        assert!(rendered.contains('∃'), "{rendered}");
+    }
+
+    #[test]
+    fn fragment_parsers() {
+        let mut vocab = Vocabulary::new();
+        let atoms = parse_atoms_with(&mut vocab, "q", "r(X, Y), r(Y, X)").unwrap();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms.vars().len(), 2);
+        let rule = parse_rule_with(&mut vocab, "R", "r(X, Y) -> r(Y, Z)").unwrap();
+        assert_eq!(rule.existential_vars().len(), 1);
+    }
+
+    #[test]
+    fn staircase_rules_parse() {
+        // The paper's Σ_h in this syntax.
+        let src = "
+            f(X0), h(X0, X0).
+            R1h: h(X, X) -> h(X, Y), v(X, X1), h(X1, Y1), v(Y, Y1), c(Y1).
+            R2h: h(X, X), v(X, X1), h(X1, X1), h(X1, Y1) -> c(Y1), h(X, Y), v(Y, Y1).
+            R3h: f(X), h(X, X), h(X, Y) -> f(Y), h(Y, Y).
+            R4h: h(X, X), v(X, X1), c(X1) -> h(X1, X1).
+        ";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.rules.len(), 4);
+        assert_eq!(prog.facts.len(), 2);
+        assert!(prog.rules.get(2).is_datalog());
+        assert!(prog.rules.get(3).is_datalog());
+        assert_eq!(prog.rules.get(0).existential_vars().len(), 3);
+    }
+}

@@ -1,0 +1,323 @@
+//! Recursive-descent parser producing a plain AST; lowering to engine
+//! types lives in [`crate::lower`].
+
+use std::fmt;
+
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// A source location (1-based line and column).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A parse (or lowering) error with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A term in the AST: variable (capitalized) or constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TermAst {
+    /// Uppercase-initial / underscore-initial identifier.
+    Var(String),
+    /// Lowercase identifier or number.
+    Const(String),
+}
+
+/// An atom `p(t₁, …, t_k)` in the AST.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomAst {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<TermAst>,
+    /// Location of the predicate symbol.
+    pub span: Span,
+}
+
+/// A rule in the AST.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleAst {
+    /// Optional statement name.
+    pub name: Option<String>,
+    /// Body atoms.
+    pub body: Vec<AtomAst>,
+    /// Head atoms.
+    pub head: Vec<AtomAst>,
+    /// Location of the statement start.
+    pub span: Span,
+}
+
+/// A top-level statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StmtAst {
+    /// One or more fact atoms.
+    Facts(Vec<AtomAst>),
+    /// A rule.
+    Rule(RuleAst),
+    /// A named (or anonymous) boolean CQ.
+    Query {
+        /// Optional statement name.
+        name: Option<String>,
+        /// Query atoms.
+        atoms: Vec<AtomAst>,
+        /// Location of the statement start.
+        span: Span,
+    },
+}
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: Lexer::new(src).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self, ahead: usize) -> &TokenKind {
+        let idx = (self.pos + ahead).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::new(
+                self.peek().span,
+                format!("expected {what}, found {:?}", self.peek().kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        let span = self.peek().span;
+        match self.bump().kind {
+            TokenKind::Ident(s) => Ok((s, span)),
+            other => Err(ParseError::new(
+                span,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn is_var_name(name: &str) -> bool {
+        name.starts_with(|c: char| c.is_ascii_uppercase() || c == '_')
+    }
+
+    fn term(&mut self) -> Result<TermAst, ParseError> {
+        let (name, _span) = self.ident("a term")?;
+        Ok(if Self::is_var_name(&name) {
+            TermAst::Var(name)
+        } else {
+            TermAst::Const(name)
+        })
+    }
+
+    fn atom(&mut self) -> Result<AtomAst, ParseError> {
+        let (pred, span) = self.ident("a predicate")?;
+        if Self::is_var_name(&pred) {
+            return Err(ParseError::new(
+                span,
+                format!("predicate `{pred}` must not start with an uppercase letter"),
+            ));
+        }
+        let mut args = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    args.push(self.term()?);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+        }
+        Ok(AtomAst { pred, args, span })
+    }
+
+    fn atoms(&mut self) -> Result<Vec<AtomAst>, ParseError> {
+        let mut out = vec![self.atom()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.atom()?);
+        }
+        Ok(out)
+    }
+
+    /// `name :` lookahead — an identifier followed by a colon.
+    fn optional_name(&mut self) -> Option<String> {
+        if let TokenKind::Ident(name) = self.peek_kind(0).clone() {
+            if *self.peek_kind(1) == TokenKind::Colon {
+                self.bump();
+                self.bump();
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    fn stmt(&mut self) -> Result<StmtAst, ParseError> {
+        let span = self.peek().span;
+        let name = self.optional_name();
+        if self.peek().kind == TokenKind::QueryMark {
+            self.bump();
+            let atoms = self.atoms()?;
+            self.expect(&TokenKind::Period, "`.`")?;
+            return Ok(StmtAst::Query { name, atoms, span });
+        }
+        let first = self.atoms()?;
+        match &self.peek().kind {
+            TokenKind::Arrow => {
+                self.bump();
+                let head = self.atoms()?;
+                self.expect(&TokenKind::Period, "`.`")?;
+                Ok(StmtAst::Rule(RuleAst {
+                    name,
+                    body: first,
+                    head,
+                    span,
+                }))
+            }
+            TokenKind::Period => {
+                self.bump();
+                if name.is_some() {
+                    return Err(ParseError::new(
+                        span,
+                        "facts cannot carry a statement name",
+                    ));
+                }
+                Ok(StmtAst::Facts(first))
+            }
+            other => Err(ParseError::new(
+                self.peek().span,
+                format!("expected `->` or `.`, found {other:?}"),
+            )),
+        }
+    }
+
+    pub(crate) fn program(&mut self) -> Result<Vec<StmtAst>, ParseError> {
+        let mut out = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Parses a source text into statements (AST level).
+pub(crate) fn parse_stmts(src: &str) -> Result<Vec<StmtAst>, ParseError> {
+    Parser::new(src)?.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts() {
+        let stmts = parse_stmts("h(a, b). f(a).").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[0], StmtAst::Facts(atoms) if atoms.len() == 1));
+    }
+
+    #[test]
+    fn parses_named_rule() {
+        let stmts = parse_stmts("R1: h(X, X) -> h(X, Y), c(Y).").unwrap();
+        let StmtAst::Rule(rule) = &stmts[0] else {
+            panic!("not a rule");
+        };
+        assert_eq!(rule.name.as_deref(), Some("R1"));
+        assert_eq!(rule.body.len(), 1);
+        assert_eq!(rule.head.len(), 2);
+        assert_eq!(rule.head[0].args[1], TermAst::Var("Y".into()));
+    }
+
+    #[test]
+    fn parses_query() {
+        let stmts = parse_stmts("Q: ?- h(X, Y).").unwrap();
+        assert!(matches!(&stmts[0], StmtAst::Query { name: Some(n), .. } if n == "Q"));
+    }
+
+    #[test]
+    fn anonymous_rule_and_query() {
+        let stmts = parse_stmts("p(X) -> q(X). ?- q(Z).").unwrap();
+        assert!(matches!(&stmts[0], StmtAst::Rule(r) if r.name.is_none()));
+        assert!(matches!(&stmts[1], StmtAst::Query { name: None, .. }));
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let stmts = parse_stmts("go. go -> done.").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_uppercase_predicate() {
+        let err = parse_stmts("Foo(a).").unwrap_err();
+        assert!(err.message.contains("uppercase"));
+    }
+
+    #[test]
+    fn rejects_missing_period() {
+        assert!(parse_stmts("p(a)").is_err());
+    }
+
+    #[test]
+    fn rejects_named_fact() {
+        assert!(parse_stmts("F: p(a).").is_err());
+    }
+
+    #[test]
+    fn multi_atom_fact_statement() {
+        let stmts = parse_stmts("p(a), q(b).").unwrap();
+        assert!(matches!(&stmts[0], StmtAst::Facts(atoms) if atoms.len() == 2));
+    }
+}

@@ -1,0 +1,141 @@
+//! Rendering a [`Program`] back to the text syntax (round-trip support).
+
+use std::fmt::Write as _;
+
+use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
+use chase_engine::Rule;
+
+use crate::lower::Program;
+
+/// Renders a variable name valid in the surface syntax: the lowering
+/// prefixes variable names with their statement scope (`R1.X`), which the
+/// printer strips again; unnamed variables become `V<raw>`.
+fn var_name(vocab: &Vocabulary, v: chase_atoms::VarId, scope: &str) -> String {
+    match vocab.var_name(v) {
+        Some(name) => match name.strip_prefix(&format!("{scope}.")) {
+            Some(stripped) => stripped.to_string(),
+            None => name.rsplit('.').next().unwrap_or(name).to_string(),
+        },
+        None => format!("V{}", v.raw()),
+    }
+}
+
+fn term_text(vocab: &Vocabulary, t: Term, scope: &str) -> String {
+    match t {
+        Term::Const(c) => vocab
+            .const_name(c)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("k{}", c.raw())),
+        Term::Var(v) => var_name(vocab, v, scope),
+    }
+}
+
+fn atom_text(vocab: &Vocabulary, atom: &Atom, scope: &str) -> String {
+    let args: Vec<String> = atom
+        .args()
+        .iter()
+        .map(|&t| term_text(vocab, t, scope))
+        .collect();
+    if args.is_empty() {
+        vocab.pred_name(atom.pred()).to_string()
+    } else {
+        format!("{}({})", vocab.pred_name(atom.pred()), args.join(", "))
+    }
+}
+
+fn atoms_text(vocab: &Vocabulary, atoms: &AtomSet, scope: &str) -> String {
+    atoms
+        .sorted_atoms()
+        .iter()
+        .map(|a| atom_text(vocab, a, scope))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders one rule as `Name: body -> head.`.
+pub fn rule_to_text(vocab: &Vocabulary, rule: &Rule) -> String {
+    format!(
+        "{}: {} -> {}.",
+        rule.name(),
+        atoms_text(vocab, rule.body(), rule.name()),
+        atoms_text(vocab, rule.head(), rule.name())
+    )
+}
+
+/// Renders a whole program in the surface syntax. Re-parsing the result
+/// yields a program with the same facts (up to null renaming), rules and
+/// queries.
+pub fn program_to_text(prog: &Program) -> String {
+    let mut out = String::new();
+    if !prog.facts.is_empty() {
+        // Facts keep one statement so shared nulls stay shared.
+        let _ = writeln!(out, "{}.", atoms_text(&prog.vocab, &prog.facts, "f0"));
+    }
+    for (_, rule) in prog.rules.iter() {
+        let _ = writeln!(out, "{}", rule_to_text(&prog.vocab, rule));
+    }
+    for (name, atoms) in &prog.queries {
+        let _ = writeln!(
+            out,
+            "{name}: ?- {}.",
+            atoms_text(&prog.vocab, atoms, name)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::parse_program;
+
+    #[test]
+    fn roundtrip_simple_program() {
+        let src = "
+            r(a, b). r(b, X).
+            R1: r(X, Y) -> r(Y, Z).
+            Q1: ?- r(A, B), r(B, A).
+        ";
+        let p1 = parse_program(src).unwrap();
+        let text = program_to_text(&p1);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p1.facts.len(), p2.facts.len());
+        assert_eq!(p1.facts.vars().len(), p2.facts.vars().len());
+        assert_eq!(p1.rules.len(), p2.rules.len());
+        assert_eq!(p1.queries.len(), p2.queries.len());
+        let r1 = p1.rules.get(0);
+        let r2 = p2.rules.get(0);
+        assert_eq!(r1.name(), r2.name());
+        assert_eq!(r1.body().len(), r2.body().len());
+        assert_eq!(r1.existential_vars().len(), r2.existential_vars().len());
+    }
+
+    #[test]
+    fn roundtrip_is_idempotent_on_text() {
+        let src = "p(a). R: p(X) -> q(X, Y). Q: ?- q(a, Z).";
+        let p1 = parse_program(src).unwrap();
+        let t1 = program_to_text(&p1);
+        let p2 = parse_program(&t1).unwrap();
+        let t2 = program_to_text(&p2);
+        assert_eq!(t1, t2, "printing stabilizes after one roundtrip");
+    }
+
+    #[test]
+    fn zero_arity_atoms_roundtrip() {
+        let src = "go. R: go -> done.";
+        let p1 = parse_program(src).unwrap();
+        let text = program_to_text(&p1);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p2.rules.len(), 1);
+        assert_eq!(p2.facts.len(), 1);
+    }
+
+    #[test]
+    fn shared_fact_nulls_stay_shared() {
+        let src = "r(X, a), s(X).";
+        let p1 = parse_program(src).unwrap();
+        assert_eq!(p1.facts.vars().len(), 1);
+        let p2 = parse_program(&program_to_text(&p1)).unwrap();
+        assert_eq!(p2.facts.vars().len(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Tree decompositions of atomsets (Definition 4) and an independent
+//! validator.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use chase_atoms::{AtomSet, Term};
+
+/// A tree decomposition: bags of terms plus tree edges between bag
+/// indices.
+///
+/// The width is `max |bag| − 1` (Definition 4). An empty decomposition is
+/// valid only for the empty atomset and has width 0 by convention (we
+/// report `width() = 0` for it, matching `tw(∅) = 0` conventions used in
+/// the paper's examples where the empty set never occurs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    /// The vertex bags, each a set of terms of the underlying atomset.
+    pub bags: Vec<BTreeSet<Term>>,
+    /// Undirected tree edges between bag indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Reasons a claimed tree decomposition is invalid for a given atomset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// The bag graph is not a tree (disconnected or has a cycle).
+    NotATree,
+    /// An edge refers to a bag index that does not exist.
+    DanglingEdge(usize, usize),
+    /// Some atom's terms are not jointly contained in any bag.
+    AtomNotCovered(String),
+    /// The bags containing some term do not induce a connected subtree.
+    TermNotConnected(Term),
+    /// A term of the atomset appears in no bag.
+    TermNotCovered(Term),
+}
+
+impl fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompositionError::NotATree => write!(f, "bag graph is not a tree"),
+            DecompositionError::DanglingEdge(a, b) => {
+                write!(f, "edge ({a}, {b}) refers to a missing bag")
+            }
+            DecompositionError::AtomNotCovered(a) => {
+                write!(f, "atom {a} is not covered by any bag")
+            }
+            DecompositionError::TermNotConnected(t) => {
+                write!(f, "bags containing {t:?} are not connected")
+            }
+            DecompositionError::TermNotCovered(t) => {
+                write!(f, "term {t:?} appears in no bag")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompositionError {}
+
+impl TreeDecomposition {
+    /// A decomposition with a single bag holding all given terms.
+    pub fn single_bag(terms: impl IntoIterator<Item = Term>) -> Self {
+        TreeDecomposition {
+            bags: vec![terms.into_iter().collect()],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The width: size of the largest bag minus one (0 when empty).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
+    }
+
+    /// Checks all three conditions of Definition 4 against `a`:
+    /// bag graph is a tree, every atom is covered by a bag, and every
+    /// term's bags induce a connected subtree.
+    pub fn validate(&self, a: &AtomSet) -> Result<(), DecompositionError> {
+        let n = self.bags.len();
+        for &(x, y) in &self.edges {
+            if x >= n || y >= n {
+                return Err(DecompositionError::DanglingEdge(x, y));
+            }
+        }
+        if n > 0 {
+            // Tree check: connected and |E| = n − 1.
+            if self.edges.len() != n - 1 {
+                return Err(DecompositionError::NotATree);
+            }
+            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for &(x, y) in &self.edges {
+                adj[x].push(y);
+                adj[y].push(x);
+            }
+            let mut seen = vec![false; n];
+            let mut queue = VecDeque::from([0usize]);
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(u) = queue.pop_front() {
+                for &w in &adj[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        count += 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if count != n {
+                return Err(DecompositionError::NotATree);
+            }
+        } else if !a.is_empty() {
+            return Err(DecompositionError::NotATree);
+        }
+
+        // Occurrence lists per term.
+        let mut occurs: HashMap<Term, Vec<usize>> = HashMap::new();
+        for (i, bag) in self.bags.iter().enumerate() {
+            for &t in bag {
+                occurs.entry(t).or_default().push(i);
+            }
+        }
+
+        // Atom coverage.
+        'atoms: for atom in a.iter() {
+            let terms: BTreeSet<Term> = atom.terms().collect();
+            for bag in &self.bags {
+                if terms.is_subset(bag) {
+                    continue 'atoms;
+                }
+            }
+            return Err(DecompositionError::AtomNotCovered(format!("{atom:?}")));
+        }
+
+        // Term coverage + connectedness of occurrence sets.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(x, y) in &self.edges {
+            adj[x].push(y);
+            adj[y].push(x);
+        }
+        for t in a.terms() {
+            let Some(bags_with_t) = occurs.get(&t) else {
+                return Err(DecompositionError::TermNotCovered(t));
+            };
+            let members: BTreeSet<usize> = bags_with_t.iter().copied().collect();
+            let start = bags_with_t[0];
+            let mut seen: BTreeSet<usize> = [start].into_iter().collect();
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &w in &adj[u] {
+                    if members.contains(&w) && seen.insert(w) {
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if seen.len() != members.len() {
+                return Err(DecompositionError::TermNotConnected(t));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn path3() -> AtomSet {
+        [atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn valid_path_decomposition() {
+        let td = TreeDecomposition {
+            bags: vec![
+                [v(0), v(1)].into_iter().collect(),
+                [v(1), v(2)].into_iter().collect(),
+            ],
+            edges: vec![(0, 1)],
+        };
+        assert_eq!(td.width(), 1);
+        assert!(td.validate(&path3()).is_ok());
+    }
+
+    #[test]
+    fn single_bag_always_valid() {
+        let a = path3();
+        let td = TreeDecomposition::single_bag(a.terms());
+        assert!(td.validate(&a).is_ok());
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn uncovered_atom_rejected() {
+        let td = TreeDecomposition {
+            bags: vec![
+                [v(0), v(1)].into_iter().collect(),
+                [v(2)].into_iter().collect(),
+            ],
+            edges: vec![(0, 1)],
+        };
+        assert!(matches!(
+            td.validate(&path3()),
+            Err(DecompositionError::AtomNotCovered(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_term_rejected() {
+        // v1 occurs in bags 0 and 2, but bag 1 (between them) lacks it.
+        let a = path3();
+        let td = TreeDecomposition {
+            bags: vec![
+                [v(0), v(1)].into_iter().collect(),
+                [v(0), v(2)].into_iter().collect(),
+                [v(1), v(2)].into_iter().collect(),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(matches!(
+            td.validate(&a),
+            Err(DecompositionError::TermNotConnected(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_bag_graph_rejected() {
+        let td = TreeDecomposition {
+            bags: vec![
+                [v(0), v(1), v(2)].into_iter().collect(),
+                [v(0), v(1), v(2)].into_iter().collect(),
+                [v(0), v(1), v(2)].into_iter().collect(),
+            ],
+            edges: vec![(0, 1), (1, 2), (2, 0)],
+        };
+        assert_eq!(td.validate(&path3()), Err(DecompositionError::NotATree));
+    }
+
+    #[test]
+    fn disconnected_bag_graph_rejected() {
+        let td = TreeDecomposition {
+            bags: vec![
+                [v(0), v(1), v(2)].into_iter().collect(),
+                [v(0)].into_iter().collect(),
+                [v(0)].into_iter().collect(),
+                [v(0)].into_iter().collect(),
+            ],
+            // 3 edges over 4 bags but bags 2,3 form their own component:
+            edges: vec![(0, 1), (2, 3), (3, 2)],
+        };
+        assert_eq!(td.validate(&path3()), Err(DecompositionError::NotATree));
+    }
+
+    #[test]
+    fn missing_term_rejected() {
+        let td = TreeDecomposition {
+            bags: vec![[v(0), v(1)].into_iter().collect()],
+            edges: vec![],
+        };
+        let res = td.validate(&path3());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let td = TreeDecomposition {
+            bags: vec![[v(0), v(1), v(2)].into_iter().collect()],
+            edges: vec![(0, 5)],
+        };
+        assert!(matches!(
+            td.validate(&path3()),
+            Err(DecompositionError::DanglingEdge(0, 5))
+        ));
+    }
+
+    #[test]
+    fn empty_decomposition_for_empty_atomset() {
+        let td = TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        };
+        assert!(td.validate(&AtomSet::new()).is_ok());
+        assert_eq!(td.width(), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Elimination orderings and the decompositions they induce, plus the
+//! classic min-degree and min-fill greedy heuristics.
+//!
+//! Eliminating a vertex `v` creates a bag `{v} ∪ N(v)` and turns `N(v)`
+//! into a clique. Processing all vertices yields a valid tree
+//! decomposition whose width is the largest bag minus one; the treewidth
+//! is the minimum over all orderings, which is what the exact solver
+//! branches on.
+
+use std::collections::BTreeSet;
+
+use chase_atoms::{AtomSet, Term};
+
+use crate::decomposition::TreeDecomposition;
+use crate::graph::Graph;
+
+/// Builds the tree decomposition induced by an elimination order
+/// (given as graph vertex indices; must be a permutation of all vertices).
+pub fn decomposition_from_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
+    let n = g.len();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    if n == 0 {
+        return TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        };
+    }
+    let mut adj = g.adjacency();
+    let mut eliminated = vec![false; n];
+    // position[v] = index in `order` at which v is eliminated.
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v] = i;
+    }
+    let mut bags: Vec<BTreeSet<Term>> = Vec::with_capacity(n);
+    // For bag i (of vertex order[i]): connect to the bag of the neighbour
+    // eliminated earliest *after* order[i].
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for (step, &v) in order.iter().enumerate() {
+        let neighbors: Vec<usize> = adj[v].iter().copied().collect();
+        let mut bag: BTreeSet<Term> = neighbors.iter().map(|&u| g.term(u)).collect();
+        bag.insert(g.term(v));
+        bags.push(bag);
+        // Fill-in: neighbours become a clique.
+        for (i, &x) in neighbors.iter().enumerate() {
+            for &y in &neighbors[i + 1..] {
+                adj[x].insert(y);
+                adj[y].insert(x);
+            }
+        }
+        for &u in &neighbors {
+            adj[u].remove(&v);
+        }
+        eliminated[v] = true;
+        // Parent bag: the neighbour with the smallest elimination position
+        // among those not yet eliminated.
+        let next = neighbors
+            .iter()
+            .filter(|&&u| !eliminated[u])
+            .min_by_key(|&&u| position[u]);
+        if let Some(&u) = next {
+            parent[step] = Some(position[u]);
+        }
+    }
+    let mut edges = Vec::new();
+    for (i, p) in parent.iter().enumerate() {
+        match p {
+            Some(j) => edges.push((i, *j)),
+            None => {
+                // Last vertex of a connected component: attach to the next
+                // bag in order (or nothing if it is the final bag) to keep
+                // the bag graph a single tree.
+                if i + 1 < n {
+                    edges.push((i, i + 1));
+                }
+            }
+        }
+    }
+    TreeDecomposition { bags, edges }
+}
+
+fn greedy_order(g: &Graph, mut score: impl FnMut(&Vec<BTreeSet<usize>>, usize) -> usize) -> Vec<usize> {
+    let n = g.len();
+    let mut adj = g.adjacency();
+    let mut alive: BTreeSet<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&best) = alive.iter().min_by_key(|&&v| (score(&adj, v), v)) {
+        let neighbors: Vec<usize> = adj[best].iter().copied().collect();
+        for (i, &x) in neighbors.iter().enumerate() {
+            for &y in &neighbors[i + 1..] {
+                adj[x].insert(y);
+                adj[y].insert(x);
+            }
+        }
+        for &u in &neighbors {
+            adj[u].remove(&best);
+        }
+        adj[best].clear();
+        alive.remove(&best);
+        order.push(best);
+    }
+    order
+}
+
+/// The min-degree heuristic: repeatedly eliminate a vertex of minimum
+/// current degree. Returns a valid decomposition of `a`.
+pub fn min_degree_decomposition(a: &AtomSet) -> TreeDecomposition {
+    let g = Graph::primal(a);
+    let order = greedy_order(&g, |adj, v| adj[v].len());
+    decomposition_from_order(&g, &order)
+}
+
+/// The min-fill heuristic: repeatedly eliminate the vertex whose
+/// elimination adds the fewest fill edges. Returns a valid decomposition
+/// of `a`.
+pub fn min_fill_decomposition(a: &AtomSet) -> TreeDecomposition {
+    let g = Graph::primal(a);
+    let order = greedy_order(&g, |adj, v| {
+        let neigh: Vec<usize> = adj[v].iter().copied().collect();
+        let mut fill = 0usize;
+        for (i, &x) in neigh.iter().enumerate() {
+            for &y in &neigh[i + 1..] {
+                if !adj[x].contains(&y) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    });
+    decomposition_from_order(&g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn path(n: u32) -> AtomSet {
+        (0..n - 1).map(|i| atom(0, &[v(i), v(i + 1)])).collect()
+    }
+
+    fn cycle(n: u32) -> AtomSet {
+        (0..n)
+            .map(|i| atom(0, &[v(i), v((i + 1) % n)]))
+            .collect()
+    }
+
+    fn clique(n: u32) -> AtomSet {
+        let mut atoms = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                atoms.push(atom(0, &[v(i), v(j)]));
+            }
+        }
+        atoms.into_iter().collect()
+    }
+
+    #[test]
+    fn path_has_width_one() {
+        let a = path(10);
+        let td = min_degree_decomposition(&a);
+        assert!(td.validate(&a).is_ok());
+        assert_eq!(td.width(), 1);
+        let tf = min_fill_decomposition(&a);
+        assert!(tf.validate(&a).is_ok());
+        assert_eq!(tf.width(), 1);
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let a = cycle(8);
+        let td = min_fill_decomposition(&a);
+        assert!(td.validate(&a).is_ok());
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn clique_has_width_n_minus_one() {
+        let a = clique(5);
+        let td = min_degree_decomposition(&a);
+        assert!(td.validate(&a).is_ok());
+        assert_eq!(td.width(), 4);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let mut a = path(4);
+        a.extend([atom(0, &[v(100), v(101)]), atom(0, &[v(101), v(102)])]);
+        let td = min_degree_decomposition(&a);
+        assert!(td.validate(&a).is_ok(), "{:?}", td.validate(&a));
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn singleton_vertex() {
+        let a: AtomSet = [atom(1, &[v(0)])].into_iter().collect();
+        let td = min_fill_decomposition(&a);
+        assert!(td.validate(&a).is_ok());
+        assert_eq!(td.width(), 0);
+    }
+
+    #[test]
+    fn decomposition_from_explicit_order() {
+        let a = path(4);
+        let g = Graph::primal(&a);
+        // Eliminate in label order — also yields width 1 on a path.
+        let order: Vec<usize> = (0..g.len()).collect();
+        let td = decomposition_from_order(&g, &order);
+        assert!(td.validate(&a).is_ok());
+    }
+
+    #[test]
+    fn bad_order_still_valid_just_wider() {
+        // Eliminating the middle of a star first gives a big bag, but the
+        // decomposition must still validate.
+        let mut atoms = Vec::new();
+        for i in 1..=6 {
+            atoms.push(atom(0, &[v(0), v(i)]));
+        }
+        let a: AtomSet = atoms.into_iter().collect();
+        let g = Graph::primal(&a);
+        let center = g.vertex(v(0)).unwrap();
+        let mut order = vec![center];
+        order.extend((0..g.len()).filter(|&i| i != center));
+        let td = decomposition_from_order(&g, &order);
+        assert!(td.validate(&a).is_ok());
+        assert_eq!(td.width(), 6);
+        // The heuristic does better:
+        assert_eq!(min_degree_decomposition(&a).width(), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Exact treewidth via branch-and-bound over elimination orderings, plus
+//! the degeneracy lower bound.
+//!
+//! The solver is a QuickBB-style search: a state is the set of already
+//! eliminated vertices (the width contributed by a prefix is independent
+//! of its internal order, so states memoize), branching on the next vertex
+//! to eliminate, pruning with (a) the best width found so far, (b) the
+//! degeneracy lower bound of the remaining graph, and (c) the *simplicial
+//! vertex rule* — a vertex whose neighbourhood is a clique can always be
+//! eliminated first without loss of optimality.
+//!
+//! Intended for primal graphs of up to roughly 30–40 vertices, which
+//! covers every structure appearing in the paper's figures. Larger
+//! instances should use [`crate::treewidth_bounds`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use chase_atoms::AtomSet;
+
+use crate::graph::Graph;
+
+/// The degeneracy of the graph: `max` over the elimination process of the
+/// minimum degree. This is a lower bound on treewidth (any tree
+/// decomposition of width `w` yields, for every subgraph, a vertex of
+/// degree ≤ `w`).
+pub fn degeneracy_lower_bound(g: &Graph) -> usize {
+    let n = g.len();
+    let mut adj = g.adjacency();
+    let mut alive: BTreeSet<usize> = (0..n).collect();
+    let mut best = 0usize;
+    while !alive.is_empty() {
+        let &v = alive
+            .iter()
+            .min_by_key(|&&v| adj[v].len())
+            .expect("alive nonempty");
+        best = best.max(adj[v].len());
+        let neigh: Vec<usize> = adj[v].iter().copied().collect();
+        for u in neigh {
+            adj[u].remove(&v);
+        }
+        adj[v].clear();
+        alive.remove(&v);
+    }
+    best
+}
+
+struct Solver {
+    adj: Vec<BTreeSet<usize>>,
+    n: usize,
+    best: usize,
+    memo: HashMap<u128, usize>,
+}
+
+impl Solver {
+    /// Minimum degree over the live vertices (cheap lower bound for the
+    /// remaining subproblem).
+    fn min_degree_lb(&self, alive: &BTreeSet<usize>) -> usize {
+        alive
+            .iter()
+            .map(|&v| self.adj[v].len())
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn is_simplicial(&self, v: usize) -> bool {
+        let neigh: Vec<usize> = self.adj[v].iter().copied().collect();
+        for (i, &x) in neigh.iter().enumerate() {
+            for &y in &neigh[i + 1..] {
+                if !self.adj[x].contains(&y) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Eliminates `v`: removes it and makes its neighbourhood a clique.
+    /// Returns the degree at elimination time plus the list of fill edges
+    /// added, for undoing.
+    fn eliminate(&mut self, v: usize) -> (usize, Vec<(usize, usize)>) {
+        let neigh: Vec<usize> = self.adj[v].iter().copied().collect();
+        let mut fill = Vec::new();
+        for (i, &x) in neigh.iter().enumerate() {
+            for &y in &neigh[i + 1..] {
+                if self.adj[x].insert(y) {
+                    self.adj[y].insert(x);
+                    fill.push((x, y));
+                }
+            }
+        }
+        for &u in &neigh {
+            self.adj[u].remove(&v);
+        }
+        let deg = neigh.len();
+        self.adj[v].clear();
+        // Keep v's neighbourhood so we can restore it.
+        self.adj[v].extend(neigh.iter().copied());
+        (deg, fill)
+    }
+
+    fn restore(&mut self, v: usize, fill: &[(usize, usize)]) {
+        let neigh: Vec<usize> = self.adj[v].iter().copied().collect();
+        for &u in &neigh {
+            self.adj[u].insert(v);
+        }
+        for &(x, y) in fill {
+            self.adj[x].remove(&y);
+            self.adj[y].remove(&x);
+        }
+    }
+
+    fn search(&mut self, alive: &mut BTreeSet<usize>, mask: u128, width_so_far: usize) {
+        if width_so_far >= self.best {
+            return; // cannot improve
+        }
+        if alive.len() <= 1 {
+            self.best = self.best.min(width_so_far);
+            return;
+        }
+        if alive.len().saturating_sub(1) <= width_so_far {
+            // Eliminating the rest in any order cannot exceed width_so_far.
+            self.best = self.best.min(width_so_far);
+            return;
+        }
+        if let Some(&cached) = self.memo.get(&mask) {
+            if cached <= width_so_far {
+                return; // already explored this prefix-set at least as well
+            }
+        }
+        self.memo.insert(mask, width_so_far);
+
+        if self.min_degree_lb(alive).max(width_so_far) >= self.best {
+            return;
+        }
+
+        // Simplicial rule: eliminate a simplicial vertex greedily.
+        let simplicial = alive.iter().copied().find(|&v| self.is_simplicial(v));
+        let candidates: Vec<usize> = match simplicial {
+            Some(v) => vec![v],
+            None => {
+                let mut c: Vec<usize> = alive.iter().copied().collect();
+                // Branch on low-degree vertices first.
+                c.sort_by_key(|&v| self.adj[v].len());
+                c
+            }
+        };
+
+        for v in candidates {
+            let (deg, fill) = self.eliminate(v);
+            alive.remove(&v);
+            self.search(alive, mask | (1u128 << v), width_so_far.max(deg));
+            alive.insert(v);
+            self.restore(v, &fill);
+        }
+    }
+}
+
+/// Exact treewidth of a graph. Panics if the graph has more than 128
+/// vertices (use [`crate::treewidth_bounds`] instead at that scale).
+pub fn exact_treewidth_graph(g: &Graph) -> usize {
+    let n = g.len();
+    if n == 0 {
+        return 0;
+    }
+    assert!(
+        n <= 128,
+        "exact treewidth solver supports at most 128 vertices (got {n})"
+    );
+    // Start from the min-fill upper bound.
+    let order = {
+        let mut adj = g.adjacency();
+        let mut alive: BTreeSet<usize> = (0..n).collect();
+        let mut order = Vec::with_capacity(n);
+        while !alive.is_empty() {
+            let &v = alive
+                .iter()
+                .min_by_key(|&&v| {
+                    let neigh: Vec<usize> = adj[v].iter().copied().collect();
+                    let mut fillcount = 0usize;
+                    for (i, &x) in neigh.iter().enumerate() {
+                        for &y in &neigh[i + 1..] {
+                            if !adj[x].contains(&y) {
+                                fillcount += 1;
+                            }
+                        }
+                    }
+                    fillcount
+                })
+                .expect("alive nonempty");
+            let neigh: Vec<usize> = adj[v].iter().copied().collect();
+            for (i, &x) in neigh.iter().enumerate() {
+                for &y in &neigh[i + 1..] {
+                    adj[x].insert(y);
+                    adj[y].insert(x);
+                }
+            }
+            for &u in &neigh {
+                adj[u].remove(&v);
+            }
+            adj[v].clear();
+            alive.remove(&v);
+            order.push(v);
+        }
+        order
+    };
+    // Width of that order:
+    let ub = {
+        let mut adj = g.adjacency();
+        let mut w = 0usize;
+        for &v in &order {
+            let neigh: Vec<usize> = adj[v].iter().copied().collect();
+            w = w.max(neigh.len());
+            for (i, &x) in neigh.iter().enumerate() {
+                for &y in &neigh[i + 1..] {
+                    adj[x].insert(y);
+                    adj[y].insert(x);
+                }
+            }
+            for &u in &neigh {
+                adj[u].remove(&v);
+            }
+            adj[v].clear();
+        }
+        w
+    };
+    let lb = degeneracy_lower_bound(g);
+    if lb == ub {
+        return ub;
+    }
+    let mut solver = Solver {
+        adj: g.adjacency(),
+        n,
+        best: ub,
+        memo: HashMap::new(),
+    };
+    let mut alive: BTreeSet<usize> = (0..n).collect();
+    solver.search(&mut alive, 0, lb);
+    // `width_so_far` seeded with lb is sound: the true width is ≥ lb.
+    let _ = solver.n;
+    solver.best
+}
+
+/// Exact treewidth of an atomset (treewidth of its primal graph).
+pub fn exact_treewidth(a: &AtomSet) -> usize {
+    exact_treewidth_graph(&Graph::primal(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(0), args.to_vec())
+    }
+
+    fn edges(pairs: &[(u32, u32)]) -> AtomSet {
+        pairs.iter().map(|&(a, b)| atom(&[v(a), v(b)])).collect()
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(exact_treewidth(&AtomSet::new()), 0);
+        let single: AtomSet = [Atom::new(PredId::from_raw(1), vec![v(0)])]
+            .into_iter()
+            .collect();
+        assert_eq!(exact_treewidth(&single), 0);
+    }
+
+    #[test]
+    fn path_is_one() {
+        assert_eq!(exact_treewidth(&edges(&[(0, 1), (1, 2), (2, 3)])), 1);
+    }
+
+    #[test]
+    fn cycle_is_two() {
+        assert_eq!(
+            exact_treewidth(&edges(&[(0, 1), (1, 2), (2, 3), (3, 0)])),
+            2
+        );
+    }
+
+    #[test]
+    fn clique_is_n_minus_one() {
+        let mut pairs = Vec::new();
+        for i in 0..6u32 {
+            for j in i + 1..6 {
+                pairs.push((i, j));
+            }
+        }
+        assert_eq!(exact_treewidth(&edges(&pairs)), 5);
+    }
+
+    #[test]
+    fn grid_3x3_is_three() {
+        // tw of the n×n grid graph is n for n ≥ 2.
+        let n = 3u32;
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let id = i * n + j;
+                if i + 1 < n {
+                    pairs.push((id, id + n));
+                }
+                if j + 1 < n {
+                    pairs.push((id, id + 1));
+                }
+            }
+        }
+        assert_eq!(exact_treewidth(&edges(&pairs)), 3);
+    }
+
+    #[test]
+    fn grid_4x4_is_four() {
+        let n = 4u32;
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let id = i * n + j;
+                if i + 1 < n {
+                    pairs.push((id, id + n));
+                }
+                if j + 1 < n {
+                    pairs.push((id, id + 1));
+                }
+            }
+        }
+        assert_eq!(exact_treewidth(&edges(&pairs)), 4);
+    }
+
+    #[test]
+    fn complete_bipartite_k33_is_three() {
+        let mut pairs = Vec::new();
+        for i in 0..3u32 {
+            for j in 3..6u32 {
+                pairs.push((i, j));
+            }
+        }
+        assert_eq!(exact_treewidth(&edges(&pairs)), 3);
+    }
+
+    #[test]
+    fn tree_is_one() {
+        assert_eq!(
+            exact_treewidth(&edges(&[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])),
+            1
+        );
+    }
+
+    #[test]
+    fn degeneracy_bounds_tw_below() {
+        let a = edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = Graph::primal(&a);
+        let lb = degeneracy_lower_bound(&g);
+        assert!(lb <= exact_treewidth(&a));
+        assert_eq!(lb, 2);
+    }
+
+    #[test]
+    fn octahedron_is_four() {
+        // K_{2,2,2}: 6 vertices, every pair adjacent except 3 disjoint
+        // "antipodal" pairs. Treewidth 4.
+        let mut pairs = Vec::new();
+        for i in 0..6u32 {
+            for j in i + 1..6 {
+                // K6 minus the perfect matching {(0,3), (1,4), (2,5)}.
+                if (i, j) != (0, 3) && (i, j) != (1, 4) && (i, j) != (2, 5) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        assert_eq!(exact_treewidth(&edges(&pairs)), 4);
+    }
+}

@@ -1,0 +1,208 @@
+//! Grid containment per Definition 5 of the paper.
+//!
+//! An atomset `A` *contains an `n × n`-grid* if it has `n²` distinct terms
+//! `t_i^j` such that adjacent coordinates (horizontally and vertically)
+//! co-occur in some atom. By Fact 2, `tw(A) ≥ n` then.
+//!
+//! Deciding grid containment for arbitrary labelings is NP-hard, so the
+//! checker takes an explicit candidate [`GridLabeling`] — the paper's own
+//! proofs (Props. 5 and 8.2) construct these labelings explicitly, and the
+//! `chase-kbs` crate reproduces them.
+
+use std::collections::BTreeSet;
+
+use chase_atoms::{Atom, AtomSet, PredId, Term};
+
+/// A candidate labeling of an `n × n` grid: `terms[i][j]` is the term at
+/// column `i`, row `j` (0-based; the paper indexes from 1).
+#[derive(Clone, Debug)]
+pub struct GridLabeling {
+    /// `terms[i][j]` for `0 ≤ i, j < n`.
+    pub terms: Vec<Vec<Term>>,
+}
+
+impl GridLabeling {
+    /// Builds a labeling from a coordinate function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> Term) -> Self {
+        GridLabeling {
+            terms: (0..n)
+                .map(|i| (0..n).map(|j| f(i, j)).collect())
+                .collect(),
+        }
+    }
+
+    /// The grid dimension `n`.
+    pub fn n(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Are all `n²` labeled terms pairwise distinct (required by
+    /// Definition 5)?
+    pub fn is_injective(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for row in &self.terms {
+            for &t in row {
+                if !seen.insert(t) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn co_occur(a: &AtomSet, t: Term, u: Term) -> bool {
+    // Scan the shorter occurrence list.
+    if a.term_count(t) <= a.term_count(u) {
+        a.with_term(t).any(|atom| atom.mentions(u))
+    } else {
+        a.with_term(u).any(|atom| atom.mentions(t))
+    }
+}
+
+/// Checks Definition 5: does `a` contain the `n × n`-grid described by
+/// `labeling`?
+///
+/// Requires (i) the labeling to be injective, (ii) for every column step,
+/// `t_i^j` and `t_{i+1}^j` to co-occur in some atom, and (iii) likewise for
+/// every row step.
+pub fn contains_grid(a: &AtomSet, labeling: &GridLabeling) -> bool {
+    let n = labeling.n();
+    if n == 0 {
+        return true;
+    }
+    if !labeling.is_injective() {
+        return false;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let t = labeling.terms[i][j];
+            if !a.mentions(t) {
+                return false;
+            }
+            if i + 1 < n && !co_occur(a, t, labeling.terms[i + 1][j]) {
+                return false;
+            }
+            if j + 1 < n && !co_occur(a, t, labeling.terms[i][j + 1]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Generates the atoms of a plain `n × n` grid over fresh-looking terms:
+/// `h(t_i^j, t_{i+1}^j)` and `v(t_i^j, t_i^{j+1})`. Returns the atomset and
+/// its natural labeling. Useful as a treewidth workload and in tests.
+pub fn grid_atoms(
+    n: usize,
+    h: PredId,
+    v: PredId,
+    mut term_at: impl FnMut(usize, usize) -> Term,
+) -> (AtomSet, GridLabeling) {
+    let labeling = GridLabeling::from_fn(n, &mut term_at);
+    let mut set = AtomSet::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i + 1 < n {
+                set.insert(Atom::new(
+                    h,
+                    vec![labeling.terms[i][j], labeling.terms[i + 1][j]],
+                ));
+            }
+            if j + 1 < n {
+                set.insert(Atom::new(
+                    v,
+                    vec![labeling.terms[i][j], labeling.terms[i][j + 1]],
+                ));
+            }
+        }
+    }
+    (set, labeling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::VarId;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn h_pred() -> PredId {
+        PredId::from_raw(0)
+    }
+
+    fn v_pred() -> PredId {
+        PredId::from_raw(1)
+    }
+
+    fn term_at(n: usize) -> impl FnMut(usize, usize) -> Term {
+        move |i, j| v((i * n + j) as u32)
+    }
+
+    #[test]
+    fn generated_grid_contains_itself() {
+        // n = 1 generates no atoms (no adjacencies), so start at 2.
+        for n in 2..=5 {
+            let (set, lab) = grid_atoms(n, h_pred(), v_pred(), term_at(n));
+            assert!(contains_grid(&set, &lab), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn missing_edge_breaks_containment() {
+        let (mut set, lab) = grid_atoms(3, h_pred(), v_pred(), term_at(3));
+        // Remove one horizontal atom.
+        let victim = Atom::new(h_pred(), vec![lab.terms[0][0], lab.terms[1][0]]);
+        assert!(set.remove(&victim));
+        assert!(!contains_grid(&set, &lab));
+    }
+
+    #[test]
+    fn non_injective_labeling_rejected() {
+        let (set, _) = grid_atoms(3, h_pred(), v_pred(), term_at(3));
+        let bad = GridLabeling::from_fn(3, |_, _| v(0));
+        assert!(!bad.is_injective());
+        assert!(!contains_grid(&set, &bad));
+    }
+
+    #[test]
+    fn grid_gives_fact2_lower_bound() {
+        // Fact 2 + exact solver agreement on small grids.
+        for n in 2..=4usize {
+            let (set, lab) = grid_atoms(n, h_pred(), v_pred(), term_at(n));
+            assert!(contains_grid(&set, &lab));
+            let tw = crate::exact_treewidth(&set);
+            assert!(tw >= n, "tw {tw} < n {n}");
+        }
+    }
+
+    #[test]
+    fn labeling_terms_must_occur() {
+        let (set, _) = grid_atoms(2, h_pred(), v_pred(), term_at(2));
+        let phantom = GridLabeling::from_fn(2, |i, j| v(100 + (i * 2 + j) as u32));
+        assert!(!contains_grid(&set, &phantom));
+    }
+
+    #[test]
+    fn zero_grid_trivially_contained() {
+        let lab = GridLabeling { terms: vec![] };
+        assert!(contains_grid(&AtomSet::new(), &lab));
+    }
+
+    #[test]
+    fn diagonal_atoms_do_not_count() {
+        // Terms co-occur only diagonally — adjacency requirements fail.
+        let mut set = AtomSet::new();
+        for i in 0..2u32 {
+            for j in 0..2u32 {
+                set.insert(Atom::new(h_pred(), vec![v(i * 2 + j), v(i * 2 + j)]));
+            }
+        }
+        set.insert(Atom::new(h_pred(), vec![v(0), v(3)]));
+        let lab = GridLabeling::from_fn(2, |i, j| v((i * 2 + j) as u32));
+        assert!(!contains_grid(&set, &lab));
+    }
+}

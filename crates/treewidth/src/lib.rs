@@ -1,0 +1,101 @@
+//! # chase-treewidth
+//!
+//! Treewidth machinery for atomsets, implementing Section 4 of *Bounded
+//! Treewidth and the Infinite Core Chase* (PODS 2023):
+//!
+//! * the **primal (Gaifman) graph** of an atomset ([`Graph::primal`]);
+//! * **tree decompositions** (Definition 4) with an independent validator
+//!   ([`TreeDecomposition::validate`]);
+//! * **heuristic** upper bounds via elimination orderings (min-degree /
+//!   min-fill, [`min_degree_decomposition`] / [`min_fill_decomposition`]);
+//! * an **exact** branch-and-bound solver over elimination orderings with
+//!   memoization and simplicial-vertex reductions ([`exact_treewidth`]);
+//! * a degeneracy-based **lower bound** ([`degeneracy_lower_bound`]) —
+//!   `tw(G) ≥ degeneracy(G)` since every subgraph of `G` has a vertex of
+//!   degree at most `tw(G)`;
+//! * **grid containment** per Definition 5 ([`contains_grid`]), giving the
+//!   paper's Fact 2 lower bound `tw(A) ≥ n` when `A` contains an
+//!   `n × n`-grid;
+//! * **pathwidth** via vertex separation ([`exact_pathwidth`]) — a second
+//!   structural measure demonstrating Section 5's remark that the
+//!   grid-based counterexamples transfer beyond treewidth;
+//! * **structural measures** and the uniform/recurring boundedness notions
+//!   of Section 5 ([`measure`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decomposition;
+mod elimination;
+mod exact;
+mod graph;
+mod grid;
+mod hypertree;
+pub mod measure;
+mod pathwidth;
+
+pub use decomposition::{DecompositionError, TreeDecomposition};
+pub use elimination::{
+    decomposition_from_order, min_degree_decomposition, min_fill_decomposition,
+};
+pub use exact::{degeneracy_lower_bound, exact_treewidth, exact_treewidth_graph};
+pub use graph::Graph;
+pub use grid::{contains_grid, grid_atoms, GridLabeling};
+pub use hypertree::{greedy_cover_width, hypertree_width_upper};
+pub use pathwidth::{
+    exact_pathwidth, exact_pathwidth_graph, is_path_decomposition,
+    path_decomposition_from_order,
+};
+
+use chase_atoms::AtomSet;
+
+/// Certified two-sided treewidth estimate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TwBounds {
+    /// A proven lower bound on the treewidth.
+    pub lower: usize,
+    /// A proven upper bound on the treewidth (width of a valid
+    /// decomposition).
+    pub upper: usize,
+}
+
+impl TwBounds {
+    /// Are the bounds tight (exact value known)?
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// Computes certified treewidth bounds for an atomset.
+///
+/// The upper bound is the best of the min-degree and min-fill elimination
+/// heuristics (each validated against the atomset); the lower bound is the
+/// degeneracy of the primal graph. For exact values on small instances use
+/// [`treewidth`].
+pub fn treewidth_bounds(a: &AtomSet) -> TwBounds {
+    let g = Graph::primal(a);
+    let lower = degeneracy_lower_bound(&g);
+    let d1 = min_degree_decomposition(a);
+    let d2 = min_fill_decomposition(a);
+    debug_assert!(d1.validate(a).is_ok());
+    debug_assert!(d2.validate(a).is_ok());
+    let upper = d1.width().min(d2.width());
+    TwBounds { lower, upper }
+}
+
+/// Computes the exact treewidth of an atomset.
+///
+/// Uses the sandwich bounds first and falls back to branch-and-bound only
+/// when they disagree. Exponential in the worst case — intended for
+/// instances whose primal graph has at most a few dozen vertices (the
+/// figures of the paper are all in this regime).
+pub fn treewidth(a: &AtomSet) -> usize {
+    if a.is_empty() {
+        return 0;
+    }
+    let b = treewidth_bounds(a);
+    if b.is_exact() {
+        return b.lower;
+    }
+    exact_treewidth(a)
+}

@@ -1,0 +1,168 @@
+//! Structural measures and the boundedness notions of Section 5.
+//!
+//! A *structural measure* maps instances to `ℕ ∪ {∞}`. A sequence
+//! `(F_i)` is **uniformly μ-bounded** if some `k` bounds every `μ(F_i)`,
+//! and **recurringly μ-bounded** if some `k` is attained again and again
+//! (for every `j` there is `i ≥ j` with `μ(F_i) ≤ k`). On the finite
+//! prefixes this crate works with, the recurring bound of the infinite
+//! sequence is approximated by the minimum over a suffix — the
+//! documentation of each helper states its exact prefix semantics.
+
+use chase_atoms::AtomSet;
+
+use crate::treewidth_bounds;
+
+/// A structural measure on instances (`μ : instances → ℕ ∪ {∞}`;
+/// finite atomsets always measure finite here).
+pub trait StructuralMeasure {
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+    /// Measures one instance.
+    fn measure(&self, a: &AtomSet) -> usize;
+}
+
+/// The `size` measure of the paper: number of atoms.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SizeMeasure;
+
+impl StructuralMeasure for SizeMeasure {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+
+    fn measure(&self, a: &AtomSet) -> usize {
+        a.len()
+    }
+}
+
+/// Treewidth measure using the certified *upper* bound (safe for claims of
+/// the form "the sequence is treewidth-bounded by k": if the upper bound is
+/// ≤ k then the true treewidth is too).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct TreewidthUpperMeasure;
+
+impl StructuralMeasure for TreewidthUpperMeasure {
+    fn name(&self) -> &'static str {
+        "tw-upper"
+    }
+
+    fn measure(&self, a: &AtomSet) -> usize {
+        treewidth_bounds(a).upper
+    }
+}
+
+/// Treewidth measure using the certified *lower* bound (safe for claims of
+/// the form "the sequence treewidth exceeds k").
+#[derive(Copy, Clone, Debug, Default)]
+pub struct TreewidthLowerMeasure;
+
+impl StructuralMeasure for TreewidthLowerMeasure {
+    fn name(&self) -> &'static str {
+        "tw-lower"
+    }
+
+    fn measure(&self, a: &AtomSet) -> usize {
+        treewidth_bounds(a).lower
+    }
+}
+
+/// Is the (finite prefix of a) sequence uniformly bounded by `k`?
+/// Exact on prefixes: `∀i. values[i] ≤ k`.
+pub fn uniformly_bounded(values: &[usize], k: usize) -> bool {
+    values.iter().all(|&v| v <= k)
+}
+
+/// The uniform bound of a finite prefix: `max` (0 for an empty prefix).
+pub fn uniform_bound(values: &[usize]) -> usize {
+    values.iter().copied().max().unwrap_or(0)
+}
+
+/// Prefix proxy for *recurring* boundedness: is some value in the suffix
+/// starting at `from` at most `k`?
+///
+/// For an infinite sequence, recurring boundedness by `k` means every
+/// suffix attains a value ≤ k; on a prefix we can only check the suffixes
+/// that are visible, hence the explicit `from`.
+pub fn recurringly_bounded_from(values: &[usize], from: usize, k: usize) -> bool {
+    values[from.min(values.len())..].iter().any(|&v| v <= k)
+}
+
+/// The recurring bound visible in a prefix: the minimum over the suffix
+/// starting at `from` (`None` if the suffix is empty).
+///
+/// For a monotone chase this converges to the liminf, which is the true
+/// recurring bound of the infinite sequence.
+pub fn recurring_bound_from(values: &[usize], from: usize) -> Option<usize> {
+    values[from.min(values.len())..].iter().copied().min()
+}
+
+/// Measures every element of a sequence of instances.
+pub fn measure_sequence<M: StructuralMeasure>(m: &M, seq: &[AtomSet]) -> Vec<usize> {
+    seq.iter().map(|a| m.measure(a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn path(n: u32) -> AtomSet {
+        (0..n.saturating_sub(1))
+            .map(|i| Atom::new(PredId::from_raw(0), vec![v(i), v(i + 1)]))
+            .collect()
+    }
+
+    #[test]
+    fn size_measure_counts_atoms() {
+        assert_eq!(SizeMeasure.measure(&path(5)), 4);
+        assert_eq!(SizeMeasure.measure(&AtomSet::new()), 0);
+    }
+
+    #[test]
+    fn tw_measures_bracket_truth() {
+        let a = path(6);
+        let lo = TreewidthLowerMeasure.measure(&a);
+        let hi = TreewidthUpperMeasure.measure(&a);
+        assert!(lo <= 1 && 1 <= hi);
+        assert_eq!(hi, 1);
+    }
+
+    #[test]
+    fn uniform_boundedness() {
+        assert!(uniformly_bounded(&[1, 2, 2, 1], 2));
+        assert!(!uniformly_bounded(&[1, 3, 2], 2));
+        assert_eq!(uniform_bound(&[1, 3, 2]), 3);
+        assert_eq!(uniform_bound(&[]), 0);
+    }
+
+    #[test]
+    fn recurring_boundedness_prefix_semantics() {
+        // Values oscillate: big, small, big, small…
+        let vals = [10, 1, 20, 1, 30, 1];
+        assert!(recurringly_bounded_from(&vals, 0, 1));
+        assert!(recurringly_bounded_from(&vals, 4, 1));
+        assert!(!recurringly_bounded_from(&vals, 0, 0));
+        assert_eq!(recurring_bound_from(&vals, 3), Some(1));
+        assert_eq!(recurring_bound_from(&vals, 6), None);
+    }
+
+    #[test]
+    fn uniform_implies_recurring() {
+        let vals = [2, 2, 1, 2];
+        let k = 2;
+        assert!(uniformly_bounded(&vals, k));
+        for from in 0..vals.len() {
+            assert!(recurringly_bounded_from(&vals, from, k));
+        }
+    }
+
+    #[test]
+    fn measure_sequence_applies_pointwise() {
+        let seq = vec![path(2), path(3), path(4)];
+        assert_eq!(measure_sequence(&SizeMeasure, &seq), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Pathwidth: path decompositions and an exact branch-and-bound solver
+//! via vertex separation.
+//!
+//! Pathwidth is the restriction of treewidth to decompositions whose tree
+//! is a path; it equals the *vertex separation number*: the minimum over
+//! linear layouts `v₁ … v_n` of the maximum boundary size
+//! `|{u ∈ S_i : u has a neighbour outside S_i}|` over prefixes `S_i`.
+//! Section 5 of the paper notes its grid-based counterexamples transfer
+//! to any structural measure that is monotone and grid-divergent —
+//! pathwidth is one (grids have pathwidth ≥ n), and this module lets the
+//! experiments check that transfer.
+
+use std::collections::{BTreeSet, HashMap};
+
+use chase_atoms::{AtomSet, Term};
+
+use crate::decomposition::TreeDecomposition;
+use crate::graph::Graph;
+
+/// The boundary of a prefix set `s`: vertices in `s` with a neighbour
+/// outside `s`.
+fn boundary(g: &Graph, s: u128) -> usize {
+    let mut count = 0;
+    for v in 0..g.len() {
+        if s & (1u128 << v) != 0 {
+            let has_out = g.neighbors(v).iter().any(|&u| s & (1u128 << u) == 0);
+            if has_out {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+struct PwSolver<'g> {
+    g: &'g Graph,
+    n: usize,
+    best: usize,
+    memo: HashMap<u128, usize>,
+}
+
+impl PwSolver<'_> {
+    /// Returns the minimal achievable max-boundary when extending the
+    /// prefix `s` (whose running maximum is `cur_max`) to a full layout.
+    fn search(&mut self, s: u128, cur_max: usize, placed: usize) {
+        if cur_max >= self.best {
+            return;
+        }
+        if placed == self.n {
+            self.best = cur_max;
+            return;
+        }
+        if let Some(&seen) = self.memo.get(&s) {
+            if seen <= cur_max {
+                return;
+            }
+        }
+        self.memo.insert(s, cur_max);
+        // Greedy win: placing a vertex whose neighbours are all placed
+        // can never hurt (it strictly shrinks the boundary).
+        for v in 0..self.n {
+            if s & (1u128 << v) == 0
+                && self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .all(|&u| s & (1u128 << u) != 0)
+            {
+                let s2 = s | (1u128 << v);
+                let b = boundary(self.g, s2);
+                self.search(s2, cur_max.max(b), placed + 1);
+                return;
+            }
+        }
+        for v in 0..self.n {
+            if s & (1u128 << v) == 0 {
+                let s2 = s | (1u128 << v);
+                let b = boundary(self.g, s2);
+                self.search(s2, cur_max.max(b), placed + 1);
+            }
+        }
+    }
+}
+
+/// Exact pathwidth of a graph (vertex separation number). Exponential;
+/// intended for graphs of at most a few dozen vertices. Panics above 128
+/// vertices.
+pub fn exact_pathwidth_graph(g: &Graph) -> usize {
+    let n = g.len();
+    if n == 0 {
+        return 0;
+    }
+    assert!(n <= 128, "exact pathwidth supports at most 128 vertices");
+    let mut solver = PwSolver {
+        g,
+        n,
+        best: n, // trivial upper bound: boundary can never exceed n - 1... use n
+        memo: HashMap::new(),
+    };
+    solver.search(0, 0, 0);
+    solver.best
+}
+
+/// Exact pathwidth of an atomset (of its primal graph).
+pub fn exact_pathwidth(a: &AtomSet) -> usize {
+    exact_pathwidth_graph(&Graph::primal(a))
+}
+
+/// Builds the path decomposition induced by a linear layout: bag `i` is
+/// `{v_i} ∪ boundary(S_{i-1})`.
+pub fn path_decomposition_from_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
+    let n = g.len();
+    assert_eq!(order.len(), n);
+    if n == 0 {
+        return TreeDecomposition {
+            bags: vec![],
+            edges: vec![],
+        };
+    }
+    let mut bags: Vec<BTreeSet<Term>> = Vec::with_capacity(n);
+    let mut placed = 0u128;
+    for &v in order {
+        let mut bag: BTreeSet<Term> = BTreeSet::new();
+        for u in 0..n {
+            if placed & (1u128 << u) != 0 {
+                let has_out = g
+                    .neighbors(u)
+                    .iter()
+                    .any(|&w| placed & (1u128 << w) == 0);
+                if has_out {
+                    bag.insert(g.term(u));
+                }
+            }
+        }
+        bag.insert(g.term(v));
+        bags.push(bag);
+        placed |= 1u128 << v;
+    }
+    let edges = (0..n - 1).map(|i| (i, i + 1)).collect();
+    TreeDecomposition { bags, edges }
+}
+
+/// Is the decomposition path-shaped (every bag has ≤ 2 tree neighbours,
+/// no branching)?
+pub fn is_path_decomposition(td: &TreeDecomposition) -> bool {
+    let mut degree = vec![0usize; td.bags.len()];
+    for &(a, b) in &td.edges {
+        if a >= degree.len() || b >= degree.len() {
+            return false;
+        }
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    degree.iter().all(|&d| d <= 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn edges(pairs: &[(u32, u32)]) -> AtomSet {
+        pairs
+            .iter()
+            .map(|&(a, b)| Atom::new(PredId::from_raw(0), vec![v(a), v(b)]))
+            .collect()
+    }
+
+    #[test]
+    fn path_has_pathwidth_one() {
+        assert_eq!(exact_pathwidth(&edges(&[(0, 1), (1, 2), (2, 3)])), 1);
+    }
+
+    #[test]
+    fn cycle_has_pathwidth_two() {
+        assert_eq!(
+            exact_pathwidth(&edges(&[(0, 1), (1, 2), (2, 3), (3, 0)])),
+            2
+        );
+    }
+
+    #[test]
+    fn complete_binary_tree_pathwidth_exceeds_treewidth() {
+        // Depth-3 complete binary tree: treewidth 1, pathwidth 2.
+        let a = edges(&[
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (1, 4),
+            (2, 5),
+            (2, 6),
+            (3, 7),
+            (3, 8),
+            (4, 9),
+            (4, 10),
+            (5, 11),
+            (5, 12),
+            (6, 13),
+            (6, 14),
+        ]);
+        assert_eq!(crate::exact_treewidth(&a), 1);
+        assert_eq!(exact_pathwidth(&a), 2);
+    }
+
+    #[test]
+    fn grid_pathwidth_equals_side() {
+        let n = 3u32;
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let id = i * n + j;
+                if i + 1 < n {
+                    pairs.push((id, id + n));
+                }
+                if j + 1 < n {
+                    pairs.push((id, id + 1));
+                }
+            }
+        }
+        assert_eq!(exact_pathwidth(&edges(&pairs)), 3);
+    }
+
+    #[test]
+    fn pathwidth_at_least_treewidth() {
+        for a in [
+            edges(&[(0, 1), (1, 2)]),
+            edges(&[(0, 1), (1, 2), (2, 0)]),
+            edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+        ] {
+            assert!(exact_pathwidth(&a) >= crate::exact_treewidth(&a));
+        }
+    }
+
+    #[test]
+    fn layout_decomposition_validates_and_is_path() {
+        let a = edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = Graph::primal(&a);
+        let order: Vec<usize> = (0..g.len()).collect();
+        let td = path_decomposition_from_order(&g, &order);
+        assert!(td.validate(&a).is_ok(), "{:?}", td.validate(&a));
+        assert!(is_path_decomposition(&td));
+        assert!(td.width() >= exact_pathwidth(&a));
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(exact_pathwidth(&AtomSet::new()), 0);
+    }
+}

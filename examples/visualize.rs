@@ -1,0 +1,72 @@
+//! Export the paper's structures as Graphviz DOT files: the staircase
+//! universal model prefix, the core-chase derivation, and the robust
+//! aggregation — render them with `dot -Tsvg`.
+//!
+//! ```sh
+//! cargo run --example visualize
+//! dot -Tsvg target/viz/staircase_prefix.dot -o staircase.svg
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use treechase::engine::dot::{derivation_dot, instance_dot};
+use treechase::engine::robust::RobustSequence;
+use treechase::kbs::{Elevator, Staircase};
+
+fn main() {
+    let out_dir = Path::new("target/viz");
+    fs::create_dir_all(out_dir).expect("create target/viz");
+
+    let mut s = Staircase::new();
+
+    // Figure 2 right: the universal model I^h (prefix).
+    let prefix = s.universal_prefix(4);
+    fs::write(
+        out_dir.join("staircase_prefix.dot"),
+        instance_dot(&s.vocab, &prefix, "I^h prefix (Figure 2)"),
+    )
+    .unwrap();
+
+    // The canonical core chase D_c: one cluster per element.
+    let d = s.scripted_core_chase(2);
+    fs::write(
+        out_dir.join("staircase_core_chase.dot"),
+        derivation_dot(&s.vocab, &d, "staircase core chase"),
+    )
+    .unwrap();
+
+    // The robust aggregation Ĩ^h.
+    let rs = RobustSequence::build(&d);
+    let dsq = rs.aggregation_prefix(2 + 3);
+    fs::write(
+        out_dir.join("staircase_robust_aggregation.dot"),
+        instance_dot(&s.vocab, &dsq, "robust aggregation D^⊛ ≅ Ĩ^h"),
+    )
+    .unwrap();
+
+    // Figure 4: the elevator's universal model and spine.
+    let mut e = Elevator::new();
+    let prefix_v = e.universal_prefix(3);
+    let spine_v = e.spine_prefix(4);
+    let cabin_v = e.cabin(3);
+    fs::write(
+        out_dir.join("elevator_prefix.dot"),
+        instance_dot(&e.vocab, &prefix_v, "I^v prefix (Figure 4)"),
+    )
+    .unwrap();
+    fs::write(
+        out_dir.join("elevator_spine.dot"),
+        instance_dot(&e.vocab, &spine_v, "I^v* spine (Figure 4)"),
+    )
+    .unwrap();
+    fs::write(
+        out_dir.join("elevator_cabin.dot"),
+        instance_dot(&e.vocab, &cabin_v, "cabin I^v_3 (Figure 4)"),
+    )
+    .unwrap();
+
+    for entry in fs::read_dir(out_dir).unwrap() {
+        println!("wrote {}", entry.unwrap().path().display());
+    }
+}

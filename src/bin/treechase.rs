@@ -1,0 +1,194 @@
+//! `treechase` — command-line front end for the chase engine.
+//!
+//! ```text
+//! treechase run <file> [--variant V] [--max-apps N] [--dot OUT.dot]
+//! treechase analyze <file> [--budget N]
+//! treechase decide <file> "<query>" [--max-apps N]
+//! ```
+//!
+//! The input file uses the `chase-parser` syntax (facts, rules, optional
+//! `?-` queries). `run` chases the KB and evaluates every query of the
+//! file against the result; `analyze` prints static certificates plus the
+//! Figure 1 dynamic probes; `decide` races the Theorem 1 twin procedure
+//! on an ad-hoc query.
+
+use std::process::ExitCode;
+
+use treechase::analysis::{analyze, critical_instance_test, CriticalOutcome};
+use treechase::core::classes::probe_classes;
+use treechase::engine::dot::instance_dot;
+use treechase::prelude::*;
+
+struct Args {
+    positional: Vec<String>,
+    variant: ChaseVariant,
+    max_apps: usize,
+    budget: usize,
+    dot: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  treechase run <file> [--variant oblivious|semi|restricted|frugal|core] \
+         [--max-apps N] [--dot OUT.dot]\n  treechase analyze <file> [--budget N]\n  \
+         treechase decide <file> \"<query>\" [--max-apps N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        variant: ChaseVariant::Core,
+        max_apps: 1_000,
+        budget: 80,
+        dot: None,
+    };
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--variant" => {
+                let v = raw.next().ok_or("--variant needs a value")?;
+                args.variant = match v.as_str() {
+                    "oblivious" => ChaseVariant::Oblivious,
+                    "semi" | "semi-oblivious" | "skolem" => ChaseVariant::SemiOblivious,
+                    "restricted" | "standard" => ChaseVariant::Restricted,
+                    "frugal" => ChaseVariant::Frugal,
+                    "core" => ChaseVariant::Core,
+                    other => return Err(format!("unknown variant `{other}`")),
+                };
+            }
+            "--max-apps" => {
+                args.max_apps = raw
+                    .next()
+                    .ok_or("--max-apps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-apps: {e}"))?;
+            }
+            "--budget" => {
+                args.budget = raw
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--dot" => args.dot = Some(raw.next().ok_or("--dot needs a path")?),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<(KnowledgeBase, Vec<(String, AtomSet)>), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = parse_program(&src).map_err(|e| format!("{path}:{e}"))?;
+    Ok(KnowledgeBase::from_program(prog))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let [_, path] = &args.positional[..] else {
+        return Err("run takes exactly one file".into());
+    };
+    let (kb, queries) = load(path)?;
+    let cfg = ChaseConfig::variant(args.variant).with_max_applications(args.max_apps);
+    let res = kb.chase(&cfg);
+    println!(
+        "{:?} chase: {:?} after {} applications ({} rounds, {} retractions)",
+        args.variant, res.outcome, res.stats.applications, res.stats.rounds,
+        res.stats.retractions
+    );
+    println!(
+        "final instance: {} atoms = {}",
+        res.final_instance.len(),
+        res.final_instance.with(&kb.vocab)
+    );
+    for (name, q) in &queries {
+        let hit = maps_to(q, &res.final_instance);
+        let verdict = match (hit, res.outcome.terminated()) {
+            (true, _) => "entailed (certified)",
+            (false, true) => "not entailed (certified)",
+            (false, false) => "not found (inconclusive: budget)",
+        };
+        println!("query {name}: {verdict}");
+    }
+    if let Some(out) = &args.dot {
+        std::fs::write(out, instance_dot(&kb.vocab, &res.final_instance, path))
+            .map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let [_, path] = &args.positional[..] else {
+        return Err("analyze takes exactly one file".into());
+    };
+    let (kb, _) = load(path)?;
+    println!("--- static certificates ---");
+    println!("{}", analyze(&kb.rules));
+    match critical_instance_test(&kb.rules, args.budget * 4) {
+        CriticalOutcome::TerminatesEverywhere { applications } => println!(
+            "critical-instance test: terminates everywhere ({applications} applications) ⇒ fes"
+        ),
+        CriticalOutcome::BudgetExhausted => {
+            println!("critical-instance test: inconclusive at this budget")
+        }
+    }
+    println!("--- dynamic probes (this fact base, budget {}) ---", args.budget);
+    let probe = probe_classes(&kb, args.budget);
+    println!("core chase terminated: {}", probe.core_chase_terminated);
+    println!(
+        "restricted chase: terminated={} tw-profile max {}",
+        probe.restricted_chase_terminated,
+        probe.restricted_uniform_bound()
+    );
+    println!(
+        "core chase tw: max {} recurring {:?}",
+        probe.core_uniform_bound(),
+        probe.core_recurring_bound()
+    );
+    Ok(())
+}
+
+fn cmd_decide(args: &Args) -> Result<(), String> {
+    let [_, path, query_src] = &args.positional[..] else {
+        return Err("decide takes a file and a query".into());
+    };
+    let (mut kb, _) = load(path)?;
+    let query = kb
+        .parse_query(query_src)
+        .map_err(|e| format!("query: {e}"))?;
+    let cfg = DecideConfig {
+        max_applications: args.max_apps,
+        max_atoms: 100_000,
+        core_max_applications: (args.max_apps / 5).max(20),
+    };
+    let out = decide(&kb, &query, &cfg);
+    println!("{out:?}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let Some(cmd) = args.positional.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "analyze" => cmd_analyze(&args),
+        "decide" => cmd_decide(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

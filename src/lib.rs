@@ -1,0 +1,25 @@
+//! `treechase` — umbrella crate re-exporting the whole workspace.
+//!
+//! This is the root of the reproduction of *Bounded Treewidth and the
+//! Infinite Core Chase* (Baget, Mugnier, Rudolph — PODS 2023). See the
+//! individual crates for the substrates:
+//!
+//! * [`chase_atoms`] — terms, atoms, atomsets, substitutions
+//! * [`chase_homomorphism`] — homomorphism search, retractions, cores
+//! * [`chase_treewidth`] — tree decompositions and treewidth solvers
+//! * [`chase_engine`] — derivations, chase variants, robust aggregation
+//! * [`chase_parser`] — text syntax for rules, facts and queries
+//! * [`chase_kbs`] — the paper's knowledge bases and workload generators
+//! * [`chase_analysis`] — static ruleset analyses (acyclicity, guards)
+//! * [`chase_core`] — the public facade: KBs, entailment, class analysis
+
+pub use chase_analysis as analysis;
+pub use chase_atoms as atoms;
+pub use chase_core as core;
+pub use chase_engine as engine;
+pub use chase_homomorphism as homomorphism;
+pub use chase_kbs as kbs;
+pub use chase_parser as parser;
+pub use chase_treewidth as treewidth;
+
+pub use chase_core::prelude;

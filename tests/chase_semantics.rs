@@ -1,0 +1,131 @@
+//! Cross-variant chase semantics: confluence on datalog, variant
+//! ordering on null production, fairness, and budget behavior.
+
+use treechase::prelude::*;
+
+fn kb(src: &str) -> KnowledgeBase {
+    KnowledgeBase::from_text(src).unwrap()
+}
+
+#[test]
+fn oblivious_produces_at_least_semi_oblivious_at_least_restricted() {
+    // r(X,Y) → ∃Z. s(Y,Z) on a fan-in instance: oblivious makes one null
+    // per trigger, semi-oblivious one per frontier class, restricted one
+    // per unsatisfied class.
+    let k = kb("r(a, c). r(b, c). r(d, e). R: r(X, Y) -> s(Y, Z).");
+    let count = |variant| {
+        let res = k.chase(&ChaseConfig::variant(variant));
+        assert!(res.outcome.terminated());
+        res.stats.applications
+    };
+    let obl = count(ChaseVariant::Oblivious);
+    let semi = count(ChaseVariant::SemiOblivious);
+    let rest = count(ChaseVariant::Restricted);
+    assert_eq!(obl, 3, "one application per trigger");
+    assert_eq!(semi, 2, "one application per frontier class");
+    assert_eq!(rest, 2, "no satisfaction shortcuts here");
+    assert!(obl >= semi && semi >= rest);
+}
+
+#[test]
+fn restricted_skips_satisfied_triggers_where_semi_oblivious_fires() {
+    // Head already satisfied for one trigger.
+    let k = kb("r(a, b). s(b, w). R: r(X, Y) -> s(Y, Z).");
+    let semi = k.chase(&ChaseConfig::variant(ChaseVariant::SemiOblivious));
+    let rest = k.chase(&ChaseConfig::variant(ChaseVariant::Restricted));
+    assert_eq!(semi.stats.applications, 1);
+    assert_eq!(rest.stats.applications, 0);
+}
+
+#[test]
+fn all_variants_entail_same_cqs_on_terminating_kb() {
+    let mut k = kb("r(a, b). r(b, a). R: r(X, Y) -> s(Y, Z). T: s(X, Y) -> t(X).");
+    let queries = ["t(a)", "t(b)", "s(a, W)", "t(W), s(W, V)"];
+    for q in queries {
+        let query = k.parse_query(q).unwrap();
+        let mut answers = Vec::new();
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+            ChaseVariant::Core,
+        ] {
+            let res = k.chase(&ChaseConfig::variant(variant));
+            assert!(res.outcome.terminated());
+            answers.push(maps_to(&query, &res.final_instance));
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "variants disagree on {q}: {answers:?}"
+        );
+    }
+}
+
+#[test]
+fn core_chase_final_is_always_core() {
+    for src in [
+        "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
+        "p(a). R: p(X) -> e(X, Y), e(Y, X).",
+        "r(a, a). r(a, b). R: r(X, Y) -> r(Y, Z).",
+    ] {
+        let k = kb(src);
+        let res = k.chase(&ChaseConfig::variant(ChaseVariant::Core).with_max_applications(100));
+        if res.outcome.terminated() {
+            assert!(is_core(&res.final_instance), "{src}");
+        }
+    }
+}
+
+#[test]
+fn fairness_no_rule_starves() {
+    // Two independent growing chains; fairness means both grow.
+    let k = kb("p(a). q(b). P: p(X) -> e(X, Y), p(Y). Q: q(X) -> f(X, Y), q(Y).");
+    let res = k.chase(&ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(20));
+    let e_pred = k.vocab.lookup_pred("e").unwrap();
+    let f_pred = k.vocab.lookup_pred("f").unwrap();
+    let e_count = res.final_instance.pred_count(e_pred);
+    let f_count = res.final_instance.pred_count(f_pred);
+    assert!(e_count >= 5 && f_count >= 5, "e={e_count} f={f_count}");
+}
+
+#[test]
+fn atom_budget_stops_the_chase() {
+    let k = kb("p(a). P: p(X) -> e(X, Y), p(Y).");
+    let res = k.chase(
+        &ChaseConfig::variant(ChaseVariant::Restricted)
+            .with_max_atoms(10)
+            .with_max_applications(10_000),
+    );
+    assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExhausted);
+    assert!(res.final_instance.len() <= 12);
+}
+
+#[test]
+fn datalog_first_scheduler_prioritizes_datalog() {
+    // One datalog rule and one existential rule both applicable; under
+    // DatalogFirst the first application must be the datalog one.
+    let k = kb("r(a, b). D: r(X, Y) -> r2(Y, X). E: r(X, Y) -> s(Y, Z).");
+    let res = {
+        let mut vocab = k.vocab.clone();
+        treechase::engine::run_chase(
+            &mut vocab,
+            &k.facts,
+            &k.rules,
+            &ChaseConfig::variant(ChaseVariant::Restricted)
+                .with_scheduler(SchedulerKind::DatalogFirst),
+        )
+    };
+    let d = res.derivation.unwrap();
+    let first = d.steps()[1].trigger.as_ref().unwrap();
+    assert_eq!(d.rules().get(first.rule).name(), "D");
+}
+
+#[test]
+fn recorded_derivations_validate_for_restricted_and_core() {
+    for variant in [ChaseVariant::Restricted, ChaseVariant::Core] {
+        let k = kb("r(a, b). R: r(X, Y) -> r(Y, Z).");
+        let res = k.chase(&ChaseConfig::variant(variant).with_max_applications(8));
+        let d = res.derivation.unwrap();
+        assert_eq!(d.validate(), Ok(()), "{variant:?}");
+    }
+}

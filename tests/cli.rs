@@ -1,0 +1,127 @@
+//! End-to-end tests of the `treechase` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_treechase"))
+}
+
+fn write_kb(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("treechase-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, src).unwrap();
+    path
+}
+
+#[test]
+fn run_reports_certified_queries() {
+    let kb = write_kb(
+        "closure.tc",
+        "r(a, b). r(b, c).\nT: r(X, Y), r(Y, Z) -> r(X, Z).\nQyes: ?- r(a, c).\nQno: ?- r(c, a).\n",
+    );
+    let out = bin()
+        .args(["run", kb.to_str().unwrap(), "--variant", "core"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Terminated"), "{stdout}");
+    assert!(stdout.contains("query Qyes: entailed (certified)"), "{stdout}");
+    assert!(stdout.contains("query Qno: not entailed (certified)"), "{stdout}");
+}
+
+#[test]
+fn run_with_budget_is_inconclusive_on_divergent_kb() {
+    let kb = write_kb(
+        "chain.tc",
+        "r(a, b).\nR: r(X, Y) -> r(Y, Z).\nQ: ?- r(X, X).\n",
+    );
+    let out = bin()
+        .args([
+            "run",
+            kb.to_str().unwrap(),
+            "--variant",
+            "restricted",
+            "--max-apps",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ApplicationBudgetExhausted"), "{stdout}");
+    assert!(stdout.contains("inconclusive"), "{stdout}");
+}
+
+#[test]
+fn analyze_prints_certificates() {
+    let kb = write_kb(
+        "wa.tc",
+        "r(a, b).\nR: r(X, Y) -> s(Y, Z).\nS: s(X, Y) -> t(X).\n",
+    );
+    let out = bin()
+        .args(["analyze", kb.to_str().unwrap(), "--budget", "40"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("weakly acyclic:   true"), "{stdout}");
+    assert!(stdout.contains("terminates everywhere"), "{stdout}");
+    assert!(stdout.contains("core chase terminated: true"), "{stdout}");
+}
+
+#[test]
+fn decide_races_twin_procedure() {
+    let kb = write_kb("family.tc", "p(a).\nP: p(X) -> e(X, Y), p(Y).\n");
+    let out = bin()
+        .args([
+            "decide",
+            kb.to_str().unwrap(),
+            "e(A, B), e(B, C)",
+            "--max-apps",
+            "50",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Entailed"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = bin().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn parse_errors_are_reported_with_location() {
+    let kb = write_kb("broken.tc", "r(a, b\n");
+    let out = bin()
+        .args(["run", kb.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "{err}");
+}
+
+#[test]
+fn dot_export_writes_file() {
+    let kb = write_kb("dot.tc", "r(a, b).\n");
+    let dot_path = std::env::temp_dir().join("treechase-cli-tests/out.dot");
+    let out = bin()
+        .args([
+            "run",
+            kb.to_str().unwrap(),
+            "--dot",
+            dot_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph"));
+}

@@ -1,0 +1,80 @@
+//! End-to-end pipeline tests: text → parse → chase → entail/decide.
+
+use treechase::prelude::*;
+
+#[test]
+fn parse_chase_entail_roundtrip() {
+    let src = "
+        % A tiny org chart.
+        works_for(ann, bea). works_for(bea, cal).
+        Boss: works_for(X, Y) -> boss(Y, X).
+        Up:   boss(X, Y), boss(Y, Z) -> boss(X, Z).
+    ";
+    let mut kb = KnowledgeBase::from_text(src).unwrap();
+    let res = kb.chase(&ChaseConfig::variant(ChaseVariant::Core));
+    assert!(res.outcome.terminated());
+
+    let q1 = kb.parse_query("boss(cal, ann)").unwrap();
+    assert!(entail(&kb, &q1, &ChaseConfig::default()).is_entailed());
+
+    let q2 = kb.parse_query("boss(ann, cal)").unwrap();
+    assert!(entail(&kb, &q2, &ChaseConfig::default()).is_not_entailed());
+}
+
+#[test]
+fn program_queries_evaluate_against_chase() {
+    let prog = parse_program(
+        "
+        r(a, b). r(b, c).
+        T: r(X, Y), r(Y, Z) -> r(X, Z).
+        Qpos: ?- r(a, c).
+        Qneg: ?- r(c, a).
+        ",
+    )
+    .unwrap();
+    let (kb, queries) = KnowledgeBase::from_program(prog);
+    let res = kb.chase(&ChaseConfig::variant(ChaseVariant::Restricted));
+    assert!(res.outcome.terminated());
+    let by_name: std::collections::HashMap<_, _> = queries.into_iter().collect();
+    assert!(maps_to(&by_name["Qpos"], &res.final_instance));
+    assert!(!maps_to(&by_name["Qneg"], &res.final_instance));
+}
+
+#[test]
+fn nonterminating_kb_still_answers_positives() {
+    let mut kb = KnowledgeBase::from_text(
+        "p(a). G: p(X) -> e(X, Y), p(Y).",
+    )
+    .unwrap();
+    let q = kb.parse_query("e(A, B), e(B, C), e(C, D)").unwrap();
+    let cfg = ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(30);
+    assert!(entail(&kb, &q, &cfg).is_entailed());
+}
+
+#[test]
+fn decide_races_on_paper_kbs() {
+    let mut kb = KnowledgeBase::staircase();
+    let q = kb.parse_query("f(X), h(X, X)").unwrap();
+    let out = decide(&kb, &q, &DecideConfig::default());
+    assert!(matches!(out, DecideOutcome::Entailed { .. }), "{out:?}");
+}
+
+#[test]
+fn chase_results_are_reproducible_across_runs() {
+    let kb = KnowledgeBase::from_text(
+        "r(a, b). R: r(X, Y) -> r(Y, Z).",
+    )
+    .unwrap();
+    let cfg = ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(7);
+    let r1 = kb.chase(&cfg);
+    let r2 = kb.chase(&cfg);
+    assert_eq!(r1.final_instance, r2.final_instance);
+    assert_eq!(r1.stats, r2.stats);
+}
+
+#[test]
+fn display_renders_parsed_symbols() {
+    let kb = KnowledgeBase::from_text("likes(ann, bea).").unwrap();
+    let rendered = format!("{}", kb.facts.with(&kb.vocab));
+    assert_eq!(rendered, "{likes(ann, bea)}");
+}

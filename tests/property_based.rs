@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: substitution algebra, homomorphism/core laws, treewidth
+//! monotonicity, decomposition validity, and chase universality.
+
+use proptest::prelude::*;
+use treechase::atoms::{Atom, AtomSet, PredId, Substitution, Term, VarId};
+use treechase::homomorphism::{core_of, hom_equivalent, is_core, isomorphism, maps_to};
+use treechase::treewidth::{
+    min_degree_decomposition, min_fill_decomposition, treewidth_bounds,
+};
+
+fn term_strategy(vars: u32) -> impl Strategy<Value = Term> {
+    (0..vars).prop_map(|i| Term::Var(VarId::from_raw(i)))
+}
+
+fn atom_strategy(preds: u32, vars: u32) -> impl Strategy<Value = Atom> {
+    (
+        0..preds,
+        term_strategy(vars),
+        term_strategy(vars),
+    )
+        .prop_map(|(p, a, b)| Atom::new(PredId::from_raw(p), vec![a, b]))
+}
+
+fn atomset_strategy(max_atoms: usize) -> impl Strategy<Value = AtomSet> {
+    prop::collection::vec(atom_strategy(2, 8), 1..max_atoms)
+        .prop_map(|atoms| atoms.into_iter().collect())
+}
+
+fn substitution_strategy(vars: u32) -> impl Strategy<Value = Substitution> {
+    prop::collection::btree_map(
+        (0..vars).prop_map(VarId::from_raw),
+        term_strategy(vars),
+        0..6,
+    )
+    .prop_map(Substitution::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Substitution composition is function composition.
+    #[test]
+    fn substitution_then_is_composition(
+        s in substitution_strategy(8),
+        t in substitution_strategy(8),
+        v in 0u32..8,
+    ) {
+        let c = s.then(&t);
+        let term = Term::Var(VarId::from_raw(v));
+        prop_assert_eq!(c.apply_term(term), t.apply_term(s.apply_term(term)));
+    }
+
+    /// Composition is associative (as functions).
+    #[test]
+    fn substitution_composition_associative(
+        s in substitution_strategy(8),
+        t in substitution_strategy(8),
+        u in substitution_strategy(8),
+        v in 0u32..8,
+    ) {
+        let left = s.then(&t).then(&u);
+        let right = s.then(&t.then(&u));
+        let term = Term::Var(VarId::from_raw(v));
+        prop_assert_eq!(left.apply_term(term), right.apply_term(term));
+    }
+
+    /// Applying a substitution never grows an atomset.
+    #[test]
+    fn apply_never_grows(a in atomset_strategy(12), s in substitution_strategy(8)) {
+        prop_assert!(s.apply_set(&a).len() <= a.len());
+    }
+
+    /// The core is hom-equivalent to the input, is itself a core, and the
+    /// witnessing retraction really is one.
+    #[test]
+    fn core_laws(a in atomset_strategy(10)) {
+        let res = core_of(&a);
+        prop_assert!(hom_equivalent(&a, &res.core));
+        prop_assert!(is_core(&res.core));
+        prop_assert!(res.retraction.is_retraction_of(&a));
+        prop_assert_eq!(res.retraction.apply_set(&a), res.core.clone());
+        // Idempotence up to isomorphism.
+        let twice = core_of(&res.core);
+        prop_assert!(isomorphism(&res.core, &twice.core).is_some());
+    }
+
+    /// Homomorphic images preserve CQ satisfaction: if q maps to a and a
+    /// maps to b then q maps to b (composition closure).
+    #[test]
+    fn hom_composition_closure(
+        q in atomset_strategy(4),
+        a in atomset_strategy(8),
+        b in atomset_strategy(8),
+    ) {
+        if maps_to(&q, &a) && maps_to(&a, &b) {
+            prop_assert!(maps_to(&q, &b));
+        }
+    }
+
+    /// Subsets have smaller-or-equal treewidth (Fact 1), certified via
+    /// upper/lower bound sandwiches.
+    #[test]
+    fn treewidth_monotone_under_subset(a in atomset_strategy(12), keep in 0usize..12) {
+        let atoms: Vec<Atom> = a.iter().cloned().collect();
+        let sub: AtomSet = atoms.into_iter().take(keep.max(1)).collect();
+        let b_sub = treewidth_bounds(&sub);
+        let b_all = treewidth_bounds(&a);
+        // Certified direction only: lower(sub) cannot exceed upper(all).
+        prop_assert!(b_sub.lower <= b_all.upper);
+    }
+
+    /// Both elimination heuristics always produce decompositions that
+    /// validate against the instance.
+    #[test]
+    fn heuristic_decompositions_validate(a in atomset_strategy(14)) {
+        let d1 = min_degree_decomposition(&a);
+        let d2 = min_fill_decomposition(&a);
+        prop_assert!(d1.validate(&a).is_ok());
+        prop_assert!(d2.validate(&a).is_ok());
+        prop_assert!(treewidth_bounds(&a).lower <= d1.width());
+        prop_assert!(treewidth_bounds(&a).lower <= d2.width());
+    }
+
+    /// Isomorphic rename invariance: renaming all variables injectively
+    /// yields an isomorphic atomset with identical treewidth bounds.
+    #[test]
+    fn rename_invariance(a in atomset_strategy(10), offset in 100u32..200) {
+        let rename = Substitution::from_pairs(
+            a.vars().into_iter().map(|v| {
+                (v, Term::Var(VarId::from_raw(v.raw() + offset)))
+            }),
+        );
+        let b = rename.apply_set(&a);
+        prop_assert!(isomorphism(&a, &b).is_some());
+        prop_assert_eq!(treewidth_bounds(&a), treewidth_bounds(&b));
+        prop_assert_eq!(is_core(&a), is_core(&b));
+    }
+}
+
+mod chase_properties {
+    use super::*;
+    use treechase::engine::{
+        run_chase, ChaseConfig, ChaseVariant, Rule, RuleSet, SchedulerKind,
+    };
+    use treechase::prelude::Vocabulary;
+
+    fn rule_strategy() -> impl Strategy<Value = Rule> {
+        // Single-body-atom rules r_p(X,Y) → h_p(Y, Z or X).
+        (0u32..2, 0u32..2, proptest::bool::ANY).prop_map(|(bp, hp, existential)| {
+            let x = Term::Var(VarId::from_raw(1000));
+            let y = Term::Var(VarId::from_raw(1001));
+            let z = Term::Var(VarId::from_raw(1002));
+            let body: AtomSet = [Atom::new(PredId::from_raw(bp), vec![x, y])]
+                .into_iter()
+                .collect();
+            let head: AtomSet = if existential {
+                [Atom::new(PredId::from_raw(hp), vec![y, z])]
+                    .into_iter()
+                    .collect()
+            } else {
+                [Atom::new(PredId::from_raw(hp), vec![y, x])]
+                    .into_iter()
+                    .collect()
+            };
+            Rule::new("r", body, head).expect("nonempty")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Prop 1 shape: every recorded chase element of a fair chase maps
+        /// into the final element *when the chase terminates* (the final
+        /// element is then a universal model).
+        #[test]
+        fn terminated_chase_elements_map_into_final(
+            facts in atomset_strategy(6),
+            rules in prop::collection::vec(rule_strategy(), 1..3),
+            seed in 0u64..8,
+        ) {
+            let ruleset: RuleSet = rules.into_iter().collect();
+            let mut vocab = Vocabulary::new();
+            let cfg = ChaseConfig::variant(ChaseVariant::Core)
+                .with_scheduler(SchedulerKind::Random(seed))
+                .with_max_applications(40)
+                .with_max_atoms(500);
+            let res = run_chase(&mut vocab, &facts, &ruleset, &cfg);
+            if res.outcome.terminated() {
+                let d = res.derivation.unwrap();
+                prop_assert!(d.all_instances_map_into(&res.final_instance));
+                prop_assert!(is_core(&res.final_instance));
+            }
+        }
+
+        /// Restricted and core chase entail the same CQs on whatever
+        /// horizon both reach (they share the universal aggregation).
+        #[test]
+        fn variants_agree_on_query_membership(
+            facts in atomset_strategy(5),
+            rules in prop::collection::vec(rule_strategy(), 1..3),
+            q in atomset_strategy(3),
+        ) {
+            let ruleset: RuleSet = rules.into_iter().collect();
+            let run = |variant| {
+                let mut vocab = Vocabulary::new();
+                run_chase(
+                    &mut vocab,
+                    &facts,
+                    &ruleset,
+                    &ChaseConfig::variant(variant).with_max_applications(60),
+                )
+            };
+            let r = run(ChaseVariant::Restricted);
+            let c = run(ChaseVariant::Core);
+            if r.outcome.terminated() && c.outcome.terminated() {
+                prop_assert_eq!(
+                    maps_to(&q, &r.final_instance),
+                    maps_to(&q, &c.final_instance)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Pins the paper's Section 8 worked example exactly: along the
+//! staircase core chase, the robust renaming keeps one stable name per
+//! height, and the names are the *first* name each height ever carried —
+//! the paper's `X⁰₀, X⁰₁, X¹₂, …, X^j_{j+1}, …` sequence.
+
+use treechase::engine::robust::RobustSequence;
+use treechase::kbs::Staircase;
+use treechase::prelude::*;
+
+/// The stable name of height `j` is `X^{j-1}_j` for `j ≥ 1` (first minted
+/// as the top of column `j-1`) and `X⁰₀` for `j = 0` — matching the
+/// paper's naming of `D^⊛` verbatim.
+#[test]
+fn robust_aggregation_uses_papers_stable_names() {
+    let steps = 4u32;
+    let mut s = Staircase::new();
+    let d = s.scripted_core_chase(steps);
+    let rs = RobustSequence::build(&d);
+    let dsq = rs.aggregation_prefix(2 * (steps as usize - 1) + 3);
+
+    // Expected stable terms, bottom to top: X0_0, X0_1, X1_2, X2_3.
+    let expected: Vec<Term> = (0..steps)
+        .map(|j| {
+            if j == 0 {
+                s.x(0, 0)
+            } else {
+                s.x(j - 1, j)
+            }
+        })
+        .collect();
+    for (j, &t) in expected.iter().enumerate() {
+        assert!(
+            dsq.mentions(t),
+            "stable name for height {j} missing from D^⊛: {}",
+            dsq.with(&s.vocab)
+        );
+    }
+
+    // And the v-path connects them in order.
+    let v = s.vocab.lookup_pred("v").unwrap();
+    for w in expected.windows(2) {
+        let atom = Atom::new(v, vec![w[0], w[1]]);
+        assert!(
+            dsq.contains(&atom),
+            "v-edge {} missing",
+            atom.with(&s.vocab)
+        );
+    }
+
+    // The floor mark sits at the bottom stable name; ceilings above.
+    let f = s.vocab.lookup_pred("f").unwrap();
+    let c = s.vocab.lookup_pred("c").unwrap();
+    assert!(dsq.contains(&Atom::new(f, vec![expected[0]])));
+    for &t in &expected[1..] {
+        assert!(dsq.contains(&Atom::new(c, vec![t])));
+    }
+
+    // Every stable name carries its h-loop (this is what makes D^⊛ a
+    // model — the paper's Ĩ^h).
+    let h = s.vocab.lookup_pred("h").unwrap();
+    for &t in &expected {
+        assert!(dsq.contains(&Atom::new(h, vec![t, t])));
+    }
+}
+
+/// The first proper retraction of the worked example maps `X⁰₀ ↦ X¹₀`
+/// and `X⁰₁ ↦ X¹₁` (quoted verbatim in Section 8), and the robust
+/// renaming undoes exactly that rename.
+#[test]
+fn first_retraction_matches_paper_text() {
+    let mut s = Staircase::new();
+    let d = s.scripted_core_chase(1);
+    // The fold is attached to the last application of step 0.
+    let fold = &d.steps().last().unwrap().simplification;
+    assert_eq!(fold.apply_term(s.x(0, 0)), s.x(1, 0));
+    assert_eq!(fold.apply_term(s.x(0, 1)), s.x(1, 1));
+
+    let rs = RobustSequence::build(&d);
+    let g_last = rs.sets.last().unwrap();
+    // After robust renaming, the bottom of G is named X0_0 and height 1
+    // is named X0_1 — the old names survive.
+    assert!(g_last.mentions(s.x(0, 0)));
+    assert!(g_last.mentions(s.x(0, 1)));
+    assert!(!g_last.mentions(s.x(1, 0)), "folded-away name must not resurface");
+}
