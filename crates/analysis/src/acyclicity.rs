@@ -210,8 +210,7 @@ pub fn jointly_acyclic(rules: &RuleSet) -> bool {
             }
         }
     };
-    let all_pos: Vec<BTreeSet<Position>> =
-        exvars.iter().map(|&(rid, z)| pos_of(rid, z)).collect();
+    let all_pos: Vec<BTreeSet<Position>> = exvars.iter().map(|&(rid, z)| pos_of(rid, z)).collect();
 
     // Dependency edges z → z'.
     let n = exvars.len();

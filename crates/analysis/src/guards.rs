@@ -26,9 +26,7 @@ pub struct Guardedness {
 impl Guardedness {
     /// Is every rule guarded (⇒ bts, per Calì–Gottlob–Kifer)?
     pub fn is_guarded(&self) -> bool {
-        self.per_rule
-            .iter()
-            .all(|&k| k >= GuardKind::Guarded)
+        self.per_rule.iter().all(|&k| k >= GuardKind::Guarded)
     }
 
     /// Is every rule at least frontier-guarded (⇒ bts, per
@@ -46,10 +44,9 @@ impl Guardedness {
 }
 
 fn atom_covers(rule: &Rule, vars: impl Iterator<Item = VarId> + Clone) -> bool {
-    rule.body().iter().any(|atom| {
-        vars.clone()
-            .all(|v| atom.mentions(Term::Var(v)))
-    })
+    rule.body()
+        .iter()
+        .any(|atom| vars.clone().all(|v| atom.mentions(Term::Var(v))))
 }
 
 /// Classifies one rule.

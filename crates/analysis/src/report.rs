@@ -102,9 +102,7 @@ mod tests {
 
     #[test]
     fn unguarded_cyclic_ruleset_certifies_nothing() {
-        let report = analyze(&rules(
-            "Fill: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2).",
-        ));
+        let report = analyze(&rules("Fill: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2)."));
         assert!(!report.certified_fes());
         assert!(!report.certified_bts());
         assert!(!report.certified_core_bts());

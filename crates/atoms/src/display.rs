@@ -137,7 +137,10 @@ mod tests {
         let h = vocab.pred("h", 1);
         let n = vocab.fresh_var();
         let atom = Atom::new(h, vec![Term::Var(n)]);
-        assert_eq!(format!("{}", atom.with(&vocab)), format!("h(_N{})", n.raw()));
+        assert_eq!(
+            format!("{}", atom.with(&vocab)),
+            format!("h(_N{})", n.raw())
+        );
     }
 
     #[test]

@@ -49,10 +49,9 @@ fn main() {
         // bts/core-bts evidence: expected members stay at a low flat
         // bound; expected non-members climb past it within budget.
         let low = 2;
-        let rc_flat = probe.restricted_chase_terminated
-            || probe.restricted_uniform_bound() <= low;
-        let cc_flat = probe.core_chase_terminated
-            || probe.core_recurring_bound().is_some_and(|b| b <= low);
+        let rc_flat = probe.restricted_chase_terminated || probe.restricted_uniform_bound() <= low;
+        let cc_flat =
+            probe.core_chase_terminated || probe.core_recurring_bound().is_some_and(|b| b <= low);
         report.claim(
             &format!("{}/bts-evidence", w.name),
             w.expect_bts,

@@ -12,15 +12,22 @@
 //! 4. Section 8 worked example — the robust aggregation of the core
 //!    chase converges to the infinite column `Ĩ^h` (treewidth 1), which
 //!    satisfies exactly the entailed CQs.
+//! 5. Service slicing — the *actual* core chase on `K_h`, run through
+//!    the `treechase-service` job runner, checkpoints at budget
+//!    exhaustion and resumes to a result isomorphic to an uninterrupted
+//!    run (long trajectories are resumable).
 
 use chase_bench::{exit_with, Report};
+use chase_core::KnowledgeBase;
 use chase_engine::aggregation::natural_aggregation;
 use chase_engine::boundedness::treewidth_profile;
 use chase_engine::robust::RobustSequence;
-use chase_homomorphism::{hom_equivalent, is_core, maps_to};
+use chase_engine::{ChaseConfig, ChaseVariant};
+use chase_homomorphism::{hom_equivalent, is_core, isomorphism, maps_to};
 use chase_kbs::queries::staircase_queries;
 use chase_kbs::Staircase;
 use chase_treewidth::{contains_grid, treewidth};
+use treechase_service::{JobSpec, Service};
 
 fn main() {
     let mut report = Report::new("e2-fig2-staircase");
@@ -145,6 +152,44 @@ fn main() {
         "Ĩ^h satisfies exactly the entailed CQs",
         all_agree,
         all_agree,
+    );
+
+    // (5) Service slicing: interrupted-and-resumed ≅ uninterrupted.
+    let svc = Service::start(2);
+    let kb = KnowledgeBase::staircase();
+    let (total, cut) = (60usize, 30usize);
+    let core_cfg = |budget| ChaseConfig::variant(ChaseVariant::Core).with_max_applications(budget);
+    let full_id = svc.submit(JobSpec::from_kb("e2-full", kb.clone(), core_cfg(total)));
+    let cut_id = svc.submit(JobSpec::from_kb("e2-cut", kb, core_cfg(cut)));
+    let full = svc.take_result(full_id).expect("uninterrupted run");
+    let cut_res = svc.take_result(cut_id).expect("interrupted run");
+    let ck = cut_res
+        .checkpoint
+        .expect("budget exhaustion yields a checkpoint");
+    report.claim(
+        "service/checkpoint-exact",
+        "core-chase checkpoints are resume-exact",
+        ck.exact(),
+        ck.exact() && ck.stats.applications == cut,
+    );
+    let mut resumed_spec = ck.into_spec().expect("checkpoint reparses");
+    resumed_spec.config.max_applications = total - cut;
+    let resumed = svc
+        .take_result(svc.submit(resumed_spec))
+        .expect("resumed run");
+    report.row(format!(
+        "uninterrupted: {} atoms after {} apps; resumed: {} atoms after {} apps (accumulated)",
+        full.final_instance.len(),
+        full.stats.applications,
+        resumed.final_instance.len(),
+        resumed.stats.applications
+    ));
+    report.claim(
+        "service/resume-isomorphic",
+        "cut@30 + resume@30 ≅ uninterrupted@60",
+        isomorphism(&resumed.final_instance, &full.final_instance).is_some(),
+        resumed.stats.applications == total
+            && isomorphism(&resumed.final_instance, &full.final_instance).is_some(),
     );
 
     exit_with(report.finish());

@@ -13,15 +13,20 @@
 //! 4. Proposition 8.4 / Corollary 1 shape — the *actual* core chase's
 //!    instances develop certified grids of growing side (injective
 //!    Definition 5 search), so no core chase sequence is treewidth
-//!    bounded.
+//!    bounded. The long trajectory runs through the `treechase-service`
+//!    job runner in resumable budget slices: each slice checkpoints at
+//!    exhaustion and the next resumes from it, so the probe scales to
+//!    arbitrarily deep prefixes without one monolithic run.
 
 use chase_bench::{exit_with, Report};
+use chase_core::KnowledgeBase;
 use chase_engine::{run_chase, ChaseConfig, ChaseVariant, SchedulerKind};
 use chase_homomorphism::{is_core, maps_to};
 use chase_kbs::grids::best_grid_lower_bound;
 use chase_kbs::queries::elevator_queries;
 use chase_kbs::Elevator;
 use chase_treewidth::{contains_grid, treewidth, treewidth_bounds};
+use treechase_service::{JobSpec, Service};
 
 fn main() {
     let mut report = Report::new("e3-fig34-elevator");
@@ -115,29 +120,60 @@ fn main() {
         );
     }
 
-    // (4) Core chase treewidth grows without bound.
-    let mut vocab = e.vocab.clone();
-    let cfg = ChaseConfig::variant(ChaseVariant::Core)
+    // (4) Core chase treewidth grows without bound. The chase runs as
+    // service jobs in three 40-application slices chained by
+    // checkpoints; the certified grid side is probed at every slice
+    // boundary, so the trajectory stays resumable however deep it goes.
+    let svc = Service::start(1);
+    // The cabin-embedding check below needs a prefix of depth ≥ 70, so
+    // the first slice runs 80 applications; resumed slices extend the
+    // trajectory 20 applications at a time to the original 120.
+    let first_budget = 80usize;
+    let resume_budget = 20usize;
+    let slices = 3usize;
+    let slice_cfg = ChaseConfig::variant(ChaseVariant::Core)
         .with_scheduler(SchedulerKind::DatalogFirst)
-        .with_max_applications(120);
-    let core_run = run_chase(&mut vocab, &e.facts, &e.rules, &cfg);
+        .with_max_applications(first_budget);
+    let mut spec = JobSpec::from_kb(
+        "e3-core",
+        KnowledgeBase::new(e.vocab.clone(), e.facts.clone(), e.rules.clone()),
+        slice_cfg,
+    );
+    let hp0 = e.vocab.lookup_pred("h").expect("h interned");
+    let vp0 = e.vocab.lookup_pred("v").expect("v interned");
+    let mut grid_track: Vec<(usize, usize)> =
+        vec![(0, best_grid_lower_bound(&e.facts, 4, hp0, vp0))];
+    let mut first_slice_instance = None;
+    let mut last_outcome = None;
+    for s in 0..slices {
+        // Predicate ids must come from this slice's vocabulary: resumed
+        // slices re-intern symbols when the checkpoint text reparses.
+        let hp = spec.kb.vocab.lookup_pred("h").expect("h interned");
+        let vp = spec.kb.vocab.lookup_pred("v").expect("v interned");
+        let res = svc
+            .take_result(svc.submit(spec.clone()))
+            .expect("slice result");
+        let g = best_grid_lower_bound(&res.final_instance, 4, hp, vp);
+        grid_track.push((res.stats.applications, g));
+        if s == 0 {
+            first_slice_instance = Some(res.final_instance.clone());
+        }
+        last_outcome = Some(res.outcome);
+        if s + 1 < slices {
+            let ck = res.checkpoint.expect("slice is resumable");
+            spec = ck.into_spec().expect("checkpoint reparses");
+            spec.config.max_applications = resume_budget;
+        }
+    }
+    let core_outcome = last_outcome.expect("at least one slice ran");
     report.claim(
         "cor1/core-chase-diverges",
         "the core chase does not terminate",
-        format!("{:?}", core_run.outcome),
-        !core_run.outcome.terminated(),
+        format!("{core_outcome:?} after {slices} resumed slices"),
+        !core_outcome.terminated(),
     );
-    let d = core_run.derivation.expect("full record");
-    let hp = e.vocab.lookup_pred("h").expect("h interned");
-    let vp = e.vocab.lookup_pred("v").expect("v interned");
-    let mut grid_track: Vec<(usize, usize)> = Vec::new();
-    let stride = (d.len() / 8).max(1);
-    for i in (0..d.len()).step_by(stride) {
-        let g = best_grid_lower_bound(d.instance(i), 4, hp, vp);
-        grid_track.push((i, g));
-    }
     report.row(format!(
-        "certified grid side along the core chase: {grid_track:?}"
+        "certified grid side at slice boundaries (accumulated applications): {grid_track:?}"
     ));
     // The paper's claim is asymptotic (treewidth grows beyond every
     // bound); at this budget we certify the *onset* of that growth: the
@@ -154,8 +190,11 @@ fn main() {
         max_side > first && max_side >= 2,
     );
     // Prop 8.3 mechanism: the cabin I^v_1 embeds injectively into the
-    // chase (larger cabins need deeper prefixes than this budget).
+    // chase (larger cabins need deeper prefixes than this budget). The
+    // probe uses the first slice's instance, which still shares the
+    // elevator's original vocabulary.
     let cabin1 = e.cabin(1);
+    let first_instance = first_slice_instance.expect("first slice ran");
     let emb_cfg = chase_homomorphism::MatchConfig {
         injective_vars: true,
         node_limit: Some(3_000_000),
@@ -164,7 +203,7 @@ fn main() {
     let mut embeds = false;
     chase_homomorphism::for_each_homomorphism(
         &cabin1,
-        d.last_instance(),
+        &first_instance,
         &chase_atoms::Substitution::new(),
         &emb_cfg,
         |_| {

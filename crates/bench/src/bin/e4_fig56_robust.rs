@@ -51,11 +51,7 @@ fn main() {
         for var in rs.sets[start].vars() {
             total += 1;
             let trace = rs.trace_var(start, var);
-            let changes = trace
-                .images
-                .windows(2)
-                .filter(|w| w[0] != w[1])
-                .count();
+            let changes = trace.images.windows(2).filter(|w| w[0] != w[1]).count();
             max_changes = max_changes.max(changes);
             if start + last_step_len < rs.len() && trace.settled_at >= rs.len() - 1 {
                 old_unsettled += 1;

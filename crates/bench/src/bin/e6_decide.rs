@@ -100,10 +100,9 @@ fn main() {
     );
 
     // Terminating KB: both directions certified.
-    let mut kb = KnowledgeBase::from_text(
-        "r(a, b). r(b, c). r(c, d). T: r(X, Y), r(Y, Z) -> r(X, Z).",
-    )
-    .expect("kb parses");
+    let mut kb =
+        KnowledgeBase::from_text("r(a, b). r(b, c). r(c, d). T: r(X, Y), r(Y, Z) -> r(X, Z).")
+            .expect("kb parses");
     let pos = kb.parse_query("r(a, d)").unwrap();
     let neg = kb.parse_query("r(d, a)").unwrap();
     let pos_out = decide(&kb, &pos, &cfg);

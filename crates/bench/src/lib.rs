@@ -12,10 +12,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use treechase_service::json::Json;
 
 /// One checked claim of an experiment.
-#[derive(Serialize, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct Claim {
     /// Experiment id (`e1` … `e6`).
     pub experiment: String,
@@ -27,6 +27,19 @@ pub struct Claim {
     pub measured: String,
     /// Did the measurement confirm the claim?
     pub ok: bool,
+}
+
+impl Claim {
+    /// Serializes the claim as one JSONL record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("experiment", Json::str(&self.experiment)),
+            ("claim", Json::str(&self.claim)),
+            ("paper", Json::str(&self.paper)),
+            ("measured", Json::str(&self.measured)),
+            ("ok", Json::Bool(self.ok)),
+        ])
+    }
 }
 
 /// Collects claims, pretty-prints them, and persists a JSONL record.
@@ -77,7 +90,7 @@ impl Report {
             let path = dir.join(format!("{}.jsonl", self.experiment));
             if let Ok(mut f) = fs::File::create(&path) {
                 for c in &self.claims {
-                    let _ = writeln!(f, "{}", serde_json::to_string(c).expect("serialize"));
+                    let _ = writeln!(f, "{}", c.to_json());
                 }
             }
         }

@@ -157,13 +157,9 @@ pub fn certain_answers(
 ) -> CertainAnswers {
     let mut vocab = kb.vocab.clone();
     let run_cfg = cfg.clone().with_record(RecordLevel::FinalOnly);
-    let res = run_chase_observed(
-        &mut vocab,
-        &kb.facts,
-        &kb.rules,
-        &run_cfg,
-        |_, _| std::ops::ControlFlow::Continue(()),
-    );
+    let res = run_chase_observed(&mut vocab, &kb.facts, &kb.rules, &run_cfg, |_, _| {
+        std::ops::ControlFlow::Continue(())
+    });
     let complete = res.outcome == ChaseOutcome::Terminated;
     let mut answers: BTreeSet<Vec<ConstId>> = BTreeSet::new();
     for_each_homomorphism(
@@ -240,10 +236,8 @@ mod tests {
 
     #[test]
     fn certain_answers_on_terminating_kb() {
-        let mut kb = KnowledgeBase::from_text(
-            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
-        )
-        .unwrap();
+        let mut kb =
+            KnowledgeBase::from_text("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).").unwrap();
         let q_atoms = kb.parse_query("r(a, X)").unwrap();
         let x = *q_atoms.vars().iter().next().unwrap();
         let query = AnswerQuery::new(q_atoms, vec![x]).unwrap();
@@ -261,8 +255,7 @@ mod tests {
     fn nulls_are_not_certain_answers() {
         // r(a, b) plus r(X,Y) → ∃Z. s(Y, Z): s's second position holds a
         // null; asking for it must yield no certain answer.
-        let mut kb =
-            KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> s(Y, Z).").unwrap();
+        let mut kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> s(Y, Z).").unwrap();
         let q_atoms = kb.parse_query("s(b, W)").unwrap();
         let w = *q_atoms.vars().iter().next().unwrap();
         let query = AnswerQuery::new(q_atoms, vec![w]).unwrap();
@@ -279,8 +272,7 @@ mod tests {
 
     #[test]
     fn incomplete_answers_flagged_on_budget() {
-        let mut kb =
-            KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
+        let mut kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
         let q_atoms = kb.parse_query("r(a, X)").unwrap();
         let x = *q_atoms.vars().iter().next().unwrap();
         let query = AnswerQuery::new(q_atoms, vec![x]).unwrap();
@@ -298,10 +290,8 @@ mod ucq_tests {
 
     #[test]
     fn ucq_entailed_if_any_disjunct_is() {
-        let mut kb = KnowledgeBase::from_text(
-            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
-        )
-        .unwrap();
+        let mut kb =
+            KnowledgeBase::from_text("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).").unwrap();
         let q_yes = kb.parse_query("r(a, c)").unwrap();
         let q_no = kb.parse_query("r(c, a)").unwrap();
         let ucq = Ucq::new(vec![q_no.clone(), q_yes]);

@@ -24,11 +24,11 @@
 
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use chase_atoms::AtomSet;
 use chase_engine::{run_chase_observed, ChaseConfig, ChaseOutcome, ChaseVariant};
 use chase_homomorphism::maps_to;
-use parking_lot::Mutex;
 
 use crate::kb::KnowledgeBase;
 
@@ -141,7 +141,7 @@ pub fn decide(kb: &KnowledgeBase, query: &AtomSet, cfg: &DecideConfig) -> Decide
             }
         };
         if let Some(out) = outcome {
-            let mut slot = verdict.lock();
+            let mut slot = verdict.lock().expect("verdict lock poisoned");
             if slot.is_none() {
                 *slot = Some(out);
                 stop.store(true, Ordering::Relaxed);
@@ -149,13 +149,12 @@ pub fn decide(kb: &KnowledgeBase, query: &AtomSet, cfg: &DecideConfig) -> Decide
         }
     };
 
-    crossbeam::thread::scope(|s| {
-        s.spawn(|_| worker(ChaseVariant::Core));
-        s.spawn(|_| worker(ChaseVariant::Restricted));
-    })
-    .expect("decision workers must not panic");
+    std::thread::scope(|s| {
+        s.spawn(|| worker(ChaseVariant::Core));
+        s.spawn(|| worker(ChaseVariant::Restricted));
+    });
 
-    if let Some(out) = verdict.into_inner() {
+    if let Some(out) = verdict.into_inner().expect("verdict lock poisoned") {
         return out;
     }
     // No certificate: fall back to a heuristic deep probe on the cheaper
@@ -166,20 +165,14 @@ pub fn decide(kb: &KnowledgeBase, query: &AtomSet, cfg: &DecideConfig) -> Decide
         .with_max_applications(cfg.max_applications)
         .with_max_atoms(cfg.max_atoms)
         .with_record(chase_engine::RecordLevel::FinalOnly);
-    let _ = run_chase_observed(
-        &mut vocab,
-        &kb.facts,
-        &kb.rules,
-        &chase_cfg,
-        |inst, _| {
-            if maps_to(query, inst) {
-                seen = true;
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        },
-    );
+    let _ = run_chase_observed(&mut vocab, &kb.facts, &kb.rules, &chase_cfg, |inst, _| {
+        if maps_to(query, inst) {
+            seen = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
     DecideOutcome::Exhausted {
         heuristic_entailed: seen,
     }
@@ -191,8 +184,7 @@ mod tests {
 
     #[test]
     fn decides_positive_on_nonterminating_kb() {
-        let mut kb =
-            KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
+        let mut kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
         let q = kb.parse_query("r(A, B), r(B, C), r(C, D)").unwrap();
         let out = decide(&kb, &q, &DecideConfig::default());
         assert!(matches!(out, DecideOutcome::Entailed { .. }), "{out:?}");
@@ -200,10 +192,8 @@ mod tests {
 
     #[test]
     fn decides_negative_on_terminating_kb() {
-        let mut kb = KnowledgeBase::from_text(
-            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
-        )
-        .unwrap();
+        let mut kb =
+            KnowledgeBase::from_text("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).").unwrap();
         let q = kb.parse_query("r(c, X)").unwrap();
         let out = decide(&kb, &q, &DecideConfig::default());
         assert!(matches!(out, DecideOutcome::NotEntailed { .. }), "{out:?}");
@@ -234,8 +224,7 @@ mod tests {
 
     #[test]
     fn exhausts_on_hard_negative() {
-        let mut kb =
-            KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
+        let mut kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
         let q = kb.parse_query("r(X, X)").unwrap(); // never entailed
         let out = decide(
             &kb,
@@ -260,7 +249,10 @@ mod tests {
         let q = kb.parse_query("r(X, X)").unwrap();
         assert!(matches!(
             decide(&kb, &q, &DecideConfig::default()),
-            DecideOutcome::Entailed { applications: 0, .. }
+            DecideOutcome::Entailed {
+                applications: 0,
+                ..
+            }
         ));
     }
 }

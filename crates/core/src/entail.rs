@@ -106,10 +106,7 @@ mod tests {
     use super::*;
 
     fn kb() -> KnowledgeBase {
-        KnowledgeBase::from_text(
-            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
-        )
-        .unwrap()
+        KnowledgeBase::from_text("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).").unwrap()
     }
 
     #[test]
@@ -152,9 +149,7 @@ mod tests {
     fn entailed_in_nonterminating_kb() {
         // Chain KB entails arbitrarily long r-paths.
         let mut k = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
-        let q = k
-            .parse_query("r(A, B), r(B, C), r(C, D), r(D, E)")
-            .unwrap();
+        let q = k.parse_query("r(A, B), r(B, C), r(C, D), r(D, E)").unwrap();
         let cfg = ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(50);
         assert!(entail(&k, &q, &cfg).is_entailed());
     }

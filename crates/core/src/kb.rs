@@ -85,10 +85,8 @@ mod tests {
 
     #[test]
     fn from_text_and_chase() {
-        let kb = KnowledgeBase::from_text(
-            "r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).",
-        )
-        .unwrap();
+        let kb =
+            KnowledgeBase::from_text("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).").unwrap();
         let res = kb.chase(&ChaseConfig::variant(ChaseVariant::Core));
         assert!(res.outcome.terminated());
         assert_eq!(res.final_instance.len(), 3);

@@ -23,14 +23,14 @@
 //!   `core_interval` applications (Definition 1's simplifications).
 
 use std::collections::HashSet;
+use std::time::{Duration, Instant};
 
 use chase_atoms::{AtomSet, Substitution, Vocabulary};
 use chase_homomorphism::{core_of, find_retraction_eliminating_frozen};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
+use crate::control::{CancelToken, ChaseEvent};
 use crate::derivation::Derivation;
+use crate::prng::SplitMix64;
 use crate::rule::RuleSet;
 use crate::skolem::SkolemTable;
 use crate::trigger::{all_triggers, apply_trigger, triggers_using_delta, Trigger};
@@ -91,6 +91,10 @@ pub struct ChaseConfig {
     pub max_applications: usize,
     /// Budget: stop once an instance exceeds this many atoms.
     pub max_atoms: usize,
+    /// Budget: stop once this much wall-clock time has elapsed (checked
+    /// between trigger applications, so a single expensive core step may
+    /// overshoot). `None` disables the clock.
+    pub max_wall: Option<Duration>,
     /// Core variant only: retract to the core every this many
     /// applications (≥ 1).
     pub core_interval: usize,
@@ -104,6 +108,7 @@ impl Default for ChaseConfig {
             record: RecordLevel::Full,
             max_applications: 10_000,
             max_atoms: 1_000_000,
+            max_wall: None,
             core_interval: 1,
         }
     }
@@ -127,6 +132,12 @@ impl ChaseConfig {
     /// Sets the atom budget.
     pub fn with_max_atoms(mut self, n: usize) -> Self {
         self.max_atoms = n;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_max_wall(mut self, d: Duration) -> Self {
+        self.max_wall = Some(d);
         self
     }
 
@@ -160,14 +171,25 @@ pub enum ChaseOutcome {
     ApplicationBudgetExhausted,
     /// The atom budget was exhausted.
     AtomBudgetExhausted,
+    /// The wall-clock budget was exhausted.
+    WallBudgetExhausted,
     /// The observer callback requested a stop.
     Stopped,
+    /// A [`CancelToken`] requested a stop.
+    Cancelled,
 }
 
 impl ChaseOutcome {
     /// Did the chase reach a fixpoint?
     pub fn terminated(self) -> bool {
         self == ChaseOutcome::Terminated
+    }
+
+    /// Can the run meaningfully continue from its final instance (i.e.
+    /// it stopped for a budget, a cancel or an observer, not because a
+    /// fixpoint was reached)?
+    pub fn resumable(self) -> bool {
+        !self.terminated()
     }
 }
 
@@ -197,10 +219,15 @@ pub struct ChaseResult {
     pub stats: ChaseStats,
 }
 
-fn order_snapshot(snapshot: &mut [Trigger], rules: &RuleSet, cfg: &ChaseConfig, rng: &mut StdRng) {
+fn order_snapshot(
+    snapshot: &mut [Trigger],
+    rules: &RuleSet,
+    cfg: &ChaseConfig,
+    rng: &mut SplitMix64,
+) {
     match cfg.scheduler {
         SchedulerKind::Deterministic => {}
-        SchedulerKind::Random(_) => snapshot.shuffle(rng),
+        SchedulerKind::Random(_) => rng.shuffle(snapshot),
         SchedulerKind::DatalogFirst => {
             snapshot.sort_by_key(|t| !rules.get(t.rule).is_datalog());
         }
@@ -232,6 +259,26 @@ pub fn run_chase_observed(
     cfg: &ChaseConfig,
     mut observer: impl FnMut(&AtomSet, &ChaseStats) -> std::ops::ControlFlow<()>,
 ) -> ChaseResult {
+    run_chase_controlled(vocab, facts, rules, cfg, None, |event| match event {
+        ChaseEvent::StepApplied { instance, stats } => observer(instance, stats),
+        _ => std::ops::ControlFlow::Continue(()),
+    })
+}
+
+/// The fully controlled runner behind [`run_chase`] and
+/// [`run_chase_observed`]: adds cooperative cancellation (polled between
+/// trigger applications), the wall-clock budget of
+/// [`ChaseConfig::max_wall`], and a structured [`ChaseEvent`] stream in
+/// place of the post-hoc-only stats. This is the engine entry point of
+/// the `treechase-service` job runner.
+pub fn run_chase_controlled(
+    vocab: &mut Vocabulary,
+    facts: &AtomSet,
+    rules: &RuleSet,
+    cfg: &ChaseConfig,
+    cancel: Option<&CancelToken>,
+    mut observer: impl FnMut(ChaseEvent<'_>) -> std::ops::ControlFlow<()>,
+) -> ChaseResult {
     // Make sure the supply is ahead of every variable already mentioned.
     for v in facts.vars() {
         vocab.ensure_var(v);
@@ -242,10 +289,16 @@ pub fn run_chase_observed(
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(match cfg.scheduler {
+    let mut rng = SplitMix64::new(match cfg.scheduler {
         SchedulerKind::Random(seed) => seed,
         _ => 0,
     });
+    let started = Instant::now();
+    let wall_exhausted = |started: Instant| match cfg.max_wall {
+        Some(limit) => started.elapsed() >= limit,
+        None => false,
+    };
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
 
     let sigma0 = match cfg.variant {
         ChaseVariant::Core => core_of(facts).retraction,
@@ -276,6 +329,12 @@ pub fn run_chase_observed(
     let mut skolem = SkolemTable::new();
     let mut since_core = 0usize;
     let outcome = 'outer: loop {
+        if cancelled() {
+            break ChaseOutcome::Cancelled;
+        }
+        if wall_exhausted(started) {
+            break ChaseOutcome::WallBudgetExhausted;
+        }
         let current = derivation.last_instance().clone();
         let discovered = if monotonic {
             let d = triggers_using_delta(rules, &current, &delta);
@@ -299,10 +358,24 @@ pub fn run_chase_observed(
         }
         order_snapshot(&mut snapshot, rules, cfg, &mut rng);
         stats.rounds += 1;
+        if observer(ChaseEvent::RoundStarted {
+            round: stats.rounds,
+            pending: snapshot.len(),
+        })
+        .is_break()
+        {
+            break 'outer ChaseOutcome::Stopped;
+        }
 
         // Simplifications performed during this round, composed.
         let mut forward = Substitution::new();
         for tr in snapshot {
+            if cancelled() {
+                break 'outer ChaseOutcome::Cancelled;
+            }
+            if wall_exhausted(started) {
+                break 'outer ChaseOutcome::WallBudgetExhausted;
+            }
             if stats.applications >= cfg.max_applications {
                 break 'outer ChaseOutcome::ApplicationBudgetExhausted;
             }
@@ -339,6 +412,7 @@ pub fn run_chase_observed(
             stats.applications += 1;
             since_core += 1;
             stats.peak_atoms = stats.peak_atoms.max(app.result.len());
+            let produced_len = app.result.len();
             if monotonic && app.result.len() > before_len {
                 let prev = derivation.last_instance();
                 delta.extend(app.result.iter().filter(|a| !prev.contains(a)).cloned());
@@ -375,8 +449,7 @@ pub fn run_chase_observed(
                             .into_iter()
                             .filter(|v| !app.fresh.contains(v))
                             .collect();
-                        if let Some(r) = find_retraction_eliminating_frozen(&current, z, frozen)
-                        {
+                        if let Some(r) = find_retraction_eliminating_frozen(&current, z, frozen) {
                             current = r.apply_set(&current);
                             sigma = sigma.then(&r);
                         }
@@ -389,12 +462,28 @@ pub fn run_chase_observed(
                 _ => (Substitution::new(), app.result),
             };
             forward = forward.then(&sigma);
+            let retracted = next.len() < produced_len;
             let too_big = next.len() > cfg.max_atoms;
             derivation.push_step(tr, app.pi_safe, sigma, next);
             if too_big {
                 break 'outer ChaseOutcome::AtomBudgetExhausted;
             }
-            if observer(derivation.last_instance(), &stats).is_break() {
+            if retracted
+                && observer(ChaseEvent::CoreRetracted {
+                    before: produced_len,
+                    after: derivation.last_instance().len(),
+                    stats: &stats,
+                })
+                .is_break()
+            {
+                break 'outer ChaseOutcome::Stopped;
+            }
+            if observer(ChaseEvent::StepApplied {
+                instance: derivation.last_instance(),
+                stats: &stats,
+            })
+            .is_break()
+            {
                 break 'outer ChaseOutcome::Stopped;
             }
         }
@@ -618,8 +707,7 @@ mod tests {
         ]);
         let run = |seed| {
             let mut vc = vocab();
-            let cfg =
-                ChaseConfig::default().with_scheduler(SchedulerKind::Random(seed));
+            let cfg = ChaseConfig::default().with_scheduler(SchedulerKind::Random(seed));
             run_chase(&mut vc, &facts, &rules, &cfg)
         };
         let a = run(7);
@@ -899,8 +987,182 @@ mod semi_naive_tests {
             &ChaseConfig::variant(ChaseVariant::Restricted),
         );
         assert!(res.outcome.terminated());
-        assert!(crate::trigger::is_model_of_rules(&rules, &res.final_instance));
+        assert!(crate::trigger::is_model_of_rules(
+            &rules,
+            &res.final_instance
+        ));
         assert_eq!(res.final_instance.pred_count(PredId::from_raw(2)), 1);
+    }
+}
+
+#[cfg(test)]
+mod control_tests {
+    use super::*;
+    use crate::rule::{Rule, RuleSet};
+    use chase_atoms::{Atom, PredId, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(PredId::from_raw(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    /// r(X, Y) → ∃Z. r(Y, Z): divergent under the restricted chase.
+    fn chain() -> (Vocabulary, RuleSet, AtomSet) {
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(50));
+        let rules: RuleSet = [Rule::new(
+            "chain",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(0, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        (vocab, rules, set(&[atom(0, &[v(10), v(11)])]))
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_application() {
+        let (mut vocab, rules, facts) = chain();
+        let token = CancelToken::new();
+        token.cancel();
+        let res = run_chase_controlled(
+            &mut vocab,
+            &facts,
+            &rules,
+            &ChaseConfig::default(),
+            Some(&token),
+            |_| std::ops::ControlFlow::Continue(()),
+        );
+        assert_eq!(res.outcome, ChaseOutcome::Cancelled);
+        assert_eq!(res.stats.applications, 0);
+        assert_eq!(res.final_instance, facts);
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_a_valid_prefix() {
+        let (mut vocab, rules, facts) = chain();
+        let token = CancelToken::new();
+        let cancel_at = 3usize;
+        let t2 = token.clone();
+        let res = run_chase_controlled(
+            &mut vocab,
+            &facts,
+            &rules,
+            &ChaseConfig::default().with_max_applications(1_000),
+            Some(&token),
+            |event| {
+                if let ChaseEvent::StepApplied { stats, .. } = event {
+                    if stats.applications >= cancel_at {
+                        t2.cancel();
+                    }
+                }
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(res.outcome, ChaseOutcome::Cancelled);
+        assert_eq!(res.stats.applications, cancel_at);
+        let d = res.derivation.unwrap();
+        assert_eq!(d.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_wall_budget_exhausts_immediately() {
+        let (mut vocab, rules, facts) = chain();
+        let cfg = ChaseConfig::default().with_max_wall(Duration::ZERO);
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert_eq!(res.outcome, ChaseOutcome::WallBudgetExhausted);
+        assert_eq!(res.stats.applications, 0);
+    }
+
+    #[test]
+    fn events_stream_rounds_steps_and_retractions() {
+        // A head with twin existentials under the core chase retracts
+        // every step, so all three event kinds fire.
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(50));
+        let rules: RuleSet = [Rule::new(
+            "mk",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(1, &[v(1), v(2)]), atom(1, &[v(1), v(3)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let (mut rounds, mut steps, mut retractions) = (0, 0, 0);
+        let res = run_chase_controlled(
+            &mut vocab,
+            &facts,
+            &rules,
+            &ChaseConfig::variant(ChaseVariant::Core),
+            None,
+            |event| {
+                match event {
+                    ChaseEvent::RoundStarted { .. } => rounds += 1,
+                    ChaseEvent::StepApplied { .. } => steps += 1,
+                    ChaseEvent::CoreRetracted { before, after, .. } => {
+                        assert!(after < before);
+                        retractions += 1;
+                    }
+                }
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        assert!(res.outcome.terminated());
+        assert_eq!(rounds, res.stats.rounds);
+        assert_eq!(steps, res.stats.applications);
+        assert_eq!(retractions, res.stats.retractions);
+    }
+
+    #[test]
+    fn resuming_from_final_instance_matches_uninterrupted_run() {
+        // Budget-split determinism for the satisfaction-based variants:
+        // chase(5 apps) then chase-from-instance equals one chase(∞) —
+        // the engine-level law behind service checkpoints.
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(50));
+        // Terminating KB: transitive closure of a 5-chain.
+        let rules_t: RuleSet = [Rule::new(
+            "trans",
+            set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]),
+            set(&[atom(0, &[v(0), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[
+            atom(0, &[v(10), v(11)]),
+            atom(0, &[v(11), v(12)]),
+            atom(0, &[v(12), v(13)]),
+            atom(0, &[v(13), v(14)]),
+        ]);
+        let full = run_chase(
+            &mut vocab.clone(),
+            &facts,
+            &rules_t,
+            &ChaseConfig::default(),
+        );
+        assert!(full.outcome.terminated());
+        let cfg5 = ChaseConfig::default().with_max_applications(5);
+        let part = run_chase(&mut vocab, &facts, &rules_t, &cfg5);
+        assert_eq!(part.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+        assert!(part.outcome.resumable());
+        let resumed = run_chase(
+            &mut vocab,
+            &part.final_instance,
+            &rules_t,
+            &ChaseConfig::default(),
+        );
+        assert!(resumed.outcome.terminated());
+        assert_eq!(resumed.final_instance, full.final_instance);
     }
 }
 
@@ -950,8 +1212,7 @@ mod skolem_chase_tests {
                 &mut vocab,
                 &facts,
                 &rules,
-                &ChaseConfig::variant(ChaseVariant::SemiOblivious)
-                    .with_max_applications(20),
+                &ChaseConfig::variant(ChaseVariant::SemiOblivious).with_max_applications(20),
             )
         };
         let a = run();

@@ -1,0 +1,97 @@
+//! Cooperative run control for long chase derivations: cancellation
+//! tokens and the step-observer event stream.
+//!
+//! The paper's interesting derivations do not terminate (the staircase
+//! `K_h` and elevator `K_v` of Sections 6–7 are *designed* not to), so a
+//! production runner cannot treat `run_chase` as a blocking black box.
+//! This module provides the two hooks the job-runner layer
+//! (`treechase-service`) builds on:
+//!
+//! * [`CancelToken`] — a shared flag the chase loop polls between trigger
+//!   applications. Cancellation is cooperative: a pending application
+//!   (including its per-step core computation) finishes, then the run
+//!   stops with [`crate::ChaseOutcome::Cancelled`]. On the workloads of
+//!   the paper a single step is far below the 100 ms latency envelope.
+//! * [`ChaseEvent`] — the in-band progress stream handed to the observer
+//!   of [`crate::chase::run_chase_controlled`]: round boundaries, applied
+//!   steps and core retractions, each carrying the running
+//!   [`crate::ChaseStats`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use chase_atoms::AtomSet;
+
+use crate::chase::ChaseStats;
+
+/// A cloneable cancellation flag shared between a chase run and its
+/// controller. All clones observe the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One progress event of a controlled chase run.
+///
+/// Borrowed data stays valid only for the duration of the observer call —
+/// observers that stream events elsewhere copy what they need (typically
+/// the stats and instance sizes, not the instance itself).
+#[derive(Debug)]
+pub enum ChaseEvent<'a> {
+    /// A fairness round begins with `pending` triggers snapshotted.
+    RoundStarted {
+        /// 1-based round number.
+        round: usize,
+        /// Triggers in this round's snapshot.
+        pending: usize,
+    },
+    /// A trigger was applied; `instance` is the freshly produced `F_i`.
+    StepApplied {
+        /// The instance after the application (and its simplification).
+        instance: &'a AtomSet,
+        /// Running counters.
+        stats: &'a ChaseStats,
+    },
+    /// A core-chase simplification strictly shrank the instance.
+    CoreRetracted {
+        /// Atoms before the retraction (`A_i`).
+        before: usize,
+        /// Atoms after (`F_i`).
+        after: usize,
+        /// Running counters.
+        stats: &'a ChaseStats,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled() && !u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled() && u.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+}

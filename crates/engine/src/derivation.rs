@@ -97,7 +97,11 @@ impl Derivation {
 
     /// The final recorded instance.
     pub fn last_instance(&self) -> &AtomSet {
-        &self.steps.last().expect("derivation is never empty").instance
+        &self
+            .steps
+            .last()
+            .expect("derivation is never empty")
+            .instance
     }
 
     /// All instances `F_0 … F_k` in order.
@@ -326,12 +330,7 @@ mod tests {
             .next()
             .unwrap();
         let app = apply_trigger(&mut vocab, &rules, &facts, &satisfied);
-        d.push_step(
-            satisfied,
-            app.pi_safe,
-            Substitution::new(),
-            app.result,
-        );
+        d.push_step(satisfied, app.pi_safe, Substitution::new(), app.result);
         assert_eq!(d.validate(), Err(1));
     }
 

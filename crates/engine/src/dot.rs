@@ -22,12 +22,7 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_instance_body(
-    out: &mut String,
-    prefix: &str,
-    vocab: &Vocabulary,
-    instance: &AtomSet,
-) {
+fn write_instance_body(out: &mut String, prefix: &str, vocab: &Vocabulary, instance: &AtomSet) {
     // Node declarations with accumulated unary labels.
     for t in instance.terms() {
         let mut label = format!("{}", t.with(vocab));

@@ -26,17 +26,20 @@
 pub mod aggregation;
 pub mod boundedness;
 pub mod chase;
+pub mod control;
 mod derivation;
 pub mod dot;
+pub mod prng;
 pub mod robust;
 mod rule;
 pub mod skolem;
 mod trigger;
 
 pub use chase::{
-    run_chase, run_chase_observed, ChaseConfig, ChaseOutcome, ChaseResult, ChaseStats,
-    ChaseVariant, RecordLevel, SchedulerKind,
+    run_chase, run_chase_controlled, run_chase_observed, ChaseConfig, ChaseOutcome, ChaseResult,
+    ChaseStats, ChaseVariant, RecordLevel, SchedulerKind,
 };
+pub use control::{CancelToken, ChaseEvent};
 pub use derivation::{Derivation, DerivationStep};
 pub use robust::{RobustSequence, VarTrace};
 pub use rule::{Rule, RuleError, RuleId, RuleSet};

@@ -45,11 +45,7 @@ pub struct Rule {
 
 impl Rule {
     /// Creates a rule, computing its variable partition.
-    pub fn new(
-        name: impl Into<String>,
-        body: AtomSet,
-        head: AtomSet,
-    ) -> Result<Self, RuleError> {
+    pub fn new(name: impl Into<String>, body: AtomSet, head: AtomSet) -> Result<Self, RuleError> {
         if body.is_empty() {
             return Err(RuleError::EmptyBody);
         }

@@ -108,10 +108,7 @@ pub fn apply_trigger(
     tr: &Trigger,
 ) -> TriggerApplication {
     let rule = rules.get(tr.rule);
-    debug_assert!(
-        tr.is_trigger_for(rules, instance),
-        "applying a non-trigger"
-    );
+    debug_assert!(tr.is_trigger_for(rules, instance), "applying a non-trigger");
     let mut pi_safe = tr.pi.restrict(rule.frontier_vars());
     let mut fresh = Vec::new();
     for &z in rule.existential_vars() {
@@ -178,9 +175,7 @@ pub fn triggers_using_delta(
     for (id, rule) in rules.iter() {
         for body_atom in rule.body().iter() {
             for new_atom in delta {
-                if new_atom.pred() != body_atom.pred()
-                    || new_atom.arity() != body_atom.arity()
-                {
+                if new_atom.pred() != body_atom.pred() || new_atom.arity() != body_atom.arity() {
                     continue;
                 }
                 // Seed: unify this body atom against the new atom.

@@ -49,9 +49,7 @@ pub fn isomorphism(a: &AtomSet, b: &AtomSet) -> Option<Substitution> {
     });
     let iso = found?;
     debug_assert!(iso.is_homomorphism(a, b));
-    debug_assert!(iso
-        .inverse()
-        .is_some_and(|inv| inv.is_homomorphism(b, a)));
+    debug_assert!(iso.inverse().is_some_and(|inv| inv.is_homomorphism(b, a)));
     Some(iso)
 }
 

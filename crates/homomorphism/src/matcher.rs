@@ -90,10 +90,9 @@ impl<'a> Search<'a> {
             if self.cfg.must_move.contains(&v) {
                 return false;
             }
-        } else if self.cfg.injective_vars
-            && (!t.is_var() || self.used_images.contains(&t)) {
-                return false;
-            }
+        } else if self.cfg.injective_vars && (!t.is_var() || self.used_images.contains(&t)) {
+            return false;
+        }
         self.bind.insert(v, t);
         if self.cfg.injective_vars {
             self.used_images.insert(t);
@@ -206,7 +205,10 @@ impl<'a> Search<'a> {
         true
     }
 
-    fn run(&mut self, on_found: &mut dyn FnMut(Substitution) -> ControlFlow<()>) -> ControlFlow<()> {
+    fn run(
+        &mut self,
+        on_found: &mut dyn FnMut(Substitution) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if self.n_matched == self.pattern.len() {
             let sub = Substitution::from_pairs(self.bind.iter().map(|(&v, &t)| (v, t)));
             return on_found(sub);
@@ -278,16 +280,10 @@ pub fn find_homomorphism_extending(
     seed: &Substitution,
 ) -> Option<Substitution> {
     let mut found = None;
-    for_each_homomorphism(
-        pattern,
-        target,
-        seed,
-        &MatchConfig::default(),
-        |sub| {
-            found = Some(sub);
-            ControlFlow::Break(())
-        },
-    );
+    for_each_homomorphism(pattern, target, seed, &MatchConfig::default(), |sub| {
+        found = Some(sub);
+        ControlFlow::Break(())
+    });
     found
 }
 
@@ -459,7 +455,10 @@ mod tests {
         });
         assert!(!results.is_empty());
         for r in &results {
-            assert!(r.is_retraction_of(&a), "search returned non-retraction {r:?}");
+            assert!(
+                r.is_retraction_of(&a),
+                "search returned non-retraction {r:?}"
+            );
             assert_ne!(r.apply_term(v(0)), v(0));
         }
     }

@@ -200,10 +200,9 @@ impl Elevator {
         for atom in induced.iter() {
             let height = |t: Term| -> u32 { heights[&t] };
             let p = atom.pred();
-            if p == self.v && atom.args()[0] == atom.args()[1]
-                && height(atom.args()[0]) > n {
-                    continue;
-                }
+            if p == self.v && atom.args()[0] == atom.args()[1] && height(atom.args()[0]) > n {
+                continue;
+            }
             if p == self.f && height(atom.args()[0]) > n {
                 continue;
             }
@@ -239,9 +238,7 @@ impl Default for Elevator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chase_engine::{
-        run_chase, ChaseConfig, ChaseVariant, SchedulerKind,
-    };
+    use chase_engine::{run_chase, ChaseConfig, ChaseVariant, SchedulerKind};
     use chase_homomorphism::{is_core, maps_to};
     use chase_treewidth::{contains_grid, treewidth, treewidth_bounds};
 
@@ -346,7 +343,9 @@ mod tests {
         assert!(!res.outcome.terminated(), "K_v must not terminate");
         let d = res.derivation.unwrap();
         let bound = chase_engine::boundedness::certified_uniform_bound(&d);
-        assert!(bound >= 2, "core chase should exceed treewidth 1, got {bound}");
+        assert!(
+            bound >= 2,
+            "core chase should exceed treewidth 1, got {bound}"
+        );
     }
 }
-

@@ -51,12 +51,7 @@ pub fn find_grid(a: &AtomSet, n: usize, h: PredId, v: PredId) -> Option<GridLabe
     }
     // Pattern variables: chosen outside the instance's variable space by
     // offsetting beyond its maximum raw id.
-    let max_var = a
-        .vars()
-        .iter()
-        .map(|v| v.raw())
-        .max()
-        .unwrap_or(0);
+    let max_var = a.vars().iter().map(|v| v.raw()).max().unwrap_or(0);
     let var_at = |i: usize, j: usize| -> Term {
         Term::Var(VarId::from_raw(max_var + 1 + (i * n + j) as u32))
     };

@@ -17,12 +17,7 @@ pub struct GroundTruthQuery {
     pub entailed: bool,
 }
 
-fn q(
-    vocab: &mut Vocabulary,
-    name: &'static str,
-    src: &str,
-    entailed: bool,
-) -> GroundTruthQuery {
+fn q(vocab: &mut Vocabulary, name: &'static str, src: &str, entailed: bool) -> GroundTruthQuery {
     GroundTruthQuery {
         name,
         query: parse_atoms_with(vocab, name, src).expect("query parses"),
@@ -38,19 +33,9 @@ pub fn staircase_queries(vocab: &mut Vocabulary) -> Vec<GroundTruthQuery> {
     vec![
         q(vocab, "floor-loop", "f(X), h(X, X)", true),
         q(vocab, "ceiling-exists", "c(X)", true),
-        q(
-            vocab,
-            "square",
-            "h(A, B), v(A, C), h(C, D), v(B, D)",
-            true,
-        ),
+        q(vocab, "square", "h(A, B), v(A, C), h(C, D), v(B, D)", true),
         q(vocab, "v-path-3", "v(A, B), v(B, C), v(C, D)", true),
-        q(
-            vocab,
-            "floor-to-ceiling",
-            "f(A), v(A, B), c(B)",
-            true,
-        ),
+        q(vocab, "floor-to-ceiling", "f(A), v(A, B), c(B)", true),
         // f and c never co-occur on a term (f at height 0, c at ≥ 1).
         q(vocab, "floor-is-ceiling", "f(X), c(X)", false),
         // v is strictly height-increasing: no v-loops, no 2-cycles.
@@ -67,18 +52,8 @@ pub fn elevator_queries(vocab: &mut Vocabulary) -> Vec<GroundTruthQuery> {
         q(vocab, "ceiling-done", "c(X), d(X)", true),
         q(vocab, "h-path-3", "h(A, B), h(B, C), h(C, D)", true),
         q(vocab, "v-loop-f", "v(X, X), f(X)", true),
-        q(
-            vocab,
-            "spine-step",
-            "c(A), h(A, B), v(B, C), c(C)",
-            true,
-        ),
-        q(
-            vocab,
-            "square",
-            "h(A, B), v(A, C), h(C, D), v(B, D)",
-            true,
-        ),
+        q(vocab, "spine-step", "c(A), h(A, B), v(B, C), c(C)", true),
+        q(vocab, "square", "h(A, B), v(A, C), h(C, D), v(B, D)", true),
         // h is strictly column-increasing: no h-loops, no 2-cycles.
         q(vocab, "h-loop", "h(X, X)", false),
         q(vocab, "h-2-cycle", "h(X, Y), h(Y, X)", false),

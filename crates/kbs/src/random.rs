@@ -2,9 +2,8 @@
 //! tests.
 
 use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
+use chase_engine::prng::SplitMix64;
 use chase_engine::{Rule, RuleSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for random instance generation.
 #[derive(Clone, Debug)]
@@ -32,7 +31,7 @@ impl Default for InstanceConfig {
 
 /// Draws a random instance over binary predicates.
 pub fn random_instance(vocab: &mut Vocabulary, cfg: &InstanceConfig, seed: u64) -> AtomSet {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let preds: Vec<_> = cfg.preds.iter().map(|p| vocab.pred(p, 2)).collect();
     let mut pool: Vec<Term> = Vec::with_capacity(cfg.terms);
     for i in 0..cfg.terms {
@@ -44,9 +43,9 @@ pub fn random_instance(vocab: &mut Vocabulary, cfg: &InstanceConfig, seed: u64) 
     }
     let mut out = AtomSet::new();
     while out.len() < cfg.atoms {
-        let p = preds[rng.gen_range(0..preds.len())];
-        let a = pool[rng.gen_range(0..pool.len())];
-        let b = pool[rng.gen_range(0..pool.len())];
+        let p = preds[rng.gen_range(preds.len())];
+        let a = pool[rng.gen_range(pool.len())];
+        let b = pool[rng.gen_range(pool.len())];
         out.insert(Atom::new(p, vec![a, b]));
     }
     out
@@ -55,23 +54,20 @@ pub fn random_instance(vocab: &mut Vocabulary, cfg: &InstanceConfig, seed: u64) 
 /// Draws a random *linear* existential ruleset (single-body-atom rules),
 /// which keeps the chase well-behaved enough for benchmarking.
 pub fn random_linear_ruleset(vocab: &mut Vocabulary, rules: usize, seed: u64) -> RuleSet {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    let preds: Vec<_> = ["r", "s", "t"]
-        .iter()
-        .map(|p| vocab.pred(p, 2))
-        .collect();
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let preds: Vec<_> = ["r", "s", "t"].iter().map(|p| vocab.pred(p, 2)).collect();
     let mut out = RuleSet::new();
     for idx in 0..rules {
         let x = vocab.fresh_var();
         let y = vocab.fresh_var();
         let z = vocab.fresh_var();
-        let bp = preds[rng.gen_range(0..preds.len())];
-        let hp = preds[rng.gen_range(0..preds.len())];
+        let bp = preds[rng.gen_range(preds.len())];
+        let hp = preds[rng.gen_range(preds.len())];
         let body: AtomSet = [Atom::new(bp, vec![Term::Var(x), Term::Var(y)])]
             .into_iter()
             .collect();
         // Half the rules are datalog-ish (swap), half existential (chain).
-        let head: AtomSet = if rng.gen_bool(0.5) {
+        let head: AtomSet = if rng.gen_bool() {
             [Atom::new(hp, vec![Term::Var(y), Term::Var(x)])]
                 .into_iter()
                 .collect()

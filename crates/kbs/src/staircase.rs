@@ -297,8 +297,7 @@ impl Staircase {
         {
             let x = self.rule_var("R3h", "X");
             let y = self.rule_var("R3h", "Y");
-            let pi =
-                Substitution::from_pairs([(x, self.x(k, 0)), (y, self.x(k + 1, 0))]);
+            let pi = Substitution::from_pairs([(x, self.x(k, 0)), (y, self.x(k + 1, 0))]);
             out.push(ScheduledApplication {
                 rule: r3,
                 pi,
@@ -310,10 +309,7 @@ impl Staircase {
         for j in 1..=k + 1 {
             let x = self.rule_var("R4h", "X");
             let xp = self.rule_var("R4h", "X'");
-            let pi = Substitution::from_pairs([
-                (x, self.x(k + 1, j - 1)),
-                (xp, self.x(k + 1, j)),
-            ]);
+            let pi = Substitution::from_pairs([(x, self.x(k + 1, j - 1)), (xp, self.x(k + 1, j))]);
             out.push(ScheduledApplication {
                 rule: r4,
                 pi,
@@ -333,9 +329,7 @@ impl Staircase {
         sigma: Substitution,
     ) {
         let trigger = Trigger::new(&self.rules, app.rule, &app.pi);
-        let mut pi_safe = app
-            .pi
-            .restrict(self.rules.get(app.rule).frontier_vars());
+        let mut pi_safe = app.pi.restrict(self.rules.get(app.rule).frontier_vars());
         for &(z, t) in &app.existentials {
             pi_safe.bind(z, t);
         }
@@ -350,11 +344,7 @@ impl Staircase {
     /// The canonical **restricted** chase `D_r` through step `steps − 1`
     /// (no simplifications). Its natural aggregation is `P_steps`.
     pub fn scripted_restricted_chase(&mut self, steps: u32) -> Derivation {
-        let mut d = Derivation::start(
-            self.rules.clone(),
-            self.facts.clone(),
-            Substitution::new(),
-        );
+        let mut d = Derivation::start(self.rules.clone(), self.facts.clone(), Substitution::new());
         for k in 0..steps {
             for app in self.schedule(k) {
                 self.apply_scheduled(&mut d, &app, Substitution::new());
@@ -368,11 +358,7 @@ impl Staircase {
     /// application. Every element is a subset of some `S_k`, hence of
     /// treewidth ≤ 2 (Proposition 4).
     pub fn scripted_core_chase(&mut self, steps: u32) -> Derivation {
-        let mut d = Derivation::start(
-            self.rules.clone(),
-            self.facts.clone(),
-            Substitution::new(),
-        );
+        let mut d = Derivation::start(self.rules.clone(), self.facts.clone(), Substitution::new());
         for k in 0..steps {
             let schedule = self.schedule(k);
             let last = schedule.len() - 1;

@@ -60,7 +60,8 @@ impl<'v> Scope<'v> {
                 TermAst::Var(name) => {
                     let id = *self.vars.entry(name.clone()).or_insert_with(|| {
                         let v = self.vocab.fresh_var();
-                        self.vocab.set_var_name(v, &format!("{}{}", self.prefix, name));
+                        self.vocab
+                            .set_var_name(v, &format!("{}{}", self.prefix, name));
                         v
                     });
                     Term::Var(id)
@@ -145,11 +146,7 @@ pub fn parse_atoms_with(
 }
 
 /// Parses a single rule (`body -> head`) against an existing vocabulary.
-pub fn parse_rule_with(
-    vocab: &mut Vocabulary,
-    name: &str,
-    src: &str,
-) -> Result<Rule, ParseError> {
+pub fn parse_rule_with(vocab: &mut Vocabulary, name: &str, src: &str) -> Result<Rule, ParseError> {
     let stmts = parse_stmts(&format!("{src}."))?;
     let [StmtAst::Rule(rule)] = &stmts[..] else {
         return Err(ParseError::new(

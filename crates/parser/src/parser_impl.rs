@@ -229,10 +229,7 @@ impl Parser {
             TokenKind::Period => {
                 self.bump();
                 if name.is_some() {
-                    return Err(ParseError::new(
-                        span,
-                        "facts cannot carry a statement name",
-                    ));
+                    return Err(ParseError::new(span, "facts cannot carry a statement name"));
                 }
                 Ok(StmtAst::Facts(first))
             }

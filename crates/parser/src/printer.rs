@@ -75,11 +75,7 @@ pub fn program_to_text(prog: &Program) -> String {
         let _ = writeln!(out, "{}", rule_to_text(&prog.vocab, rule));
     }
     for (name, atoms) in &prog.queries {
-        let _ = writeln!(
-            out,
-            "{name}: ?- {}.",
-            atoms_text(&prog.vocab, atoms, name)
-        );
+        let _ = writeln!(out, "{name}: ?- {}.", atoms_text(&prog.vocab, atoms, name));
     }
     out
 }

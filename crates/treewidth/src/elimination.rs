@@ -79,7 +79,10 @@ pub fn decomposition_from_order(g: &Graph, order: &[usize]) -> TreeDecomposition
     TreeDecomposition { bags, edges }
 }
 
-fn greedy_order(g: &Graph, mut score: impl FnMut(&Vec<BTreeSet<usize>>, usize) -> usize) -> Vec<usize> {
+fn greedy_order(
+    g: &Graph,
+    mut score: impl FnMut(&Vec<BTreeSet<usize>>, usize) -> usize,
+) -> Vec<usize> {
     let n = g.len();
     let mut adj = g.adjacency();
     let mut alive: BTreeSet<usize> = (0..n).collect();
@@ -148,9 +151,7 @@ mod tests {
     }
 
     fn cycle(n: u32) -> AtomSet {
-        (0..n)
-            .map(|i| atom(0, &[v(i), v((i + 1) % n)]))
-            .collect()
+        (0..n).map(|i| atom(0, &[v(i), v((i + 1) % n)])).collect()
     }
 
     fn clique(n: u32) -> AtomSet {

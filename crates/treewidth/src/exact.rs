@@ -55,11 +55,7 @@ impl Solver {
     /// Minimum degree over the live vertices (cheap lower bound for the
     /// remaining subproblem).
     fn min_degree_lb(&self, alive: &BTreeSet<usize>) -> usize {
-        alive
-            .iter()
-            .map(|&v| self.adj[v].len())
-            .min()
-            .unwrap_or(0)
+        alive.iter().map(|&v| self.adj[v].len()).min().unwrap_or(0)
     }
 
     fn is_simplicial(&self, v: usize) -> bool {

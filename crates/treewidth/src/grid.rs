@@ -25,9 +25,7 @@ impl GridLabeling {
     /// Builds a labeling from a coordinate function.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> Term) -> Self {
         GridLabeling {
-            terms: (0..n)
-                .map(|i| (0..n).map(|j| f(i, j)).collect())
-                .collect(),
+            terms: (0..n).map(|i| (0..n).map(|j| f(i, j)).collect()).collect(),
         }
     }
 

@@ -31,10 +31,7 @@ fn greedy_bag_cover(bag: &BTreeSet<Term>, a: &AtomSet) -> usize {
         let mut best: Option<(usize, Vec<Term>)> = None;
         for &t in &uncovered {
             for atom in a.with_term(t) {
-                let gain: Vec<Term> = atom
-                    .terms()
-                    .filter(|x| uncovered.contains(x))
-                    .collect();
+                let gain: Vec<Term> = atom.terms().filter(|x| uncovered.contains(x)).collect();
                 if best.as_ref().is_none_or(|(g, _)| gain.len() > *g) {
                     best = Some((gain.len(), gain));
                 }
@@ -105,9 +102,7 @@ mod tests {
 
     #[test]
     fn binary_path_has_width_one() {
-        let a: AtomSet = (0..5)
-            .map(|i| atom(0, &[v(i), v(i + 1)]))
-            .collect();
+        let a: AtomSet = (0..5).map(|i| atom(0, &[v(i), v(i + 1)])).collect();
         assert_eq!(hypertree_width_upper(&a), 1);
     }
 

@@ -35,16 +35,13 @@ pub mod measure;
 mod pathwidth;
 
 pub use decomposition::{DecompositionError, TreeDecomposition};
-pub use elimination::{
-    decomposition_from_order, min_degree_decomposition, min_fill_decomposition,
-};
+pub use elimination::{decomposition_from_order, min_degree_decomposition, min_fill_decomposition};
 pub use exact::{degeneracy_lower_bound, exact_treewidth, exact_treewidth_graph};
 pub use graph::Graph;
 pub use grid::{contains_grid, grid_atoms, GridLabeling};
 pub use hypertree::{greedy_cover_width, hypertree_width_upper};
 pub use pathwidth::{
-    exact_pathwidth, exact_pathwidth_graph, is_path_decomposition,
-    path_decomposition_from_order,
+    exact_pathwidth, exact_pathwidth_graph, is_path_decomposition, path_decomposition_from_order,
 };
 
 use chase_atoms::AtomSet;

@@ -59,13 +59,7 @@ impl PwSolver<'_> {
         // Greedy win: placing a vertex whose neighbours are all placed
         // can never hurt (it strictly shrinks the boundary).
         for v in 0..self.n {
-            if s & (1u128 << v) == 0
-                && self
-                    .g
-                    .neighbors(v)
-                    .iter()
-                    .all(|&u| s & (1u128 << u) != 0)
-            {
+            if s & (1u128 << v) == 0 && self.g.neighbors(v).iter().all(|&u| s & (1u128 << u) != 0) {
                 let s2 = s | (1u128 << v);
                 let b = boundary(self.g, s2);
                 self.search(s2, cur_max.max(b), placed + 1);
@@ -123,10 +117,7 @@ pub fn path_decomposition_from_order(g: &Graph, order: &[usize]) -> TreeDecompos
         let mut bag: BTreeSet<Term> = BTreeSet::new();
         for u in 0..n {
             if placed & (1u128 << u) != 0 {
-                let has_out = g
-                    .neighbors(u)
-                    .iter()
-                    .any(|&w| placed & (1u128 << w) == 0);
+                let has_out = g.neighbors(u).iter().any(|&w| placed & (1u128 << w) == 0);
                 if has_out {
                     bag.insert(g.term(u));
                 }

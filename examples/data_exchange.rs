@@ -54,19 +54,14 @@ fn main() {
     let answers = certain_answers(&kb, &query, &ChaseConfig::variant(ChaseVariant::Core));
     println!("--- certain answers to works_in(X, cs) ---");
     for tuple in &answers.answers {
-        println!(
-            "  X = {}",
-            kb.vocab.const_name(tuple[0]).unwrap_or("?")
-        );
+        println!("  X = {}", kb.vocab.const_name(tuple[0]).unwrap_or("?"));
     }
     assert!(answers.complete);
     assert_eq!(answers.answers.len(), 2);
 
     // Boolean query: do two cs employees share a manager? True in every
     // solution (they share the department head).
-    let shared = kb
-        .parse_query("managed(ann, H), managed(bea, H)")
-        .unwrap();
+    let shared = kb.parse_query("managed(ann, H), managed(bea, H)").unwrap();
     let verdict = entail(&kb, &shared, &ChaseConfig::variant(ChaseVariant::Core));
     println!("\nann and bea share a manager: {verdict:?}");
     assert!(verdict.is_entailed());

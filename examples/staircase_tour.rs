@@ -59,7 +59,9 @@ fn main() {
     // Both answer CQs identically (finite universality, Proposition 9).
     let kb = KnowledgeBase::staircase();
     let mut kb2 = kb.clone();
-    let q = kb2.parse_query("h(A, B), v(A, C), h(C, D), v(B, D)").unwrap();
+    let q = kb2
+        .parse_query("h(A, B), v(A, C), h(C, D), v(B, D)")
+        .unwrap();
     println!(
         "\nK_h ⊨ square-query? {:?}",
         entail(

@@ -4,78 +4,259 @@
 //! treechase run <file> [--variant V] [--max-apps N] [--dot OUT.dot]
 //! treechase analyze <file> [--budget N]
 //! treechase decide <file> "<query>" [--max-apps N]
+//! treechase serve [--workers N]
+//! treechase batch <dir> [--workers N] [--variant V] [--max-apps N]
+//!                       [--max-wall-ms N] [--tw-every N] [--progress-every N]
 //! ```
 //!
-//! The input file uses the `chase-parser` syntax (facts, rules, optional
+//! The input files use the `chase-parser` syntax (facts, rules, optional
 //! `?-` queries). `run` chases the KB and evaluates every query of the
 //! file against the result; `analyze` prints static certificates plus the
 //! Figure 1 dynamic probes; `decide` races the Theorem 1 twin procedure
-//! on an ad-hoc query.
+//! on an ad-hoc query. `serve` speaks the JSONL job protocol over
+//! stdin/stdout (see README, "Running as a service"); `batch` submits
+//! every `.tc` file in a directory to a shared worker pool and streams
+//! progress events as JSONL.
+//!
+//! Flags are declared in one table ([`FLAGS`]) shared by all subcommands;
+//! a flag passed to a subcommand that does not accept it is a usage
+//! error. All usage errors exit with status 2.
 
+use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Duration;
 
 use treechase::analysis::{analyze, critical_instance_test, CriticalOutcome};
 use treechase::core::classes::probe_classes;
 use treechase::engine::dot::instance_dot;
 use treechase::prelude::*;
+use treechase::service::protocol::{self, event_to_json, parse_request, result_to_json, Request};
+use treechase::service::{parse_json, Checkpoint, JobSpec, JobStatus, Json, Service};
 
+/// Parsed command line: the subcommand's positional operands plus every
+/// flag value (each flag has a default, so commands just read fields).
 struct Args {
     positional: Vec<String>,
     variant: ChaseVariant,
     max_apps: usize,
     budget: usize,
     dot: Option<String>,
+    workers: usize,
+    max_wall_ms: Option<u64>,
+    tw_every: Option<usize>,
+    progress_every: usize,
 }
 
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            positional: Vec::new(),
+            variant: ChaseVariant::Core,
+            max_apps: 1_000,
+            budget: 80,
+            dot: None,
+            workers: 4,
+            max_wall_ms: None,
+            tw_every: None,
+            progress_every: 1,
+        }
+    }
+}
+
+/// One row of the flag table: spelling, value placeholder, the
+/// subcommands that accept it, and the setter.
+struct FlagSpec {
+    name: &'static str,
+    metavar: &'static str,
+    commands: &'static [&'static str],
+    apply: fn(&mut Args, &str) -> Result<(), String>,
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--variant",
+        metavar: "oblivious|semi|restricted|frugal|core",
+        commands: &["run", "batch"],
+        apply: |a, v| {
+            a.variant = protocol::parse_variant(v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--max-apps",
+        metavar: "N",
+        commands: &["run", "decide", "batch"],
+        apply: |a, v| {
+            a.max_apps = parse_num("--max-apps", v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--budget",
+        metavar: "N",
+        commands: &["analyze"],
+        apply: |a, v| {
+            a.budget = parse_num("--budget", v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--dot",
+        metavar: "OUT.dot",
+        commands: &["run"],
+        apply: |a, v| {
+            a.dot = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--workers",
+        metavar: "N",
+        commands: &["serve", "batch"],
+        apply: |a, v| {
+            a.workers = parse_num::<usize>("--workers", v)?.max(1);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--max-wall-ms",
+        metavar: "N",
+        commands: &["batch"],
+        apply: |a, v| {
+            a.max_wall_ms = Some(parse_num("--max-wall-ms", v)?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--tw-every",
+        metavar: "N",
+        commands: &["batch"],
+        apply: |a, v| {
+            a.tw_every = Some(parse_num::<usize>("--tw-every", v)?.max(1));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--progress-every",
+        metavar: "N",
+        commands: &["batch"],
+        apply: |a, v| {
+            a.progress_every = parse_num::<usize>("--progress-every", v)?.max(1);
+            Ok(())
+        },
+    },
+];
+
+/// One row of the command table: spelling, operand count bounds, operand
+/// placeholder and handler.
+struct CommandSpec {
+    name: &'static str,
+    operands: &'static str,
+    min_args: usize,
+    max_args: usize,
+    run: fn(&Args) -> Result<(), String>,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "run",
+        operands: "<file>",
+        min_args: 1,
+        max_args: 1,
+        run: cmd_run,
+    },
+    CommandSpec {
+        name: "analyze",
+        operands: "<file>",
+        min_args: 1,
+        max_args: 1,
+        run: cmd_analyze,
+    },
+    CommandSpec {
+        name: "decide",
+        operands: "<file> \"<query>\"",
+        min_args: 2,
+        max_args: 2,
+        run: cmd_decide,
+    },
+    CommandSpec {
+        name: "serve",
+        operands: "",
+        min_args: 0,
+        max_args: 0,
+        run: cmd_serve,
+    },
+    CommandSpec {
+        name: "batch",
+        operands: "<dir>",
+        min_args: 1,
+        max_args: 1,
+        run: cmd_batch,
+    },
+];
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  treechase run <file> [--variant oblivious|semi|restricted|frugal|core] \
-         [--max-apps N] [--dot OUT.dot]\n  treechase analyze <file> [--budget N]\n  \
-         treechase decide <file> \"<query>\" [--max-apps N]"
-    );
+    let mut text = String::from("usage:\n");
+    for cmd in COMMANDS {
+        text.push_str("  treechase ");
+        text.push_str(cmd.name);
+        if !cmd.operands.is_empty() {
+            text.push(' ');
+            text.push_str(cmd.operands);
+        }
+        for flag in FLAGS {
+            if flag.commands.contains(&cmd.name) {
+                text.push_str(&format!(" [{} {}]", flag.name, flag.metavar));
+            }
+        }
+        text.push('\n');
+    }
+    eprint!("{text}");
     ExitCode::from(2)
 }
 
-fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
-    let mut args = Args {
-        positional: Vec::new(),
-        variant: ChaseVariant::Core,
-        max_apps: 1_000,
-        budget: 80,
-        dot: None,
-    };
+/// Parses flags against the table, rejecting unknown flags and flags the
+/// subcommand does not accept.
+fn parse_args(cmd: &CommandSpec, mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args::default();
     while let Some(arg) = raw.next() {
-        match arg.as_str() {
-            "--variant" => {
-                let v = raw.next().ok_or("--variant needs a value")?;
-                args.variant = match v.as_str() {
-                    "oblivious" => ChaseVariant::Oblivious,
-                    "semi" | "semi-oblivious" | "skolem" => ChaseVariant::SemiOblivious,
-                    "restricted" | "standard" => ChaseVariant::Restricted,
-                    "frugal" => ChaseVariant::Frugal,
-                    "core" => ChaseVariant::Core,
-                    other => return Err(format!("unknown variant `{other}`")),
-                };
+        if let Some(flag) = FLAGS.iter().find(|f| f.name == arg) {
+            if !flag.commands.contains(&cmd.name) {
+                return Err(format!("{} does not apply to `{}`", flag.name, cmd.name));
             }
-            "--max-apps" => {
-                args.max_apps = raw
-                    .next()
-                    .ok_or("--max-apps needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--max-apps: {e}"))?;
-            }
-            "--budget" => {
-                args.budget = raw
-                    .next()
-                    .ok_or("--budget needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--budget: {e}"))?;
-            }
-            "--dot" => args.dot = Some(raw.next().ok_or("--dot needs a path")?),
-            other => args.positional.push(other.to_string()),
+            let value = raw
+                .next()
+                .ok_or_else(|| format!("{} needs a value", flag.name))?;
+            (flag.apply)(&mut args, &value)?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            args.positional.push(arg);
         }
     }
+    if args.positional.len() < cmd.min_args || args.positional.len() > cmd.max_args {
+        return Err(format!("{} takes {}", cmd.name, cmd.operands_description()));
+    }
     Ok(args)
+}
+
+impl CommandSpec {
+    fn operands_description(&self) -> String {
+        match (self.min_args, self.max_args) {
+            (0, 0) => "no operands".to_string(),
+            (1, 1) => "exactly one operand".to_string(),
+            (lo, hi) if lo == hi => format!("exactly {lo} operands"),
+            (lo, hi) => format!("{lo} to {hi} operands"),
+        }
+    }
 }
 
 fn load(path: &str) -> Result<(KnowledgeBase, Vec<(String, AtomSet)>), String> {
@@ -85,16 +266,13 @@ fn load(path: &str) -> Result<(KnowledgeBase, Vec<(String, AtomSet)>), String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let [_, path] = &args.positional[..] else {
-        return Err("run takes exactly one file".into());
-    };
+    let path = &args.positional[0];
     let (kb, queries) = load(path)?;
     let cfg = ChaseConfig::variant(args.variant).with_max_applications(args.max_apps);
     let res = kb.chase(&cfg);
     println!(
         "{:?} chase: {:?} after {} applications ({} rounds, {} retractions)",
-        args.variant, res.outcome, res.stats.applications, res.stats.rounds,
-        res.stats.retractions
+        args.variant, res.outcome, res.stats.applications, res.stats.rounds, res.stats.retractions
     );
     println!(
         "final instance: {} atoms = {}",
@@ -119,9 +297,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let [_, path] = &args.positional[..] else {
-        return Err("analyze takes exactly one file".into());
-    };
+    let path = &args.positional[0];
     let (kb, _) = load(path)?;
     println!("--- static certificates ---");
     println!("{}", analyze(&kb.rules));
@@ -133,7 +309,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             println!("critical-instance test: inconclusive at this budget")
         }
     }
-    println!("--- dynamic probes (this fact base, budget {}) ---", args.budget);
+    println!(
+        "--- dynamic probes (this fact base, budget {}) ---",
+        args.budget
+    );
     let probe = probe_classes(&kb, args.budget);
     println!("core chase terminated: {}", probe.core_chase_terminated);
     println!(
@@ -150,8 +329,8 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_decide(args: &Args) -> Result<(), String> {
-    let [_, path, query_src] = &args.positional[..] else {
-        return Err("decide takes a file and a query".into());
+    let [path, query_src] = &args.positional[..] else {
+        unreachable!("operand count checked by parse_args");
     };
     let (mut kb, _) = load(path)?;
     let query = kb
@@ -167,24 +346,318 @@ fn cmd_decide(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes one JSONL line to stdout under the shared lock (events from
+/// the forwarder thread interleave with responses from the request
+/// loop, but never mid-line).
+fn emit_line(lock: &Mutex<()>, line: &Json) {
+    let _guard = lock.lock().expect("stdout lock poisoned");
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+fn response(op: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![
+        ("type".to_string(), Json::str("response")),
+        ("op".to_string(), Json::str(op)),
+    ];
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([
+        ("type", Json::str("error")),
+        ("message", Json::str(message)),
+    ])
+}
+
+/// Builds the spec for a `resume` request: re-parse the checkpoint and
+/// grant the new slice its own budgets.
+fn resume_spec(
+    checkpoint: &Checkpoint,
+    max_applications: Option<usize>,
+    max_wall_ms: Option<u64>,
+) -> Result<JobSpec, String> {
+    let mut spec = checkpoint.into_spec()?;
+    if let Some(n) = max_applications {
+        spec.config.max_applications = n;
+    }
+    if let Some(ms) = max_wall_ms {
+        spec.config.max_wall = Some(Duration::from_millis(ms));
+    }
+    Ok(spec)
+}
+
+fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
+    match req {
+        Request::Submit {
+            name,
+            source,
+            config,
+            tw_sample_interval,
+            progress_every,
+        } => {
+            let mut spec = JobSpec::from_text(name.unwrap_or_default(), &source, config)?;
+            if let Some(every) = tw_sample_interval {
+                spec = spec.with_tw_samples(every);
+            }
+            if let Some(every) = progress_every {
+                spec = spec.with_progress_every(every);
+            }
+            if spec.name.is_empty() {
+                // Ids are minted densely from 1 and entries are never
+                // removed, so the next id is the table size plus one.
+                spec.name = format!("job-{}", svc.list().len() + 1);
+            }
+            let id = svc.submit(spec);
+            Ok(response(
+                "submit",
+                vec![("job".to_string(), Json::Int(id as i64))],
+            ))
+        }
+        Request::Resume {
+            checkpoint,
+            max_applications,
+            max_wall_ms,
+        } => {
+            let spec = resume_spec(&checkpoint, max_applications, max_wall_ms)?;
+            let id = svc.submit(spec);
+            Ok(response(
+                "resume",
+                vec![
+                    ("job".to_string(), Json::Int(id as i64)),
+                    ("exact".to_string(), Json::Bool(checkpoint.exact())),
+                ],
+            ))
+        }
+        Request::Cancel { job } => {
+            let ok = svc.cancel(job);
+            Ok(response(
+                "cancel",
+                vec![
+                    ("job".to_string(), Json::Int(job as i64)),
+                    ("cancelled".to_string(), Json::Bool(ok)),
+                ],
+            ))
+        }
+        Request::Status { job } => {
+            let status = svc
+                .status(job)
+                .ok_or_else(|| format!("unknown job {job}"))?;
+            Ok(response(
+                "status",
+                vec![
+                    ("job".to_string(), Json::Int(job as i64)),
+                    (
+                        "status".to_string(),
+                        Json::str(protocol::status_name(&status)),
+                    ),
+                ],
+            ))
+        }
+        Request::Wait { job } => {
+            let status = svc.wait(job).ok_or_else(|| format!("unknown job {job}"))?;
+            let name = svc
+                .list()
+                .into_iter()
+                .find(|r| r.id == job)
+                .map(|r| r.name)
+                .unwrap_or_default();
+            let result = svc.with_result(job, |r| result_to_json(job, &name, r));
+            let mut fields = vec![
+                ("job".to_string(), Json::Int(job as i64)),
+                (
+                    "status".to_string(),
+                    Json::str(protocol::status_name(&status)),
+                ),
+            ];
+            if let Some(r) = result {
+                fields.push(("result".to_string(), r));
+            }
+            Ok(response("wait", fields))
+        }
+        Request::Checkpoint { job } => {
+            let ck = svc
+                .with_result(job, |r| r.checkpoint.as_ref().map(Checkpoint::to_json))
+                .ok_or_else(|| format!("job {job} has no result"))?
+                .ok_or_else(|| format!("job {job} is not resumable"))?;
+            Ok(response(
+                "checkpoint",
+                vec![
+                    ("job".to_string(), Json::Int(job as i64)),
+                    ("checkpoint".to_string(), ck),
+                ],
+            ))
+        }
+        Request::List => Ok(response(
+            "list",
+            vec![(
+                "jobs".to_string(),
+                Json::Arr(
+                    svc.list()
+                        .into_iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("job", Json::Int(r.id as i64)),
+                                ("name", Json::str(&r.name)),
+                                ("status", Json::str(protocol::status_name(&r.status))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )],
+        )),
+        Request::Shutdown => Ok(response("shutdown", Vec::new())),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut svc = Service::start(args.workers);
+    let events = svc.events();
+    let lock = std::sync::Arc::new(Mutex::new(()));
+    let event_lock = std::sync::Arc::clone(&lock);
+    let forwarder = std::thread::spawn(move || {
+        for ev in events {
+            emit_line(&event_lock, &event_to_json(&ev));
+        }
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = parse_json(&line)
+            .and_then(|v| parse_request(&v))
+            .and_then(|req| handle_request(&svc, req));
+        let is_shutdown = matches!(
+            &reply,
+            Ok(Json::Obj(fields)) if fields.iter().any(|(k, v)| {
+                k == "op" && v.as_str() == Some("shutdown")
+            })
+        );
+        match reply {
+            Ok(json) => emit_line(&lock, &json),
+            Err(message) => emit_line(&lock, &error_response(&message)),
+        }
+        if is_shutdown {
+            break;
+        }
+    }
+    svc.shutdown();
+    drop(svc);
+    let _ = forwarder.join();
+    Ok(())
+}
+
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let dir = &args.positional[0];
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "tc"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{dir}: no .tc files"));
+    }
+
+    let mut cfg = ChaseConfig::variant(args.variant).with_max_applications(args.max_apps);
+    cfg.max_wall = args.max_wall_ms.map(Duration::from_millis);
+
+    let mut svc = Service::start(args.workers);
+    let events = svc.events();
+    let lock = std::sync::Arc::new(Mutex::new(()));
+    let event_lock = std::sync::Arc::clone(&lock);
+    let forwarder = std::thread::spawn(move || {
+        for ev in events {
+            emit_line(&event_lock, &event_to_json(&ev));
+        }
+    });
+
+    let mut ids = Vec::new();
+    for path in &files {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut spec = JobSpec::from_text(name, &src, cfg.clone())
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .with_progress_every(args.progress_every);
+        if let Some(every) = args.tw_every {
+            spec = spec.with_tw_samples(every);
+        }
+        ids.push(svc.submit(spec));
+    }
+
+    let mut failed = 0usize;
+    let mut summaries = Vec::new();
+    for id in &ids {
+        let status = svc.wait(*id).expect("submitted job is known");
+        let name = svc
+            .list()
+            .into_iter()
+            .find(|r| r.id == *id)
+            .map(|r| r.name)
+            .unwrap_or_default();
+        if status == JobStatus::Failed {
+            failed += 1;
+            summaries.push(format!("job {name}: failed"));
+            continue;
+        }
+        if let Some(line) = svc.with_result(*id, |r| {
+            format!(
+                "job {name}: {} after {} applications, {} atoms, {} ms",
+                protocol::outcome_name(r.outcome),
+                r.stats.applications,
+                r.final_instance.len(),
+                r.wall_ms
+            )
+        }) {
+            summaries.push(line);
+        }
+    }
+    svc.shutdown();
+    drop(svc);
+    let _ = forwarder.join();
+
+    {
+        let _guard = lock.lock().expect("stdout lock poisoned");
+        for line in &summaries {
+            println!("{line}");
+        }
+        println!(
+            "batch: {} jobs, {} completed, {} failed ({} workers)",
+            ids.len(),
+            ids.len() - failed,
+            failed,
+            args.workers
+        );
+    }
+    if failed > 0 {
+        return Err(format!("{failed} job(s) failed"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let mut raw = std::env::args().skip(1);
+    let Some(cmd_name) = raw.next() else {
+        return usage();
+    };
+    let Some(cmd) = COMMANDS.iter().find(|c| c.name == cmd_name) else {
+        return usage();
+    };
+    let args = match parse_args(cmd, raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
         }
     };
-    let Some(cmd) = args.positional.first() else {
-        return usage();
-    };
-    let result = match cmd.as_str() {
-        "run" => cmd_run(&args),
-        "analyze" => cmd_analyze(&args),
-        "decide" => cmd_decide(&args),
-        _ => return usage(),
-    };
-    match result {
+    match (cmd.run)(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

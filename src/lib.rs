@@ -12,6 +12,7 @@
 //! * [`chase_kbs`] — the paper's knowledge bases and workload generators
 //! * [`chase_analysis`] — static ruleset analyses (acyclicity, guards)
 //! * [`chase_core`] — the public facade: KBs, entailment, class analysis
+//! * [`treechase_service`] — concurrent, budgeted chase job runner
 
 pub use chase_analysis as analysis;
 pub use chase_atoms as atoms;
@@ -21,5 +22,6 @@ pub use chase_homomorphism as homomorphism;
 pub use chase_kbs as kbs;
 pub use chase_parser as parser;
 pub use chase_treewidth as treewidth;
+pub use treechase_service as service;
 
 pub use chase_core::prelude;

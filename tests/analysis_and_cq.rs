@@ -20,14 +20,17 @@ fn acyclicity_predicts_termination() {
     let cases = [
         ("r(a, b). T: r(X, Y), r(Y, Z) -> r(X, Z).", true, true),
         ("r(a, b). R: r(X, Y) -> r(Y, Z).", false, false),
-        ("r(a, b). R: r(X, Y) -> s(Y, Z). S: s(X, Y) -> t(X).", true, true),
+        (
+            "r(a, b). R: r(X, Y) -> s(Y, Z). S: s(X, Y) -> t(X).",
+            true,
+            true,
+        ),
     ];
     for (src, wa, terminates) in cases {
         let k = kb(src);
         assert_eq!(weakly_acyclic(&k.rules), wa, "{src}");
-        let res = k.chase(
-            &ChaseConfig::variant(ChaseVariant::SemiOblivious).with_max_applications(200),
-        );
+        let res =
+            k.chase(&ChaseConfig::variant(ChaseVariant::SemiOblivious).with_max_applications(200));
         assert_eq!(res.outcome.terminated(), terminates, "{src}");
         // Soundness direction: certified ⇒ terminates.
         if wa {
@@ -88,18 +91,11 @@ fn minimized_queries_answer_identically() {
 #[test]
 fn containment_is_a_preorder() {
     let mut vocab = Vocabulary::new();
-    let qs: Vec<AtomSet> = [
-        "r(X, Y)",
-        "r(X, Y), r(Y, Z)",
-        "r(X, X)",
-        "r(X, Y), r(Y, X)",
-    ]
-    .iter()
-    .enumerate()
-    .map(|(i, src)| {
-        chase_parser_parse(&mut vocab, &format!("q{i}"), src)
-    })
-    .collect();
+    let qs: Vec<AtomSet> = ["r(X, Y)", "r(X, Y), r(Y, Z)", "r(X, X)", "r(X, Y), r(Y, X)"]
+        .iter()
+        .enumerate()
+        .map(|(i, src)| chase_parser_parse(&mut vocab, &format!("q{i}"), src))
+        .collect();
     for q in &qs {
         assert!(cq_contained_in(q, q));
     }
@@ -117,11 +113,7 @@ fn containment_is_a_preorder() {
     assert!(!cq_contained_in(&qs[0], &qs[2]));
 }
 
-fn chase_parser_parse(
-    vocab: &mut Vocabulary,
-    prefix: &str,
-    src: &str,
-) -> AtomSet {
+fn chase_parser_parse(vocab: &mut Vocabulary, prefix: &str, src: &str) -> AtomSet {
     treechase::parser::parse_atoms_with(vocab, prefix, src).unwrap()
 }
 
@@ -129,10 +121,8 @@ fn chase_parser_parse(
 /// and all three agree on CQ entailment.
 #[test]
 fn frugal_between_restricted_and_core() {
-    let k = kb(
-        "r(a, b).
-         R: r(X, Y) -> s(Y, Z), s(Y, W), t(Z).",
-    );
+    let k = kb("r(a, b).
+         R: r(X, Y) -> s(Y, Z), s(Y, W), t(Z).");
     let sizes: Vec<usize> = [
         ChaseVariant::Restricted,
         ChaseVariant::Frugal,
@@ -170,11 +160,9 @@ fn frugal_between_restricted_and_core() {
 /// Certain answers respect the core/restricted equivalence.
 #[test]
 fn certain_answers_variant_independent() {
-    let mut k = kb(
-        "emp(ann, cs). emp(bea, cs).
+    let mut k = kb("emp(ann, cs). emp(bea, cs).
          M: emp(N, D) -> works(N, D).
-         H: works(N, D) -> head(D, H).",
-    );
+         H: works(N, D) -> head(D, H).");
     let q_atoms = k.parse_query("works(X, cs)").unwrap();
     let x = *q_atoms.vars().iter().next().unwrap();
     let query = AnswerQuery::new(q_atoms, vec![x]).unwrap();

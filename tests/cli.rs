@@ -24,11 +24,21 @@ fn run_reports_certified_queries() {
         .args(["run", kb.to_str().unwrap(), "--variant", "core"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Terminated"), "{stdout}");
-    assert!(stdout.contains("query Qyes: entailed (certified)"), "{stdout}");
-    assert!(stdout.contains("query Qno: not entailed (certified)"), "{stdout}");
+    assert!(
+        stdout.contains("query Qyes: entailed (certified)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("query Qno: not entailed (certified)"),
+        "{stdout}"
+    );
 }
 
 #[test]

@@ -1,101 +1,88 @@
-//! Property-based parser round-trips: random programs survive
+//! Randomized parser round-trips: random programs survive
 //! print → parse with structure intact (up to variable renaming, which
 //! we verify through isomorphism of the lowered atomsets).
+//!
+//! Programs are generated at the *source* level with the engine's
+//! deterministic [`SplitMix64`] generator, so the property covers
+//! lexer + parser + lowering + printer together on reproducible inputs.
 
-use proptest::prelude::*;
+use treechase::engine::prng::SplitMix64;
 use treechase::homomorphism::isomorphism;
 use treechase::parser::{parse_program, program_to_text};
 
-/// A tiny random program generator working at the *source* level so the
-/// property covers lexer + parser + lowering + printer together.
-fn program_source() -> impl Strategy<Value = String> {
-    let pred = prop::sample::select(vec!["r", "s", "t"]);
-    let con = prop::sample::select(vec!["a", "b", "c"]);
-    let var = prop::sample::select(vec!["X", "Y", "Z", "W"]);
+const PREDS: [&str; 3] = ["r", "s", "t"];
+const CONS: [&str; 3] = ["a", "b", "c"];
+const VARS: [&str; 4] = ["X", "Y", "Z", "W"];
 
-    let fact = (pred.clone(), con.clone(), con.clone())
-        .prop_map(|(p, a, b)| format!("{p}({a}, {b})."));
-
-    let rule = (
-        pred.clone(),
-        pred.clone(),
-        var.clone(),
-        var.clone(),
-        var.clone(),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(bp, hp, x, y, z, existential)| {
-            if existential && z != x && z != y {
-                format!("{bp}({x}, {y}) -> {hp}({y}, {z}).")
-            } else {
-                format!("{bp}({x}, {y}) -> {hp}({y}, {x}).")
-            }
-        });
-
-    let query = (pred, var.clone(), var).prop_map(|(p, x, y)| format!("?- {p}({x}, {y})."));
-
-    (
-        prop::collection::vec(fact, 1..4),
-        prop::collection::vec(rule, 0..3),
-        prop::collection::vec(query, 0..2),
-    )
-        .prop_map(|(facts, rules, queries)| {
-            let mut src = String::new();
-            for f in facts {
-                src.push_str(&f);
-                src.push('\n');
-            }
-            for r in rules {
-                src.push_str(&r);
-                src.push('\n');
-            }
-            for q in queries {
-                src.push_str(&q);
-                src.push('\n');
-            }
-            src
-        })
+fn pick<'a>(rng: &mut SplitMix64, from: &[&'a str]) -> &'a str {
+    from[rng.gen_range(from.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_program_source(rng: &mut SplitMix64) -> String {
+    let mut src = String::new();
+    for _ in 0..1 + rng.gen_range(3) {
+        let (p, a, b) = (pick(rng, &PREDS), pick(rng, &CONS), pick(rng, &CONS));
+        src.push_str(&format!("{p}({a}, {b}).\n"));
+    }
+    for _ in 0..rng.gen_range(3) {
+        let bp = pick(rng, &PREDS);
+        let hp = pick(rng, &PREDS);
+        let x = pick(rng, &VARS);
+        let y = pick(rng, &VARS);
+        let z = pick(rng, &VARS);
+        if rng.gen_bool() && z != x && z != y {
+            src.push_str(&format!("{bp}({x}, {y}) -> {hp}({y}, {z}).\n"));
+        } else {
+            src.push_str(&format!("{bp}({x}, {y}) -> {hp}({y}, {x}).\n"));
+        }
+    }
+    for _ in 0..rng.gen_range(2) {
+        let (p, x, y) = (pick(rng, &PREDS), pick(rng, &VARS), pick(rng, &VARS));
+        src.push_str(&format!("?- {p}({x}, {y}).\n"));
+    }
+    src
+}
 
-    #[test]
-    fn print_parse_preserves_structure(src in program_source()) {
+#[test]
+fn print_parse_preserves_structure() {
+    let mut rng = SplitMix64::new(0x5EED);
+    for _ in 0..48 {
+        let src = random_program_source(&mut rng);
         let p1 = parse_program(&src).expect("generated source parses");
         let text = program_to_text(&p1);
         let p2 = parse_program(&text)
             .unwrap_or_else(|e| panic!("printed text must reparse: {e}\n---\n{text}"));
 
         // Facts are isomorphic (ground facts: even equal).
-        prop_assert!(isomorphism(&p1.facts, &p2.facts).is_some());
+        assert!(isomorphism(&p1.facts, &p2.facts).is_some());
 
         // Rules correspond 1:1 with isomorphic bodies and heads.
-        prop_assert_eq!(p1.rules.len(), p2.rules.len());
+        assert_eq!(p1.rules.len(), p2.rules.len());
         for ((_, r1), (_, r2)) in p1.rules.iter().zip(p2.rules.iter()) {
-            prop_assert_eq!(r1.name(), r2.name());
-            prop_assert!(isomorphism(r1.body(), r2.body()).is_some());
-            prop_assert!(isomorphism(r1.head(), r2.head()).is_some());
-            prop_assert_eq!(
-                r1.existential_vars().len(),
-                r2.existential_vars().len()
-            );
-            prop_assert_eq!(r1.frontier_vars().len(), r2.frontier_vars().len());
+            assert_eq!(r1.name(), r2.name());
+            assert!(isomorphism(r1.body(), r2.body()).is_some());
+            assert!(isomorphism(r1.head(), r2.head()).is_some());
+            assert_eq!(r1.existential_vars().len(), r2.existential_vars().len());
+            assert_eq!(r1.frontier_vars().len(), r2.frontier_vars().len());
         }
 
         // Queries correspond with isomorphic atomsets.
-        prop_assert_eq!(p1.queries.len(), p2.queries.len());
+        assert_eq!(p1.queries.len(), p2.queries.len());
         for ((n1, q1), (n2, q2)) in p1.queries.iter().zip(p2.queries.iter()) {
-            prop_assert_eq!(n1, n2);
-            prop_assert!(isomorphism(q1, q2).is_some());
+            assert_eq!(n1, n2);
+            assert!(isomorphism(q1, q2).is_some());
         }
     }
+}
 
-    #[test]
-    fn printing_stabilizes(src in program_source()) {
+#[test]
+fn printing_stabilizes() {
+    let mut rng = SplitMix64::new(0xFACADE);
+    for _ in 0..48 {
+        let src = random_program_source(&mut rng);
         let p1 = parse_program(&src).expect("parses");
         let t1 = program_to_text(&p1);
         let t2 = program_to_text(&parse_program(&t1).expect("reparses"));
-        prop_assert_eq!(t1, t2);
+        assert_eq!(t1, t2);
     }
 }

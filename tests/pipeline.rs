@@ -42,10 +42,7 @@ fn program_queries_evaluate_against_chase() {
 
 #[test]
 fn nonterminating_kb_still_answers_positives() {
-    let mut kb = KnowledgeBase::from_text(
-        "p(a). G: p(X) -> e(X, Y), p(Y).",
-    )
-    .unwrap();
+    let mut kb = KnowledgeBase::from_text("p(a). G: p(X) -> e(X, Y), p(Y).").unwrap();
     let q = kb.parse_query("e(A, B), e(B, C), e(C, D)").unwrap();
     let cfg = ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(30);
     assert!(entail(&kb, &q, &cfg).is_entailed());
@@ -61,10 +58,7 @@ fn decide_races_on_paper_kbs() {
 
 #[test]
 fn chase_results_are_reproducible_across_runs() {
-    let kb = KnowledgeBase::from_text(
-        "r(a, b). R: r(X, Y) -> r(Y, Z).",
-    )
-    .unwrap();
+    let kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
     let cfg = ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(7);
     let r1 = kb.chase(&cfg);
     let r2 = kb.chase(&cfg);

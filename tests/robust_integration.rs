@@ -84,10 +84,7 @@ fn renaming_matches_definition_14() {
     .into_iter()
     .collect();
     // σ folds v0 and v1 onto v2.
-    let sigma = Substitution::from_pairs([
-        (v0.as_var().unwrap(), v2),
-        (v1.as_var().unwrap(), v2),
-    ]);
+    let sigma = Substitution::from_pairs([(v0.as_var().unwrap(), v2), (v1.as_var().unwrap(), v2)]);
     assert!(sigma.is_retraction_of(&a));
     let rho = robust_renaming(&a, &sigma, &treechase::engine::robust::default_rank);
     // σ⁻¹(v2) = {v0, v1, v2}; rank-min is v0.

@@ -20,13 +20,7 @@ fn robust_aggregation_uses_papers_stable_names() {
 
     // Expected stable terms, bottom to top: X0_0, X0_1, X1_2, X2_3.
     let expected: Vec<Term> = (0..steps)
-        .map(|j| {
-            if j == 0 {
-                s.x(0, 0)
-            } else {
-                s.x(j - 1, j)
-            }
-        })
+        .map(|j| if j == 0 { s.x(0, 0) } else { s.x(j - 1, j) })
         .collect();
     for (j, &t) in expected.iter().enumerate() {
         assert!(
@@ -81,5 +75,8 @@ fn first_retraction_matches_paper_text() {
     // is named X0_1 — the old names survive.
     assert!(g_last.mentions(s.x(0, 0)));
     assert!(g_last.mentions(s.x(0, 1)));
-    assert!(!g_last.mentions(s.x(1, 0)), "folded-away name must not resurface");
+    assert!(
+        !g_last.mentions(s.x(1, 0)),
+        "folded-away name must not resurface"
+    );
 }

@@ -1,0 +1,294 @@
+//! Integration tests of the `treechase-service` job runner: budget
+//! exhaustion → checkpoint → resume equivalence, cancellation latency,
+//! concurrent batches, and the JSONL wire protocol end to end.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use treechase::core::KnowledgeBase;
+use treechase::engine::{ChaseConfig, ChaseOutcome, ChaseVariant};
+use treechase::homomorphism::isomorphism;
+use treechase::service::{parse_json, JobEventKind, JobSpec, JobStatus, QueryVerdict, Service};
+
+fn staircase_spec(name: &str, cfg: ChaseConfig) -> JobSpec {
+    JobSpec::from_kb(name, KnowledgeBase::staircase(), cfg)
+}
+
+/// The acceptance scenario: a core-chase job on the staircase KB runs
+/// out of budget, is checkpointed, and the resumed job reaches a result
+/// isomorphic to an uninterrupted run of the same total budget.
+#[test]
+fn staircase_core_chase_resumes_isomorphic_to_uninterrupted() {
+    let total = 60usize;
+    let cut = 30usize;
+    let svc = Service::start(2);
+
+    let full_id = svc.submit(staircase_spec(
+        "full",
+        ChaseConfig::variant(ChaseVariant::Core).with_max_applications(total),
+    ));
+    let cut_id = svc.submit(staircase_spec(
+        "cut",
+        ChaseConfig::variant(ChaseVariant::Core).with_max_applications(cut),
+    ));
+    let full = svc.take_result(full_id).expect("full run result");
+    let cut_res = svc.take_result(cut_id).expect("cut run result");
+    assert_eq!(full.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+    assert_eq!(cut_res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+
+    let ck = cut_res.checkpoint.expect("budget exhaustion is resumable");
+    assert!(ck.exact(), "core chase checkpoints are resume-exact");
+    assert_eq!(ck.stats.applications, cut);
+
+    let mut resumed_spec = ck.into_spec().expect("checkpoint reparses");
+    resumed_spec.config.max_applications = total - cut;
+    let resumed_id = svc.submit(resumed_spec);
+    let resumed = svc.take_result(resumed_id).expect("resumed result");
+
+    // Accumulated counters cover both slices.
+    assert_eq!(resumed.stats.applications, total);
+    assert!(
+        isomorphism(&resumed.final_instance, &full.final_instance).is_some(),
+        "resumed instance ({} atoms) must be isomorphic to the \
+         uninterrupted one ({} atoms)",
+        resumed.final_instance.len(),
+        full.final_instance.len()
+    );
+}
+
+/// A cancelled running job stops within 100 ms and the worker pool
+/// stays healthy for subsequent jobs.
+#[test]
+fn cancellation_lands_within_100ms_without_poisoning_the_pool() {
+    let svc = Service::start(1);
+    // A divergent KB with a huge budget: would run for minutes.
+    let id = svc.submit(staircase_spec(
+        "longrun",
+        ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(10_000_000),
+    ));
+    // Wait until the job is actually running.
+    let spin_start = Instant::now();
+    while svc.status(id) != Some(JobStatus::Running) {
+        assert!(
+            spin_start.elapsed() < Duration::from_secs(10),
+            "job never started"
+        );
+        std::thread::yield_now();
+    }
+    // Let it chew for a moment so cancellation hits mid-run.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let cancel_at = Instant::now();
+    assert!(svc.cancel(id));
+    let status = svc.wait(id).expect("job known");
+    let latency = cancel_at.elapsed();
+    assert_eq!(status, JobStatus::Cancelled);
+    assert!(
+        latency < Duration::from_millis(100),
+        "cancellation took {latency:?}"
+    );
+
+    // The pool still runs new work afterwards.
+    let next = svc.submit(
+        JobSpec::from_text(
+            "after-cancel",
+            "r(a, b). T: r(X, Y) -> r(Y, X). Q: ?- r(b, a).",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        )
+        .unwrap(),
+    );
+    let res = svc.take_result(next).expect("post-cancel job runs");
+    assert!(res.outcome.terminated());
+    assert_eq!(res.queries[0].1, QueryVerdict::EntailedCertified);
+}
+
+/// A cancelled run is still a valid prefix: it yields a checkpoint from
+/// which the job can be resumed to completion.
+#[test]
+fn cancelled_job_checkpoint_resumes_to_completion() {
+    let svc = Service::start(1);
+    let id = svc.submit(JobSpec::from_kb(
+        "cancel-resume",
+        KnowledgeBase::staircase(),
+        ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(2_000_000),
+    ));
+    while svc.status(id) != Some(JobStatus::Running) {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(svc.cancel(id));
+    let res = svc.take_result(id).expect("cancelled result");
+    assert_eq!(res.outcome, ChaseOutcome::Cancelled);
+    let ck = res.checkpoint.expect("cancellation is resumable");
+
+    let mut spec = ck.into_spec().expect("checkpoint reparses");
+    // Resume with a budget instead of cancelling again.
+    spec.config.max_applications = res.stats.applications + 10;
+    let resumed = svc.take_result(svc.submit(spec)).expect("resumed");
+    assert_eq!(resumed.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+    assert!(resumed.stats.applications >= res.stats.applications);
+}
+
+/// With four workers, four submitted jobs all start before any of them
+/// finishes — i.e. they genuinely execute concurrently.
+#[test]
+fn four_jobs_run_concurrently_with_interleaved_starts() {
+    let svc = Service::start(4);
+    let events = svc.events();
+    let cfg = ChaseConfig::variant(ChaseVariant::Oblivious)
+        .with_max_applications(10_000_000)
+        .with_max_wall(Duration::from_millis(700));
+    let ids: Vec<_> = (0..4)
+        .map(|i| svc.submit(staircase_spec(&format!("conc-{i}"), cfg.clone())))
+        .collect();
+    for id in &ids {
+        assert_eq!(svc.wait(*id), Some(JobStatus::Finished));
+    }
+    let mut started_before_first_finish = std::collections::HashSet::new();
+    let mut finished = false;
+    while let Ok(ev) = events.try_recv() {
+        match ev.kind {
+            JobEventKind::Started if !finished => {
+                started_before_first_finish.insert(ev.job);
+            }
+            JobEventKind::Finished { .. } => finished = true,
+            _ => {}
+        }
+    }
+    assert_eq!(
+        started_before_first_finish.len(),
+        4,
+        "all four jobs must be running before the first one finishes"
+    );
+}
+
+/// A concurrent batch over the repo's `testdata/` directory: every KB
+/// file becomes a job, all reach a terminal state, none fails.
+#[test]
+fn concurrent_batch_over_testdata() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("testdata exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "tc"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 4, "need at least 4 KBs for a real batch");
+
+    let svc = Service::start(4);
+    let cfg = ChaseConfig::variant(ChaseVariant::Core)
+        .with_max_applications(60)
+        .with_max_wall(Duration::from_millis(2_000));
+    let ids: Vec<_> = files
+        .iter()
+        .map(|path| {
+            let src = std::fs::read_to_string(path).unwrap();
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            svc.submit(JobSpec::from_text(name, &src, cfg.clone()).expect("testdata parses"))
+        })
+        .collect();
+    for id in ids {
+        let status = svc.wait(id).expect("job known");
+        assert_eq!(status, JobStatus::Finished, "job {id} did not finish");
+        let (outcome, atoms) = svc
+            .with_result(id, |r| (r.outcome, r.final_instance.len()))
+            .expect("result stored");
+        assert!(atoms > 0);
+        // Terminated or budget-stopped, never crashed.
+        assert_ne!(outcome, ChaseOutcome::Cancelled);
+    }
+}
+
+/// End-to-end JSONL protocol over the `treechase serve` subcommand:
+/// submit with a budget, fetch the checkpoint, resume it, and watch the
+/// query verdict flip from inconclusive to entailed.
+#[test]
+fn serve_protocol_checkpoint_resume_roundtrip() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_treechase"))
+        .args(["serve", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(
+        stdin,
+        r#"{{"op":"submit","name":"wire","source":"r(a, b). r(b, c). r(c, d). r(d, e). T: r(X, Y), r(Y, Z) -> r(X, Z). Q: ?- r(a, e).","variant":"restricted","max_apps":2}}"#
+    )
+    .unwrap();
+    writeln!(stdin, r#"{{"op":"wait","job":1}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"checkpoint","job":1}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"shutdown"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // Every line is valid JSON; find the checkpoint response.
+    let mut checkpoint = None;
+    for line in stdout.lines() {
+        let v = parse_json(line).unwrap_or_else(|e| panic!("bad wire line {line}: {e}"));
+        if v.get("op").and_then(|o| o.as_str()) == Some("checkpoint") {
+            checkpoint = v.get("checkpoint").cloned();
+        }
+    }
+    let checkpoint = checkpoint.expect("checkpoint response present");
+    assert!(stdout.contains(r#""verdict":"inconclusive""#), "{stdout}");
+
+    // Second serve session: resume from the captured checkpoint.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_treechase"))
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(
+        stdin,
+        r#"{{"op":"resume","checkpoint":{checkpoint},"max_apps":1000}}"#
+    )
+    .unwrap();
+    writeln!(stdin, r#"{{"op":"wait","job":1}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"shutdown"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(r#""outcome":"terminated""#), "{stdout}");
+    assert!(stdout.contains(r#""verdict":"entailed""#), "{stdout}");
+}
+
+/// Malformed requests produce error lines, not a dead server.
+#[test]
+fn serve_survives_malformed_requests() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_treechase"))
+        .args(["serve", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, "this is not json").unwrap();
+    writeln!(stdin, r#"{{"op":"frobnicate"}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"status","job":99}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"list"}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"shutdown"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let errors = stdout
+        .lines()
+        .filter(|l| l.contains(r#""type":"error""#))
+        .count();
+    assert_eq!(errors, 3, "{stdout}");
+    assert!(stdout.contains(r#""op":"list""#), "{stdout}");
+}
