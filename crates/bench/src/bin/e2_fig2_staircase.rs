@@ -184,6 +184,14 @@ fn main() {
         resumed.final_instance.len(),
         resumed.stats.applications
     ));
+    report.row(format!(
+        "core-phase counters (uninterrupted run): {} core steps in {}us, {} match nodes over {} fold candidates, {} truncations",
+        full.stats.core_steps,
+        full.stats.core_time_us,
+        full.stats.match_nodes,
+        full.stats.fold_candidates,
+        full.stats.core_truncations
+    ));
     report.claim(
         "service/resume-isomorphic",
         "cut@30 + resume@30 ≅ uninterrupted@60",

@@ -141,10 +141,13 @@ fn main() {
     );
     let hp0 = e.vocab.lookup_pred("h").expect("h interned");
     let vp0 = e.vocab.lookup_pred("v").expect("v interned");
-    let mut grid_track: Vec<(usize, usize)> =
-        vec![(0, best_grid_lower_bound(&e.facts, 4, hp0, vp0))];
+    let g0 = best_grid_lower_bound(&e.facts, 4, hp0, vp0);
+    // (applications, certified side, search-truncated): a truncated entry
+    // means larger grids were *not refuted*, only not found in budget.
+    let mut grid_track: Vec<(usize, usize, bool)> = vec![(0, g0.side, g0.truncated)];
     let mut first_slice_instance = None;
     let mut last_outcome = None;
+    let mut last_stats = None;
     for s in 0..slices {
         // Predicate ids must come from this slice's vocabulary: resumed
         // slices re-intern symbols when the checkpoint text reparses.
@@ -154,11 +157,12 @@ fn main() {
             .take_result(svc.submit(spec.clone()))
             .expect("slice result");
         let g = best_grid_lower_bound(&res.final_instance, 4, hp, vp);
-        grid_track.push((res.stats.applications, g));
+        grid_track.push((res.stats.applications, g.side, g.truncated));
         if s == 0 {
             first_slice_instance = Some(res.final_instance.clone());
         }
         last_outcome = Some(res.outcome);
+        last_stats = Some(res.stats);
         if s + 1 < slices {
             let ck = res.checkpoint.expect("slice is resumable");
             spec = ck.into_spec().expect("checkpoint reparses");
@@ -173,7 +177,12 @@ fn main() {
         !core_outcome.terminated(),
     );
     report.row(format!(
-        "certified grid side at slice boundaries (accumulated applications): {grid_track:?}"
+        "certified grid side at slice boundaries (applications, side, inconclusive): {grid_track:?}"
+    ));
+    let cs = last_stats.expect("at least one slice ran");
+    report.row(format!(
+        "core-phase counters (final slice, accumulated): {} core steps in {}us, {} match nodes over {} fold candidates, {} truncations",
+        cs.core_steps, cs.core_time_us, cs.match_nodes, cs.fold_candidates, cs.core_truncations
     ));
     // The paper's claim is asymptotic (treewidth grows beyond every
     // bound); at this budget we certify the *onset* of that growth: the
@@ -181,8 +190,8 @@ fn main() {
     // instances left treewidth 1 behind and keep climbing (each +1 in
     // side needs a quadratically larger cabin, Prop. 8.3's f grows
     // slowly).
-    let first = grid_track.first().map(|&(_, g)| g).unwrap_or(0);
-    let max_side = grid_track.iter().map(|&(_, g)| g).max().unwrap_or(0);
+    let first = grid_track.first().map(|&(_, g, _)| g).unwrap_or(0);
+    let max_side = grid_track.iter().map(|&(_, g, _)| g).max().unwrap_or(0);
     report.claim(
         "cor1/grid-growth-onset",
         "certified grid side strictly grows along the core chase",
@@ -201,7 +210,7 @@ fn main() {
         ..chase_homomorphism::MatchConfig::default()
     };
     let mut embeds = false;
-    chase_homomorphism::for_each_homomorphism(
+    let emb_outcome = chase_homomorphism::for_each_homomorphism(
         &cabin1,
         &first_instance,
         &chase_atoms::Substitution::new(),
@@ -211,10 +220,22 @@ fn main() {
             std::ops::ControlFlow::Break(())
         },
     );
+    // A budgeted miss is *inconclusive*, not a refutation — the old code
+    // logged it as `false`.
+    let emb_measured = if embeds {
+        "embeds".to_string()
+    } else if emb_outcome.truncated {
+        format!(
+            "inconclusive (node budget truncated after {} nodes)",
+            emb_outcome.nodes
+        )
+    } else {
+        "refuted".to_string()
+    };
     report.claim(
         "prop8.3/cabin-1-embeds",
         "I^v_1 is isomorphic to a subset of a core-chase element",
-        embeds,
+        emb_measured,
         embeds,
     );
 

@@ -1,0 +1,179 @@
+//! **E7 — core maintenance performance**: from-scratch recompute vs the
+//! dirty-region incremental maintainer.
+//!
+//! Runs the staircase `K_h` core chase under a fixed application budget
+//! twice — once with `CoreMaintenance::FullRecompute` (the old
+//! behaviour: `core_of` after every application) and once with
+//! `CoreMaintenance::Incremental` (fold candidates seeded from the dirty
+//! region, probed in parallel) — and checks that:
+//!
+//! 1. both trajectories land on isomorphic final instances (cores are
+//!    unique up to isomorphism, so the maintainer must not change the
+//!    result);
+//! 2. the incremental maintainer spends at least 2× less time in the
+//!    core phase at the largest budget (the PR's headline speedup).
+//!
+//! Besides the usual `results/e7-core-perf.jsonl` claims, the per-budget
+//! measurements are written to `BENCH_core.json` at the workspace root
+//! so the numbers ride along with the repository.
+//!
+//! `--smoke` shrinks the budgets for CI: it still cross-checks
+//! isomorphism but reports the speedup informationally only (tiny runs
+//! are noise-dominated).
+
+use std::time::Instant;
+
+use chase_bench::{exit_with, results_dir, Report};
+use chase_core::KnowledgeBase;
+use chase_engine::{ChaseConfig, ChaseStats, ChaseVariant, CoreMaintenance};
+use chase_homomorphism::isomorphism;
+use treechase_service::json::Json;
+
+struct Measurement {
+    budget: usize,
+    full: ChaseStats,
+    full_wall_us: u64,
+    inc: ChaseStats,
+    inc_wall_us: u64,
+    isomorphic: bool,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.full.core_time_us as f64 / self.inc.core_time_us.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("application_budget", Json::Int(self.budget as i64)),
+            ("full_core_us", Json::Int(self.full.core_time_us as i64)),
+            ("full_wall_us", Json::Int(self.full_wall_us as i64)),
+            ("full_match_nodes", Json::Int(self.full.match_nodes as i64)),
+            (
+                "full_fold_candidates",
+                Json::Int(self.full.fold_candidates as i64),
+            ),
+            (
+                "incremental_core_us",
+                Json::Int(self.inc.core_time_us as i64),
+            ),
+            ("incremental_wall_us", Json::Int(self.inc_wall_us as i64)),
+            (
+                "incremental_match_nodes",
+                Json::Int(self.inc.match_nodes as i64),
+            ),
+            (
+                "incremental_fold_candidates",
+                Json::Int(self.inc.fold_candidates as i64),
+            ),
+            ("core_phase_speedup", Json::Float(self.speedup())),
+            ("isomorphic", Json::Bool(self.isomorphic)),
+        ])
+    }
+}
+
+fn measure(kb: &KnowledgeBase, budget: usize) -> Measurement {
+    let cfg = |m| {
+        ChaseConfig::variant(ChaseVariant::Core)
+            .with_core_maintenance(m)
+            .with_max_applications(budget)
+    };
+    let t0 = Instant::now();
+    let full = kb.chase(&cfg(CoreMaintenance::FullRecompute));
+    let full_wall_us = t0.elapsed().as_micros() as u64;
+    let t1 = Instant::now();
+    let inc = kb.chase(&cfg(CoreMaintenance::Incremental));
+    let inc_wall_us = t1.elapsed().as_micros() as u64;
+    Measurement {
+        budget,
+        full: full.stats,
+        full_wall_us,
+        inc: inc.stats,
+        inc_wall_us,
+        isomorphic: isomorphism(&full.final_instance, &inc.final_instance).is_some(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut report = Report::new("e7-core-perf");
+    let budgets: &[usize] = if smoke { &[10, 20] } else { &[30, 60, 90] };
+
+    let kb = KnowledgeBase::staircase();
+    let mut rows = Vec::new();
+    for &budget in budgets {
+        let m = measure(&kb, budget);
+        report.row(format!(
+            "budget {:>3}: core phase {:>9}us full vs {:>7}us incremental ({:.1}x); \
+             match nodes {} vs {}; fold candidates {} vs {}",
+            m.budget,
+            m.full.core_time_us,
+            m.inc.core_time_us,
+            m.speedup(),
+            m.full.match_nodes,
+            m.inc.match_nodes,
+            m.full.fold_candidates,
+            m.inc.fold_candidates,
+        ));
+        rows.push(m);
+    }
+
+    let all_iso = rows.iter().all(|m| m.isomorphic);
+    report.claim(
+        "core/maintainer-preserves-result",
+        "incremental ≅ full recompute (cores unique up to iso)",
+        all_iso,
+        all_iso,
+    );
+    let no_truncation = rows
+        .iter()
+        .all(|m| m.full.core_truncations == 0 && m.inc.core_truncations == 0);
+    report.claim(
+        "core/no-spurious-truncation",
+        "unbudgeted runs never report truncated core phases",
+        no_truncation,
+        no_truncation,
+    );
+
+    let last = rows.last().expect("at least one budget");
+    if smoke {
+        // Tiny runs are timer-noise-dominated; require only that the
+        // incremental path does not blow up, and report the speedup.
+        report.claim(
+            "core/incremental-not-pathological",
+            "incremental core phase ≤ 4× full (smoke sizes)",
+            format!("{:.2}x speedup at budget {}", last.speedup(), last.budget),
+            last.speedup() >= 0.25,
+        );
+    } else {
+        report.claim(
+            "core/incremental-2x-speedup",
+            "core phase ≥ 2× faster at the largest budget",
+            format!("{:.2}x speedup at budget {}", last.speedup(), last.budget),
+            last.speedup() >= 2.0,
+        );
+    }
+
+    // Persist the measurements next to the repository sources. Smoke
+    // runs skip the write so CI never clobbers the committed full-run
+    // numbers with noise-dominated tiny budgets.
+    if !smoke {
+        let bench = Json::obj([
+            ("experiment", Json::str("e7-core-perf")),
+            ("kb", Json::str("staircase")),
+            ("smoke", Json::Bool(smoke)),
+            (
+                "measurements",
+                Json::Arr(rows.iter().map(Measurement::to_json).collect()),
+            ),
+        ]);
+        let mut root = results_dir();
+        root.pop();
+        let path = root.join("BENCH_core.json");
+        if let Err(e) = std::fs::write(&path, format!("{bench}\n")) {
+            report.row(format!("could not write {}: {e}", path.display()));
+        }
+    }
+
+    exit_with(report.finish());
+}

@@ -26,7 +26,10 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use chase_atoms::{AtomSet, Substitution, Vocabulary};
-use chase_homomorphism::{core_of, find_retraction_eliminating_frozen};
+use chase_homomorphism::{
+    core_of_budgeted, find_retraction_eliminating_frozen_budgeted, incremental_core, MatchStats,
+    SearchBudget,
+};
 
 use crate::control::{CancelToken, ChaseEvent};
 use crate::derivation::Derivation;
@@ -68,6 +71,20 @@ pub enum SchedulerKind {
     DatalogFirst,
 }
 
+/// How the core variant recomputes the core after an application.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum CoreMaintenance {
+    /// Re-run the full fold loop over every variable of the instance
+    /// (the pre-incremental behaviour; kept for A/B comparison).
+    FullRecompute,
+    /// Probe only the *dirty region* — fresh nulls plus variables of
+    /// atoms unifiable onto the atoms added since the last core step,
+    /// expanded transitively as folds land — with candidates probed in
+    /// parallel. Sound because the pre-application instance is a core.
+    #[default]
+    Incremental,
+}
+
 /// Whether to keep every intermediate instance.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RecordLevel {
@@ -98,6 +115,8 @@ pub struct ChaseConfig {
     /// Core variant only: retract to the core every this many
     /// applications (≥ 1).
     pub core_interval: usize,
+    /// Core variant only: how the per-step core is recomputed.
+    pub core_maintenance: CoreMaintenance,
 }
 
 impl Default for ChaseConfig {
@@ -110,6 +129,7 @@ impl Default for ChaseConfig {
             max_atoms: 1_000_000,
             max_wall: None,
             core_interval: 1,
+            core_maintenance: CoreMaintenance::default(),
         }
     }
 }
@@ -159,6 +179,12 @@ impl ChaseConfig {
         self.core_interval = k;
         self
     }
+
+    /// Sets the core maintenance strategy.
+    pub fn with_core_maintenance(mut self, m: CoreMaintenance) -> Self {
+        self.core_maintenance = m;
+        self
+    }
 }
 
 /// Why the chase stopped.
@@ -204,6 +230,17 @@ pub struct ChaseStats {
     pub retractions: usize,
     /// Largest instance (in atoms) ever produced, pre-simplification.
     pub peak_atoms: usize,
+    /// Core/frugal phases executed (including no-op ones).
+    pub core_steps: usize,
+    /// Matcher search nodes explored across all core/frugal phases.
+    pub match_nodes: usize,
+    /// Fold candidates probed for eliminability across all phases.
+    pub fold_candidates: usize,
+    /// Phases cut short by the wall-clock/cancel budget (their result is
+    /// a sound retract but possibly not the core).
+    pub core_truncations: usize,
+    /// Wall-clock microseconds spent inside core/frugal phases.
+    pub core_time_us: u64,
 }
 
 /// The result of a chase run.
@@ -300,15 +337,39 @@ pub fn run_chase_controlled(
     };
     let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
 
-    let sigma0 = match cfg.variant {
-        ChaseVariant::Core => core_of(facts).retraction,
-        _ => Substitution::new(),
-    };
-    let mut derivation = Derivation::start(rules.clone(), facts.clone(), sigma0);
+    // The budget threaded into every retraction search: deadline from
+    // `max_wall`, cancel flag from the token. This is what keeps a single
+    // expensive core phase from overshooting the wall budget or ignoring
+    // a cancel — the matcher polls it inside its backtracking loop.
+    let mut budget = SearchBudget::unlimited();
+    if let Some(limit) = cfg.max_wall {
+        budget = budget.with_deadline(started + limit);
+    }
+    if let Some(token) = cancel {
+        budget = budget.with_cancel(token.flag());
+    }
+    let probe_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1);
+
     let mut stats = ChaseStats {
         peak_atoms: facts.len(),
         ..ChaseStats::default()
     };
+    let sigma0 = match cfg.variant {
+        ChaseVariant::Core => {
+            let phase = Instant::now();
+            let (res, ms) = core_of_budgeted(facts, &budget);
+            stats.core_steps += 1;
+            stats.match_nodes += ms.nodes;
+            stats.fold_candidates += ms.candidates;
+            stats.core_truncations += ms.truncated as usize;
+            stats.core_time_us += phase.elapsed().as_micros() as u64;
+            res.retraction
+        }
+        _ => Substitution::new(),
+    };
+    let mut derivation = Derivation::start(rules.clone(), facts.clone(), sigma0);
 
     // Dedup memory for the oblivious variants (monotonic, so keys stay
     // valid across the whole run).
@@ -328,6 +389,13 @@ pub fn run_chase_controlled(
 
     let mut skolem = SkolemTable::new();
     let mut since_core = 0usize;
+    // Dirty region accumulated since the last core step: the head images
+    // (over-approximating the truly-new atoms is harmless — it only
+    // widens the candidate seed) and fresh nulls of each application.
+    // Valid because between core steps the instance only grows and no
+    // renaming happens (sigma is the identity off core steps).
+    let mut added_since_core: Vec<chase_atoms::Atom> = Vec::new();
+    let mut fresh_since_core: Vec<chase_atoms::VarId> = Vec::new();
     let outcome = 'outer: loop {
         if cancelled() {
             break ChaseOutcome::Cancelled;
@@ -412,6 +480,14 @@ pub fn run_chase_controlled(
             stats.applications += 1;
             since_core += 1;
             stats.peak_atoms = stats.peak_atoms.max(app.result.len());
+            if cfg.variant == ChaseVariant::Core
+                && cfg.core_maintenance == CoreMaintenance::Incremental
+            {
+                for head_atom in rules.get(tr.rule).head().iter() {
+                    added_since_core.push(app.pi_safe.apply_atom(head_atom));
+                }
+                fresh_since_core.extend(app.fresh.iter().copied());
+            }
             let produced_len = app.result.len();
             if monotonic && app.result.len() > before_len {
                 let prev = derivation.last_instance();
@@ -426,21 +502,57 @@ pub fn run_chase_controlled(
                 }
                 _ => {}
             }
+            let mut phase_stats = MatchStats::default();
             let (sigma, next) = match cfg.variant {
                 ChaseVariant::Core if since_core >= cfg.core_interval => {
                     since_core = 0;
-                    let res = core_of(&app.result);
-                    if !res.retraction.is_empty() {
+                    let phase = Instant::now();
+                    let (sigma, next, ms) = match cfg.core_maintenance {
+                        CoreMaintenance::FullRecompute => {
+                            let (res, ms) = core_of_budgeted(&app.result, &budget);
+                            (res.retraction, res.core, ms)
+                        }
+                        CoreMaintenance::Incremental => {
+                            let res = incremental_core(
+                                &app.result,
+                                &added_since_core,
+                                &fresh_since_core,
+                                &budget,
+                                probe_threads,
+                            );
+                            (res.retraction, res.core, res.stats)
+                        }
+                    };
+                    // A truncated phase leaves a non-core retract, but the
+                    // budget that cut it (deadline/cancel) is monotone, so
+                    // the run stops at the next between-steps poll — the
+                    // "pre-instance is a core" invariant is never consumed
+                    // in a broken state.
+                    added_since_core.clear();
+                    fresh_since_core.clear();
+                    stats.core_steps += 1;
+                    stats.match_nodes += ms.nodes;
+                    stats.fold_candidates += ms.candidates;
+                    stats.core_truncations += ms.truncated as usize;
+                    stats.core_time_us += phase.elapsed().as_micros() as u64;
+                    if !sigma.is_empty() {
                         stats.retractions += 1;
                     }
-                    (res.retraction, res.core)
+                    phase_stats = ms;
+                    (sigma, next)
                 }
                 ChaseVariant::Frugal => {
                     // Fold only the freshly minted nulls of this
                     // application; everything older is frozen.
+                    let phase = Instant::now();
                     let mut current = app.result.clone();
                     let mut sigma = Substitution::new();
+                    let mut ms = MatchStats::default();
                     for &z in &app.fresh {
+                        if ms.truncated || budget.interrupted() {
+                            ms.truncated = true;
+                            break;
+                        }
                         if !current.mentions(chase_atoms::Term::Var(z)) {
                             continue;
                         }
@@ -449,14 +561,24 @@ pub fn run_chase_controlled(
                             .into_iter()
                             .filter(|v| !app.fresh.contains(v))
                             .collect();
-                        if let Some(r) = find_retraction_eliminating_frozen(&current, z, frozen) {
+                        let probe = find_retraction_eliminating_frozen_budgeted(
+                            &current, z, frozen, &budget,
+                        );
+                        ms.absorb(probe.outcome);
+                        if let Some(r) = probe.retraction {
                             current = r.apply_set(&current);
                             sigma = sigma.then(&r);
                         }
                     }
+                    stats.core_steps += 1;
+                    stats.match_nodes += ms.nodes;
+                    stats.fold_candidates += ms.candidates;
+                    stats.core_truncations += ms.truncated as usize;
+                    stats.core_time_us += phase.elapsed().as_micros() as u64;
                     if !sigma.is_empty() {
                         stats.retractions += 1;
                     }
+                    phase_stats = ms;
                     (sigma, current)
                 }
                 _ => (Substitution::new(), app.result),
@@ -472,6 +594,7 @@ pub fn run_chase_controlled(
                 && observer(ChaseEvent::CoreRetracted {
                     before: produced_len,
                     after: derivation.last_instance().len(),
+                    match_stats: phase_stats,
                     stats: &stats,
                 })
                 .is_break()
@@ -1120,6 +1243,79 @@ mod control_tests {
         assert_eq!(rounds, res.stats.rounds);
         assert_eq!(steps, res.stats.applications);
         assert_eq!(retractions, res.stats.retractions);
+    }
+
+    /// An `n × n` unlabeled grid over distinct variables: a core whose
+    /// eliminability probes are expensive to refute — the instance that
+    /// used to make a single core phase overshoot every budget.
+    fn grid_facts(n: u32) -> AtomSet {
+        let idx = |i: u32, j: u32| v(i * n + j);
+        let mut atoms = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if j + 1 < n {
+                    atoms.push(atom(0, &[idx(i, j), idx(i, j + 1)]));
+                }
+                if i + 1 < n {
+                    atoms.push(atom(1, &[idx(i, j), idx(i + 1, j)]));
+                }
+            }
+        }
+        atoms.into_iter().collect()
+    }
+
+    #[test]
+    fn core_step_stops_within_tolerance_of_max_wall() {
+        // Un-budgeted, coring this grid takes tens of seconds (it is a
+        // core, so every probe must exhaust its search space). The
+        // deadline must now cut *inside* the phase, not after it.
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(16 * 16 + 1));
+        let facts = grid_facts(16);
+        let max_wall = Duration::from_millis(150);
+        let cfg = ChaseConfig::variant(ChaseVariant::Core).with_max_wall(max_wall);
+        let t = Instant::now();
+        let res = run_chase(&mut vocab, &facts, &RuleSet::default(), &cfg);
+        let elapsed = t.elapsed();
+        assert_eq!(res.outcome, ChaseOutcome::WallBudgetExhausted);
+        assert!(
+            res.stats.core_truncations >= 1,
+            "the budget must have cut a core phase: {:?}",
+            res.stats
+        );
+        assert!(
+            elapsed < Duration::from_millis(2_500),
+            "core step overshot max_wall={max_wall:?} to {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_token_cuts_a_running_core_step() {
+        let mut vocab = Vocabulary::new();
+        vocab.ensure_var(VarId::from_raw(16 * 16 + 1));
+        let facts = grid_facts(16);
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            t2.cancel();
+        });
+        let t = Instant::now();
+        let res = run_chase_controlled(
+            &mut vocab,
+            &facts,
+            &RuleSet::default(),
+            &ChaseConfig::variant(ChaseVariant::Core),
+            Some(&token),
+            |_| std::ops::ControlFlow::Continue(()),
+        );
+        let elapsed = t.elapsed();
+        canceller.join().unwrap();
+        assert_eq!(res.outcome, ChaseOutcome::Cancelled);
+        assert!(
+            elapsed < Duration::from_millis(2_500),
+            "cancel mid-core took {elapsed:?}"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use chase_atoms::AtomSet;
+use chase_homomorphism::MatchStats;
 
 use crate::chase::ChaseStats;
 
@@ -45,6 +46,14 @@ impl CancelToken {
     /// Has cancellation been requested?
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Acquire)
+    }
+
+    /// The underlying shared flag, for wiring the token into a
+    /// [`chase_homomorphism::SearchBudget`] so that retraction searches
+    /// *inside* a core step observe the cancel, not just the between-steps
+    /// polls.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
     }
 }
 
@@ -75,6 +84,9 @@ pub enum ChaseEvent<'a> {
         before: usize,
         /// Atoms after (`F_i`).
         after: usize,
+        /// Matcher counters for this core phase (nodes explored, fold
+        /// candidates probed, budget truncation).
+        match_stats: MatchStats,
         /// Running counters.
         stats: &'a ChaseStats,
     },

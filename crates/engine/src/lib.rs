@@ -37,7 +37,7 @@ mod trigger;
 
 pub use chase::{
     run_chase, run_chase_controlled, run_chase_observed, ChaseConfig, ChaseOutcome, ChaseResult,
-    ChaseStats, ChaseVariant, RecordLevel, SchedulerKind,
+    ChaseStats, ChaseVariant, CoreMaintenance, RecordLevel, SchedulerKind,
 };
 pub use control::{CancelToken, ChaseEvent};
 pub use derivation::{Derivation, DerivationStep};

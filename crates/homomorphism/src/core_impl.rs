@@ -11,7 +11,8 @@ use std::ops::ControlFlow;
 
 use chase_atoms::{AtomSet, Substitution, Term, VarId};
 
-use crate::matcher::{for_each_homomorphism, MatchConfig};
+use crate::budget::{MatchStats, SearchBudget, SearchOutcome};
+use crate::matcher::{for_each_homomorphism_budgeted, MatchConfig};
 
 /// The result of [`core_of`]: the core together with the retraction that
 /// witnesses it.
@@ -24,13 +25,39 @@ pub struct CoreResult {
     pub retraction: Substitution,
 }
 
+/// The result of one budgeted fold probe: a witnessing retraction if one
+/// was found, plus the search outcome. A probe with `retraction == None`
+/// and `outcome.truncated == true` is **inconclusive** — the variable may
+/// or may not be eliminable.
+#[derive(Clone, Debug)]
+pub struct FoldProbe {
+    /// A retraction of the probed atomset avoiding the probed variable.
+    pub retraction: Option<Substitution>,
+    /// Work done and whether the budget cut the search short.
+    pub outcome: SearchOutcome,
+}
+
 /// Searches for a retraction of `a` whose image avoids the variable `x`.
 ///
 /// Returns `None` iff *no endomorphism* of `a` avoids `x` (not merely no
 /// retraction — see the completeness argument in the crate docs).
 pub fn find_retraction_eliminating(a: &AtomSet, x: VarId) -> Option<Substitution> {
+    find_retraction_eliminating_budgeted(a, x, &SearchBudget::default()).retraction
+}
+
+/// [`find_retraction_eliminating`] under a [`SearchBudget`]: the deadline
+/// and cancel flags are polled inside the backtracking loop, so a single
+/// expensive probe stops within a poll interval of the budget.
+pub fn find_retraction_eliminating_budgeted(
+    a: &AtomSet,
+    x: VarId,
+    budget: &SearchBudget,
+) -> FoldProbe {
     if !a.mentions(Term::Var(x)) {
-        return None;
+        return FoldProbe {
+            retraction: None,
+            outcome: SearchOutcome::default(),
+        };
     }
     let cfg = MatchConfig {
         retraction: true,
@@ -39,11 +66,14 @@ pub fn find_retraction_eliminating(a: &AtomSet, x: VarId) -> Option<Substitution
         ..MatchConfig::default()
     };
     let mut found = None;
-    for_each_homomorphism(a, a, &Substitution::new(), &cfg, |sub| {
+    let outcome = for_each_homomorphism_budgeted(a, a, &Substitution::new(), &cfg, budget, |sub| {
         found = Some(sub.normalized());
         ControlFlow::Break(())
     });
-    found
+    FoldProbe {
+        retraction: found,
+        outcome,
+    }
 }
 
 /// Like [`find_retraction_eliminating`], but every variable in `frozen`
@@ -58,8 +88,21 @@ pub fn find_retraction_eliminating_frozen(
     x: VarId,
     frozen: impl IntoIterator<Item = VarId>,
 ) -> Option<Substitution> {
+    find_retraction_eliminating_frozen_budgeted(a, x, frozen, &SearchBudget::default()).retraction
+}
+
+/// [`find_retraction_eliminating_frozen`] under a [`SearchBudget`].
+pub fn find_retraction_eliminating_frozen_budgeted(
+    a: &AtomSet,
+    x: VarId,
+    frozen: impl IntoIterator<Item = VarId>,
+    budget: &SearchBudget,
+) -> FoldProbe {
     if !a.mentions(Term::Var(x)) {
-        return None;
+        return FoldProbe {
+            retraction: None,
+            outcome: SearchOutcome::default(),
+        };
     }
     let seed = Substitution::from_pairs(
         frozen
@@ -74,11 +117,14 @@ pub fn find_retraction_eliminating_frozen(
         ..MatchConfig::default()
     };
     let mut found = None;
-    for_each_homomorphism(a, a, &seed, &cfg, |sub| {
+    let outcome = for_each_homomorphism_budgeted(a, a, &seed, &cfg, budget, |sub| {
         found = Some(sub.normalized());
         ControlFlow::Break(())
     });
-    found
+    FoldProbe {
+        retraction: found,
+        outcome,
+    }
 }
 
 /// Finds a proper (non-identity) retraction of `a`, if one exists.
@@ -106,17 +152,33 @@ pub fn is_core(a: &AtomSet) -> bool {
 /// into the running total; because retractions compose (and the image only
 /// shrinks), the total is itself a retraction of the original input.
 pub fn core_of(a: &AtomSet) -> CoreResult {
+    let (res, _) = core_of_budgeted(a, &SearchBudget::default());
+    res
+}
+
+/// [`core_of`] under a [`SearchBudget`]: the budget is polled between
+/// folds *and* inside each retraction search. When it trips, the
+/// computation stops early and returns the (sound but possibly non-core)
+/// retract reached so far, with `truncated` set in the stats.
+pub fn core_of_budgeted(a: &AtomSet, budget: &SearchBudget) -> (CoreResult, MatchStats) {
     let mut current = a.clone();
     let mut total = Substitution::new();
-    loop {
+    let mut agg = MatchStats::default();
+    'fold: loop {
         let mut progress = false;
         // Snapshot the variable set; folds may remove several at once.
         let vars: Vec<VarId> = current.vars().into_iter().collect();
         for x in vars {
+            if agg.truncated || budget.interrupted() {
+                agg.truncated = true;
+                break 'fold;
+            }
             if !current.mentions(Term::Var(x)) {
                 continue; // already folded away by an earlier retraction
             }
-            if let Some(r) = find_retraction_eliminating(&current, x) {
+            let probe = find_retraction_eliminating_budgeted(&current, x, budget);
+            agg.absorb(probe.outcome);
+            if let Some(r) = probe.retraction {
                 current = r.apply_set(&current);
                 total = total.then(&r);
                 progress = true;
@@ -128,10 +190,13 @@ pub fn core_of(a: &AtomSet) -> CoreResult {
     }
     debug_assert!(total.is_retraction_of(a));
     debug_assert_eq!(total.apply_set(a), current);
-    CoreResult {
-        core: current,
-        retraction: total,
-    }
+    (
+        CoreResult {
+            core: current,
+            retraction: total,
+        },
+        agg,
+    )
 }
 
 #[cfg(test)]

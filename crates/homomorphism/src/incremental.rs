@@ -1,0 +1,739 @@
+//! Incremental core maintenance: re-coring an instance that was a core
+//! before a batch of atoms was added, without re-probing every variable.
+//!
+//! ## The dirty-region invariant
+//!
+//! Let `I` be a core and `J = I ∪ A` for a batch of added atoms `A` (the
+//! head images of one or more trigger applications). Two facts make an
+//! incremental recomputation sound and fast:
+//!
+//! 1. **Only the dirty region can fold.** If `h` is a proper retraction
+//!    of `J` with moved set `M`, then some atom containing a variable of
+//!    `M` either lies in `A` or is mapped by `h` onto an atom of `A` —
+//!    otherwise restricting `h` to `I` would contradict `I` being a core.
+//!    Either way that atom *matches onto* an atom of `A` pointwise, so at
+//!    least one eliminable variable occurs in an atom unifiable onto `A`.
+//!    Seeding the candidate set with the variables of all such atoms
+//!    (plus the fresh nulls) therefore finds a fold whenever one exists;
+//!    when a fold lands, the same argument applies to its changed image
+//!    atoms, which is the transitive expansion below.
+//! 2. **Eliminability only shrinks.** If `x` survives a fold `r` (a
+//!    retraction of the current instance) and is eliminable afterwards
+//!    via `h`, then `h ∘ r` eliminates `x` before the fold too. So a
+//!    probe that *conclusively* fails never needs to be repeated — the
+//!    `failed` set below is sound, and each variable is probed at most
+//!    once per maintenance phase.
+//!
+//! ## Parallel probing
+//!
+//! Candidates in a batch are probed concurrently with
+//! [`std::thread::scope`]: the first probe to find a retraction raises a
+//! shared atomic flag (first-hit-wins) that truncates its siblings
+//! through their [`SearchBudget`]. Only the winning retraction is
+//! applied, so the *result* is deterministic up to isomorphism (the core
+//! is unique up to isomorphism) regardless of thread interleaving;
+//! counters such as nodes explored may vary between runs.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use chase_atoms::{Atom, AtomSet, Substitution, Term, VarId};
+
+use crate::budget::{MatchStats, SearchBudget, SearchOutcome};
+use crate::core_impl::FoldProbe;
+
+/// The result of one incremental maintenance phase.
+#[derive(Clone, Debug)]
+pub struct IncrementalCoreResult {
+    /// The retract reached — the core of the input unless `stats` says
+    /// the phase was truncated by its budget.
+    pub core: AtomSet,
+    /// A retraction of the input witnessing `core`.
+    pub retraction: Substitution,
+    /// Matcher counters for the phase (candidates probed, nodes explored,
+    /// truncation flag).
+    pub stats: MatchStats,
+}
+
+/// Can `beta` be mapped onto `alpha` by some per-atom variable
+/// assignment? (Constants must coincide; repeated variables must receive
+/// one image.) This is the cheap syntactic test behind the dirty region:
+/// any atom an endomorphism maps onto `alpha` necessarily passes it.
+fn unifiable_onto(beta: &Atom, alpha: &Atom) -> bool {
+    if beta.pred() != alpha.pred() || beta.arity() != alpha.arity() {
+        return false;
+    }
+    let mut map: HashMap<VarId, Term> = HashMap::new();
+    for (&b, &a) in beta.args().iter().zip(alpha.args()) {
+        match b {
+            Term::Const(_) => {
+                if b != a {
+                    return false;
+                }
+            }
+            Term::Var(v) => match map.get(&v) {
+                Some(&img) => {
+                    if img != a {
+                        return false;
+                    }
+                }
+                None => {
+                    map.insert(v, a);
+                }
+            },
+        }
+    }
+    true
+}
+
+fn atom_vars(atom: &Atom, out: &mut BTreeSet<VarId>) {
+    for &t in atom.args() {
+        if let Term::Var(v) = t {
+            out.insert(v);
+        }
+    }
+}
+
+/// The variables of every atom of `instance` unifiable onto some atom of
+/// `anchors` (including the anchors' own variables — each atom unifies
+/// onto itself).
+fn dirty_vars(instance: &AtomSet, anchors: &[Atom]) -> BTreeSet<VarId> {
+    let mut dirty = BTreeSet::new();
+    for alpha in anchors {
+        atom_vars(alpha, &mut dirty);
+        for beta in instance.with_pred(alpha.pred()) {
+            if unifiable_onto(beta, alpha) {
+                atom_vars(beta, &mut dirty);
+            }
+        }
+    }
+    dirty
+}
+
+/// Tier-0 fold probe: a one-variable retraction `{x ↦ t}` that maps every
+/// atom containing `x` onto an existing atom. Most real folds are of this
+/// shape — a fresh null collapsing onto older structure — and verifying
+/// one needs no backtracking search: candidate images of `x` come from
+/// the atoms its first occurrence could land on, and each is confirmed by
+/// substitution plus indexed membership lookups, linear in
+/// `|star(x)| × |candidates|`. A miss here says nothing (folds that
+/// co-move several variables escape it), so callers fall through to the
+/// full retraction search.
+fn single_var_fold(instance: &AtomSet, x: VarId, stats: &mut MatchStats) -> Option<Substitution> {
+    let star: Vec<&Atom> = instance.with_term(Term::Var(x)).collect();
+    let first = star.first()?;
+    'cand: for gamma in instance.with_pred(first.pred()) {
+        stats.nodes += 1;
+        if gamma.arity() != first.arity() {
+            continue;
+        }
+        // `first ↦ gamma` with every non-x position unchanged pins the
+        // image of x (consistently across repeated occurrences).
+        let mut image: Option<Term> = None;
+        for (&b, &g) in first.args().iter().zip(gamma.args()) {
+            if b == Term::Var(x) {
+                match image {
+                    Some(t) if t != g => continue 'cand,
+                    _ => image = Some(g),
+                }
+            } else if b != g {
+                continue 'cand;
+            }
+        }
+        let t = image.expect("first mentions x");
+        if t == Term::Var(x) {
+            continue;
+        }
+        let r = Substitution::from_pairs([(x, t)]);
+        if star
+            .iter()
+            .all(|beta| instance.contains(&r.apply_atom(beta)))
+        {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// The moved-closure fold prober.
+///
+/// A partial substitution `p` extended by the identity is a retraction of
+/// `J` iff (a) every term in its image is a fixpoint and (b) every atom
+/// containing a *moved* variable maps into `J` — atoms touching only
+/// unbound variables map to themselves and need no work. So a probe for
+/// variable `x` never has to assign the untouched part of the instance:
+/// it binds `x`, then confirms exactly the atoms its moved variables
+/// drag in, transitively. This is both
+///
+/// * **sound** — a completed search *is* a retraction eliminating `x`
+///   (all dragged-in atoms confirmed, image fixpoints pinned, `x`
+///   forbidden from the image), and
+/// * **complete** — if a retraction `r` of `J` eliminates `x`, then
+///   restricting `r` to the moved variables var-connected to `x` through
+///   atoms containing moved variables (identity elsewhere) is still a
+///   retraction eliminating `x`: any atom's moved variables are either
+///   all inside that component or all outside, so the restriction stays
+///   a homomorphism. The search explores exactly such restrictions.
+///
+/// Against the general matcher this drops the per-probe `O(|J|)` setup
+/// and identity-completion work, making probe cost a function of the
+/// fold's locality rather than the instance size — the point of
+/// maintaining the core incrementally.
+struct FoldSearch<'a> {
+    instance: &'a AtomSet,
+    budget: &'a SearchBudget,
+    /// The variable being eliminated: must move, may not appear in the
+    /// image.
+    x: VarId,
+    bind: HashMap<VarId, Term>,
+    nodes: usize,
+    truncated: bool,
+}
+
+impl<'a> FoldSearch<'a> {
+    /// Binds `v ↦ t`, pinning `t` as a fixpoint when it is a variable.
+    /// Records fresh bindings in `trail` for the caller to undo.
+    fn try_bind(&mut self, v: VarId, t: Term, trail: &mut Vec<VarId>) -> bool {
+        if t == Term::Var(self.x) {
+            return false; // x may not occur in the image
+        }
+        if let Some(&existing) = self.bind.get(&v) {
+            return existing == t;
+        }
+        self.bind.insert(v, t);
+        trail.push(v);
+        if let Term::Var(u) = t {
+            if u != v && !self.try_bind(u, Term::Var(u), trail) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn undo(&mut self, trail: &[VarId]) {
+        for &v in trail {
+            self.bind.remove(&v);
+        }
+    }
+
+    fn image(&self, t: Term) -> Option<Term> {
+        match t {
+            Term::Const(_) => Some(t),
+            Term::Var(v) => self.bind.get(&v).copied(),
+        }
+    }
+
+    /// Fully binds `beta ↦ gamma` positionally.
+    fn unify(&mut self, beta: &Atom, gamma: &Atom, trail: &mut Vec<VarId>) -> bool {
+        for (&b, &g) in beta.args().iter().zip(gamma.args()) {
+            match b {
+                Term::Const(_) => {
+                    if b != g {
+                        return false;
+                    }
+                }
+                Term::Var(v) => {
+                    if !self.try_bind(v, g, trail) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Candidate images for a partially-determined atom, anchored through
+    /// the most selective determined position.
+    fn candidates(&self, beta: &Atom) -> Vec<&'a Atom> {
+        let mut anchor: Option<Term> = None;
+        let mut anchor_count = usize::MAX;
+        for &t in beta.args() {
+            if let Some(img) = self.image(t) {
+                let c = self.instance.term_count(img);
+                if c < anchor_count {
+                    anchor_count = c;
+                    anchor = Some(img);
+                }
+            }
+        }
+        let pred = beta.pred();
+        let arity = beta.arity();
+        match anchor {
+            Some(term) => self
+                .instance
+                .with_term(term)
+                .filter(|c| c.pred() == pred && c.arity() == arity)
+                .collect(),
+            None => self
+                .instance
+                .with_pred(pred)
+                .filter(|c| c.arity() == arity)
+                .collect(),
+        }
+    }
+
+    /// Finds an atom dragged in by a moved variable that is not yet
+    /// satisfied. `Err(())` signals a dead branch (a fully bound atom
+    /// whose image is missing from the instance).
+    fn select_pending(&self) -> Result<Option<&'a Atom>, ()> {
+        let mut best: Option<(&'a Atom, usize)> = None;
+        for (&v, &t) in self.bind.iter() {
+            if t == Term::Var(v) {
+                continue; // pinned fixpoint: its atoms ride on movers
+            }
+            for beta in self.instance.with_term(Term::Var(v)) {
+                let mut determined = true;
+                for &arg in beta.args() {
+                    if self.image(arg).is_none() {
+                        determined = false;
+                        break;
+                    }
+                }
+                if determined {
+                    let img = Atom::new(
+                        beta.pred(),
+                        beta.args()
+                            .iter()
+                            .map(|&a| self.image(a).expect("determined"))
+                            .collect::<Vec<_>>(),
+                    );
+                    if self.instance.contains(&img) {
+                        continue; // satisfied
+                    }
+                    return Err(()); // fully bound but unmapped: dead end
+                }
+                let est = self.candidates(beta).len();
+                if est == 0 {
+                    return Err(());
+                }
+                if best.is_none_or(|(_, b)| est < b) {
+                    best = Some((beta, est));
+                }
+            }
+        }
+        Ok(best.map(|(beta, _)| beta))
+    }
+
+    /// Depth-first completion of the current partial fold.
+    fn solve(&mut self) -> bool {
+        let pending = match self.select_pending() {
+            Err(()) => return false,
+            Ok(None) => return true,
+            Ok(Some(beta)) => beta,
+        };
+        let cands = self.candidates(pending);
+        for gamma in cands {
+            self.nodes += 1;
+            if self.budget.exhausted_at(self.nodes) {
+                self.truncated = true;
+                return false;
+            }
+            let mut trail = Vec::new();
+            if self.unify(pending, gamma, &mut trail) && self.solve() {
+                return true;
+            }
+            self.undo(&trail);
+            if self.truncated {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Probes whether `x` can be folded away from `instance`, searching only
+/// the moved closure of `x` (see [`FoldSearch`]). Returns the same shape
+/// as the general probe: a truncated miss is inconclusive.
+fn probe_fold(instance: &AtomSet, x: VarId, budget: &SearchBudget) -> FoldProbe {
+    if budget.interrupted() {
+        return FoldProbe {
+            retraction: None,
+            outcome: SearchOutcome {
+                truncated: true,
+                nodes: 0,
+            },
+        };
+    }
+    let mut search = FoldSearch {
+        instance,
+        budget,
+        x,
+        bind: HashMap::new(),
+        nodes: 0,
+        truncated: false,
+    };
+    // Root the search at the most constrained atom containing x.
+    let star: Vec<&Atom> = instance.with_term(Term::Var(x)).collect();
+    let Some(&beta0) = star
+        .iter()
+        .min_by_key(|beta| instance.pred_count(beta.pred()))
+    else {
+        return FoldProbe {
+            retraction: None,
+            outcome: SearchOutcome::default(),
+        };
+    };
+    let mut retraction = None;
+    for gamma in instance.with_pred(beta0.pred()) {
+        if gamma.arity() != beta0.arity() {
+            continue;
+        }
+        search.nodes += 1;
+        if search.budget.exhausted_at(search.nodes) {
+            search.truncated = true;
+            break;
+        }
+        let mut trail = Vec::new();
+        // Unifying beta0 ↦ gamma binds x; gamma's x-position being x
+        // itself is rejected inside try_bind (x may not stay).
+        if search.unify(beta0, gamma, &mut trail) && search.solve() {
+            retraction = Some(
+                Substitution::from_pairs(search.bind.iter().map(|(&v, &t)| (v, t))).normalized(),
+            );
+            break;
+        }
+        search.undo(&trail);
+        if search.truncated {
+            break;
+        }
+    }
+    FoldProbe {
+        retraction,
+        outcome: SearchOutcome {
+            truncated: search.truncated,
+            nodes: search.nodes,
+        },
+    }
+}
+
+/// What a worker concluded about the candidates it probed.
+struct WorkerReport {
+    stats: MatchStats,
+    /// Probed exhaustively, no retraction: never probe again this phase.
+    failed: Vec<VarId>,
+    /// Not conclusively probed (lost the first-hit race or was cut by the
+    /// winner's flag): back on the worklist.
+    retry: Vec<VarId>,
+}
+
+/// Probes `batch` for eliminability, in parallel when `threads > 1`.
+/// Returns the first-found fold (if any) and the per-worker reports.
+fn probe_batch(
+    current: &AtomSet,
+    batch: &[VarId],
+    budget: &SearchBudget,
+    threads: usize,
+) -> (Option<Substitution>, Vec<WorkerReport>) {
+    let winner: Mutex<Option<Substitution>> = Mutex::new(None);
+    let stop = Arc::new(AtomicBool::new(false));
+    let probe_budget = budget.clone().with_cancel(Arc::clone(&stop));
+    let workers = threads.max(1).min(batch.len().max(1));
+    let run_worker = |chunk: &[VarId]| -> WorkerReport {
+        let mut report = WorkerReport {
+            stats: MatchStats::default(),
+            failed: Vec::new(),
+            retry: Vec::new(),
+        };
+        for (i, &x) in chunk.iter().enumerate() {
+            if stop.load(Ordering::Acquire) {
+                report.retry.extend_from_slice(&chunk[i..]);
+                break;
+            }
+            // Tier 0: try the cheap one-variable fold before paying for a
+            // full retraction search.
+            if let Some(r) = single_var_fold(current, x, &mut report.stats) {
+                report.stats.candidates += 1;
+                let mut w = winner.lock().expect("winner lock poisoned");
+                if w.is_none() {
+                    *w = Some(r);
+                }
+                drop(w);
+                stop.store(true, Ordering::Release);
+                report.retry.push(x);
+                continue;
+            }
+            let probe = probe_fold(current, x, &probe_budget);
+            report.stats.absorb(probe.outcome);
+            match probe.retraction {
+                Some(r) => {
+                    let mut w = winner.lock().expect("winner lock poisoned");
+                    if w.is_none() {
+                        *w = Some(r);
+                    }
+                    stop.store(true, Ordering::Release);
+                    // Whether this probe won or lost the race, only one
+                    // fold is applied per batch; x may still be foldable
+                    // against the updated instance, so it goes back on
+                    // the worklist.
+                    report.retry.push(x);
+                }
+                None if !probe.outcome.truncated => report.failed.push(x),
+                None => {
+                    // Truncated miss: inconclusive. Retry only if the cut
+                    // came from a sibling's win — a caller-budget cut is
+                    // surfaced via the truncation flag instead (avoiding
+                    // a livelock under a caller node limit).
+                    if stop.load(Ordering::Acquire) && !budget.interrupted() {
+                        report.stats.truncated = false;
+                        report.retry.push(x);
+                    }
+                }
+            }
+        }
+        report
+    };
+    let reports = if workers <= 1 {
+        vec![run_worker(batch)]
+    } else {
+        // Round-robin split keeps low-numbered (old, rarely foldable)
+        // and high-numbered (fresh, often foldable) variables spread
+        // across workers.
+        let chunks: Vec<Vec<VarId>> = (0..workers)
+            .map(|w| batch.iter().copied().skip(w).step_by(workers).collect())
+            .collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| s.spawn(|| run_worker(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe worker panicked"))
+                .collect()
+        })
+    };
+    (winner.into_inner().expect("winner lock poisoned"), reports)
+}
+
+/// Re-cores `instance = known-core ∪ added` by probing only the dirty
+/// region, expanding it transitively as folds land.
+///
+/// * `instance` — the full current instance;
+/// * `added` — the atoms added since the instance was last a core (the
+///   head images of the applications in between; over-approximating is
+///   harmless, it only enlarges the candidate set);
+/// * `fresh` — the nulls minted by those applications;
+/// * `budget` — deadline/cancel polled between and *inside* probes; on a
+///   cut the result is a sound retract flagged `truncated`, not a core;
+/// * `threads` — max concurrent probes (1 = sequential, deterministic).
+pub fn incremental_core(
+    instance: &AtomSet,
+    added: &[Atom],
+    fresh: &[VarId],
+    budget: &SearchBudget,
+    threads: usize,
+) -> IncrementalCoreResult {
+    let mut current = instance.clone();
+    let mut total = Substitution::new();
+    let mut stats = MatchStats::default();
+    let mut failed: HashSet<VarId> = HashSet::new();
+
+    let mut worklist = dirty_vars(&current, added);
+    worklist.extend(fresh.iter().copied());
+
+    loop {
+        if budget.interrupted() {
+            stats.truncated = true;
+            break;
+        }
+        let batch: Vec<VarId> = worklist
+            .iter()
+            .copied()
+            .filter(|&x| !failed.contains(&x) && current.mentions(Term::Var(x)))
+            .collect();
+        worklist.clear();
+        if batch.is_empty() {
+            break;
+        }
+        let (fold, reports) = probe_batch(&current, &batch, budget, threads);
+        for report in reports {
+            stats.merge(report.stats);
+            failed.extend(report.failed);
+            worklist.extend(report.retry);
+        }
+        if let Some(r) = fold {
+            // Transitive expansion: the fold's changed images are the new
+            // anchors — exactly the `A` of the invariant, one level up.
+            let changed: Vec<Atom> = current
+                .iter()
+                .filter_map(|beta| {
+                    let gamma = r.apply_atom(beta);
+                    (gamma != *beta).then_some(gamma)
+                })
+                .collect();
+            current = r.apply_set(&current);
+            total = total.then(&r);
+            worklist.extend(dirty_vars(&current, &changed));
+        }
+    }
+    debug_assert!(total.is_retraction_of(instance));
+    debug_assert_eq!(total.apply_set(instance), current);
+    debug_assert!(
+        stats.truncated || crate::core_impl::is_core(&current),
+        "dirty-region maintenance must reach the core when not truncated"
+    );
+    IncrementalCoreResult {
+        core: current,
+        retraction: total,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_impl::{core_of, is_core};
+    use crate::iso::isomorphism;
+    use chase_atoms::{ConstId, PredId};
+
+    fn p(i: u32) -> PredId {
+        PredId::from_raw(i)
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId::from_raw(i))
+    }
+
+    fn vid(i: u32) -> VarId {
+        VarId::from_raw(i)
+    }
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId::from_raw(i))
+    }
+
+    fn atom(pr: u32, args: &[Term]) -> Atom {
+        Atom::new(p(pr), args.to_vec())
+    }
+
+    fn set(atoms: &[Atom]) -> AtomSet {
+        atoms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn unifiable_onto_respects_constants_and_repeats() {
+        let alpha = atom(0, &[c(0), c(1)]);
+        assert!(unifiable_onto(&atom(0, &[v(5), c(1)]), &alpha));
+        assert!(unifiable_onto(&atom(0, &[v(5), v(6)]), &alpha));
+        assert!(!unifiable_onto(&atom(0, &[c(2), c(1)]), &alpha));
+        // Repeated variable cannot take two images.
+        assert!(!unifiable_onto(&atom(0, &[v(5), v(5)]), &alpha));
+        assert!(unifiable_onto(
+            &atom(0, &[v(5), v(5)]),
+            &atom(0, &[c(0), c(0)])
+        ));
+        assert!(!unifiable_onto(&atom(1, &[c(0), c(1)]), &alpha));
+    }
+
+    #[test]
+    fn fresh_null_folds_back_onto_existing_structure() {
+        // Core {r(a,b)}; add r(a,z) with fresh null z — z folds onto b.
+        let core = set(&[atom(0, &[c(0), c(1)])]);
+        assert!(is_core(&core));
+        let added = vec![atom(0, &[c(0), v(7)])];
+        let mut j = core.clone();
+        j.insert(added[0].clone());
+        let res = incremental_core(&j, &added, &[vid(7)], &SearchBudget::default(), 1);
+        assert_eq!(res.core, core);
+        assert!(res.retraction.is_retraction_of(&j));
+        assert!(!res.stats.truncated);
+        assert!(res.stats.candidates >= 1);
+    }
+
+    #[test]
+    fn old_variable_folds_when_new_atoms_enable_it() {
+        // Core I = {p(a,x)} (x cannot fold). Adding the ground atom
+        // p(a,b) makes the *old* variable x eliminable — the dirty region
+        // must pick it up even though x is neither fresh nor in the new
+        // atom (p(a,x) is unifiable onto p(a,b)).
+        let i = set(&[atom(0, &[c(0), v(3)])]);
+        assert!(is_core(&i));
+        let added = vec![atom(0, &[c(0), c(1)])];
+        let mut j = i.clone();
+        j.insert(added[0].clone());
+        let res = incremental_core(&j, &added, &[], &SearchBudget::default(), 1);
+        assert_eq!(res.core, set(&[atom(0, &[c(0), c(1)])]));
+        assert!(is_core(&res.core));
+    }
+
+    #[test]
+    fn co_movement_folds_variables_outside_the_seed() {
+        // I = {q(x,w), q(z,w'), p(w,a), p(w',b)} is a core. Adding
+        // p(w',a) lets w fold (w↦w'), which forces x↦z along — x is
+        // nowhere near the added atom, but the fold carries it.
+        let i = set(&[
+            atom(1, &[v(0), v(1)]), // q(x, w)
+            atom(1, &[v(2), v(3)]), // q(z, w')
+            atom(0, &[v(1), c(0)]), // p(w, a)
+            atom(0, &[v(3), c(1)]), // p(w', b)
+        ]);
+        assert!(is_core(&i));
+        let added = vec![atom(0, &[v(3), c(0)])]; // p(w', a)
+        let mut j = i.clone();
+        j.insert(added[0].clone());
+        let res = incremental_core(&j, &added, &[], &SearchBudget::default(), 1);
+        let full = core_of(&j);
+        assert!(isomorphism(&res.core, &full.core).is_some());
+        assert!(is_core(&res.core));
+        assert!(!j.is_subset_of(&res.core), "something folded");
+    }
+
+    #[test]
+    fn disjoint_edge_folds_onto_added_loop() {
+        // I = {e(x1,x2)} core; adding e(y,y) (fresh null y) makes x1,x2
+        // fold onto y — candidates found via unifiable-onto, not
+        // membership in the new atom.
+        let i = set(&[atom(0, &[v(0), v(1)])]);
+        let added = vec![atom(0, &[v(9), v(9)])];
+        let mut j = i.clone();
+        j.insert(added[0].clone());
+        let res = incremental_core(&j, &added, &[vid(9)], &SearchBudget::default(), 1);
+        assert_eq!(res.core, set(&[atom(0, &[v(9), v(9)])]));
+    }
+
+    #[test]
+    fn parallel_probing_matches_sequential_up_to_iso() {
+        // Many interchangeable fresh nulls: parallel and sequential
+        // maintenance must land on isomorphic cores.
+        let mut j = set(&[atom(0, &[c(0), c(1)])]);
+        let mut added = Vec::new();
+        let mut fresh = Vec::new();
+        for k in 0..8u32 {
+            let a = atom(0, &[c(0), v(10 + k)]);
+            j.insert(a.clone());
+            added.push(a);
+            fresh.push(vid(10 + k));
+        }
+        let seq = incremental_core(&j, &added, &fresh, &SearchBudget::default(), 1);
+        let par = incremental_core(&j, &added, &fresh, &SearchBudget::default(), 4);
+        assert!(isomorphism(&seq.core, &par.core).is_some());
+        assert!(is_core(&par.core));
+        assert_eq!(par.core, set(&[atom(0, &[c(0), c(1)])]));
+    }
+
+    #[test]
+    fn truncated_budget_returns_sound_retract() {
+        let mut j = set(&[atom(0, &[c(0), c(1)])]);
+        let mut added = Vec::new();
+        for k in 0..4u32 {
+            let a = atom(0, &[c(0), v(10 + k)]);
+            j.insert(a.clone());
+            added.push(a);
+        }
+        let expired = SearchBudget::default()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let res = incremental_core(&j, &added, &[], &expired, 1);
+        assert!(res.stats.truncated);
+        assert_eq!(res.core, j, "no time to fold anything");
+        assert!(res.retraction.is_retraction_of(&j));
+    }
+
+    #[test]
+    fn empty_addition_is_a_no_op() {
+        let core = set(&[atom(0, &[v(0), v(1)])]);
+        let res = incremental_core(&core, &[], &[], &SearchBudget::default(), 4);
+        assert_eq!(res.core, core);
+        assert!(res.retraction.is_empty());
+    }
+}

@@ -33,16 +33,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod core_impl;
+mod incremental;
 mod iso;
 mod matcher;
 
+pub use budget::{MatchStats, SearchBudget, SearchOutcome};
 pub use core_impl::{
-    core_of, find_proper_retraction, find_retraction_eliminating,
-    find_retraction_eliminating_frozen, is_core, CoreResult,
+    core_of, core_of_budgeted, find_proper_retraction, find_retraction_eliminating,
+    find_retraction_eliminating_budgeted, find_retraction_eliminating_frozen,
+    find_retraction_eliminating_frozen_budgeted, is_core, CoreResult, FoldProbe,
 };
+pub use incremental::{incremental_core, IncrementalCoreResult};
 pub use iso::{hom_equivalent, isomorphism};
 pub use matcher::{
     all_homomorphisms, find_homomorphism, find_homomorphism_extending, for_each_homomorphism,
-    maps_to, MatchConfig,
+    for_each_homomorphism_budgeted, maps_to, MatchConfig,
 };

@@ -17,6 +17,8 @@ use std::ops::ControlFlow;
 
 use chase_atoms::{Atom, AtomSet, Substitution, Term, VarId};
 
+use crate::budget::{SearchBudget, SearchOutcome};
+
 /// Constraints layered on top of plain homomorphism search.
 #[derive(Clone, Default, Debug)]
 pub struct MatchConfig {
@@ -42,11 +44,13 @@ struct Search<'a> {
     pattern: Vec<&'a Atom>,
     target: &'a AtomSet,
     cfg: &'a MatchConfig,
+    budget: &'a SearchBudget,
     bind: HashMap<VarId, Term>,
     used_images: HashSet<Term>,
     matched: Vec<bool>,
     n_matched: usize,
     nodes: usize,
+    truncated: bool,
 }
 
 impl<'a> Search<'a> {
@@ -55,6 +59,7 @@ impl<'a> Search<'a> {
         target: &'a AtomSet,
         seed: &Substitution,
         cfg: &'a MatchConfig,
+        budget: &'a SearchBudget,
     ) -> Option<Self> {
         let pattern_atoms: Vec<&Atom> = pattern.iter().collect();
         let mut s = Search {
@@ -62,10 +67,12 @@ impl<'a> Search<'a> {
             pattern: pattern_atoms,
             target,
             cfg,
+            budget,
             bind: HashMap::new(),
             used_images: HashSet::new(),
             n_matched: 0,
             nodes: 0,
+            truncated: false,
         };
         for (v, t) in seed.iter() {
             let mut trail = Vec::new();
@@ -220,12 +227,14 @@ impl<'a> Search<'a> {
         self.n_matched += 1;
         for cand in cands {
             self.nodes += 1;
-            if let Some(limit) = self.cfg.node_limit {
-                if self.nodes > limit {
-                    self.matched[idx] = false;
-                    self.n_matched -= 1;
-                    return ControlFlow::Break(());
-                }
+            // A budget-exhausted break sets `truncated`, distinguishing it
+            // from a callback-requested stop (which is a conclusive hit).
+            let over_cfg_limit = self.cfg.node_limit.is_some_and(|l| self.nodes > l);
+            if over_cfg_limit || self.budget.exhausted_at(self.nodes) {
+                self.truncated = true;
+                self.matched[idx] = false;
+                self.n_matched -= 1;
+                return ControlFlow::Break(());
             }
             let mut trail = Vec::new();
             let ok = self.try_unify(pattern_atom, cand, &mut trail);
@@ -251,17 +260,57 @@ impl<'a> Search<'a> {
 /// Return [`ControlFlow::Break`] from the callback to stop early. Each
 /// reported substitution binds exactly the variables of `pattern` plus the
 /// seed domain (plus fixpoint propagations in retraction mode).
+///
+/// The returned [`SearchOutcome`] says whether the search was cut short by
+/// [`MatchConfig::node_limit`]: a truncated enumeration that reported no
+/// hit is **inconclusive**, not a refutation. Callers that need a
+/// refutation must check `truncated` (or leave the limit unset).
 pub fn for_each_homomorphism(
     pattern: &AtomSet,
     target: &AtomSet,
     seed: &Substitution,
     cfg: &MatchConfig,
+    on_found: impl FnMut(Substitution) -> ControlFlow<()>,
+) -> SearchOutcome {
+    for_each_homomorphism_budgeted(
+        pattern,
+        target,
+        seed,
+        cfg,
+        &SearchBudget::default(),
+        on_found,
+    )
+}
+
+/// [`for_each_homomorphism`] with an explicit [`SearchBudget`] layered on
+/// top of `cfg.node_limit` (whichever bound trips first wins). This is the
+/// engine's entry point for cooperatively cancellable retraction searches:
+/// the budget's deadline and cancel flags are polled *inside* the
+/// backtracking loop.
+pub fn for_each_homomorphism_budgeted(
+    pattern: &AtomSet,
+    target: &AtomSet,
+    seed: &Substitution,
+    cfg: &MatchConfig,
+    budget: &SearchBudget,
     mut on_found: impl FnMut(Substitution) -> ControlFlow<()>,
-) {
-    let Some(mut search) = Search::new(pattern, target, seed, cfg) else {
-        return;
+) -> SearchOutcome {
+    if budget.interrupted() {
+        // An already-tripped budget makes even an empty search inconclusive.
+        return SearchOutcome {
+            truncated: true,
+            nodes: 0,
+        };
+    }
+    let Some(mut search) = Search::new(pattern, target, seed, cfg, budget) else {
+        // A contradictory seed refutes conclusively without any trials.
+        return SearchOutcome::default();
     };
     let _ = search.run(&mut on_found);
+    SearchOutcome {
+        truncated: search.truncated,
+        nodes: search.nodes,
+    }
 }
 
 /// Finds one homomorphism from `pattern` to `target`, if any.
@@ -479,6 +528,92 @@ mod tests {
             ControlFlow::Break(())
         });
         assert!(!found);
+    }
+
+    #[test]
+    fn exhaustive_miss_is_not_truncated() {
+        // r(X, X) does not map to r(a, b); with no limit the miss is a
+        // conclusive refutation.
+        let pattern = set(&[atom(0, &[v(0), v(0)])]);
+        let target = set(&[atom(0, &[c(0), c(1)])]);
+        let out = for_each_homomorphism(
+            &pattern,
+            &target,
+            &Substitution::new(),
+            &MatchConfig::default(),
+            |_| ControlFlow::Continue(()),
+        );
+        assert!(!out.truncated);
+        assert!(out.nodes >= 1);
+    }
+
+    #[test]
+    fn budgeted_miss_is_truncated_not_refuted() {
+        // A large pattern with a 1-node budget: the search cannot finish,
+        // and must say so instead of reporting a refutation.
+        let n = 6u32;
+        let idx = |i: u32, j: u32| v(i * n + j);
+        let mut atoms = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i + 1 < n {
+                    atoms.push(atom(0, &[idx(i, j), idx(i + 1, j)]));
+                }
+                if j + 1 < n {
+                    atoms.push(atom(1, &[idx(i, j), idx(i, j + 1)]));
+                }
+            }
+        }
+        let grid = set(&atoms);
+        let cfg = MatchConfig {
+            node_limit: Some(1),
+            ..MatchConfig::default()
+        };
+        let mut found = false;
+        let out = for_each_homomorphism(&grid, &grid, &Substitution::new(), &cfg, |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        assert!(!found);
+        assert!(out.truncated, "a budgeted miss must be inconclusive");
+    }
+
+    #[test]
+    fn callback_break_is_not_truncated() {
+        // Found-and-stopped must be distinguishable from budget-exhausted.
+        let pattern = set(&[atom(0, &[v(0), v(1)])]);
+        let target = set(&[atom(0, &[c(0), c(1)])]);
+        let out = for_each_homomorphism(
+            &pattern,
+            &target,
+            &Substitution::new(),
+            &MatchConfig::default(),
+            |_| ControlFlow::Break(()),
+        );
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn budget_deadline_truncates_search() {
+        use crate::budget::SearchBudget;
+        let pattern = set(&[atom(0, &[v(0), v(1)])]);
+        let target = set(&[atom(0, &[c(0), c(1)])]);
+        let expired = SearchBudget::unlimited()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let mut found = false;
+        let out = for_each_homomorphism_budgeted(
+            &pattern,
+            &target,
+            &Substitution::new(),
+            &MatchConfig::default(),
+            &expired,
+            |_| {
+                found = true;
+                ControlFlow::Break(())
+            },
+        );
+        assert!(!found);
+        assert!(out.truncated);
     }
 
     #[test]

@@ -37,17 +37,57 @@ pub fn labeled_grid(vocab: &mut Vocabulary, n: usize) -> (AtomSet, GridLabeling)
     (set, labeling)
 }
 
+/// The three-valued outcome of a budgeted grid search: the search runs
+/// under a node limit, so a miss is only a *refutation* when the space
+/// was exhausted.
+#[derive(Clone, Debug)]
+pub enum GridSearch {
+    /// A certified grid embedding.
+    Found(GridLabeling),
+    /// Exhaustive miss: no directional grid of this size exists.
+    Absent,
+    /// The node budget cut the search before a hit — the grid may or may
+    /// not exist. Must never be treated as a refutation.
+    Inconclusive,
+}
+
+impl GridSearch {
+    /// The labeling, if a grid was found.
+    pub fn into_found(self) -> Option<GridLabeling> {
+        match self {
+            GridSearch::Found(lab) => Some(lab),
+            _ => None,
+        }
+    }
+
+    /// Was the search cut short without a hit?
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, GridSearch::Inconclusive)
+    }
+}
+
+/// A grid-based treewidth lower bound, carrying whether the climb was
+/// stopped by the node budget rather than an exhaustive miss.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GridBound {
+    /// Largest certified grid side; `tw(a) ≥ side` by Fact 2.
+    pub side: usize,
+    /// The climb ended on an inconclusive (budget-truncated) search, so
+    /// larger grids were not refuted.
+    pub truncated: bool,
+}
+
 /// Searches for an **injective** embedding of an `n × n` grid pattern
 /// (built from `h` column-steps and `v` row-steps) into `a`.
 ///
 /// A hit is a certified `n × n`-grid in the sense of Definition 5 (the
 /// `n²` image terms are pairwise distinct and adjacent coordinates
-/// co-occur in an atom), hence `tw(a) ≥ n` by Fact 2. A miss certifies
-/// only that no grid uses `h`/`v` atoms *directionally*; it is not a
-/// treewidth upper bound.
-pub fn find_grid(a: &AtomSet, n: usize, h: PredId, v: PredId) -> Option<GridLabeling> {
+/// co-occur in an atom), hence `tw(a) ≥ n` by Fact 2. An [`GridSearch::Absent`]
+/// miss certifies only that no grid uses `h`/`v` atoms *directionally*;
+/// it is not a treewidth upper bound.
+pub fn find_grid(a: &AtomSet, n: usize, h: PredId, v: PredId) -> GridSearch {
     if n == 0 {
-        return Some(GridLabeling { terms: vec![] });
+        return GridSearch::Found(GridLabeling { terms: vec![] });
     }
     // Pattern variables: chosen outside the instance's variable space by
     // offsetting beyond its maximum raw id.
@@ -69,10 +109,12 @@ pub fn find_grid(a: &AtomSet, n: usize, h: PredId, v: PredId) -> Option<GridLabe
     if n == 1 {
         // No adjacency constraints; any term works if the instance is
         // nonempty.
-        let t = a.terms().into_iter().next()?;
-        return Some(GridLabeling {
-            terms: vec![vec![t]],
-        });
+        return match a.terms().into_iter().next() {
+            Some(t) => GridSearch::Found(GridLabeling {
+                terms: vec![vec![t]],
+            }),
+            None => GridSearch::Absent,
+        };
     }
     let cfg = MatchConfig {
         injective_vars: true,
@@ -80,29 +122,41 @@ pub fn find_grid(a: &AtomSet, n: usize, h: PredId, v: PredId) -> Option<GridLabe
         ..MatchConfig::default()
     };
     let mut found = None;
-    for_each_homomorphism(&pattern, a, &Substitution::new(), &cfg, |sub| {
+    let outcome = for_each_homomorphism(&pattern, a, &Substitution::new(), &cfg, |sub| {
         found = Some(sub);
         ControlFlow::Break(())
     });
-    let sub = found?;
-    Some(GridLabeling::from_fn(n, |i, j| {
-        sub.apply_term(var_at(i, j))
-    }))
+    match found {
+        Some(sub) => GridSearch::Found(GridLabeling::from_fn(n, |i, j| {
+            sub.apply_term(var_at(i, j))
+        })),
+        // A budgeted miss refutes nothing (the bug this enum fixes: it
+        // used to read as "no grid").
+        None if outcome.truncated => GridSearch::Inconclusive,
+        None => GridSearch::Absent,
+    }
 }
 
 /// The largest `n` (up to `cap`) for which [`find_grid`] succeeds;
-/// `tw(a) ≥` the returned value by Fact 2 (0 when even a single term is
-/// absent).
-pub fn best_grid_lower_bound(a: &AtomSet, cap: usize, h: PredId, v: PredId) -> usize {
-    let mut best = 0;
+/// `tw(a) ≥ side` by Fact 2 (0 when even a single term is absent). The
+/// climb stops at the first miss; a budget-truncated miss marks the
+/// bound `truncated` instead of silently under-reporting.
+pub fn best_grid_lower_bound(a: &AtomSet, cap: usize, h: PredId, v: PredId) -> GridBound {
+    let mut bound = GridBound {
+        side: 0,
+        truncated: false,
+    };
     for n in 1..=cap {
-        if find_grid(a, n, h, v).is_some() {
-            best = n;
-        } else {
-            break;
+        match find_grid(a, n, h, v) {
+            GridSearch::Found(_) => bound.side = n,
+            GridSearch::Absent => break,
+            GridSearch::Inconclusive => {
+                bound.truncated = true;
+                break;
+            }
         }
     }
-    best
+    bound
 }
 
 #[cfg(test)]
@@ -117,10 +171,18 @@ mod tests {
         assert!(contains_grid(&set, &lab));
         let h = vocab.pred("h", 2);
         let v = vocab.pred("v", 2);
-        let found = find_grid(&set, 4, h, v).expect("grid must be found");
+        let found = find_grid(&set, 4, h, v)
+            .into_found()
+            .expect("grid must be found");
         assert!(contains_grid(&set, &found));
-        assert!(find_grid(&set, 5, h, v).is_none());
-        assert_eq!(best_grid_lower_bound(&set, 8, h, v), 4);
+        assert!(matches!(find_grid(&set, 5, h, v), GridSearch::Absent));
+        assert_eq!(
+            best_grid_lower_bound(&set, 8, h, v),
+            GridBound {
+                side: 4,
+                truncated: false
+            }
+        );
     }
 
     #[test]
@@ -134,8 +196,8 @@ mod tests {
         let set: AtomSet = [Atom::new(h, vec![x, x]), Atom::new(v, vec![x, x])]
             .into_iter()
             .collect();
-        assert!(find_grid(&set, 2, h, v).is_none());
-        assert_eq!(best_grid_lower_bound(&set, 4, h, v), 1);
+        assert!(matches!(find_grid(&set, 2, h, v), GridSearch::Absent));
+        assert_eq!(best_grid_lower_bound(&set, 4, h, v).side, 1);
     }
 
     #[test]
@@ -143,6 +205,6 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let h = vocab.pred("h", 2);
         let v = vocab.pred("v", 2);
-        assert_eq!(best_grid_lower_bound(&AtomSet::new(), 3, h, v), 0);
+        assert_eq!(best_grid_lower_bound(&AtomSet::new(), 3, h, v).side, 0);
     }
 }

@@ -73,10 +73,14 @@ impl Checkpoint {
     }
 
     /// Rebuilds a runnable job from the checkpoint. The new slice starts
-    /// from the serialized instance and inherits the stored config.
+    /// from the serialized instance and inherits the stored config. An
+    /// inexact (oblivious/semi-oblivious) resume is flagged on the spec
+    /// so the runner emits a `warning` event instead of silently dropping
+    /// the applied-trigger memory.
     pub fn into_spec(&self) -> Result<JobSpec, String> {
         let mut spec = JobSpec::from_text(self.name.clone(), &self.program, self.config.clone())?;
         spec.base_stats = self.stats;
+        spec.resumed_inexact = !self.exact();
         Ok(spec)
     }
 

@@ -62,6 +62,11 @@ pub struct JobSpec {
     /// Counters carried over from the checkpointed prefix this job
     /// resumes (zero for fresh jobs).
     pub base_stats: ChaseStats,
+    /// This job resumes an oblivious/semi-oblivious checkpoint whose
+    /// applied-trigger memory could not be serialized: the resumed run
+    /// may re-apply triggers the prefix already fired. Surfaced as a
+    /// `warning` job event.
+    pub resumed_inexact: bool,
 }
 
 impl JobSpec {
@@ -82,6 +87,7 @@ impl JobSpec {
             tw_sample_interval: None,
             progress_every: 1,
             base_stats: ChaseStats::default(),
+            resumed_inexact: false,
         })
     }
 
@@ -96,6 +102,7 @@ impl JobSpec {
             tw_sample_interval: None,
             progress_every: 1,
             base_stats: ChaseStats::default(),
+            resumed_inexact: false,
         }
     }
 
@@ -140,6 +147,11 @@ pub fn add_stats(a: ChaseStats, b: ChaseStats) -> ChaseStats {
         rounds: a.rounds + b.rounds,
         retractions: a.retractions + b.retractions,
         peak_atoms: a.peak_atoms.max(b.peak_atoms),
+        core_steps: a.core_steps + b.core_steps,
+        match_nodes: a.match_nodes + b.match_nodes,
+        fold_candidates: a.fold_candidates + b.fold_candidates,
+        core_truncations: a.core_truncations + b.core_truncations,
+        core_time_us: a.core_time_us + b.core_time_us,
     }
 }
 
@@ -173,17 +185,32 @@ mod tests {
             rounds: 2,
             retractions: 1,
             peak_atoms: 10,
+            core_steps: 4,
+            match_nodes: 100,
+            fold_candidates: 9,
+            core_truncations: 1,
+            core_time_us: 250,
         };
         let b = ChaseStats {
             applications: 3,
             rounds: 1,
             retractions: 0,
             peak_atoms: 7,
+            core_steps: 2,
+            match_nodes: 50,
+            fold_candidates: 4,
+            core_truncations: 0,
+            core_time_us: 100,
         };
         let s = add_stats(a, b);
         assert_eq!(s.applications, 8);
         assert_eq!(s.rounds, 3);
         assert_eq!(s.retractions, 1);
         assert_eq!(s.peak_atoms, 10);
+        assert_eq!(s.core_steps, 6);
+        assert_eq!(s.match_nodes, 150);
+        assert_eq!(s.fold_candidates, 13);
+        assert_eq!(s.core_truncations, 1);
+        assert_eq!(s.core_time_us, 350);
     }
 }

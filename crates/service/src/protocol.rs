@@ -8,7 +8,9 @@
 
 use std::time::Duration;
 
-use chase_engine::{ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, SchedulerKind};
+use chase_engine::{
+    ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, CoreMaintenance, SchedulerKind,
+};
 
 use crate::job::{JobId, JobResult, JobStatus, QueryVerdict};
 use crate::json::Json;
@@ -123,7 +125,22 @@ pub fn config_to_json(cfg: &ChaseConfig) -> Json {
                 .map_or(Json::Null, |d| Json::Int(d.as_millis() as i64)),
         ),
         ("core_interval", Json::Int(cfg.core_interval as i64)),
+        (
+            "core_maintenance",
+            Json::str(match cfg.core_maintenance {
+                CoreMaintenance::FullRecompute => "full",
+                CoreMaintenance::Incremental => "incremental",
+            }),
+        ),
     ])
+}
+
+fn parse_core_maintenance(s: &str) -> Result<CoreMaintenance, String> {
+    match s {
+        "full" | "full-recompute" => Ok(CoreMaintenance::FullRecompute),
+        "incremental" => Ok(CoreMaintenance::Incremental),
+        other => Err(format!("unknown core_maintenance `{other}`")),
+    }
 }
 
 /// Deserializes a chase configuration.
@@ -139,6 +156,11 @@ pub fn config_from_json(v: &Json) -> Result<ChaseConfig, String> {
     cfg.max_atoms = v.require_u64("max_atoms")? as usize;
     cfg.max_wall = v.opt_u64("max_wall_ms")?.map(Duration::from_millis);
     cfg.core_interval = (v.require_u64("core_interval")? as usize).max(1);
+    // Older checkpoints predate the field; they ran the full recompute.
+    cfg.core_maintenance = match v.opt_str("core_maintenance")? {
+        Some(s) => parse_core_maintenance(s)?,
+        None => CoreMaintenance::FullRecompute,
+    };
     Ok(cfg)
 }
 
@@ -162,6 +184,9 @@ fn submit_config(v: &Json) -> Result<ChaseConfig, String> {
     }
     if let Some(seed) = v.opt_u64("scheduler_seed")? {
         cfg.scheduler = SchedulerKind::Random(seed);
+    }
+    if let Some(s) = v.opt_str("core_maintenance")? {
+        cfg.core_maintenance = parse_core_maintenance(s)?;
     }
     Ok(cfg)
 }
@@ -219,16 +244,27 @@ pub fn stats_to_json(stats: &ChaseStats) -> Json {
         ("rounds", Json::Int(stats.rounds as i64)),
         ("retractions", Json::Int(stats.retractions as i64)),
         ("peak_atoms", Json::Int(stats.peak_atoms as i64)),
+        ("core_steps", Json::Int(stats.core_steps as i64)),
+        ("match_nodes", Json::Int(stats.match_nodes as i64)),
+        ("fold_candidates", Json::Int(stats.fold_candidates as i64)),
+        ("core_truncations", Json::Int(stats.core_truncations as i64)),
+        ("core_time_us", Json::Int(stats.core_time_us as i64)),
     ])
 }
 
-/// Deserializes run counters.
+/// Deserializes run counters. The matcher counters default to zero so
+/// checkpoints written before they existed still parse.
 pub fn stats_from_json(v: &Json) -> Result<ChaseStats, String> {
     Ok(ChaseStats {
         applications: v.require_u64("applications")? as usize,
         rounds: v.require_u64("rounds")? as usize,
         retractions: v.require_u64("retractions")? as usize,
         peak_atoms: v.require_u64("peak_atoms")? as usize,
+        core_steps: v.opt_u64("core_steps")?.unwrap_or(0) as usize,
+        match_nodes: v.opt_u64("match_nodes")?.unwrap_or(0) as usize,
+        fold_candidates: v.opt_u64("fold_candidates")?.unwrap_or(0) as usize,
+        core_truncations: v.opt_u64("core_truncations")?.unwrap_or(0) as usize,
+        core_time_us: v.opt_u64("core_time_us")?.unwrap_or(0),
     })
 }
 
@@ -263,10 +299,19 @@ pub fn event_to_json(ev: &JobEvent) -> Json {
             push("atoms", Json::Int(*atoms as i64));
             push("rounds", Json::Int(*rounds as i64));
         }
-        JobEventKind::CoreRetracted { before, after } => {
+        JobEventKind::CoreRetracted {
+            before,
+            after,
+            match_nodes,
+            fold_candidates,
+            truncated,
+        } => {
             push("event", Json::str("core-retraction"));
             push("before", Json::Int(*before as i64));
             push("after", Json::Int(*after as i64));
+            push("match_nodes", Json::Int(*match_nodes as i64));
+            push("fold_candidates", Json::Int(*fold_candidates as i64));
+            push("truncated", Json::Bool(*truncated));
         }
         JobEventKind::TreewidthSample {
             applications,
@@ -296,6 +341,10 @@ pub fn event_to_json(ev: &JobEvent) -> Json {
         }
         JobEventKind::Failed { message } => {
             push("event", Json::str("failed"));
+            push("message", Json::str(message));
+        }
+        JobEventKind::Warning { message } => {
+            push("event", Json::str("warning"));
             push("message", Json::str(message));
         }
     }
@@ -367,6 +416,34 @@ mod tests {
         assert_eq!(back.max_atoms, cfg.max_atoms);
         assert_eq!(back.max_wall, cfg.max_wall);
         assert_eq!(back.core_interval, cfg.core_interval);
+        assert_eq!(back.core_maintenance, cfg.core_maintenance);
+    }
+
+    #[test]
+    fn config_without_core_maintenance_defaults_to_full() {
+        // Checkpoints from before the field existed ran the full
+        // recompute; parsing must preserve that behaviour.
+        let line = r#"{"variant":"core","scheduler":"deterministic","scheduler_seed":null,
+                       "max_applications":10,"max_atoms":100,"max_wall_ms":null,"core_interval":1}"#;
+        let cfg = config_from_json(&parse_json(line).unwrap()).unwrap();
+        assert_eq!(cfg.core_maintenance, CoreMaintenance::FullRecompute);
+    }
+
+    #[test]
+    fn stats_roundtrip_with_matcher_counters() {
+        let stats = ChaseStats {
+            applications: 3,
+            rounds: 2,
+            retractions: 1,
+            peak_atoms: 9,
+            core_steps: 4,
+            match_nodes: 1234,
+            fold_candidates: 17,
+            core_truncations: 1,
+            core_time_us: 5678,
+        };
+        let back = stats_from_json(&stats_to_json(&stats)).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

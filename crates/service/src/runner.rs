@@ -55,6 +55,13 @@ pub enum JobEventKind {
         before: usize,
         /// Atoms after the retraction.
         after: usize,
+        /// Matcher search nodes explored in this core phase.
+        match_nodes: usize,
+        /// Fold candidates probed in this core phase.
+        fold_candidates: usize,
+        /// The phase was cut by the wall/cancel budget — the instance is
+        /// a sound retract but may not be the core.
+        truncated: bool,
     },
     /// A periodic treewidth estimate of the current instance.
     TreewidthSample {
@@ -83,6 +90,12 @@ pub enum JobEventKind {
     /// The job could not run at all.
     Failed {
         /// Human-readable reason.
+        message: String,
+    },
+    /// A non-fatal condition worth surfacing (e.g. an inexact resume of
+    /// an oblivious checkpoint whose applied-trigger memory was lost).
+    Warning {
+        /// Human-readable description.
         message: String,
     },
 }
@@ -408,6 +421,22 @@ fn execute(
     let progress_every = spec.progress_every.max(1);
     let mut last_step_emitted = 0usize;
     let mut last_tw_sampled = 0usize;
+    if spec.resumed_inexact {
+        // The checkpoint could not carry the applied-trigger memory of
+        // its oblivious/semi-oblivious prefix; the resumed slice may
+        // re-apply triggers. This used to be silently dropped.
+        inner.emit(JobEvent {
+            job: id,
+            name: name.to_string(),
+            kind: JobEventKind::Warning {
+                message: format!(
+                    "inexact resume: the {} checkpoint drops applied-trigger \
+                     memory, so triggers of the prefix may fire again",
+                    crate::protocol::variant_name(spec.config.variant)
+                ),
+            },
+        });
+    }
     let res = run_chase_controlled(
         &mut vocab,
         &spec.kb.facts,
@@ -446,11 +475,22 @@ fn execute(
                         }
                     }
                 }
-                ChaseEvent::CoreRetracted { before, after, .. } => {
+                ChaseEvent::CoreRetracted {
+                    before,
+                    after,
+                    match_stats,
+                    ..
+                } => {
                     inner.emit(JobEvent {
                         job: id,
                         name: name.to_string(),
-                        kind: JobEventKind::CoreRetracted { before, after },
+                        kind: JobEventKind::CoreRetracted {
+                            before,
+                            after,
+                            match_nodes: match_stats.nodes,
+                            fold_candidates: match_stats.candidates,
+                            truncated: match_stats.truncated,
+                        },
                     });
                 }
             }

@@ -1,0 +1,171 @@
+//! Property tests for the incremental core maintainer: on seeded random
+//! inputs the dirty-region maintainer must agree with the from-scratch
+//! [`core_of`] up to isomorphism (cores are unique up to iso), both on
+//! single core-∪-added instances and along whole chase trajectories, and
+//! parallel probing must be deterministic in its *result* regardless of
+//! thread interleaving.
+//!
+//! Cases are generated with the engine's deterministic [`SplitMix64`]
+//! generator (fixed seeds), so failures are reproducible without a
+//! shrinker.
+
+use treechase::atoms::{Atom, AtomSet, PredId, Term, VarId};
+use treechase::engine::prng::SplitMix64;
+use treechase::homomorphism::{core_of, incremental_core, is_core, isomorphism, SearchBudget};
+
+/// Draws a random binary atom over `vars` variables and `preds`
+/// predicates.
+fn random_atom(rng: &mut SplitMix64, preds: u32, vars: u32) -> Atom {
+    let t = |rng: &mut SplitMix64| Term::Var(VarId::from_raw(rng.gen_range(vars as usize) as u32));
+    Atom::new(
+        PredId::from_raw(rng.gen_range(preds as usize) as u32),
+        vec![t(rng), t(rng)],
+    )
+}
+
+fn random_atomset(rng: &mut SplitMix64, max_atoms: usize, vars: u32) -> AtomSet {
+    let n = 1 + rng.gen_range(max_atoms.max(2) - 1);
+    (0..n).map(|_| random_atom(rng, 2, vars)).collect()
+}
+
+/// One random "core maintenance step": a cored base plus a batch of
+/// added atoms that may touch base terms and fresh nulls alike.
+fn random_step(seed: u64) -> (AtomSet, Vec<Atom>, Vec<VarId>) {
+    let mut rng = SplitMix64::new(seed);
+    let base = core_of(&random_atomset(&mut rng, 8, 6)).core;
+    // Added atoms draw from a widened pool (0..10): ids 6..10 are fresh
+    // nulls that the base cannot mention, the rest alias base variables.
+    let n_added = 1 + rng.gen_range(4);
+    let added: Vec<Atom> = (0..n_added).map(|_| random_atom(&mut rng, 2, 10)).collect();
+    let base_vars = base.vars();
+    let fresh: Vec<VarId> = added
+        .iter()
+        .flat_map(|a| a.terms().filter_map(Term::as_var))
+        .filter(|v| !base_vars.contains(v))
+        .collect();
+    (base, added, fresh)
+}
+
+/// The incremental maintainer reaches the same core (up to isomorphism)
+/// as the from-scratch algorithm on ≥200 random core-∪-added instances,
+/// and its witness really is a retraction onto that core.
+#[test]
+fn incremental_matches_core_of_on_random_instances() {
+    for seed in 0..220u64 {
+        let (base, added, fresh) = random_step(seed);
+        let mut full = base.clone();
+        for a in &added {
+            full.insert(a.clone());
+        }
+        let inc = incremental_core(&full, &added, &fresh, &SearchBudget::unlimited(), 1);
+        let scratch = core_of(&full);
+        assert!(
+            !inc.stats.truncated,
+            "seed {seed}: unlimited budget truncated"
+        );
+        assert!(
+            isomorphism(&inc.core, &scratch.core).is_some(),
+            "seed {seed}: incremental core not isomorphic to core_of\n  full: {full:?}\n  inc: {:?}\n  scratch: {:?}",
+            inc.core,
+            scratch.core
+        );
+        assert!(is_core(&inc.core), "seed {seed}: result is not a core");
+        assert!(inc.retraction.is_retraction_of(&full));
+        assert_eq!(inc.retraction.apply_set(&full), inc.core);
+    }
+}
+
+/// Parallel probing is deterministic in its *result*: whatever retract a
+/// 4-thread race lands on, it is a core isomorphic to the sequential
+/// one, across repeated runs (thread interleavings).
+#[test]
+fn parallel_probing_is_deterministic_up_to_isomorphism() {
+    for seed in 300..340u64 {
+        let (base, added, fresh) = random_step(seed);
+        let mut full = base.clone();
+        for a in &added {
+            full.insert(a.clone());
+        }
+        let reference = incremental_core(&full, &added, &fresh, &SearchBudget::unlimited(), 1);
+        for _run in 0..4 {
+            let par = incremental_core(&full, &added, &fresh, &SearchBudget::unlimited(), 4);
+            assert!(!par.stats.truncated);
+            assert!(
+                is_core(&par.core),
+                "seed {seed}: parallel result not a core"
+            );
+            assert!(
+                isomorphism(&par.core, &reference.core).is_some(),
+                "seed {seed}: parallel core not isomorphic to sequential core"
+            );
+            assert!(par.retraction.is_retraction_of(&full));
+        }
+    }
+}
+
+mod trajectories {
+    use super::*;
+    use treechase::engine::{run_chase, ChaseConfig, ChaseVariant, CoreMaintenance, Rule, RuleSet};
+    use treechase::prelude::Vocabulary;
+
+    // Single-body-atom rules r_p(X,Y) → h_p(Y, Z or X), as in the
+    // chase properties suite.
+    fn random_rule(rng: &mut SplitMix64) -> Rule {
+        let bp = rng.gen_range(2) as u32;
+        let hp = rng.gen_range(2) as u32;
+        let x = Term::Var(VarId::from_raw(1000));
+        let y = Term::Var(VarId::from_raw(1001));
+        let z = Term::Var(VarId::from_raw(1002));
+        let body: AtomSet = [Atom::new(PredId::from_raw(bp), vec![x, y])]
+            .into_iter()
+            .collect();
+        let head: AtomSet = if rng.gen_bool() {
+            [Atom::new(PredId::from_raw(hp), vec![y, z])]
+                .into_iter()
+                .collect()
+        } else {
+            [Atom::new(PredId::from_raw(hp), vec![y, x])]
+                .into_iter()
+                .collect()
+        };
+        Rule::new("r", body, head).expect("nonempty")
+    }
+
+    /// A full core chase with `CoreMaintenance::Incremental` reaches an
+    /// instance isomorphic to the `FullRecompute` run on the same KB —
+    /// the maintainer is trajectory-equivalent, not just step-equivalent.
+    #[test]
+    fn incremental_chase_trajectories_match_full_recompute() {
+        let mut rng = SplitMix64::new(0xD1247);
+        let mut terminated = 0usize;
+        for case in 0..48u64 {
+            let facts = random_atomset(&mut rng, 6, 8);
+            let n_rules = 1 + rng.gen_range(2);
+            let ruleset: RuleSet = (0..n_rules).map(|_| random_rule(&mut rng)).collect();
+            let run = |maintenance| {
+                let mut vocab = Vocabulary::new();
+                run_chase(
+                    &mut vocab,
+                    &facts,
+                    &ruleset,
+                    &ChaseConfig::variant(ChaseVariant::Core)
+                        .with_core_maintenance(maintenance)
+                        .with_max_applications(40)
+                        .with_max_atoms(500),
+                )
+            };
+            let full = run(CoreMaintenance::FullRecompute);
+            let inc = run(CoreMaintenance::Incremental);
+            if full.outcome.terminated() && inc.outcome.terminated() {
+                terminated += 1;
+                assert!(is_core(&inc.final_instance), "case {case}");
+                assert!(
+                    isomorphism(&full.final_instance, &inc.final_instance).is_some(),
+                    "case {case}: incremental trajectory diverged from full recompute"
+                );
+            }
+        }
+        // The generator must actually exercise the property, not skip it.
+        assert!(terminated >= 24, "only {terminated} cases terminated");
+    }
+}

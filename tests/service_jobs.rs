@@ -130,6 +130,61 @@ fn cancelled_job_checkpoint_resumes_to_completion() {
     assert!(resumed.stats.applications >= res.stats.applications);
 }
 
+/// Resuming an oblivious checkpoint drops the applied-trigger memory;
+/// the runner must say so (a `warning` event) instead of silently
+/// producing a run that may re-fire the prefix's triggers.
+#[test]
+fn inexact_oblivious_resume_emits_a_warning_event() {
+    let svc = Service::start(1);
+    let cut = svc
+        .take_result(svc.submit(staircase_spec(
+            "obliv-cut",
+            ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(5),
+        )))
+        .expect("cut result");
+    assert_eq!(cut.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+    let ck = cut.checkpoint.expect("budget exhaustion is resumable");
+    assert!(!ck.exact(), "oblivious checkpoints are inexact");
+
+    let events = svc.events();
+    let mut spec = ck.into_spec().expect("checkpoint reparses");
+    assert!(spec.resumed_inexact);
+    spec.config.max_applications = 5;
+    let id = svc.submit(spec);
+    svc.wait(id);
+    let mut warning = None;
+    while let Ok(ev) = events.try_recv() {
+        if let JobEventKind::Warning { message } = ev.kind {
+            assert_eq!(ev.job, id);
+            warning = Some(message);
+        }
+    }
+    let message = warning.expect("inexact resume must emit a warning event");
+    assert!(message.contains("inexact resume"), "{message}");
+    assert!(message.contains("oblivious"), "{message}");
+
+    // An exact (core) resume stays warning-free.
+    let core_cut = svc
+        .take_result(svc.submit(staircase_spec(
+            "core-cut",
+            ChaseConfig::variant(ChaseVariant::Core).with_max_applications(5),
+        )))
+        .expect("core cut result");
+    let core_ck = core_cut.checkpoint.expect("resumable");
+    assert!(core_ck.exact());
+    let events = svc.events();
+    let resumed_spec = core_ck.into_spec().expect("reparses");
+    assert!(!resumed_spec.resumed_inexact);
+    let id2 = svc.submit(resumed_spec);
+    svc.wait(id2);
+    while let Ok(ev) = events.try_recv() {
+        assert!(
+            !matches!(ev.kind, JobEventKind::Warning { .. }),
+            "exact resume must not warn"
+        );
+    }
+}
+
 /// With four workers, four submitted jobs all start before any of them
 /// finishes — i.e. they genuinely execute concurrently.
 #[test]

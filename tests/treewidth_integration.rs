@@ -60,7 +60,7 @@ fn grid_search_matches_known_content() {
     let prefix = s.universal_prefix(2 * n + 1);
     let h = s.vocab.lookup_pred("h").unwrap();
     let v = s.vocab.lookup_pred("v").unwrap();
-    let found = best_grid_lower_bound(&prefix, 4, h, v);
+    let found = best_grid_lower_bound(&prefix, 4, h, v).side;
     assert!(found >= n as usize, "found only {found}");
     // Fact 2 cross-check: the exact treewidth of the prefix is ≥ found.
     let b = treewidth_bounds(&prefix);
