@@ -31,7 +31,7 @@ use chase_homomorphism::{
     SearchBudget,
 };
 
-use crate::control::{CancelToken, ChaseEvent};
+use crate::control::{CancelToken, ChaseEvent, FaultPlan};
 use crate::derivation::Derivation;
 use crate::prng::SplitMix64;
 use crate::rule::RuleSet;
@@ -117,6 +117,14 @@ pub struct ChaseConfig {
     pub core_interval: usize,
     /// Core variant only: how the per-step core is recomputed.
     pub core_maintenance: CoreMaintenance,
+    /// Wall-clock time already consumed by earlier slices of the same
+    /// derivation. Deducted from `max_wall` so a resumed job continues
+    /// under the *remaining* budget instead of a fresh full one. Process
+    /// state, never serialized into checkpoints.
+    pub consumed_wall: Duration,
+    /// Deterministic fault-injection plan for crash testing; `None` (the
+    /// default) injects nothing. Process state, never serialized.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ChaseConfig {
@@ -130,6 +138,8 @@ impl Default for ChaseConfig {
             max_wall: None,
             core_interval: 1,
             core_maintenance: CoreMaintenance::default(),
+            consumed_wall: Duration::ZERO,
+            fault: None,
         }
     }
 }
@@ -183,6 +193,18 @@ impl ChaseConfig {
     /// Sets the core maintenance strategy.
     pub fn with_core_maintenance(mut self, m: CoreMaintenance) -> Self {
         self.core_maintenance = m;
+        self
+    }
+
+    /// Sets the wall-clock time already consumed by earlier slices.
+    pub fn with_consumed_wall(mut self, d: Duration) -> Self {
+        self.consumed_wall = d;
+        self
+    }
+
+    /// Arms a fault-injection plan.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 }
@@ -241,6 +263,11 @@ pub struct ChaseStats {
     pub core_truncations: usize,
     /// Wall-clock microseconds spent inside core/frugal phases.
     pub core_time_us: u64,
+    /// Wall-clock microseconds this run has consumed, updated before
+    /// every step event and at the end of the run. Across resumed slices
+    /// the service accumulates it, so a checkpoint knows how much of the
+    /// `max_wall` budget the derivation has already spent.
+    pub wall_us: u64,
 }
 
 /// The result of a chase run.
@@ -297,7 +324,9 @@ pub fn run_chase_observed(
     mut observer: impl FnMut(&AtomSet, &ChaseStats) -> std::ops::ControlFlow<()>,
 ) -> ChaseResult {
     run_chase_controlled(vocab, facts, rules, cfg, None, |event| match event {
-        ChaseEvent::StepApplied { instance, stats } => observer(instance, stats),
+        ChaseEvent::StepApplied {
+            instance, stats, ..
+        } => observer(instance, stats),
         _ => std::ops::ControlFlow::Continue(()),
     })
 }
@@ -331,7 +360,13 @@ pub fn run_chase_controlled(
         _ => 0,
     });
     let started = Instant::now();
-    let wall_exhausted = |started: Instant| match cfg.max_wall {
+    // What earlier slices of this derivation already spent comes off the
+    // wall budget: a resumed job continues the old clock, it does not get
+    // a fresh one.
+    let effective_wall = cfg
+        .max_wall
+        .map(|limit| limit.saturating_sub(cfg.consumed_wall));
+    let wall_exhausted = |started: Instant| match effective_wall {
         Some(limit) => started.elapsed() >= limit,
         None => false,
     };
@@ -342,7 +377,7 @@ pub fn run_chase_controlled(
     // expensive core phase from overshooting the wall budget or ignoring
     // a cancel — the matcher polls it inside its backtracking loop.
     let mut budget = SearchBudget::unlimited();
-    if let Some(limit) = cfg.max_wall {
+    if let Some(limit) = effective_wall {
         budget = budget.with_deadline(started + limit);
     }
     if let Some(token) = cancel {
@@ -479,6 +514,9 @@ pub fn run_chase_controlled(
             };
             stats.applications += 1;
             since_core += 1;
+            if let Some(n) = cfg.fault.as_ref().and_then(FaultPlan::on_application) {
+                panic!("injected fault: crash at application #{n}");
+            }
             stats.peak_atoms = stats.peak_atoms.max(app.result.len());
             if cfg.variant == ChaseVariant::Core
                 && cfg.core_maintenance == CoreMaintenance::Incremental
@@ -506,6 +544,9 @@ pub fn run_chase_controlled(
             let (sigma, next) = match cfg.variant {
                 ChaseVariant::Core if since_core >= cfg.core_interval => {
                     since_core = 0;
+                    if let Some(n) = cfg.fault.as_ref().and_then(FaultPlan::on_core_phase) {
+                        panic!("injected fault: crash in core phase #{n}");
+                    }
                     let phase = Instant::now();
                     let (sigma, next, ms) = match cfg.core_maintenance {
                         CoreMaintenance::FullRecompute => {
@@ -601,8 +642,10 @@ pub fn run_chase_controlled(
             {
                 break 'outer ChaseOutcome::Stopped;
             }
+            stats.wall_us = started.elapsed().as_micros() as u64;
             if observer(ChaseEvent::StepApplied {
                 instance: derivation.last_instance(),
+                vocab: &*vocab,
                 stats: &stats,
             })
             .is_break()
@@ -612,6 +655,7 @@ pub fn run_chase_controlled(
         }
     };
 
+    stats.wall_us = started.elapsed().as_micros() as u64;
     let final_instance = derivation.last_instance().clone();
     ChaseResult {
         derivation: match cfg.record {
@@ -836,7 +880,9 @@ mod tests {
         let a = run(7);
         let b = run(7);
         assert_eq!(a.final_instance, b.final_instance);
-        assert_eq!(a.stats, b.stats);
+        // Wall time is the one genuinely nondeterministic counter.
+        let strip = |s: ChaseStats| ChaseStats { wall_us: 0, ..s };
+        assert_eq!(strip(a.stats), strip(b.stats));
         // Different seeds still converge to the same closure (confluence
         // of datalog).
         let c = run(8);
@@ -880,6 +926,51 @@ mod tests {
         let d = res.derivation.unwrap();
         assert!(d.all_instances_map_into(&model));
         assert!(maps_to(&facts, &model));
+    }
+
+    #[test]
+    fn consumed_wall_is_deducted_from_the_slice_budget() {
+        // A slice whose earlier siblings already spent the whole wall
+        // budget must stop immediately instead of getting a fresh clock.
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let mut vc = vocab();
+        let cfg = ChaseConfig::default()
+            .with_max_wall(Duration::from_secs(3600))
+            .with_consumed_wall(Duration::from_secs(3600));
+        let res = run_chase(&mut vc, &facts, &rules, &cfg);
+        assert_eq!(res.outcome, ChaseOutcome::WallBudgetExhausted);
+        assert_eq!(res.stats.applications, 0);
+        // Sanity: without the carried-over consumption the same config
+        // makes progress.
+        let mut vc2 = vocab();
+        let fresh = ChaseConfig::default()
+            .with_max_wall(Duration::from_secs(3600))
+            .with_max_applications(3);
+        let res2 = run_chase(&mut vc2, &facts, &rules, &fresh);
+        assert_eq!(res2.stats.applications, 3);
+    }
+
+    #[test]
+    fn injected_application_fault_panics_exactly_once() {
+        use crate::control::{FaultPlan, FaultSite};
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let plan = FaultPlan::new(vec![FaultSite::Application(2)]);
+        let cfg = ChaseConfig::default()
+            .with_max_applications(4)
+            .with_fault(plan.clone());
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut vc = vocab();
+            run_chase(&mut vc, &facts, &rules, &cfg)
+        }));
+        let message = *crashed.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("crash at application #2"), "{message}");
+        // The site is spent: a retry under the same plan runs clean.
+        let mut vc = vocab();
+        let res = run_chase(&mut vc, &facts, &rules, &cfg);
+        assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+        assert_eq!(res.stats.applications, 4);
     }
 
     #[test]
@@ -1414,6 +1505,7 @@ mod skolem_chase_tests {
         let a = run();
         let b = run();
         assert_eq!(a.final_instance, b.final_instance);
-        assert_eq!(a.stats, b.stats);
+        let strip = |s: ChaseStats| ChaseStats { wall_us: 0, ..s };
+        assert_eq!(strip(a.stats), strip(b.stats));
     }
 }

@@ -17,13 +17,14 @@
 //!   steps and core retractions, each carrying the running
 //!   [`crate::ChaseStats`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use chase_atoms::AtomSet;
+use chase_atoms::{AtomSet, Vocabulary};
 use chase_homomorphism::MatchStats;
 
 use crate::chase::ChaseStats;
+use crate::prng::SplitMix64;
 
 /// A cloneable cancellation flag shared between a chase run and its
 /// controller. All clones observe the same flag.
@@ -57,6 +58,120 @@ impl CancelToken {
     }
 }
 
+/// One deterministic fault site of a [`FaultPlan`].
+///
+/// Counts are 1-based and *process-global per plan*: clones of a plan
+/// share the same counters, so a site fires at most once even when the
+/// run that hit it is retried in the same process (the supervision layer
+/// of `treechase-service` relies on this to converge).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic when the `k`-th trigger application (counted across every
+    /// run sharing the plan) lands.
+    Application(usize),
+    /// Panic when the `k`-th in-loop core phase begins.
+    CorePhase(usize),
+    /// Fail the `k`-th durable checkpoint write (surfaced as an I/O-style
+    /// error by the checkpoint store, not a panic).
+    CheckpointWrite(usize),
+}
+
+#[derive(Debug, Default)]
+struct FaultInner {
+    sites: Vec<FaultSite>,
+    applications: AtomicUsize,
+    core_phases: AtomicUsize,
+    checkpoint_writes: AtomicUsize,
+}
+
+/// A deterministic, shareable fault-injection plan for crash testing.
+///
+/// The engine and the checkpoint store consult the plan at well-defined
+/// sites; each [`FaultSite`] fires exactly once because the counters are
+/// strictly monotone and shared across clones. An empty plan never fires.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    inner: Arc<FaultInner>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from explicit sites.
+    pub fn new(sites: Vec<FaultSite>) -> Self {
+        FaultPlan {
+            inner: Arc::new(FaultInner {
+                sites,
+                ..FaultInner::default()
+            }),
+        }
+    }
+
+    /// Builds a plan of `kills` application-crash sites drawn without
+    /// replacement from `1..=horizon` by the seeded local PRNG.
+    pub fn seeded(seed: u64, kills: usize, horizon: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut picks: Vec<usize> = Vec::new();
+        while picks.len() < kills.min(horizon.max(1)) {
+            let k = rng.gen_range(horizon.max(1)) + 1;
+            if !picks.contains(&k) {
+                picks.push(k);
+            }
+        }
+        picks.sort_unstable();
+        FaultPlan::new(picks.into_iter().map(FaultSite::Application).collect())
+    }
+
+    /// The configured sites, for display and logging.
+    pub fn sites(&self) -> &[FaultSite] {
+        &self.inner.sites
+    }
+
+    /// Does the plan contain no sites at all?
+    pub fn is_empty(&self) -> bool {
+        self.inner.sites.is_empty()
+    }
+
+    fn hit(
+        &self,
+        count: &AtomicUsize,
+        matches: impl Fn(&FaultSite) -> Option<usize>,
+    ) -> Option<usize> {
+        let n = count.fetch_add(1, Ordering::AcqRel) + 1;
+        self.inner
+            .sites
+            .iter()
+            .filter_map(matches)
+            .any(|k| k == n)
+            .then_some(n)
+    }
+
+    /// Advances the application counter; `Some(n)` means "crash now, at
+    /// application #n".
+    pub fn on_application(&self) -> Option<usize> {
+        self.hit(&self.inner.applications, |s| match s {
+            FaultSite::Application(k) => Some(*k),
+            _ => None,
+        })
+    }
+
+    /// Advances the core-phase counter; `Some(n)` means "crash now, in
+    /// core phase #n".
+    pub fn on_core_phase(&self) -> Option<usize> {
+        self.hit(&self.inner.core_phases, |s| match s {
+            FaultSite::CorePhase(k) => Some(*k),
+            _ => None,
+        })
+    }
+
+    /// Advances the checkpoint-write counter; `Some(n)` means "fail this
+    /// write, the #n-th".
+    pub fn on_checkpoint_write(&self) -> Option<usize> {
+        self.hit(&self.inner.checkpoint_writes, |s| match s {
+            FaultSite::CheckpointWrite(k) => Some(*k),
+            _ => None,
+        })
+    }
+}
+
 /// One progress event of a controlled chase run.
 ///
 /// Borrowed data stays valid only for the duration of the observer call —
@@ -75,6 +190,9 @@ pub enum ChaseEvent<'a> {
     StepApplied {
         /// The instance after the application (and its simplification).
         instance: &'a AtomSet,
+        /// The live vocabulary, including nulls minted so far — what a
+        /// checkpointing observer needs to serialize `instance`.
+        vocab: &'a Vocabulary,
         /// Running counters.
         stats: &'a ChaseStats,
     },
@@ -95,6 +213,40 @@ pub enum ChaseEvent<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_sites_fire_exactly_once_across_clones() {
+        let plan = FaultPlan::new(vec![
+            FaultSite::Application(2),
+            FaultSite::CorePhase(1),
+            FaultSite::CheckpointWrite(3),
+        ]);
+        let clone = plan.clone();
+        assert_eq!(plan.on_application(), None); // #1
+        assert_eq!(clone.on_application(), Some(2)); // #2 fires, shared counter
+        assert_eq!(plan.on_application(), None); // #3: monotone, never re-fires
+        assert_eq!(plan.on_core_phase(), Some(1));
+        assert_eq!(clone.on_core_phase(), None);
+        assert_eq!(plan.on_checkpoint_write(), None);
+        assert_eq!(plan.on_checkpoint_write(), None);
+        assert_eq!(clone.on_checkpoint_write(), Some(3));
+        assert_eq!(clone.on_checkpoint_write(), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        let a = FaultPlan::seeded(42, 2, 50);
+        let b = FaultPlan::seeded(42, 2, 50);
+        assert_eq!(a.sites(), b.sites());
+        assert_eq!(a.sites().len(), 2);
+        for s in a.sites() {
+            let FaultSite::Application(k) = s else {
+                panic!("seeded plans only produce application sites");
+            };
+            assert!((1..=50).contains(k));
+        }
+        assert!(FaultPlan::default().is_empty());
+    }
 
     #[test]
     fn token_clones_share_the_flag() {

@@ -39,7 +39,7 @@ pub use chase::{
     run_chase, run_chase_controlled, run_chase_observed, ChaseConfig, ChaseOutcome, ChaseResult,
     ChaseStats, ChaseVariant, CoreMaintenance, RecordLevel, SchedulerKind,
 };
-pub use control::{CancelToken, ChaseEvent};
+pub use control::{CancelToken, ChaseEvent, FaultPlan, FaultSite};
 pub use derivation::{Derivation, DerivationStep};
 pub use robust::{RobustSequence, VarTrace};
 pub use rule::{Rule, RuleError, RuleId, RuleSet};

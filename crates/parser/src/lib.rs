@@ -35,6 +35,9 @@ mod parser_impl;
 mod printer;
 
 pub use lexer::{Lexer, Token, TokenKind};
-pub use lower::{parse_atoms_with, parse_program, parse_rule_with, Program};
+pub use lower::{
+    is_reserved_null_name, parse_atoms_with, parse_program, parse_program_trusted, parse_rule_with,
+    Program,
+};
 pub use parser_impl::{AtomAst, ParseError, RuleAst, Span, StmtAst, TermAst};
 pub use printer::{program_to_text, rule_to_text};

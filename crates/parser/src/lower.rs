@@ -21,10 +21,21 @@ pub struct Program {
     pub queries: Vec<(String, AtomSet)>,
 }
 
+/// Is `name` the printer's reserved spelling for an unnamed labeled null
+/// (`_N` followed by digits)? User input must not use it — otherwise
+/// re-parsing a checkpoint could merge a null with a user variable.
+pub fn is_reserved_null_name(name: &str) -> bool {
+    name.strip_prefix("_N")
+        .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+}
+
 struct Scope<'v> {
     vocab: &'v mut Vocabulary,
     vars: HashMap<String, chase_atoms::VarId>,
     prefix: String,
+    /// Accept the reserved `_N<digits>` null spelling (printer output,
+    /// i.e. checkpoint programs) instead of rejecting it as user input.
+    allow_reserved: bool,
 }
 
 impl<'v> Scope<'v> {
@@ -33,6 +44,7 @@ impl<'v> Scope<'v> {
             vocab,
             vars: HashMap::new(),
             prefix: prefix.into(),
+            allow_reserved: false,
         }
     }
 
@@ -56,18 +68,28 @@ impl<'v> Scope<'v> {
             .args
             .iter()
             .map(|t| match t {
-                TermAst::Const(name) => Term::Const(self.vocab.constant(name)),
+                TermAst::Const(name) => Ok(Term::Const(self.vocab.constant(name))),
                 TermAst::Var(name) => {
+                    if !self.allow_reserved && is_reserved_null_name(name) {
+                        return Err(ParseError::new(
+                            ast.span,
+                            format!(
+                                "variable name `{name}` is reserved for printed \
+                                 labeled nulls; rename it (e.g. `N{}`)",
+                                &name[2..]
+                            ),
+                        ));
+                    }
                     let id = *self.vars.entry(name.clone()).or_insert_with(|| {
                         let v = self.vocab.fresh_var();
                         self.vocab
                             .set_var_name(v, &format!("{}{}", self.prefix, name));
                         v
                     });
-                    Term::Var(id)
+                    Ok(Term::Var(id))
                 }
             })
-            .collect();
+            .collect::<Result<_, ParseError>>()?;
         Ok(Atom::new(pred, args))
     }
 
@@ -76,8 +98,22 @@ impl<'v> Scope<'v> {
     }
 }
 
-/// Parses a whole program.
+/// Parses a whole program, rejecting the reserved `_N<digits>` variable
+/// spelling (see [`is_reserved_null_name`]).
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_program_impl(src, false)
+}
+
+/// Parses a program that the printer itself produced (checkpoint
+/// programs): the reserved `_N<digits>` spelling is accepted as an
+/// ordinary variable name. Never feed untrusted user input through this
+/// entry point — the reservation exists to keep printed labeled nulls
+/// from capturing user variables on re-parse.
+pub fn parse_program_trusted(src: &str) -> Result<Program, ParseError> {
+    parse_program_impl(src, true)
+}
+
+fn parse_program_impl(src: &str, trusted: bool) -> Result<Program, ParseError> {
     let stmts = parse_stmts(src)?;
     let mut vocab = Vocabulary::new();
     let mut facts = AtomSet::new();
@@ -90,6 +126,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         match stmt {
             StmtAst::Facts(atoms) => {
                 let mut scope = Scope::new(&mut vocab, format!("f{fact_stmts}."));
+                scope.allow_reserved = trusted;
                 fact_stmts += 1;
                 let lowered = scope.lower_atoms(atoms)?;
                 facts.union_with(&lowered);
@@ -100,6 +137,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                     format!("r{}", anon_rules - 1)
                 });
                 let mut scope = Scope::new(&mut vocab, format!("{name}."));
+                scope.allow_reserved = trusted;
                 let body = scope.lower_atoms(&rule.body)?;
                 let head = scope.lower_atoms(&rule.head)?;
                 let lowered = Rule::new(name, body, head)
@@ -112,6 +150,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                     format!("q{}", anon_queries - 1)
                 });
                 let mut scope = Scope::new(&mut vocab, format!("{name}."));
+                scope.allow_reserved = trusted;
                 let lowered = scope.lower_atoms(atoms)?;
                 if lowered.is_empty() {
                     return Err(ParseError::new(*span, "query must not be empty"));
@@ -213,6 +252,25 @@ mod tests {
     fn arity_mismatch_rejected() {
         let err = parse_program("p(a). p(a, b).").unwrap_err();
         assert!(err.message.contains("arity"));
+    }
+
+    #[test]
+    fn reserved_null_spelling_rejected_in_user_input() {
+        assert!(is_reserved_null_name("_N0"));
+        assert!(is_reserved_null_name("_N17"));
+        assert!(!is_reserved_null_name("_N"));
+        assert!(!is_reserved_null_name("_Nx3"));
+        assert!(!is_reserved_null_name("N17"));
+        assert!(!is_reserved_null_name("_M17"));
+        let err = parse_program("p(_N3).").unwrap_err();
+        assert!(err.message.contains("reserved"), "{}", err.message);
+        let err = parse_program("R: p(X) -> q(X, _N0).").unwrap_err();
+        assert!(err.message.contains("reserved"), "{}", err.message);
+        // Near-misses stay legal.
+        assert!(parse_program("p(_N). q(_Nx3). r(N17).").is_ok());
+        // The trusted entry point (checkpoint programs) accepts it.
+        let prog = parse_program_trusted("p(_N3, _N4), q(_N3).").unwrap();
+        assert_eq!(prog.facts.vars().len(), 2);
     }
 
     #[test]

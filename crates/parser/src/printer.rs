@@ -1,40 +1,85 @@
 //! Rendering a [`Program`] back to the text syntax (round-trip support).
 
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
-use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
+use chase_atoms::{Atom, AtomSet, Term, VarId, Vocabulary};
 use chase_engine::Rule;
 
-use crate::lower::Program;
+use crate::lower::{is_reserved_null_name, Program};
+
+/// The reserved surface spelling for a labeled null without a usable
+/// name: `_N<raw>`. It lexes as a variable (leading `_`), is unique per
+/// `VarId`, and [`crate::parse_program`] rejects it in user input, so a
+/// printed null can never capture a user variable on re-parse.
+fn reserved_null(v: VarId) -> String {
+    format!("_N{}", v.raw())
+}
 
 /// Renders a variable name valid in the surface syntax: the lowering
 /// prefixes variable names with their statement scope (`R1.X`), which the
-/// printer strips again; unnamed variables become `V<raw>`.
-fn var_name(vocab: &Vocabulary, v: chase_atoms::VarId, scope: &str) -> String {
+/// printer strips again; unnamed variables print in the reserved
+/// `_N<raw>` spelling.
+fn var_name(vocab: &Vocabulary, v: VarId, scope: &str) -> String {
     match vocab.var_name(v) {
         Some(name) => match name.strip_prefix(&format!("{scope}.")) {
             Some(stripped) => stripped.to_string(),
             None => name.rsplit('.').next().unwrap_or(name).to_string(),
         },
-        None => format!("V{}", v.raw()),
+        None => reserved_null(v),
     }
 }
 
-fn term_text(vocab: &Vocabulary, t: Term, scope: &str) -> String {
+/// Names for the single facts statement, where variables of *every* fact
+/// scope (plus the engine's fresh nulls) print together: each distinct
+/// `VarId` must get a distinct spelling, so stripped names that collide —
+/// `f0.X` and `f1.X` both render as `X` — or that land in the reserved
+/// namespace are α-renamed to `_N<raw>`.
+fn fact_var_names(vocab: &Vocabulary, facts: &AtomSet) -> HashMap<VarId, String> {
+    let mut names = HashMap::new();
+    let mut used: HashSet<String> = HashSet::new();
+    // `vars()` is sorted by id, so the winner of a name is deterministic.
+    for v in facts.vars() {
+        let stripped = vocab
+            .var_name(v)
+            .map(|name| name.rsplit('.').next().unwrap_or(name).to_string());
+        let name = match stripped {
+            Some(n) if !is_reserved_null_name(&n) && used.insert(n.clone()) => n,
+            _ => reserved_null(v),
+        };
+        names.insert(v, name);
+    }
+    names
+}
+
+fn term_text(
+    vocab: &Vocabulary,
+    t: Term,
+    scope: &str,
+    names: Option<&HashMap<VarId, String>>,
+) -> String {
     match t {
         Term::Const(c) => vocab
             .const_name(c)
             .map(str::to_string)
             .unwrap_or_else(|| format!("k{}", c.raw())),
-        Term::Var(v) => var_name(vocab, v, scope),
+        Term::Var(v) => match names.and_then(|m| m.get(&v)) {
+            Some(name) => name.clone(),
+            None => var_name(vocab, v, scope),
+        },
     }
 }
 
-fn atom_text(vocab: &Vocabulary, atom: &Atom, scope: &str) -> String {
+fn atom_text(
+    vocab: &Vocabulary,
+    atom: &Atom,
+    scope: &str,
+    names: Option<&HashMap<VarId, String>>,
+) -> String {
     let args: Vec<String> = atom
         .args()
         .iter()
-        .map(|&t| term_text(vocab, t, scope))
+        .map(|&t| term_text(vocab, t, scope, names))
         .collect();
     if args.is_empty() {
         vocab.pred_name(atom.pred()).to_string()
@@ -43,13 +88,22 @@ fn atom_text(vocab: &Vocabulary, atom: &Atom, scope: &str) -> String {
     }
 }
 
-fn atoms_text(vocab: &Vocabulary, atoms: &AtomSet, scope: &str) -> String {
+fn atoms_text_with(
+    vocab: &Vocabulary,
+    atoms: &AtomSet,
+    scope: &str,
+    names: Option<&HashMap<VarId, String>>,
+) -> String {
     atoms
         .sorted_atoms()
         .iter()
-        .map(|a| atom_text(vocab, a, scope))
+        .map(|a| atom_text(vocab, a, scope, names))
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+fn atoms_text(vocab: &Vocabulary, atoms: &AtomSet, scope: &str) -> String {
+    atoms_text_with(vocab, atoms, scope, None)
 }
 
 /// Renders one rule as `Name: body -> head.`.
@@ -69,7 +123,12 @@ pub fn program_to_text(prog: &Program) -> String {
     let mut out = String::new();
     if !prog.facts.is_empty() {
         // Facts keep one statement so shared nulls stay shared.
-        let _ = writeln!(out, "{}.", atoms_text(&prog.vocab, &prog.facts, "f0"));
+        let names = fact_var_names(&prog.vocab, &prog.facts);
+        let _ = writeln!(
+            out,
+            "{}.",
+            atoms_text_with(&prog.vocab, &prog.facts, "f0", Some(&names))
+        );
     }
     for (_, rule) in prog.rules.iter() {
         let _ = writeln!(out, "{}", rule_to_text(&prog.vocab, rule));
@@ -133,5 +192,39 @@ mod tests {
         assert_eq!(p1.facts.vars().len(), 1);
         let p2 = parse_program(&program_to_text(&p1)).unwrap();
         assert_eq!(p2.facts.vars().len(), 1);
+    }
+
+    #[test]
+    fn unnamed_nulls_cannot_capture_user_variables() {
+        use crate::lower::parse_program_trusted;
+        // A user program whose variables are literally named `V<n>` —
+        // the spelling the printer once used for unnamed nulls.
+        let mut p = parse_program("r(V0, V1). R: r(X, Y) -> s(Y, Z).").unwrap();
+        // Two engine-minted nulls land in the fact base, as after a
+        // chase slice. Their raw ids overlap the `V<n>` namespace.
+        let s = p.vocab.pred("s", 2);
+        let n1 = p.vocab.fresh_var();
+        let n2 = p.vocab.fresh_var();
+        p.facts
+            .insert(Atom::new(s, vec![Term::Var(n1), Term::Var(n2)]));
+        let before = p.facts.vars().len();
+        assert_eq!(before, 4);
+        let text = program_to_text(&p);
+        assert!(text.contains("_N"), "{text}");
+        let back = parse_program_trusted(&text).unwrap();
+        assert_eq!(back.facts.vars().len(), 4, "{text}");
+        assert_eq!(back.facts.len(), p.facts.len());
+    }
+
+    #[test]
+    fn colliding_fact_statement_names_are_alpha_renamed() {
+        use crate::lower::parse_program_trusted;
+        // Two fact statements each using `X`: distinct nulls (`f0.X`,
+        // `f1.X`) that both strip to `X` in the merged facts statement.
+        let p1 = parse_program("r(X, a). s(X, b).").unwrap();
+        assert_eq!(p1.facts.vars().len(), 2);
+        let text = program_to_text(&p1);
+        let p2 = parse_program_trusted(&text).unwrap();
+        assert_eq!(p2.facts.vars().len(), 2, "{text}");
     }
 }

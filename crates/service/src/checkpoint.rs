@@ -19,8 +19,10 @@
 //! checkpoint KB) but not slice-invariant; the service surfaces this in
 //! the checkpoint's `exact` flag.
 
+use std::time::Duration;
+
 use chase_engine::{ChaseConfig, ChaseStats, ChaseVariant};
-use chase_parser::{parse_program, program_to_text, Program};
+use chase_parser::{parse_program_trusted, program_to_text, Program};
 
 use crate::job::JobSpec;
 use crate::json::Json;
@@ -55,9 +57,20 @@ impl Checkpoint {
             rules: spec.kb.rules.clone(),
             queries: spec.queries.clone(),
         });
+        // Stored budgets are derivation-total, consumed amounts live in
+        // `stats`, and the split is re-derived at resume time. Baking the
+        // slice-local view in instead would hand every resumed slice a
+        // fresh budget (the overshoot bug) or double-count what recovery
+        // already subtracted (checkpoints taken after a crash retry).
+        let mut config = spec.config.clone();
+        config.consumed_wall = Duration::ZERO;
+        config.max_applications = spec
+            .config
+            .max_applications
+            .saturating_add(spec.base_stats.applications);
         Checkpoint {
             name: spec.name.clone(),
-            config: spec.config.clone(),
+            config,
             program,
             stats: total_stats,
         }
@@ -78,9 +91,19 @@ impl Checkpoint {
     /// so the runner emits a `warning` event instead of silently dropping
     /// the applied-trigger memory.
     pub fn into_spec(&self) -> Result<JobSpec, String> {
-        let mut spec = JobSpec::from_text(self.name.clone(), &self.program, self.config.clone())?;
+        let mut spec =
+            JobSpec::from_checkpoint_text(self.name.clone(), &self.program, self.config.clone())?;
         spec.base_stats = self.stats;
         spec.resumed_inexact = !self.exact();
+        // The resumed slice continues the derivation's budgets rather
+        // than getting fresh ones: what the prefix spent comes off the
+        // stored totals (an explicit new budget on the resume request
+        // overrides this, see `resume_spec`).
+        spec.config.max_applications = self
+            .config
+            .max_applications
+            .saturating_sub(self.stats.applications);
+        spec.config.consumed_wall = Duration::from_micros(self.stats.wall_us);
         Ok(spec)
     }
 
@@ -99,8 +122,9 @@ impl Checkpoint {
     pub fn from_json(v: &Json) -> Result<Checkpoint, String> {
         let program = v.require_str("program")?.to_string();
         // Validate the program eagerly so resume errors surface on the
-        // resume request, not inside a worker.
-        parse_program(&program).map_err(|e| format!("checkpoint program: {e}"))?;
+        // resume request, not inside a worker. Checkpoint programs are
+        // printer output, so the reserved null spelling is legal here.
+        parse_program_trusted(&program).map_err(|e| format!("checkpoint program: {e}"))?;
         Ok(Checkpoint {
             name: v.require_str("name")?.to_string(),
             config: config_from_json(v.require("config")?)?,
@@ -134,6 +158,75 @@ mod tests {
         assert_eq!(resumed.queries.len(), 1);
         assert_eq!(resumed.kb.facts.len(), res.final_instance.len());
         assert_eq!(resumed.base_stats, res.stats);
+    }
+
+    #[test]
+    fn resume_deducts_consumed_wall_instead_of_resetting_the_budget() {
+        let spec = JobSpec::from_text(
+            "w",
+            "r(a, b). T: r(X, Y), r(Y, Z) -> r(X, Z).",
+            ChaseConfig::variant(ChaseVariant::Restricted)
+                .with_max_wall(std::time::Duration::from_millis(10))
+                // A slice mid-flight has a nonzero carry-over of its own;
+                // the checkpoint must not bake it in twice.
+                .with_consumed_wall(std::time::Duration::from_millis(2)),
+        )
+        .unwrap();
+        let vocab = spec.kb.vocab.clone();
+        let stats = ChaseStats {
+            applications: 1,
+            wall_us: 5_000,
+            ..ChaseStats::default()
+        };
+        let ck = Checkpoint::capture(&spec, &vocab, &spec.kb.facts, stats);
+        assert_eq!(ck.config.consumed_wall, std::time::Duration::ZERO);
+        let resumed = ck.into_spec().unwrap();
+        // The resumed slice sees 10ms total minus the 5ms the derivation
+        // has accumulated so far — not a fresh 10ms.
+        assert_eq!(
+            resumed.config.consumed_wall,
+            std::time::Duration::from_micros(5_000)
+        );
+        assert_eq!(
+            resumed.config.max_wall,
+            Some(std::time::Duration::from_millis(10))
+        );
+        // And the carry-over survives the wire.
+        let wired = Checkpoint::from_json(&ck.to_json())
+            .unwrap()
+            .into_spec()
+            .unwrap();
+        assert_eq!(
+            wired.config.consumed_wall,
+            std::time::Duration::from_micros(5_000)
+        );
+    }
+
+    #[test]
+    fn resume_continues_toward_the_original_application_target() {
+        // A job resumed once already: 4 of its 10-application target are
+        // spent (base), its current slice budget is the remaining 6.
+        let mut spec = JobSpec::from_text(
+            "apps",
+            "r(a, b). T: r(X, Y), r(Y, Z) -> r(X, Z).",
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(6),
+        )
+        .unwrap();
+        spec.base_stats.applications = 4;
+        // The slice crashes/pauses after 3 more applications.
+        let stats = ChaseStats {
+            applications: 7,
+            ..ChaseStats::default()
+        };
+        let vocab = spec.kb.vocab.clone();
+        let ck = Checkpoint::capture(&spec, &vocab, &spec.kb.facts, stats);
+        assert_eq!(ck.config.max_applications, 10, "stored as total");
+        let resumed = ck.into_spec().unwrap();
+        assert_eq!(resumed.config.max_applications, 3, "10 - 7 remain");
+        assert_eq!(resumed.base_stats.applications, 7);
+        // Capturing again from the resumed spec is stable: still 10.
+        let again = Checkpoint::capture(&resumed, &vocab, &resumed.kb.facts, stats);
+        assert_eq!(again.config.max_applications, 10);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use chase_atoms::AtomSet;
 use chase_core::KnowledgeBase;
 use chase_engine::{ChaseConfig, ChaseOutcome, ChaseStats, Derivation};
-use chase_parser::parse_program;
+use chase_parser::{parse_program, parse_program_trusted};
 
 use crate::checkpoint::Checkpoint;
 
@@ -59,6 +59,9 @@ pub struct JobSpec {
     pub tw_sample_interval: Option<usize>,
     /// Emit a step event every this many applications.
     pub progress_every: usize,
+    /// Capture (and, with a state dir, persist) a checkpoint every this
+    /// many applications; `None` falls back to the service-level default.
+    pub checkpoint_every: Option<usize>,
     /// Counters carried over from the checkpointed prefix this job
     /// resumes (zero for fresh jobs).
     pub base_stats: ChaseStats,
@@ -86,6 +89,29 @@ impl JobSpec {
             config,
             tw_sample_interval: None,
             progress_every: 1,
+            checkpoint_every: None,
+            base_stats: ChaseStats::default(),
+            resumed_inexact: false,
+        })
+    }
+
+    /// Like [`JobSpec::from_text`], but for printer-produced checkpoint
+    /// programs: the reserved `_N<n>` labeled-null spelling is accepted.
+    pub fn from_checkpoint_text(
+        name: impl Into<String>,
+        source: &str,
+        config: ChaseConfig,
+    ) -> Result<Self, String> {
+        let prog = parse_program_trusted(source).map_err(|e| e.to_string())?;
+        let (kb, queries) = KnowledgeBase::from_program(prog);
+        Ok(JobSpec {
+            name: name.into(),
+            kb,
+            queries,
+            config,
+            tw_sample_interval: None,
+            progress_every: 1,
+            checkpoint_every: None,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         })
@@ -101,6 +127,7 @@ impl JobSpec {
             config,
             tw_sample_interval: None,
             progress_every: 1,
+            checkpoint_every: None,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         }
@@ -115,6 +142,12 @@ impl JobSpec {
     /// Sets the step-event interval.
     pub fn with_progress_every(mut self, every: usize) -> Self {
         self.progress_every = every.max(1);
+        self
+    }
+
+    /// Sets the periodic-checkpoint interval for this job.
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = Some(every.max(1));
         self
     }
 }
@@ -152,6 +185,7 @@ pub fn add_stats(a: ChaseStats, b: ChaseStats) -> ChaseStats {
         fold_candidates: a.fold_candidates + b.fold_candidates,
         core_truncations: a.core_truncations + b.core_truncations,
         core_time_us: a.core_time_us + b.core_time_us,
+        wall_us: a.wall_us + b.wall_us,
     }
 }
 
@@ -190,6 +224,7 @@ mod tests {
             fold_candidates: 9,
             core_truncations: 1,
             core_time_us: 250,
+            wall_us: 1_000,
         };
         let b = ChaseStats {
             applications: 3,
@@ -201,6 +236,7 @@ mod tests {
             fold_candidates: 4,
             core_truncations: 0,
             core_time_us: 100,
+            wall_us: 500,
         };
         let s = add_stats(a, b);
         assert_eq!(s.applications, 8);
@@ -212,5 +248,6 @@ mod tests {
         assert_eq!(s.fold_candidates, 13);
         assert_eq!(s.core_truncations, 1);
         assert_eq!(s.core_time_us, 350);
+        assert_eq!(s.wall_us, 1_500);
     }
 }

@@ -17,8 +17,13 @@
 //!   resumes; for the satisfaction-based variants the resumed run is
 //!   equivalent to never having stopped,
 //! - progress streams out as [`JobEvent`]s (queued / started / step /
-//!   core-retraction / treewidth-sample / finished), which the
-//!   `treechase serve` subcommand renders as JSONL.
+//!   core-retraction / treewidth-sample / crashed / finished), which the
+//!   `treechase serve` subcommand renders as JSONL,
+//! - with a state directory, periodic checkpoints go to a durable
+//!   [`store::CheckpointStore`] (atomic temp-file + rename writes) and a
+//!   restarted service recovers them into resumable jobs; crashes — real
+//!   or injected via [`chase_engine::FaultPlan`] — are supervised with
+//!   bounded retries from the last checkpoint.
 //!
 //! The wire protocol lives in [`protocol`]; the hand-rolled JSON layer in
 //! [`json`] keeps the crate dependency-free.
@@ -31,9 +36,11 @@ pub mod job;
 pub mod json;
 pub mod protocol;
 pub mod runner;
+pub mod store;
 
 pub use checkpoint::Checkpoint;
 pub use job::{add_stats, JobId, JobResult, JobSpec, JobStatus, QueryVerdict};
 pub use json::{parse_json, Json};
-pub use protocol::{parse_request, Request};
-pub use runner::{JobEvent, JobEventKind, JobSummary, Service};
+pub use protocol::{parse_fault_plan, parse_request, Request};
+pub use runner::{EventReceiver, JobEvent, JobEventKind, JobSummary, Service, ServiceConfig};
+pub use store::{CheckpointStore, CorruptEntry};

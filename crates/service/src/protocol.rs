@@ -9,7 +9,8 @@
 use std::time::Duration;
 
 use chase_engine::{
-    ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, CoreMaintenance, SchedulerKind,
+    ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, CoreMaintenance, FaultPlan, FaultSite,
+    SchedulerKind,
 };
 
 use crate::job::{JobId, JobResult, JobStatus, QueryVerdict};
@@ -31,6 +32,9 @@ pub enum Request {
         tw_sample_interval: Option<usize>,
         /// Emit a `step` event every this many applications (default 1).
         progress_every: Option<usize>,
+        /// Capture/persist a checkpoint every this many applications
+        /// (defaults to the service-level interval).
+        checkpoint_every: Option<usize>,
     },
     /// Resume a job from a previously returned checkpoint object.
     Resume {
@@ -188,7 +192,52 @@ fn submit_config(v: &Json) -> Result<ChaseConfig, String> {
     if let Some(s) = v.opt_str("core_maintenance")? {
         cfg.core_maintenance = parse_core_maintenance(s)?;
     }
+    if let Some(s) = v.opt_str("fault")? {
+        cfg.fault = Some(parse_fault_plan(s)?);
+    }
     Ok(cfg)
+}
+
+/// Parses a fault-plan spec: comma-separated sites `app:K` / `core:K` /
+/// `ckpt:K` (1-based counts), or `rand:SEED:KILLS:HORIZON` for a seeded
+/// plan of application crashes. For crash testing only.
+pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
+    let mut sites = Vec::new();
+    for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let fields: Vec<&str> = part.split(':').collect();
+        let parse_k = |v: &str| -> Result<usize, String> {
+            let k: usize = v.parse().map_err(|e| format!("fault site `{part}`: {e}"))?;
+            if k == 0 {
+                return Err(format!("fault site `{part}`: counts are 1-based"));
+            }
+            Ok(k)
+        };
+        match fields.as_slice() {
+            ["app", k] => sites.push(FaultSite::Application(parse_k(k)?)),
+            ["core", k] => sites.push(FaultSite::CorePhase(parse_k(k)?)),
+            ["ckpt", k] => sites.push(FaultSite::CheckpointWrite(parse_k(k)?)),
+            ["rand", seed, kills, horizon] => {
+                let seed: u64 = seed.parse().map_err(|e| format!("fault seed: {e}"))?;
+                let kills: usize = kills.parse().map_err(|e| format!("fault kills: {e}"))?;
+                let horizon: usize = horizon.parse().map_err(|e| format!("fault horizon: {e}"))?;
+                sites.extend(
+                    FaultPlan::seeded(seed, kills, horizon)
+                        .sites()
+                        .iter()
+                        .copied(),
+                );
+            }
+            _ => {
+                return Err(format!(
+                    "fault site `{part}`: expected app:K, core:K, ckpt:K or rand:SEED:KILLS:HORIZON"
+                ))
+            }
+        }
+    }
+    if sites.is_empty() {
+        return Err("fault plan is empty".to_string());
+    }
+    Ok(FaultPlan::new(sites))
 }
 
 /// Parses one request line.
@@ -200,6 +249,7 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
             config: submit_config(v)?,
             tw_sample_interval: v.opt_u64("tw_sample_interval")?.map(|n| n as usize),
             progress_every: v.opt_u64("progress_every")?.map(|n| n as usize),
+            checkpoint_every: v.opt_u64("checkpoint_every")?.map(|n| n as usize),
         }),
         "resume" => Ok(Request::Resume {
             checkpoint: Box::new(crate::checkpoint::Checkpoint::from_json(
@@ -249,6 +299,7 @@ pub fn stats_to_json(stats: &ChaseStats) -> Json {
         ("fold_candidates", Json::Int(stats.fold_candidates as i64)),
         ("core_truncations", Json::Int(stats.core_truncations as i64)),
         ("core_time_us", Json::Int(stats.core_time_us as i64)),
+        ("wall_us", Json::Int(stats.wall_us as i64)),
     ])
 }
 
@@ -265,6 +316,7 @@ pub fn stats_from_json(v: &Json) -> Result<ChaseStats, String> {
         fold_candidates: v.opt_u64("fold_candidates")?.unwrap_or(0) as usize,
         core_truncations: v.opt_u64("core_truncations")?.unwrap_or(0) as usize,
         core_time_us: v.opt_u64("core_time_us")?.unwrap_or(0),
+        wall_us: v.opt_u64("wall_us")?.unwrap_or(0),
     })
 }
 
@@ -338,6 +390,16 @@ pub fn event_to_json(ev: &JobEvent) -> Json {
             push("atoms", Json::Int(*atoms as i64));
             push("resumable", Json::Bool(*resumable));
             push("wall_ms", Json::Int(*wall_ms as i64));
+        }
+        JobEventKind::Crashed {
+            message,
+            attempt,
+            retrying,
+        } => {
+            push("event", Json::str("crashed"));
+            push("message", Json::str(message));
+            push("attempt", Json::Int(*attempt as i64));
+            push("retrying", Json::Bool(*retrying));
         }
         JobEventKind::Failed { message } => {
             push("event", Json::str("failed"));
@@ -441,9 +503,29 @@ mod tests {
             fold_candidates: 17,
             core_truncations: 1,
             core_time_us: 5678,
+            wall_us: 91_011,
         };
         let back = stats_from_json(&stats_to_json(&stats)).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn fault_plan_specs_parse() {
+        use chase_engine::FaultSite;
+        let plan = parse_fault_plan("app:3, core:1,ckpt:2").unwrap();
+        assert_eq!(
+            plan.sites(),
+            &[
+                FaultSite::Application(3),
+                FaultSite::CorePhase(1),
+                FaultSite::CheckpointWrite(2)
+            ]
+        );
+        let seeded = parse_fault_plan("rand:9:2:100").unwrap();
+        assert_eq!(seeded.sites().len(), 2);
+        assert!(parse_fault_plan("app:0").is_err());
+        assert!(parse_fault_plan("boom:1").is_err());
+        assert!(parse_fault_plan("").is_err());
     }
 
     #[test]

@@ -1,19 +1,32 @@
 //! The worker pool: a fixed set of threads draining a FIFO job queue,
-//! with per-job cooperative cancellation and a single-subscriber event
-//! stream.
+//! with per-job cooperative cancellation, a bounded event buffer,
+//! periodic durable checkpointing and crash supervision.
 //!
 //! Locking discipline: one mutex guards the whole job table and queue;
 //! workers hold it only while picking up or publishing a job, never
-//! while chasing. Cancellation flips the job's [`CancelToken`], which
-//! the engine polls between trigger applications — so a cancel lands
-//! within one application's latency without the pool being poisoned.
+//! while chasing — and never while emitting events or doing checkpoint
+//! I/O. Cancellation flips the job's [`CancelToken`], which the engine
+//! polls between trigger applications — so a cancel lands within one
+//! application's latency without the pool being poisoned.
+//!
+//! Supervision: every slice runs under `catch_unwind`. A panic — real,
+//! or injected through a [`chase_engine::FaultPlan`] — surfaces as a
+//! [`JobEventKind::Crashed`] event, and the worker retries from the
+//! job's last checkpoint (or from scratch if none was captured yet)
+//! with exponential backoff, up to [`ServiceConfig::max_retries`]
+//! times. After that the job degrades to [`JobStatus::Failed`] with the
+//! last checkpoint still retrievable via [`Service::checkpoint_of`].
+//! With a state directory configured, checkpoints also go to disk (see
+//! [`CheckpointStore`]), and [`Service::with_config`] recovers them
+//! into resumable queued jobs on the next start.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use chase_engine::{run_chase_controlled, CancelToken, ChaseEvent, ChaseOutcome};
 use chase_homomorphism::maps_to;
@@ -21,6 +34,7 @@ use chase_treewidth::treewidth_bounds;
 
 use crate::checkpoint::Checkpoint;
 use crate::job::{add_stats, JobId, JobResult, JobSpec, JobStatus, QueryVerdict};
+use crate::store::{CheckpointStore, CorruptEntry};
 
 /// A progress event, tagged with the job it belongs to.
 #[derive(Clone, Debug)]
@@ -87,17 +101,163 @@ pub enum JobEventKind {
         /// Wall-clock milliseconds of this slice.
         wall_ms: u64,
     },
-    /// The job could not run at all.
+    /// A slice of the job panicked; the supervisor decides whether a
+    /// retry from the last checkpoint follows.
+    Crashed {
+        /// The panic message.
+        message: String,
+        /// 1-based crash count for this job.
+        attempt: usize,
+        /// Whether the supervisor will retry (false on the final crash,
+        /// after which the job degrades to `Failed`).
+        retrying: bool,
+    },
+    /// The job could not run at all, or crashed past its retry budget.
     Failed {
         /// Human-readable reason.
         message: String,
     },
     /// A non-fatal condition worth surfacing (e.g. an inexact resume of
-    /// an oblivious checkpoint whose applied-trigger memory was lost).
+    /// an oblivious checkpoint, or a failed durable checkpoint write).
     Warning {
         /// Human-readable description.
         message: String,
     },
+}
+
+/// Tuning knobs for [`Service::with_config`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Directory for durable per-job checkpoints; `None` disables
+    /// persistence (in-memory checkpoints still feed crash retries).
+    pub state_dir: Option<PathBuf>,
+    /// How many times a crashed job is retried from its last checkpoint
+    /// before degrading to `Failed`.
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub retry_backoff: Duration,
+    /// Event-buffer capacity; beyond it the oldest events are dropped
+    /// (counted per job in [`JobSummary::events_dropped`]).
+    pub event_capacity: usize,
+    /// Default checkpoint interval, in applications, for jobs that do
+    /// not set their own; `None` checkpoints only at slice boundaries.
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            state_dir: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(50),
+            event_capacity: 4096,
+            checkpoint_every: None,
+        }
+    }
+}
+
+struct HubState {
+    buf: VecDeque<JobEvent>,
+    dropped: HashMap<JobId, u64>,
+    /// Bumped on every subscribe; a receiver from an older generation is
+    /// superseded and goes quiet.
+    generation: u64,
+    closed: bool,
+}
+
+/// Bounded single-subscriber event buffer. Emitting never blocks: with
+/// no (or a slow) subscriber the buffer caps at `capacity` and drops its
+/// *oldest* entries, counting drops per job — so an unobserved service
+/// neither grows without bound nor stalls its workers.
+struct EventHub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl EventHub {
+    fn new(capacity: usize) -> EventHub {
+        EventHub {
+            state: Mutex::new(HubState {
+                buf: VecDeque::new(),
+                dropped: HashMap::new(),
+                generation: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn emit(&self, ev: JobEvent) {
+        let mut st = self.state.lock().expect("event hub poisoned");
+        if st.closed {
+            return;
+        }
+        if st.buf.len() >= self.capacity {
+            if let Some(old) = st.buf.pop_front() {
+                *st.dropped.entry(old.job).or_insert(0) += 1;
+            }
+        }
+        st.buf.push_back(ev);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("event hub poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    fn dropped_for(&self, job: JobId) -> u64 {
+        let st = self.state.lock().expect("event hub poisoned");
+        st.dropped.get(&job).copied().unwrap_or(0)
+    }
+}
+
+/// The receiving end of [`Service::events`]. Only the most recent
+/// subscriber receives events; earlier receivers go quiet. Iterating
+/// blocks until the next event and ends on shutdown.
+pub struct EventReceiver {
+    inner: Arc<Inner>,
+    generation: u64,
+}
+
+impl EventReceiver {
+    /// Pops the next buffered event without blocking.
+    pub fn try_recv(&self) -> Option<JobEvent> {
+        let mut st = self.inner.hub.state.lock().expect("event hub poisoned");
+        if st.generation != self.generation {
+            return None;
+        }
+        st.buf.pop_front()
+    }
+
+    /// Blocks for the next event; `None` once the service shuts down
+    /// (after draining) or a newer subscriber supersedes this one.
+    pub fn recv(&self) -> Option<JobEvent> {
+        let mut st = self.inner.hub.state.lock().expect("event hub poisoned");
+        loop {
+            if st.generation != self.generation {
+                return None;
+            }
+            if let Some(ev) = st.buf.pop_front() {
+                return Some(ev);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.hub.cv.wait(st).expect("event hub poisoned");
+        }
+    }
+}
+
+impl Iterator for EventReceiver {
+    type Item = JobEvent;
+
+    fn next(&mut self) -> Option<JobEvent> {
+        self.recv()
+    }
 }
 
 struct JobEntry {
@@ -106,6 +266,10 @@ struct JobEntry {
     cancel: CancelToken,
     spec: Option<JobSpec>,
     result: Option<JobResult>,
+    /// The most recent checkpoint of this job — periodic, end-of-slice,
+    /// or the one it was recovered from. Feeds crash retries and stays
+    /// retrievable after a `Failed` degradation.
+    last_checkpoint: Option<Checkpoint>,
 }
 
 struct State {
@@ -117,18 +281,37 @@ struct State {
 struct Inner {
     state: Mutex<State>,
     cv: Condvar,
-    events: Mutex<Option<Sender<JobEvent>>>,
+    hub: EventHub,
+    cfg: ServiceConfig,
+    store: Option<CheckpointStore>,
     shutdown: AtomicBool,
 }
 
 impl Inner {
-    fn emit(&self, ev: JobEvent) {
-        let mut guard = self.events.lock().expect("event lock poisoned");
-        if let Some(tx) = guard.as_ref() {
-            // A dropped receiver just means nobody is listening anymore.
-            if tx.send(ev).is_err() {
-                *guard = None;
-            }
+    fn set_last_checkpoint(&self, id: JobId, ck: Checkpoint) {
+        let mut st = self.state.lock().expect("state lock poisoned");
+        if let Some(entry) = st.jobs.get_mut(&id) {
+            entry.last_checkpoint = Some(ck);
+        }
+    }
+
+    /// Persists a checkpoint if a store is configured; a failed write is
+    /// surfaced as a warning (the previous durable checkpoint, if any,
+    /// is untouched by construction of [`CheckpointStore::save`]).
+    fn persist_checkpoint(&self, id: JobId, name: &str, spec: &JobSpec, ck: &Checkpoint) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        if let Err(e) = store.save(id, ck, spec.config.fault.as_ref()) {
+            self.hub.emit(JobEvent {
+                job: id,
+                name: name.to_string(),
+                kind: JobEventKind::Warning {
+                    message: format!(
+                        "durable checkpoint write failed (previous checkpoint kept): {e}"
+                    ),
+                },
+            });
         }
     }
 }
@@ -139,6 +322,8 @@ impl Inner {
 pub struct Service {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    recovered: Vec<JobId>,
+    recovery_errors: Vec<CorruptEntry>,
 }
 
 /// A row in the [`Service::list`] summary.
@@ -150,11 +335,29 @@ pub struct JobSummary {
     pub name: String,
     /// Current lifecycle state.
     pub status: JobStatus,
+    /// Events of this job dropped from the bounded buffer because no
+    /// subscriber drained them in time.
+    pub events_dropped: u64,
 }
 
 impl Service {
-    /// Starts a pool with `workers` threads (clamped to at least 1).
+    /// Starts a pool with `workers` threads (clamped to at least 1) and
+    /// default configuration (no persistence).
     pub fn start(workers: usize) -> Service {
+        Service::with_config(workers, ServiceConfig::default())
+            .expect("a service without a state dir cannot fail to start")
+    }
+
+    /// Starts a pool with explicit configuration. With a state dir, any
+    /// checkpoint persisted by a previous (possibly killed) process is
+    /// recovered into a fresh queued job before the workers start; see
+    /// [`Service::recovered_jobs`] / [`Service::recovery_errors`].
+    pub fn with_config(workers: usize, cfg: ServiceConfig) -> Result<Service, String> {
+        let store = match &cfg.state_dir {
+            Some(dir) => Some(CheckpointStore::open(dir.clone())?),
+            None => None,
+        };
+        let event_capacity = cfg.event_capacity;
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 next_id: 1,
@@ -162,24 +365,91 @@ impl Service {
                 jobs: HashMap::new(),
             }),
             cv: Condvar::new(),
-            events: Mutex::new(None),
+            hub: EventHub::new(event_capacity),
+            cfg,
+            store,
             shutdown: AtomicBool::new(false),
         });
+
+        let mut recovered = Vec::new();
+        let mut recovery_errors = Vec::new();
+        if let Some(store) = inner.store.as_ref() {
+            let (good, bad) = store.load_all()?;
+            recovery_errors.extend(bad);
+            for (old_id, ck) in good {
+                let spec = match ck.into_spec() {
+                    Ok(spec) => spec,
+                    Err(error) => {
+                        recovery_errors.push(CorruptEntry {
+                            path: store.dir().join(format!("job-{old_id}.ckpt.json")),
+                            error,
+                        });
+                        continue;
+                    }
+                };
+                let new_id = {
+                    let mut st = inner.state.lock().expect("state lock poisoned");
+                    let id = st.next_id;
+                    st.next_id += 1;
+                    st.jobs.insert(
+                        id,
+                        JobEntry {
+                            name: spec.name.clone(),
+                            status: JobStatus::Queued,
+                            cancel: CancelToken::new(),
+                            spec: Some(spec),
+                            result: None,
+                            last_checkpoint: Some(ck.clone()),
+                        },
+                    );
+                    st.queue.push_back(id);
+                    id
+                };
+                // Re-home the durable file under the new id, so a second
+                // crash before the next periodic checkpoint still
+                // recovers (and the old file does not resurrect twice).
+                if new_id != old_id && store.save(new_id, &ck, None).is_ok() {
+                    let _ = store.remove(old_id);
+                }
+                recovered.push(new_id);
+            }
+        }
+
         let workers = (0..workers.max(1))
             .map(|_| {
                 let inner = Arc::clone(&inner);
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
-        Service { inner, workers }
+        Ok(Service {
+            inner,
+            workers,
+            recovered,
+            recovery_errors,
+        })
     }
 
-    /// Subscribes to the event stream. Only the most recent subscriber
-    /// receives events; earlier receivers go quiet.
-    pub fn events(&self) -> Receiver<JobEvent> {
-        let (tx, rx) = channel();
-        *self.inner.events.lock().expect("event lock poisoned") = Some(tx);
-        rx
+    /// Ids of the jobs re-queued from persisted checkpoints at startup.
+    pub fn recovered_jobs(&self) -> &[JobId] {
+        &self.recovered
+    }
+
+    /// Store files that could not be recovered at startup (corrupt JSON,
+    /// version mismatch): reported, not fatal.
+    pub fn recovery_errors(&self) -> &[CorruptEntry] {
+        &self.recovery_errors
+    }
+
+    /// Subscribes to the event stream, superseding any earlier
+    /// subscriber and discarding already-buffered events.
+    pub fn events(&self) -> EventReceiver {
+        let mut st = self.inner.hub.state.lock().expect("event hub poisoned");
+        st.generation += 1;
+        st.buf.clear();
+        EventReceiver {
+            inner: Arc::clone(&self.inner),
+            generation: st.generation,
+        }
     }
 
     /// Enqueues a job and returns its id.
@@ -196,12 +466,13 @@ impl Service {
                 cancel: CancelToken::new(),
                 spec: Some(spec),
                 result: None,
+                last_checkpoint: None,
             },
         );
         st.queue.push_back(id);
         drop(st);
         self.inner.cv.notify_all();
-        self.inner.emit(JobEvent {
+        self.inner.hub.emit(JobEvent {
             job: id,
             name,
             kind: JobEventKind::Queued,
@@ -226,7 +497,7 @@ impl Service {
                 drop(st);
                 drop(spec);
                 self.inner.cv.notify_all();
-                self.inner.emit(JobEvent {
+                self.inner.hub.emit(JobEvent {
                     job: id,
                     name,
                     kind: JobEventKind::Finished {
@@ -284,18 +555,36 @@ impl Service {
         st.jobs.get_mut(&id).and_then(|e| e.result.take())
     }
 
+    /// The job's most recent checkpoint: the final one for completed
+    /// jobs, otherwise the last periodic capture — in particular, still
+    /// available after a crash degraded the job to `Failed`.
+    pub fn checkpoint_of(&self, id: JobId) -> Option<Checkpoint> {
+        let st = self.inner.state.lock().expect("state lock poisoned");
+        let entry = st.jobs.get(&id)?;
+        entry
+            .result
+            .as_ref()
+            .and_then(|r| r.checkpoint.clone())
+            .or_else(|| entry.last_checkpoint.clone())
+    }
+
     /// Summarizes every known job, in id order.
     pub fn list(&self) -> Vec<JobSummary> {
-        let st = self.inner.state.lock().expect("state lock poisoned");
-        let mut rows: Vec<JobSummary> = st
-            .jobs
-            .iter()
-            .map(|(id, e)| JobSummary {
-                id: *id,
-                name: e.name.clone(),
-                status: e.status.clone(),
-            })
-            .collect();
+        let mut rows: Vec<JobSummary> = {
+            let st = self.inner.state.lock().expect("state lock poisoned");
+            st.jobs
+                .iter()
+                .map(|(id, e)| JobSummary {
+                    id: *id,
+                    name: e.name.clone(),
+                    status: e.status.clone(),
+                    events_dropped: 0,
+                })
+                .collect()
+        };
+        for row in &mut rows {
+            row.events_dropped = self.inner.hub.dropped_for(row.id);
+        }
         rows.sort_by_key(|r| r.id);
         rows
     }
@@ -321,6 +610,7 @@ impl Service {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.inner.hub.close();
     }
 }
 
@@ -330,82 +620,198 @@ impl Drop for Service {
     }
 }
 
+/// Blocks until a queued job is available (returns `None` on shutdown)
+/// and marks it running.
+fn pick_job(inner: &Inner) -> Option<(JobId, JobSpec, CancelToken, String)> {
+    let mut st = inner.state.lock().expect("state lock poisoned");
+    let picked = loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        // Lazily skip queue entries whose job was cancelled while still
+        // queued (their spec is gone).
+        let mut found = None;
+        while let Some(id) = st.queue.pop_front() {
+            let live = st
+                .jobs
+                .get(&id)
+                .is_some_and(|e| e.status == JobStatus::Queued);
+            if live {
+                found = Some(id);
+                break;
+            }
+        }
+        match found {
+            Some(id) => break id,
+            None => {
+                st = inner.cv.wait(st).expect("state lock poisoned");
+            }
+        }
+    };
+    let entry = st.jobs.get_mut(&picked).expect("queued job vanished");
+    entry.status = JobStatus::Running;
+    let spec = entry.spec.take().expect("queued job without a spec");
+    Some((picked, spec, entry.cancel.clone(), entry.name.clone()))
+}
+
+/// Renders a panic payload for the `Crashed` event.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// Builds the spec for a crash retry: resume the derivation from the
+/// checkpoint, carrying over the original job's process-local knobs
+/// (the budget split is re-derived by [`Checkpoint::into_spec`], which
+/// works in derivation totals — no budget resets, no double counting).
+fn respawn_spec(original: &JobSpec, ck: &Checkpoint) -> Result<JobSpec, String> {
+    let mut spec = ck.into_spec()?;
+    // The fault plan's fire-once counters are shared through the clone,
+    // so an already-injected crash does not re-fire on the retry.
+    spec.config.fault = original.config.fault.clone();
+    spec.tw_sample_interval = original.tw_sample_interval;
+    spec.progress_every = original.progress_every;
+    spec.checkpoint_every = original.checkpoint_every;
+    Ok(spec)
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
-        let (id, spec, cancel, name) = {
-            let mut st = inner.state.lock().expect("state lock poisoned");
-            let picked = loop {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                // Lazily skip queue entries whose job was cancelled
-                // while still queued (their spec is gone).
-                let mut found = None;
-                while let Some(id) = st.queue.pop_front() {
-                    let live = st
-                        .jobs
-                        .get(&id)
-                        .is_some_and(|e| e.status == JobStatus::Queued);
-                    if live {
-                        found = Some(id);
-                        break;
-                    }
-                }
-                match found {
-                    Some(id) => break id,
-                    None => {
-                        st = inner.cv.wait(st).expect("state lock poisoned");
-                    }
-                }
-            };
-            let entry = st.jobs.get_mut(&picked).expect("queued job vanished");
-            entry.status = JobStatus::Running;
-            let spec = entry.spec.take().expect("queued job without a spec");
-            (picked, spec, entry.cancel.clone(), entry.name.clone())
+        let Some((id, original, cancel, name)) = pick_job(inner) else {
+            return;
         };
         inner.cv.notify_all();
-        inner.emit(JobEvent {
+        inner.hub.emit(JobEvent {
             job: id,
             name: name.clone(),
             kind: JobEventKind::Started,
         });
 
-        let started = Instant::now();
-        let result = execute(inner, id, &name, &spec, &cancel, started);
-
-        let mut st = inner.state.lock().expect("state lock poisoned");
-        let entry = st.jobs.get_mut(&id).expect("running job vanished");
-        let kind = match result {
-            Ok(res) => {
-                entry.status = if res.outcome == ChaseOutcome::Cancelled {
-                    JobStatus::Cancelled
-                } else {
-                    JobStatus::Finished
-                };
-                let kind = JobEventKind::Finished {
-                    status: entry.status.clone(),
-                    outcome: res.outcome,
-                    applications: res.stats.applications,
-                    atoms: res.final_instance.len(),
-                    resumable: res.checkpoint.is_some(),
-                    wall_ms: res.wall_ms,
-                };
-                entry.result = Some(res);
-                kind
-            }
-            Err(message) => {
-                entry.status = JobStatus::Failed;
-                JobEventKind::Failed { message }
+        // Supervision loop: a panicking slice is retried from the last
+        // checkpoint until the retry budget runs out.
+        let mut attempt = 0usize;
+        let mut spec = original.clone();
+        let result = loop {
+            let started = Instant::now();
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                execute(inner, id, &name, &spec, &cancel, started)
+            }));
+            match run {
+                Ok(result) => break result,
+                Err(payload) => {
+                    let message = panic_message(payload);
+                    attempt += 1;
+                    let retrying = attempt <= inner.cfg.max_retries;
+                    inner.hub.emit(JobEvent {
+                        job: id,
+                        name: name.clone(),
+                        kind: JobEventKind::Crashed {
+                            message: message.clone(),
+                            attempt,
+                            retrying,
+                        },
+                    });
+                    if !retrying {
+                        break Err(format!(
+                            "crashed {attempt} time(s), retries exhausted: {message}"
+                        ));
+                    }
+                    let backoff = inner
+                        .cfg
+                        .retry_backoff
+                        .saturating_mul(1u32 << (attempt - 1).min(16));
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    let last = {
+                        let st = inner.state.lock().expect("state lock poisoned");
+                        st.jobs.get(&id).and_then(|e| e.last_checkpoint.clone())
+                    };
+                    spec = match last {
+                        Some(ck) => match respawn_spec(&original, &ck) {
+                            Ok(spec) => spec,
+                            Err(e) => {
+                                break Err(format!("cannot rebuild job from its checkpoint: {e}"))
+                            }
+                        },
+                        // Crashed before any checkpoint: retry the whole
+                        // slice from scratch.
+                        None => original.clone(),
+                    };
+                }
             }
         };
-        drop(st);
+
+        let store_op = {
+            let mut st = inner.state.lock().expect("state lock poisoned");
+            let entry = st.jobs.get_mut(&id).expect("running job vanished");
+            let (kind, store_op) = match result {
+                Ok(res) => {
+                    entry.status = if res.outcome == ChaseOutcome::Cancelled {
+                        JobStatus::Cancelled
+                    } else {
+                        JobStatus::Finished
+                    };
+                    let kind = JobEventKind::Finished {
+                        status: entry.status.clone(),
+                        outcome: res.outcome,
+                        applications: res.stats.applications,
+                        atoms: res.final_instance.len(),
+                        resumable: res.checkpoint.is_some(),
+                        wall_ms: res.wall_ms,
+                    };
+                    let store_op = match res.checkpoint.clone() {
+                        Some(ck) => {
+                            entry.last_checkpoint = Some(ck.clone());
+                            StoreOp::Save(Box::new(ck))
+                        }
+                        // A terminated job needs no recovery on restart.
+                        None => StoreOp::Remove,
+                    };
+                    entry.result = Some(res);
+                    (kind, store_op)
+                }
+                Err(message) => {
+                    entry.status = JobStatus::Failed;
+                    // Keep the durable file: the last checkpoint of a
+                    // crashed-out job is exactly what a restart needs.
+                    (JobEventKind::Failed { message }, StoreOp::Keep)
+                }
+            };
+            // Emitted before the status flip is observable through
+            // `wait` (lock order state → hub, same as `list`): a waiter
+            // that saw the terminal status must find the terminal event
+            // already in the buffer when it drains.
+            inner.hub.emit(JobEvent {
+                job: id,
+                name: name.clone(),
+                kind,
+            });
+            store_op
+        };
         inner.cv.notify_all();
-        inner.emit(JobEvent {
-            job: id,
-            name,
-            kind,
-        });
+        match store_op {
+            StoreOp::Save(ck) => inner.persist_checkpoint(id, &name, &spec, &ck),
+            StoreOp::Remove => {
+                if let Some(store) = inner.store.as_ref() {
+                    let _ = store.remove(id);
+                }
+            }
+            StoreOp::Keep => {}
+        }
     }
+}
+
+/// What the worker does to the durable store after publishing a result.
+enum StoreOp {
+    Save(Box<Checkpoint>),
+    Remove,
+    Keep,
 }
 
 /// Runs one job slice to its outcome and assembles the result.
@@ -419,13 +825,15 @@ fn execute(
 ) -> Result<JobResult, String> {
     let mut vocab = spec.kb.vocab.clone();
     let progress_every = spec.progress_every.max(1);
+    let checkpoint_every = spec.checkpoint_every.or(inner.cfg.checkpoint_every);
     let mut last_step_emitted = 0usize;
     let mut last_tw_sampled = 0usize;
+    let mut last_checkpointed = 0usize;
     if spec.resumed_inexact {
         // The checkpoint could not carry the applied-trigger memory of
         // its oblivious/semi-oblivious prefix; the resumed slice may
         // re-apply triggers. This used to be silently dropped.
-        inner.emit(JobEvent {
+        inner.hub.emit(JobEvent {
             job: id,
             name: name.to_string(),
             kind: JobEventKind::Warning {
@@ -446,10 +854,14 @@ fn execute(
         |ev| {
             match ev {
                 ChaseEvent::RoundStarted { .. } => {}
-                ChaseEvent::StepApplied { instance, stats } => {
+                ChaseEvent::StepApplied {
+                    instance,
+                    vocab,
+                    stats,
+                } => {
                     if stats.applications >= last_step_emitted + progress_every {
                         last_step_emitted = stats.applications;
-                        inner.emit(JobEvent {
+                        inner.hub.emit(JobEvent {
                             job: id,
                             name: name.to_string(),
                             kind: JobEventKind::StepApplied {
@@ -463,7 +875,7 @@ fn execute(
                         if stats.applications >= last_tw_sampled + every {
                             last_tw_sampled = stats.applications;
                             let tw = treewidth_bounds(instance);
-                            inner.emit(JobEvent {
+                            inner.hub.emit(JobEvent {
                                 job: id,
                                 name: name.to_string(),
                                 kind: JobEventKind::TreewidthSample {
@@ -474,6 +886,15 @@ fn execute(
                             });
                         }
                     }
+                    if let Some(every) = checkpoint_every {
+                        if stats.applications >= last_checkpointed + every {
+                            last_checkpointed = stats.applications;
+                            let total = add_stats(spec.base_stats, *stats);
+                            let ck = Checkpoint::capture(spec, vocab, instance, total);
+                            inner.set_last_checkpoint(id, ck.clone());
+                            inner.persist_checkpoint(id, name, spec, &ck);
+                        }
+                    }
                 }
                 ChaseEvent::CoreRetracted {
                     before,
@@ -481,7 +902,7 @@ fn execute(
                     match_stats,
                     ..
                 } => {
-                    inner.emit(JobEvent {
+                    inner.hub.emit(JobEvent {
                         job: id,
                         name: name.to_string(),
                         kind: JobEventKind::CoreRetracted {
@@ -537,7 +958,7 @@ fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chase_engine::{ChaseConfig, ChaseVariant};
+    use chase_engine::{ChaseConfig, ChaseVariant, FaultPlan, FaultSite};
 
     fn transitive_spec(name: &str, cfg: ChaseConfig) -> JobSpec {
         JobSpec::from_text(
@@ -547,6 +968,13 @@ mod tests {
             cfg,
         )
         .unwrap()
+    }
+
+    fn fast_retry_config() -> ServiceConfig {
+        ServiceConfig {
+            retry_backoff: Duration::ZERO,
+            ..ServiceConfig::default()
+        }
     }
 
     #[test]
@@ -630,7 +1058,7 @@ mod tests {
         let mut saw_started = false;
         let mut saw_step = false;
         let mut saw_finished = false;
-        while let Ok(ev) = rx.try_recv() {
+        while let Some(ev) = rx.try_recv() {
             assert_eq!(ev.job, id);
             match ev.kind {
                 JobEventKind::Queued => saw_queued = true,
@@ -663,5 +1091,181 @@ mod tests {
             assert_eq!(svc.wait(id), Some(JobStatus::Finished));
         }
         assert_eq!(svc.list().len(), 4);
+    }
+
+    #[test]
+    fn injected_crash_is_retried_from_the_last_checkpoint() {
+        let svc = Service::with_config(1, fast_retry_config()).unwrap();
+        let rx = svc.events();
+        let clean = transitive_spec("clean", ChaseConfig::variant(ChaseVariant::Restricted));
+        let crashing = transitive_spec(
+            "crashy",
+            ChaseConfig::variant(ChaseVariant::Restricted)
+                .with_fault(FaultPlan::new(vec![FaultSite::Application(2)])),
+        )
+        .with_checkpoint_every(1);
+        let cid = svc.submit(clean);
+        assert_eq!(svc.wait(cid), Some(JobStatus::Finished));
+        let clean_res = svc.take_result(cid).unwrap();
+
+        let id = svc.submit(crashing);
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+        let res = svc.take_result(id).unwrap();
+        assert!(res.outcome.terminated());
+        // The derivation converged to the same closure as the clean run,
+        // and the stats stayed monotone across the crash (the retried
+        // slice continued from application 1, it did not recount it).
+        assert!(
+            chase_homomorphism::isomorphism(&res.final_instance, &clean_res.final_instance)
+                .is_some()
+        );
+        assert_eq!(res.stats.applications, clean_res.stats.applications);
+        let crashes: Vec<(usize, bool)> = std::iter::from_fn(|| rx.try_recv())
+            .filter_map(|ev| match ev.kind {
+                JobEventKind::Crashed {
+                    attempt, retrying, ..
+                } if ev.job == id => Some((attempt, retrying)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes, vec![(1, true)]);
+    }
+
+    #[test]
+    fn crash_before_any_checkpoint_restarts_from_scratch() {
+        let svc = Service::with_config(1, fast_retry_config()).unwrap();
+        // No checkpoint interval: the crash at application #1 happens
+        // before any checkpoint exists, so the retry re-runs the slice.
+        let id = svc.submit(transitive_spec(
+            "early",
+            ChaseConfig::variant(ChaseVariant::Restricted)
+                .with_fault(FaultPlan::new(vec![FaultSite::Application(1)])),
+        ));
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+        let res = svc.take_result(id).unwrap();
+        assert!(res.outcome.terminated());
+        assert_eq!(
+            res.queries,
+            vec![("Q".to_string(), QueryVerdict::EntailedCertified)]
+        );
+    }
+
+    #[test]
+    fn retries_exhausted_degrades_to_failed_with_checkpoint() {
+        let svc = Service::with_config(
+            1,
+            ServiceConfig {
+                max_retries: 1,
+                retry_backoff: Duration::ZERO,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let rx = svc.events();
+        // The plan kills applications #2 and #3: the first run dies at
+        // its second application, the retry (resuming after checkpoint
+        // apps=1) dies at its first — which is global application #3.
+        let id = svc.submit(
+            transitive_spec(
+                "doomed",
+                ChaseConfig::variant(ChaseVariant::Restricted).with_fault(FaultPlan::new(vec![
+                    FaultSite::Application(2),
+                    FaultSite::Application(3),
+                ])),
+            )
+            .with_checkpoint_every(1),
+        );
+        assert_eq!(svc.wait(id), Some(JobStatus::Failed));
+        // The last periodic checkpoint survives the degradation.
+        let ck = svc.checkpoint_of(id).expect("checkpoint retrievable");
+        assert!(ck.stats.applications >= 1);
+        assert!(ck.into_spec().is_ok());
+        let kinds: Vec<bool> = std::iter::from_fn(|| rx.try_recv())
+            .filter_map(|ev| match ev.kind {
+                JobEventKind::Crashed { retrying, .. } => Some(retrying),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![true, false]);
+    }
+
+    #[test]
+    fn unobserved_event_buffer_drops_oldest_and_counts() {
+        let svc = Service::with_config(
+            1,
+            ServiceConfig {
+                event_capacity: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // No subscriber: a job emitting more than 4 events must drop its
+        // oldest ones instead of growing or blocking the worker.
+        let id = svc.submit(transitive_spec(
+            "noisy",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+        let rows = svc.list();
+        assert_eq!(rows.len(), 1);
+        assert!(
+            rows[0].events_dropped > 0,
+            "expected drops, got {}",
+            rows[0].events_dropped
+        );
+        // A late subscriber starts clean and still sees future events.
+        let rx = svc.events();
+        assert!(rx.try_recv().is_none());
+        let id2 = svc.submit(transitive_spec(
+            "late",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        svc.wait(id2);
+        assert!(rx.try_recv().is_some());
+    }
+
+    #[test]
+    fn state_dir_persists_and_recovers_interrupted_jobs() {
+        let dir = std::env::temp_dir().join(format!("treechase-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || ServiceConfig {
+            state_dir: Some(dir.clone()),
+            retry_backoff: Duration::ZERO,
+            checkpoint_every: Some(1),
+            ..ServiceConfig::default()
+        };
+        // First service: the job exhausts its 1-application budget
+        // mid-derivation, so its final checkpoint stays on disk.
+        {
+            let mut svc = Service::with_config(1, cfg()).unwrap();
+            let id = svc.submit(transitive_spec(
+                "durable",
+                ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(1),
+            ));
+            assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+            let apps = svc.with_result(id, |r| r.stats.applications).unwrap();
+            assert_eq!(apps, 1);
+            svc.shutdown();
+        }
+        // Second service on the same dir: the checkpoint comes back as a
+        // queued job continuing the same derivation.
+        {
+            let mut svc = Service::with_config(1, cfg()).unwrap();
+            assert!(svc.recovery_errors().is_empty());
+            let recovered = svc.recovered_jobs().to_vec();
+            assert_eq!(recovered.len(), 1);
+            let id = recovered[0];
+            assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+            // The recovered slice had 0 of its 1-application target left
+            // (budget totals persist), so it stopped immediately but
+            // stayed resumable — no fresh budget out of thin air.
+            let (outcome, apps) = svc
+                .with_result(id, |r| (r.outcome, r.stats.applications))
+                .unwrap();
+            assert_eq!(outcome, ChaseOutcome::ApplicationBudgetExhausted);
+            assert_eq!(apps, 1, "monotone: prefix counted once, no rerun");
+            svc.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

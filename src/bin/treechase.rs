@@ -4,9 +4,12 @@
 //! treechase run <file> [--variant V] [--max-apps N] [--dot OUT.dot]
 //! treechase analyze <file> [--budget N]
 //! treechase decide <file> "<query>" [--max-apps N]
-//! treechase serve [--workers N]
+//! treechase serve [--workers N] [--state-dir DIR] [--retries N]
+//!                 [--retry-backoff-ms N] [--checkpoint-every N]
 //! treechase batch <dir> [--workers N] [--variant V] [--max-apps N]
 //!                       [--max-wall-ms N] [--tw-every N] [--progress-every N]
+//!                       [--state-dir DIR] [--retries N] [--retry-backoff-ms N]
+//!                       [--checkpoint-every N] [--fault-plan SPEC]
 //! ```
 //!
 //! The input files use the `chase-parser` syntax (facts, rules, optional
@@ -32,7 +35,9 @@ use treechase::core::classes::probe_classes;
 use treechase::engine::dot::instance_dot;
 use treechase::prelude::*;
 use treechase::service::protocol::{self, event_to_json, parse_request, result_to_json, Request};
-use treechase::service::{parse_json, Checkpoint, JobSpec, JobStatus, Json, Service};
+use treechase::service::{
+    parse_fault_plan, parse_json, Checkpoint, JobSpec, JobStatus, Json, Service, ServiceConfig,
+};
 
 /// Parsed command line: the subcommand's positional operands plus every
 /// flag value (each flag has a default, so commands just read fields).
@@ -46,6 +51,11 @@ struct Args {
     max_wall_ms: Option<u64>,
     tw_every: Option<usize>,
     progress_every: usize,
+    state_dir: Option<String>,
+    retries: usize,
+    retry_backoff_ms: u64,
+    checkpoint_every: Option<usize>,
+    fault_plan: Option<String>,
 }
 
 impl Default for Args {
@@ -60,6 +70,11 @@ impl Default for Args {
             max_wall_ms: None,
             tw_every: None,
             progress_every: 1,
+            state_dir: None,
+            retries: 2,
+            retry_backoff_ms: 50,
+            checkpoint_every: None,
+            fault_plan: None,
         }
     }
 }
@@ -150,6 +165,52 @@ const FLAGS: &[FlagSpec] = &[
         commands: &["batch"],
         apply: |a, v| {
             a.progress_every = parse_num::<usize>("--progress-every", v)?.max(1);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--state-dir",
+        metavar: "DIR",
+        commands: &["serve", "batch"],
+        apply: |a, v| {
+            a.state_dir = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--retries",
+        metavar: "N",
+        commands: &["serve", "batch"],
+        apply: |a, v| {
+            a.retries = parse_num("--retries", v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--retry-backoff-ms",
+        metavar: "N",
+        commands: &["serve", "batch"],
+        apply: |a, v| {
+            a.retry_backoff_ms = parse_num("--retry-backoff-ms", v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--checkpoint-every",
+        metavar: "N",
+        commands: &["serve", "batch"],
+        apply: |a, v| {
+            a.checkpoint_every = Some(parse_num::<usize>("--checkpoint-every", v)?.max(1));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--fault-plan",
+        metavar: "app:K|core:K|ckpt:K|rand:S:K:H,...",
+        commands: &["batch"],
+        apply: |a, v| {
+            parse_fault_plan(v)?; // validate eagerly; a fresh plan is built per job
+            a.fault_plan = Some(v.to_string());
             Ok(())
         },
     },
@@ -372,8 +433,33 @@ fn error_response(message: &str) -> Json {
     ])
 }
 
-/// Builds the spec for a `resume` request: re-parse the checkpoint and
-/// grant the new slice its own budgets.
+/// The supervision/persistence configuration shared by `serve` and
+/// `batch`.
+fn service_config(args: &Args) -> ServiceConfig {
+    ServiceConfig {
+        state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
+        max_retries: args.retries,
+        retry_backoff: Duration::from_millis(args.retry_backoff_ms),
+        checkpoint_every: args.checkpoint_every,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Reports checkpoint recovery on stderr and returns the recovered ids.
+fn report_recovery(svc: &Service) -> Vec<treechase::service::JobId> {
+    for err in svc.recovery_errors() {
+        eprintln!(
+            "warning: unrecoverable checkpoint {}: {}",
+            err.path.display(),
+            err.error
+        );
+    }
+    svc.recovered_jobs().to_vec()
+}
+
+/// Builds the spec for a `resume` request. By default the new slice
+/// continues the derivation's remaining budgets; an explicit budget on
+/// the request replaces the corresponding carry-over with a fresh one.
 fn resume_spec(
     checkpoint: &Checkpoint,
     max_applications: Option<usize>,
@@ -385,6 +471,9 @@ fn resume_spec(
     }
     if let Some(ms) = max_wall_ms {
         spec.config.max_wall = Some(Duration::from_millis(ms));
+        // A fresh wall budget starts from zero; without this the new
+        // slice would still be charged for the prefix's wall time.
+        spec.config.consumed_wall = Duration::ZERO;
     }
     Ok(spec)
 }
@@ -397,6 +486,7 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
             config,
             tw_sample_interval,
             progress_every,
+            checkpoint_every,
         } => {
             let mut spec = JobSpec::from_text(name.unwrap_or_default(), &source, config)?;
             if let Some(every) = tw_sample_interval {
@@ -404,6 +494,9 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
             }
             if let Some(every) = progress_every {
                 spec = spec.with_progress_every(every);
+            }
+            if let Some(every) = checkpoint_every {
+                spec = spec.with_checkpoint_every(every);
             }
             if spec.name.is_empty() {
                 // Ids are minted densely from 1 and entries are never
@@ -478,15 +571,17 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
             Ok(response("wait", fields))
         }
         Request::Checkpoint { job } => {
+            // Falls back from the final result's checkpoint to the last
+            // periodic capture, so even a job that crashed out past its
+            // retry budget hands back its durable progress.
             let ck = svc
-                .with_result(job, |r| r.checkpoint.as_ref().map(Checkpoint::to_json))
-                .ok_or_else(|| format!("job {job} has no result"))?
-                .ok_or_else(|| format!("job {job} is not resumable"))?;
+                .checkpoint_of(job)
+                .ok_or_else(|| format!("job {job} has no checkpoint"))?;
             Ok(response(
                 "checkpoint",
                 vec![
                     ("job".to_string(), Json::Int(job as i64)),
-                    ("checkpoint".to_string(), ck),
+                    ("checkpoint".to_string(), ck.to_json()),
                 ],
             ))
         }
@@ -502,6 +597,7 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
                                 ("job", Json::Int(r.id as i64)),
                                 ("name", Json::str(&r.name)),
                                 ("status", Json::str(protocol::status_name(&r.status))),
+                                ("events_dropped", Json::Int(r.events_dropped as i64)),
                             ])
                         })
                         .collect(),
@@ -513,9 +609,22 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let mut svc = Service::start(args.workers);
+    let mut svc = Service::with_config(args.workers, service_config(args))?;
+    let recovered = report_recovery(&svc);
     let events = svc.events();
     let lock = std::sync::Arc::new(Mutex::new(()));
+    if !recovered.is_empty() {
+        emit_line(
+            &lock,
+            &Json::obj([
+                ("type", Json::str("recovered")),
+                (
+                    "jobs",
+                    Json::Arr(recovered.iter().map(|id| Json::Int(*id as i64)).collect()),
+                ),
+            ]),
+        );
+    }
     let event_lock = std::sync::Arc::clone(&lock);
     let forwarder = std::thread::spawn(move || {
         for ev in events {
@@ -566,7 +675,8 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     let mut cfg = ChaseConfig::variant(args.variant).with_max_applications(args.max_apps);
     cfg.max_wall = args.max_wall_ms.map(Duration::from_millis);
 
-    let mut svc = Service::start(args.workers);
+    let mut svc = Service::with_config(args.workers, service_config(args))?;
+    let recovered = report_recovery(&svc);
     let events = svc.events();
     let lock = std::sync::Arc::new(Mutex::new(()));
     let event_lock = std::sync::Arc::clone(&lock);
@@ -576,14 +686,19 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         }
     });
 
-    let mut ids = Vec::new();
+    let mut ids = recovered;
     for path in &files {
         let name = path
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
         let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let mut spec = JobSpec::from_text(name, &src, cfg.clone())
+        // A fresh fault plan per job: each job's sites fire once.
+        let mut job_cfg = cfg.clone();
+        if let Some(plan) = &args.fault_plan {
+            job_cfg.fault = Some(parse_fault_plan(plan)?);
+        }
+        let mut spec = JobSpec::from_text(name, &src, job_cfg)
             .map_err(|e| format!("{}: {e}", path.display()))?
             .with_progress_every(args.progress_every);
         if let Some(every) = args.tw_every {

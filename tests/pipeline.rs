@@ -63,7 +63,10 @@ fn chase_results_are_reproducible_across_runs() {
     let r1 = kb.chase(&cfg);
     let r2 = kb.chase(&cfg);
     assert_eq!(r1.final_instance, r2.final_instance);
-    assert_eq!(r1.stats, r2.stats);
+    // Wall time is the one legitimately nondeterministic counter.
+    use treechase::engine::ChaseStats;
+    let strip = |s: ChaseStats| ChaseStats { wall_us: 0, ..s };
+    assert_eq!(strip(r1.stats), strip(r2.stats));
 }
 
 #[test]

@@ -7,9 +7,13 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use treechase::core::KnowledgeBase;
-use treechase::engine::{ChaseConfig, ChaseOutcome, ChaseVariant};
+use treechase::engine::{ChaseConfig, ChaseOutcome, ChaseVariant, FaultPlan, FaultSite};
 use treechase::homomorphism::isomorphism;
-use treechase::service::{parse_json, JobEventKind, JobSpec, JobStatus, QueryVerdict, Service};
+use treechase::parser::parse_program_trusted;
+use treechase::service::{
+    parse_json, Checkpoint, JobEventKind, JobSpec, JobStatus, Json, QueryVerdict, Service,
+    ServiceConfig,
+};
 
 fn staircase_spec(name: &str, cfg: ChaseConfig) -> JobSpec {
     JobSpec::from_kb(name, KnowledgeBase::staircase(), cfg)
@@ -153,7 +157,7 @@ fn inexact_oblivious_resume_emits_a_warning_event() {
     let id = svc.submit(spec);
     svc.wait(id);
     let mut warning = None;
-    while let Ok(ev) = events.try_recv() {
+    while let Some(ev) = events.try_recv() {
         if let JobEventKind::Warning { message } = ev.kind {
             assert_eq!(ev.job, id);
             warning = Some(message);
@@ -177,7 +181,7 @@ fn inexact_oblivious_resume_emits_a_warning_event() {
     assert!(!resumed_spec.resumed_inexact);
     let id2 = svc.submit(resumed_spec);
     svc.wait(id2);
-    while let Ok(ev) = events.try_recv() {
+    while let Some(ev) = events.try_recv() {
         assert!(
             !matches!(ev.kind, JobEventKind::Warning { .. }),
             "exact resume must not warn"
@@ -202,7 +206,7 @@ fn four_jobs_run_concurrently_with_interleaved_starts() {
     }
     let mut started_before_first_finish = std::collections::HashSet::new();
     let mut finished = false;
-    while let Ok(ev) = events.try_recv() {
+    while let Some(ev) = events.try_recv() {
         match ev.kind {
             JobEventKind::Started if !finished => {
                 started_before_first_finish.insert(ev.job);
@@ -318,6 +322,286 @@ fn serve_protocol_checkpoint_resume_roundtrip() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains(r#""outcome":"terminated""#), "{stdout}");
     assert!(stdout.contains(r#""verdict":"entailed""#), "{stdout}");
+}
+
+/// The supervision acceptance scenario: a core-chase staircase job
+/// whose worker is killed *twice* by injected crashes is retried from
+/// the last periodic checkpoint each time and converges to a result
+/// isomorphic to a clean run, with monotone counters (each pre-crash
+/// prefix is counted once, not rerun).
+#[test]
+fn supervised_core_crash_recovers_isomorphic_to_clean_run() {
+    let total = 40usize;
+    let clean_svc = Service::start(1);
+    let clean = clean_svc
+        .take_result(clean_svc.submit(staircase_spec(
+            "clean",
+            ChaseConfig::variant(ChaseVariant::Core).with_max_applications(total),
+        )))
+        .expect("clean run result");
+    assert_eq!(clean.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+
+    let svc = Service::with_config(
+        1,
+        ServiceConfig {
+            retry_backoff: Duration::ZERO,
+            checkpoint_every: Some(1),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+    let events = svc.events();
+    let id = svc.submit(staircase_spec(
+        "crashy",
+        ChaseConfig::variant(ChaseVariant::Core)
+            .with_max_applications(total)
+            // The application counter is process-global and monotone,
+            // so the two sites land in different slices: the first
+            // kills the initial run, the second kills its retry.
+            .with_fault(FaultPlan::new(vec![
+                FaultSite::Application(total / 4),
+                FaultSite::Application(3 * total / 4),
+            ])),
+    ));
+    assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+    let res = svc.take_result(id).expect("supervised result");
+    assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+    // Monotone stats across the crash: total applications equal the
+    // uninterrupted run's, and the accumulated wall clock is nonzero.
+    assert_eq!(res.stats.applications, total);
+    assert!(res.stats.wall_us > 0);
+    assert!(
+        isomorphism(&res.final_instance, &clean.final_instance).is_some(),
+        "crash-recovered instance ({} atoms) must be isomorphic to the \
+         clean one ({} atoms)",
+        res.final_instance.len(),
+        clean.final_instance.len()
+    );
+    let crashes: Vec<_> = std::iter::from_fn(|| events.try_recv())
+        .filter_map(|ev| match ev.kind {
+            JobEventKind::Crashed {
+                attempt, retrying, ..
+            } => Some((attempt, retrying)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        crashes,
+        vec![(1, true), (2, true)],
+        "two supervised kills, each retried"
+    );
+}
+
+/// A crash injected *inside the incremental core phase* — not between
+/// trigger applications — is also recovered to an isomorphic result.
+/// The core retraction is the hairiest place to interrupt: the durable
+/// checkpoint predates the retraction, so the retry must redo it.
+#[test]
+fn core_phase_crash_recovers_isomorphic_to_clean_run() {
+    let total = 30usize;
+    let clean_svc = Service::start(1);
+    let clean = clean_svc
+        .take_result(clean_svc.submit(staircase_spec(
+            "clean",
+            ChaseConfig::variant(ChaseVariant::Core).with_max_applications(total),
+        )))
+        .expect("clean run result");
+
+    let svc = Service::with_config(
+        1,
+        ServiceConfig {
+            retry_backoff: Duration::ZERO,
+            checkpoint_every: Some(1),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+    let id = svc.submit(staircase_spec(
+        "core-crash",
+        ChaseConfig::variant(ChaseVariant::Core)
+            .with_max_applications(total)
+            .with_fault(FaultPlan::new(vec![FaultSite::CorePhase(total / 2)])),
+    ));
+    assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+    let res = svc.take_result(id).expect("supervised result");
+    assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+    assert_eq!(res.stats.applications, total);
+    assert!(isomorphism(&res.final_instance, &clean.final_instance).is_some());
+}
+
+/// Satellite: cancelling a `Core` job mid-run (so the interruption can
+/// land inside the incremental core phase, on a possibly non-core
+/// instance) still yields an exact checkpoint, and resuming it runs the
+/// chase to termination on an instance isomorphic to the uninterrupted
+/// closure — `resume_reaches_the_same_closure_as_uninterrupted`, beyond
+/// the restricted variant.
+#[test]
+fn cancelled_core_job_resumes_isomorphic_to_uninterrupted() {
+    // A terminating core chase that is still slow enough to interrupt:
+    // transitive closure over a 40-edge chain (780 applications, each
+    // followed by an incremental core-maintenance phase).
+    let mut src: String = (0..40).map(|i| format!("r(c{i}, c{}). ", i + 1)).collect();
+    src.push_str("T: r(X, Y), r(Y, Z) -> r(X, Z).");
+    let cfg = ChaseConfig::variant(ChaseVariant::Core);
+
+    let svc = Service::start(2);
+    let clean_id = svc.submit(JobSpec::from_text("core-clean", &src, cfg.clone()).unwrap());
+    let id = svc.submit(JobSpec::from_text("core-cancel", &src, cfg).unwrap());
+    while svc.status(id) != Some(JobStatus::Running) {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    assert!(svc.cancel(id));
+    let cut = svc.take_result(id).expect("cancelled result");
+    assert_eq!(cut.outcome, ChaseOutcome::Cancelled);
+    let ck = cut.checkpoint.expect("cancellation is resumable");
+    assert!(ck.exact(), "core checkpoints are resume-exact");
+    assert!(ck.stats.applications > 0, "cancel landed mid-run");
+
+    let resumed_spec = ck.into_spec().expect("checkpoint reparses");
+    let resumed = svc
+        .take_result(svc.submit(resumed_spec))
+        .expect("resumed result");
+    assert!(resumed.outcome.terminated(), "{:?}", resumed.outcome);
+    // Monotone counters: the continuation extends the prefix.
+    assert!(resumed.stats.applications > cut.stats.applications);
+
+    let clean = svc.take_result(clean_id).expect("clean run result");
+    assert!(clean.outcome.terminated());
+    assert!(
+        isomorphism(&resumed.final_instance, &clean.final_instance).is_some(),
+        "core resume after mid-run cancellation must converge to the \
+         uninterrupted closure ({} vs {} atoms)",
+        resumed.final_instance.len(),
+        clean.final_instance.len()
+    );
+}
+
+/// The crash-recovery smoke: SIGKILL a `serve` process mid-run, restart
+/// it over the same `--state-dir`, and check the recovered job finishes
+/// the derivation — same application total as an uninterrupted run
+/// (prefix counted once) and an isomorphic final instance.
+#[test]
+fn sigkill_mid_run_recovers_from_durable_checkpoints() {
+    let total = 60usize;
+    let src = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/staircase.tc"),
+    )
+    .expect("staircase testdata");
+    let state_dir = std::env::temp_dir().join(format!("treechase-sigkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let state_dir_arg = state_dir.to_str().expect("utf-8 temp dir");
+
+    // Reference: the same job uninterrupted, in-process.
+    let clean_svc = Service::start(1);
+    let clean = clean_svc
+        .take_result(
+            clean_svc.submit(
+                JobSpec::from_text(
+                    "clean",
+                    &src,
+                    ChaseConfig::variant(ChaseVariant::Core).with_max_applications(total),
+                )
+                .expect("staircase parses"),
+            ),
+        )
+        .expect("clean run result");
+    assert_eq!(clean.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+
+    // Session 1: submit, wait for the first durable checkpoint to land
+    // on disk, then SIGKILL the whole process mid-run.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_treechase"))
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--state-dir",
+            state_dir_arg,
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut stdin = child.stdin.take().unwrap();
+    let submit = Json::obj([
+        ("op", Json::str("submit")),
+        ("name", Json::str("stair")),
+        ("source", Json::str(&src)),
+        ("variant", Json::str("core")),
+        ("max_apps", Json::Int(total as i64)),
+    ]);
+    writeln!(stdin, "{submit}").unwrap();
+    let has_checkpoint_file = || {
+        std::fs::read_dir(&state_dir).is_ok_and(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .any(|e| e.file_name().to_string_lossy().ends_with(".ckpt.json"))
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !has_checkpoint_file() {
+        assert!(
+            Instant::now() < deadline,
+            "no durable checkpoint appeared in {}",
+            state_dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL lands"); // SIGKILL: no cleanup runs
+    child.wait().expect("killed child reaped");
+    drop(stdin);
+
+    // Session 2: the restarted service recovers the checkpoint into a
+    // queued job and runs it to the original application target.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_treechase"))
+        .args(["serve", "--workers", "1", "--state-dir", state_dir_arg])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve restarts");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, r#"{{"op":"wait","job":1}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"checkpoint","job":1}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"shutdown"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    let mut recovered = false;
+    let mut checkpoint = None;
+    for line in stdout.lines() {
+        let v = parse_json(line).unwrap_or_else(|e| panic!("bad wire line {line}: {e}"));
+        if v.get("type").and_then(|t| t.as_str()) == Some("recovered") {
+            recovered = true;
+        }
+        if v.get("op").and_then(|o| o.as_str()) == Some("checkpoint") {
+            checkpoint = v.get("checkpoint").cloned();
+        }
+    }
+    assert!(recovered, "restart must announce recovered jobs: {stdout}");
+    let ck = Checkpoint::from_json(&checkpoint.expect("checkpoint response present"))
+        .expect("wire checkpoint parses");
+    // Monotone across the kill: the killed prefix plus the recovered
+    // slice together hit the original budget exactly once.
+    assert_eq!(ck.stats.applications, total);
+    let program = parse_program_trusted(&ck.program).expect("checkpoint program parses");
+    assert!(
+        isomorphism(&program.facts, &clean.final_instance).is_some(),
+        "recovered instance ({} atoms) must be isomorphic to the clean \
+         one ({} atoms)",
+        program.facts.len(),
+        clean.final_instance.len()
+    );
+    let _ = std::fs::remove_dir_all(&state_dir);
 }
 
 /// Malformed requests produce error lines, not a dead server.
