@@ -125,6 +125,17 @@ pub struct ChaseConfig {
     /// Deterministic fault-injection plan for crash testing; `None` (the
     /// default) injects nothing. Process state, never serialized.
     pub fault: Option<FaultPlan>,
+    /// Soft memory ceiling, in abstract memory units (instance atoms +
+    /// nulls minted this slice + pending trigger-queue entries). Crossing
+    /// it once degrades the run: an immediate core retraction pass is
+    /// forced (core variant), the retraction search budget is shrunk and
+    /// a [`ChaseEvent::Degraded`] event is emitted. `None` disables.
+    pub mem_soft: Option<usize>,
+    /// Hard memory ceiling, in the same units. Crossing it suspends the
+    /// run cleanly with [`ChaseOutcome::Suspended`]
+    /// ([`SuspendReason::MemoryCeiling`]) — resumable via the ordinary
+    /// checkpoint path, instead of aborting or OOMing. `None` disables.
+    pub mem_hard: Option<usize>,
 }
 
 impl Default for ChaseConfig {
@@ -140,6 +151,8 @@ impl Default for ChaseConfig {
             core_maintenance: CoreMaintenance::default(),
             consumed_wall: Duration::ZERO,
             fault: None,
+            mem_soft: None,
+            mem_hard: None,
         }
     }
 }
@@ -207,6 +220,18 @@ impl ChaseConfig {
         self.fault = Some(plan);
         self
     }
+
+    /// Sets the soft memory ceiling (abstract units; degrade, don't stop).
+    pub fn with_mem_soft(mut self, units: usize) -> Self {
+        self.mem_soft = Some(units);
+        self
+    }
+
+    /// Sets the hard memory ceiling (abstract units; suspend cleanly).
+    pub fn with_mem_hard(mut self, units: usize) -> Self {
+        self.mem_hard = Some(units);
+        self
+    }
 }
 
 /// Why the chase stopped.
@@ -225,6 +250,17 @@ pub enum ChaseOutcome {
     Stopped,
     /// A [`CancelToken`] requested a stop.
     Cancelled,
+    /// The run was suspended cleanly before a resource exhaustion could
+    /// turn into a crash; resumable like any budget stop.
+    Suspended(SuspendReason),
+}
+
+/// Why a run was suspended ([`ChaseOutcome::Suspended`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SuspendReason {
+    /// The hard memory ceiling ([`ChaseConfig::mem_hard`]) was crossed,
+    /// or a [`crate::FaultSite::MemoryPressure`] site fired.
+    MemoryCeiling,
 }
 
 impl ChaseOutcome {
@@ -268,6 +304,15 @@ pub struct ChaseStats {
     /// the service accumulates it, so a checkpoint knows how much of the
     /// `max_wall` budget the derivation has already spent.
     pub wall_us: u64,
+    /// Fresh nulls minted by trigger applications in this slice (the
+    /// skolem variant interns nulls, so its reused ones do not count).
+    pub nulls_minted: usize,
+    /// Largest round snapshot of pending triggers ever taken.
+    pub peak_trigger_queue: usize,
+    /// Peak abstract memory units (atoms + nulls minted + pending queue
+    /// entries) observed after any application — what the soft/hard
+    /// memory ceilings of [`ChaseConfig`] are enforced against.
+    pub peak_mem_units: usize,
 }
 
 /// The result of a chase run.
@@ -387,6 +432,13 @@ pub fn run_chase_controlled(
         .map(|n| n.get().min(8))
         .unwrap_or(1);
 
+    // Once the soft memory ceiling is crossed, retraction searches run
+    // under this node limit: degraded mode trades core quality (a
+    // truncated phase is a sound non-core retract) for bounded memory
+    // and latency.
+    const DEGRADED_NODE_LIMIT: usize = 50_000;
+    let mut degraded = false;
+
     let mut stats = ChaseStats {
         peak_atoms: facts.len(),
         ..ChaseStats::default()
@@ -461,6 +513,7 @@ pub fn run_chase_controlled(
         }
         order_snapshot(&mut snapshot, rules, cfg, &mut rng);
         stats.rounds += 1;
+        stats.peak_trigger_queue = stats.peak_trigger_queue.max(snapshot.len());
         if observer(ChaseEvent::RoundStarted {
             round: stats.rounds,
             pending: snapshot.len(),
@@ -472,7 +525,8 @@ pub fn run_chase_controlled(
 
         // Simplifications performed during this round, composed.
         let mut forward = Substitution::new();
-        for tr in snapshot {
+        let snapshot_len = snapshot.len();
+        for (pos, tr) in snapshot.into_iter().enumerate() {
             if cancelled() {
                 break 'outer ChaseOutcome::Cancelled;
             }
@@ -517,7 +571,43 @@ pub fn run_chase_controlled(
             if let Some(n) = cfg.fault.as_ref().and_then(FaultPlan::on_application) {
                 panic!("injected fault: crash at application #{n}");
             }
+            if let Some(ms) = cfg.fault.as_ref().and_then(FaultPlan::on_slow) {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            stats.nulls_minted += app.fresh.len();
             stats.peak_atoms = stats.peak_atoms.max(app.result.len());
+
+            // Abstract memory accounting: instance atoms at their
+            // pre-retraction peak, plus the nulls this slice minted, plus
+            // the triggers still queued in this round. Deterministic, so
+            // ceiling behaviour is reproducible in tests without real
+            // memory pressure.
+            let mem_units = app.result.len() + stats.nulls_minted + (snapshot_len - pos - 1);
+            stats.peak_mem_units = stats.peak_mem_units.max(mem_units);
+            let mem_fault = cfg
+                .fault
+                .as_ref()
+                .and_then(FaultPlan::on_memory_pressure)
+                .is_some();
+            let mem_hard_hit = mem_fault || cfg.mem_hard.is_some_and(|h| mem_units > h);
+            if !mem_hard_hit && !degraded && cfg.mem_soft.is_some_and(|s| mem_units > s) {
+                degraded = true;
+                // Degrade: force the core retraction pass to run on this
+                // very application (core variant; the others have no
+                // retraction to force) and shrink the search budget so
+                // later phases stay bounded.
+                since_core = cfg.core_interval;
+                budget = budget.tighten_node_limit(DEGRADED_NODE_LIMIT);
+                if observer(ChaseEvent::Degraded {
+                    mem_units,
+                    soft_limit: cfg.mem_soft.unwrap_or(0),
+                    stats: &stats,
+                })
+                .is_break()
+                {
+                    break 'outer ChaseOutcome::Stopped;
+                }
+            }
             if cfg.variant == ChaseVariant::Core
                 && cfg.core_maintenance == CoreMaintenance::Incremental
             {
@@ -630,6 +720,12 @@ pub fn run_chase_controlled(
             derivation.push_step(tr, app.pi_safe, sigma, next);
             if too_big {
                 break 'outer ChaseOutcome::AtomBudgetExhausted;
+            }
+            if mem_hard_hit {
+                // The application is recorded (it happened), then the run
+                // suspends cleanly: the caller checkpoints the instance
+                // exactly as for a budget stop.
+                break 'outer ChaseOutcome::Suspended(SuspendReason::MemoryCeiling);
             }
             if retracted
                 && observer(ChaseEvent::CoreRetracted {
@@ -983,6 +1079,88 @@ mod tests {
         assert!(res.derivation.is_none());
         assert_eq!(res.final_instance.len(), 3);
     }
+
+    #[test]
+    fn hard_memory_ceiling_suspends_resumably() {
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::default()
+            .with_max_applications(10_000)
+            .with_mem_hard(8);
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert_eq!(
+            res.outcome,
+            ChaseOutcome::Suspended(SuspendReason::MemoryCeiling)
+        );
+        assert!(res.outcome.resumable());
+        assert!(!res.outcome.terminated());
+        assert!(res.stats.peak_mem_units > 8);
+        // Well short of the application budget: the ceiling cut it.
+        assert!(res.stats.applications < 100);
+        assert!(res.stats.nulls_minted > 0);
+    }
+
+    #[test]
+    fn soft_memory_ceiling_degrades_exactly_once() {
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::default()
+            .with_max_applications(12)
+            .with_mem_soft(5);
+        let mut degraded_events = 0usize;
+        let res = run_chase_controlled(&mut vocab, &facts, &rules, &cfg, None, |ev| {
+            if let ChaseEvent::Degraded {
+                mem_units,
+                soft_limit,
+                ..
+            } = ev
+            {
+                assert!(mem_units > soft_limit);
+                assert_eq!(soft_limit, 5);
+                degraded_events += 1;
+            }
+            std::ops::ControlFlow::Continue(())
+        });
+        // Degrading does not stop the run; it runs to its budget.
+        assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+        assert_eq!(degraded_events, 1, "the crossing is reported once");
+        assert!(res.stats.peak_mem_units > 5);
+        assert!(res.stats.peak_trigger_queue >= 1);
+    }
+
+    #[test]
+    fn memory_pressure_fault_suspends_at_its_application() {
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::default()
+            .with_max_applications(10_000)
+            .with_fault(FaultPlan::new(vec![crate::FaultSite::MemoryPressure(3)]));
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert_eq!(
+            res.outcome,
+            ChaseOutcome::Suspended(SuspendReason::MemoryCeiling)
+        );
+        assert_eq!(res.stats.applications, 3);
+    }
+
+    #[test]
+    fn slow_fault_injects_latency() {
+        let rules = chain();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::default()
+            .with_max_applications(2)
+            .with_fault(FaultPlan::new(vec![crate::FaultSite::Slow(1, 30)]));
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert!(
+            res.stats.wall_us >= 30_000,
+            "a slow:1:30 site sleeps 30ms, got {}us",
+            res.stats.wall_us
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1326,6 +1504,7 @@ mod control_tests {
                         assert!(after < before);
                         retractions += 1;
                     }
+                    ChaseEvent::Degraded { .. } => unreachable!("no memory ceiling set"),
                 }
                 std::ops::ControlFlow::Continue(())
             },

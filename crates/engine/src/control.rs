@@ -74,6 +74,15 @@ pub enum FaultSite {
     /// Fail the `k`-th durable checkpoint write (surfaced as an I/O-style
     /// error by the checkpoint store, not a panic).
     CheckpointWrite(usize),
+    /// Report synthetic memory pressure at the `k`-th trigger
+    /// application: the engine treats it as a hard memory-ceiling hit and
+    /// suspends cleanly — overload paths become testable without
+    /// allocating real memory.
+    MemoryPressure(usize),
+    /// Sleep for the given number of milliseconds at the `k`-th trigger
+    /// application, simulating a slow step (for deadline and drain
+    /// testing).
+    Slow(usize, u64),
 }
 
 #[derive(Debug, Default)]
@@ -82,6 +91,8 @@ struct FaultInner {
     applications: AtomicUsize,
     core_phases: AtomicUsize,
     checkpoint_writes: AtomicUsize,
+    mem_checks: AtomicUsize,
+    slow_checks: AtomicUsize,
 }
 
 /// A deterministic, shareable fault-injection plan for crash testing.
@@ -170,6 +181,26 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// Advances the memory-pressure counter (one tick per trigger
+    /// application); `Some(n)` means "pretend the hard memory ceiling was
+    /// hit at application #n".
+    pub fn on_memory_pressure(&self) -> Option<usize> {
+        self.hit(&self.inner.mem_checks, |s| match s {
+            FaultSite::MemoryPressure(k) => Some(*k),
+            _ => None,
+        })
+    }
+
+    /// Advances the slow-step counter (one tick per trigger application);
+    /// `Some(ms)` means "sleep `ms` milliseconds before continuing".
+    pub fn on_slow(&self) -> Option<u64> {
+        let n = self.inner.slow_checks.fetch_add(1, Ordering::AcqRel) + 1;
+        self.inner.sites.iter().find_map(|s| match s {
+            FaultSite::Slow(k, ms) if *k == n => Some(*ms),
+            _ => None,
+        })
+    }
 }
 
 /// One progress event of a controlled chase run.
@@ -193,6 +224,18 @@ pub enum ChaseEvent<'a> {
         /// The live vocabulary, including nulls minted so far — what a
         /// checkpointing observer needs to serialize `instance`.
         vocab: &'a Vocabulary,
+        /// Running counters.
+        stats: &'a ChaseStats,
+    },
+    /// The run crossed its soft memory ceiling and degraded: an immediate
+    /// core retraction pass was forced (core variant) and the retraction
+    /// search budget was shrunk. Emitted once per run, on the crossing.
+    Degraded {
+        /// Abstract memory units (atoms + nulls minted + pending queue
+        /// entries) at the crossing.
+        mem_units: usize,
+        /// The soft ceiling that was crossed.
+        soft_limit: usize,
         /// Running counters.
         stats: &'a ChaseStats,
     },
@@ -231,6 +274,18 @@ mod tests {
         assert_eq!(plan.on_checkpoint_write(), None);
         assert_eq!(clone.on_checkpoint_write(), Some(3));
         assert_eq!(clone.on_checkpoint_write(), None);
+    }
+
+    #[test]
+    fn memory_and_slow_sites_fire_once_at_their_application() {
+        let plan = FaultPlan::new(vec![FaultSite::MemoryPressure(2), FaultSite::Slow(1, 7)]);
+        let clone = plan.clone();
+        assert_eq!(plan.on_slow(), Some(7)); // application #1
+        assert_eq!(plan.on_memory_pressure(), None);
+        assert_eq!(clone.on_slow(), None); // application #2, shared counter
+        assert_eq!(clone.on_memory_pressure(), Some(2));
+        assert_eq!(plan.on_slow(), None); // #3: monotone, never re-fires
+        assert_eq!(plan.on_memory_pressure(), None);
     }
 
     #[test]

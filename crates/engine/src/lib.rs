@@ -37,7 +37,7 @@ mod trigger;
 
 pub use chase::{
     run_chase, run_chase_controlled, run_chase_observed, ChaseConfig, ChaseOutcome, ChaseResult,
-    ChaseStats, ChaseVariant, CoreMaintenance, RecordLevel, SchedulerKind,
+    ChaseStats, ChaseVariant, CoreMaintenance, RecordLevel, SchedulerKind, SuspendReason,
 };
 pub use control::{CancelToken, ChaseEvent, FaultPlan, FaultSite};
 pub use derivation::{Derivation, DerivationStep};

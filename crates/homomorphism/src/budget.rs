@@ -45,6 +45,14 @@ impl SearchBudget {
         self
     }
 
+    /// Lowers the node limit to `n` if the current one is absent or
+    /// larger — the degraded-mode shrink: never loosens an existing
+    /// limit.
+    pub fn tighten_node_limit(mut self, n: usize) -> Self {
+        self.node_limit = Some(self.node_limit.map_or(n, |cur| cur.min(n)));
+        self
+    }
+
     /// Sets the deadline.
     pub fn with_deadline(mut self, d: Instant) -> Self {
         self.deadline = Some(d);
@@ -144,6 +152,16 @@ mod tests {
         let b = SearchBudget::unlimited().with_node_limit(10);
         assert!(!b.exhausted_at(10));
         assert!(b.exhausted_at(11));
+    }
+
+    #[test]
+    fn tighten_never_loosens() {
+        let b = SearchBudget::unlimited().tighten_node_limit(100);
+        assert_eq!(b.node_limit, Some(100));
+        let b = b.tighten_node_limit(10);
+        assert_eq!(b.node_limit, Some(10));
+        let b = b.tighten_node_limit(1_000);
+        assert_eq!(b.node_limit, Some(10), "a wider limit is ignored");
     }
 
     #[test]

@@ -32,6 +32,43 @@ impl JobStatus {
     }
 }
 
+/// Scheduling priority of a job. Within the queue a higher priority is
+/// picked first; ties fall back to FIFO order — so a small high-priority
+/// probe overtakes suspended heavyweights without starving anyone (the
+/// queue is bounded, and every admitted job is eventually first of its
+/// class).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Picked before everything else (probe jobs, interactive queries).
+    High,
+    /// The default.
+    #[default]
+    Normal,
+    /// Picked only when nothing else is queued (bulk backfill).
+    Low,
+}
+
+impl Priority {
+    /// Wire/CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses the wire/CLI spelling.
+    pub fn parse(s: &str) -> Result<Priority, String> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!("unknown priority `{other}` (high|normal|low)")),
+        }
+    }
+}
+
 /// Certified three-valued answer for one named query of a job.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum QueryVerdict {
@@ -62,6 +99,11 @@ pub struct JobSpec {
     /// Capture (and, with a state dir, persist) a checkpoint every this
     /// many applications; `None` falls back to the service-level default.
     pub checkpoint_every: Option<usize>,
+    /// Scheduling priority (see [`Priority`]).
+    pub priority: Priority,
+    /// Who submitted the job, for per-submitter admission quotas; `None`
+    /// is exempt from quota counting.
+    pub submitter: Option<String>,
     /// Counters carried over from the checkpointed prefix this job
     /// resumes (zero for fresh jobs).
     pub base_stats: ChaseStats,
@@ -90,6 +132,8 @@ impl JobSpec {
             tw_sample_interval: None,
             progress_every: 1,
             checkpoint_every: None,
+            priority: Priority::default(),
+            submitter: None,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         })
@@ -112,6 +156,8 @@ impl JobSpec {
             tw_sample_interval: None,
             progress_every: 1,
             checkpoint_every: None,
+            priority: Priority::default(),
+            submitter: None,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         })
@@ -128,6 +174,8 @@ impl JobSpec {
             tw_sample_interval: None,
             progress_every: 1,
             checkpoint_every: None,
+            priority: Priority::default(),
+            submitter: None,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         }
@@ -148,6 +196,18 @@ impl JobSpec {
     /// Sets the periodic-checkpoint interval for this job.
     pub fn with_checkpoint_every(mut self, every: usize) -> Self {
         self.checkpoint_every = Some(every.max(1));
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Tags the job with its submitter (for admission quotas).
+    pub fn with_submitter(mut self, s: impl Into<String>) -> Self {
+        self.submitter = Some(s.into());
         self
     }
 }
@@ -186,6 +246,9 @@ pub fn add_stats(a: ChaseStats, b: ChaseStats) -> ChaseStats {
         core_truncations: a.core_truncations + b.core_truncations,
         core_time_us: a.core_time_us + b.core_time_us,
         wall_us: a.wall_us + b.wall_us,
+        nulls_minted: a.nulls_minted + b.nulls_minted,
+        peak_trigger_queue: a.peak_trigger_queue.max(b.peak_trigger_queue),
+        peak_mem_units: a.peak_mem_units.max(b.peak_mem_units),
     }
 }
 
@@ -225,6 +288,9 @@ mod tests {
             core_truncations: 1,
             core_time_us: 250,
             wall_us: 1_000,
+            nulls_minted: 6,
+            peak_trigger_queue: 4,
+            peak_mem_units: 20,
         };
         let b = ChaseStats {
             applications: 3,
@@ -237,6 +303,9 @@ mod tests {
             core_truncations: 0,
             core_time_us: 100,
             wall_us: 500,
+            nulls_minted: 2,
+            peak_trigger_queue: 9,
+            peak_mem_units: 15,
         };
         let s = add_stats(a, b);
         assert_eq!(s.applications, 8);
@@ -249,5 +318,8 @@ mod tests {
         assert_eq!(s.core_truncations, 1);
         assert_eq!(s.core_time_us, 350);
         assert_eq!(s.wall_us, 1_500);
+        assert_eq!(s.nulls_minted, 8);
+        assert_eq!(s.peak_trigger_queue, 9);
+        assert_eq!(s.peak_mem_units, 20);
     }
 }

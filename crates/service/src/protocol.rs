@@ -10,24 +10,27 @@ use std::time::Duration;
 
 use chase_engine::{
     ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, CoreMaintenance, FaultPlan, FaultSite,
-    SchedulerKind,
+    SchedulerKind, SuspendReason,
 };
 
-use crate::job::{JobId, JobResult, JobStatus, QueryVerdict};
+use crate::job::{JobId, JobResult, JobStatus, Priority, QueryVerdict};
 use crate::json::Json;
 use crate::runner::{JobEvent, JobEventKind};
 
 /// A client request, one per input line.
 #[derive(Clone, Debug)]
 pub enum Request {
-    /// Submit a new job from program text.
+    /// Submit a new job from program text or a named built-in KB.
     Submit {
         /// Display name (defaults to `job-<id>`).
         name: Option<String>,
-        /// KB source in the `chase-parser` syntax (facts, rules, queries).
-        source: String,
-        /// Chase configuration.
-        config: ChaseConfig,
+        /// KB source in the `chase-parser` syntax (facts, rules,
+        /// queries). Exactly one of `source` / `kb` must be present.
+        source: Option<String>,
+        /// Name of a built-in knowledge base (see [`named_kb`]).
+        kb: Option<String>,
+        /// Chase configuration (boxed: it dominates the enum's size).
+        config: Box<ChaseConfig>,
         /// Emit a `tw_sample` event every this many applications.
         tw_sample_interval: Option<usize>,
         /// Emit a `step` event every this many applications (default 1).
@@ -35,6 +38,10 @@ pub enum Request {
         /// Capture/persist a checkpoint every this many applications
         /// (defaults to the service-level interval).
         checkpoint_every: Option<usize>,
+        /// Scheduling priority (defaults to normal).
+        priority: Priority,
+        /// Submitter tag, counted against the per-submitter quota.
+        submitter: Option<String>,
     },
     /// Resume a job from a previously returned checkpoint object.
     Resume {
@@ -60,6 +67,10 @@ pub enum Request {
     Wait {
         /// The job to wait for.
         job: JobId,
+        /// Give up after this many milliseconds and report the current
+        /// (possibly non-terminal) status with `"timed_out": true`.
+        /// `None` falls back to the service's `--op-deadline`.
+        timeout_ms: Option<u64>,
     },
     /// Fetch the checkpoint of a budget-exhausted or cancelled job.
     Checkpoint {
@@ -68,8 +79,20 @@ pub enum Request {
     },
     /// List all known jobs.
     List,
+    /// Gracefully drain: stop admitting, checkpoint running slices,
+    /// report, then exit the serve loop with status 0.
+    Drain,
     /// Drain running jobs and exit the serve loop.
     Shutdown,
+}
+
+/// Resolves a named built-in knowledge base (`submit` with `"kb"`).
+pub fn named_kb(name: &str) -> Result<chase_core::KnowledgeBase, String> {
+    match name {
+        "staircase" => Ok(chase_core::KnowledgeBase::staircase()),
+        "elevator" => Ok(chase_core::KnowledgeBase::elevator()),
+        other => Err(format!("unknown kb `{other}` (known: staircase, elevator)")),
+    }
 }
 
 /// Renders a [`ChaseVariant`] for the wire.
@@ -104,6 +127,7 @@ pub fn outcome_name(o: ChaseOutcome) -> &'static str {
         ChaseOutcome::WallBudgetExhausted => "wall-budget-exhausted",
         ChaseOutcome::Stopped => "stopped",
         ChaseOutcome::Cancelled => "cancelled",
+        ChaseOutcome::Suspended(SuspendReason::MemoryCeiling) => "suspended-memory-ceiling",
     }
 }
 
@@ -136,6 +160,14 @@ pub fn config_to_json(cfg: &ChaseConfig) -> Json {
                 CoreMaintenance::Incremental => "incremental",
             }),
         ),
+        (
+            "mem_soft",
+            cfg.mem_soft.map_or(Json::Null, |n| Json::Int(n as i64)),
+        ),
+        (
+            "mem_hard",
+            cfg.mem_hard.map_or(Json::Null, |n| Json::Int(n as i64)),
+        ),
     ])
 }
 
@@ -165,26 +197,40 @@ pub fn config_from_json(v: &Json) -> Result<ChaseConfig, String> {
         Some(s) => parse_core_maintenance(s)?,
         None => CoreMaintenance::FullRecompute,
     };
+    // Older checkpoints predate the memory ceilings; absent means off.
+    cfg.mem_soft = v.opt_u64("mem_soft")?.map(|n| n as usize);
+    cfg.mem_hard = v.opt_u64("mem_hard")?.map(|n| n as usize);
     Ok(cfg)
+}
+
+/// Reads an optional count field that must be ≥ 1 when present.
+/// Nonpositive budgets used to be silently clamped (or silently did
+/// nothing); they are now structured errors on the reply.
+fn opt_positive(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.opt_u64(key)? {
+        Some(0) => Err(format!("`{key}` must be positive")),
+        other => Ok(other),
+    }
 }
 
 /// Reads the chase-configuration fields a `submit` request may carry
 /// (all optional, defaulting to [`ChaseConfig::default`] with the core
-/// variant).
+/// variant). Nonpositive budgets and an inverted `mem_soft`/`mem_hard`
+/// pair are rejected with a clear message instead of being clamped.
 fn submit_config(v: &Json) -> Result<ChaseConfig, String> {
     let mut cfg = ChaseConfig::variant(ChaseVariant::Core);
     if let Some(name) = v.opt_str("variant")? {
         cfg.variant = parse_variant(name)?;
     }
-    if let Some(n) = v.opt_u64("max_apps")? {
+    if let Some(n) = opt_positive(v, "max_apps")? {
         cfg.max_applications = n as usize;
     }
-    if let Some(n) = v.opt_u64("max_atoms")? {
+    if let Some(n) = opt_positive(v, "max_atoms")? {
         cfg.max_atoms = n as usize;
     }
-    cfg.max_wall = v.opt_u64("max_wall_ms")?.map(Duration::from_millis);
-    if let Some(n) = v.opt_u64("core_interval")? {
-        cfg.core_interval = (n as usize).max(1);
+    cfg.max_wall = opt_positive(v, "max_wall_ms")?.map(Duration::from_millis);
+    if let Some(n) = opt_positive(v, "core_interval")? {
+        cfg.core_interval = n as usize;
     }
     if let Some(seed) = v.opt_u64("scheduler_seed")? {
         cfg.scheduler = SchedulerKind::Random(seed);
@@ -195,12 +241,22 @@ fn submit_config(v: &Json) -> Result<ChaseConfig, String> {
     if let Some(s) = v.opt_str("fault")? {
         cfg.fault = Some(parse_fault_plan(s)?);
     }
+    cfg.mem_soft = opt_positive(v, "mem_soft")?.map(|n| n as usize);
+    cfg.mem_hard = opt_positive(v, "mem_hard")?.map(|n| n as usize);
+    if let (Some(soft), Some(hard)) = (cfg.mem_soft, cfg.mem_hard) {
+        if soft > hard {
+            return Err(format!(
+                "`mem_soft` ({soft}) must not exceed `mem_hard` ({hard})"
+            ));
+        }
+    }
     Ok(cfg)
 }
 
 /// Parses a fault-plan spec: comma-separated sites `app:K` / `core:K` /
-/// `ckpt:K` (1-based counts), or `rand:SEED:KILLS:HORIZON` for a seeded
-/// plan of application crashes. For crash testing only.
+/// `ckpt:K` / `mem:K` (1-based counts), `slow:K:MS` (sleep `MS`
+/// milliseconds at application #K), or `rand:SEED:KILLS:HORIZON` for a
+/// seeded plan of application crashes. For crash/overload testing only.
 pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
     let mut sites = Vec::new();
     for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -216,10 +272,34 @@ pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
             ["app", k] => sites.push(FaultSite::Application(parse_k(k)?)),
             ["core", k] => sites.push(FaultSite::CorePhase(parse_k(k)?)),
             ["ckpt", k] => sites.push(FaultSite::CheckpointWrite(parse_k(k)?)),
+            ["mem", k] => sites.push(FaultSite::MemoryPressure(parse_k(k)?)),
+            ["slow", k, ms] => {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|e| format!("fault site `{part}`: bad milliseconds: {e}"))?;
+                sites.push(FaultSite::Slow(parse_k(k)?, ms));
+            }
             ["rand", seed, kills, horizon] => {
-                let seed: u64 = seed.parse().map_err(|e| format!("fault seed: {e}"))?;
-                let kills: usize = kills.parse().map_err(|e| format!("fault kills: {e}"))?;
-                let horizon: usize = horizon.parse().map_err(|e| format!("fault horizon: {e}"))?;
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|e| format!("fault site `{part}`: bad seed: {e}"))?;
+                let kills: usize = kills
+                    .parse()
+                    .map_err(|e| format!("fault site `{part}`: bad kill count: {e}"))?;
+                let horizon: usize = horizon
+                    .parse()
+                    .map_err(|e| format!("fault site `{part}`: bad horizon: {e}"))?;
+                if kills == 0 {
+                    return Err(format!("fault site `{part}`: kill count must be positive"));
+                }
+                if horizon == 0 {
+                    return Err(format!("fault site `{part}`: horizon must be positive"));
+                }
+                if kills > horizon {
+                    return Err(format!(
+                        "fault site `{part}`: cannot draw {kills} kills from a horizon of {horizon}"
+                    ));
+                }
                 sites.extend(
                     FaultPlan::seeded(seed, kills, horizon)
                         .sites()
@@ -227,9 +307,15 @@ pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
                         .copied(),
                 );
             }
+            ["rand", ..] => {
+                return Err(format!(
+                    "fault site `{part}`: rand takes exactly SEED:KILLS:HORIZON"
+                ))
+            }
             _ => {
                 return Err(format!(
-                    "fault site `{part}`: expected app:K, core:K, ckpt:K or rand:SEED:KILLS:HORIZON"
+                    "fault site `{part}`: expected app:K, core:K, ckpt:K, mem:K, \
+                     slow:K:MS or rand:SEED:KILLS:HORIZON"
                 ))
             }
         }
@@ -243,20 +329,43 @@ pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
 /// Parses one request line.
 pub fn parse_request(v: &Json) -> Result<Request, String> {
     match v.require_str("op")? {
-        "submit" => Ok(Request::Submit {
-            name: v.opt_str("name")?.map(str::to_string),
-            source: v.require_str("source")?.to_string(),
-            config: submit_config(v)?,
-            tw_sample_interval: v.opt_u64("tw_sample_interval")?.map(|n| n as usize),
-            progress_every: v.opt_u64("progress_every")?.map(|n| n as usize),
-            checkpoint_every: v.opt_u64("checkpoint_every")?.map(|n| n as usize),
-        }),
+        "submit" => {
+            let source = v.opt_str("source")?.map(str::to_string);
+            let kb = v.opt_str("kb")?.map(str::to_string);
+            match (&source, &kb) {
+                (None, None) => {
+                    return Err("submit needs `source` (program text) or `kb` (name)".to_string())
+                }
+                (Some(_), Some(_)) => {
+                    return Err("submit takes `source` or `kb`, not both".to_string())
+                }
+                _ => {}
+            }
+            if let Some(name) = &kb {
+                // Fail fast on an unknown name, before the job is queued.
+                named_kb(name)?;
+            }
+            Ok(Request::Submit {
+                name: v.opt_str("name")?.map(str::to_string),
+                source,
+                kb,
+                config: Box::new(submit_config(v)?),
+                tw_sample_interval: opt_positive(v, "tw_sample_interval")?.map(|n| n as usize),
+                progress_every: opt_positive(v, "progress_every")?.map(|n| n as usize),
+                checkpoint_every: opt_positive(v, "checkpoint_every")?.map(|n| n as usize),
+                priority: match v.opt_str("priority")? {
+                    Some(s) => Priority::parse(s)?,
+                    None => Priority::default(),
+                },
+                submitter: v.opt_str("submitter")?.map(str::to_string),
+            })
+        }
         "resume" => Ok(Request::Resume {
             checkpoint: Box::new(crate::checkpoint::Checkpoint::from_json(
                 v.require("checkpoint")?,
             )?),
-            max_applications: v.opt_u64("max_apps")?.map(|n| n as usize),
-            max_wall_ms: v.opt_u64("max_wall_ms")?,
+            max_applications: opt_positive(v, "max_apps")?.map(|n| n as usize),
+            max_wall_ms: opt_positive(v, "max_wall_ms")?,
         }),
         "cancel" => Ok(Request::Cancel {
             job: v.require_u64("job")?,
@@ -266,11 +375,13 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
         }),
         "wait" => Ok(Request::Wait {
             job: v.require_u64("job")?,
+            timeout_ms: opt_positive(v, "timeout_ms")?,
         }),
         "checkpoint" => Ok(Request::Checkpoint {
             job: v.require_u64("job")?,
         }),
         "list" => Ok(Request::List),
+        "drain" => Ok(Request::Drain),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
     }
@@ -300,6 +411,12 @@ pub fn stats_to_json(stats: &ChaseStats) -> Json {
         ("core_truncations", Json::Int(stats.core_truncations as i64)),
         ("core_time_us", Json::Int(stats.core_time_us as i64)),
         ("wall_us", Json::Int(stats.wall_us as i64)),
+        ("nulls_minted", Json::Int(stats.nulls_minted as i64)),
+        (
+            "peak_trigger_queue",
+            Json::Int(stats.peak_trigger_queue as i64),
+        ),
+        ("peak_mem_units", Json::Int(stats.peak_mem_units as i64)),
     ])
 }
 
@@ -317,6 +434,9 @@ pub fn stats_from_json(v: &Json) -> Result<ChaseStats, String> {
         core_truncations: v.opt_u64("core_truncations")?.unwrap_or(0) as usize,
         core_time_us: v.opt_u64("core_time_us")?.unwrap_or(0),
         wall_us: v.opt_u64("wall_us")?.unwrap_or(0),
+        nulls_minted: v.opt_u64("nulls_minted")?.unwrap_or(0) as usize,
+        peak_trigger_queue: v.opt_u64("peak_trigger_queue")?.unwrap_or(0) as usize,
+        peak_mem_units: v.opt_u64("peak_mem_units")?.unwrap_or(0) as usize,
     })
 }
 
@@ -405,12 +525,37 @@ pub fn event_to_json(ev: &JobEvent) -> Json {
             push("event", Json::str("failed"));
             push("message", Json::str(message));
         }
+        JobEventKind::Degraded {
+            mem_units,
+            soft_limit,
+        } => {
+            push("event", Json::str("degraded"));
+            push("mem_units", Json::Int(*mem_units as i64));
+            push("soft_limit", Json::Int(*soft_limit as i64));
+        }
         JobEventKind::Warning { message } => {
             push("event", Json::str("warning"));
             push("message", Json::str(message));
         }
     }
     Json::Obj(fields)
+}
+
+/// Serializes an admission-control rejection as a wire line
+/// (`{"type":"rejected","op":...,"reason":...,"retry_after_ms":...}`).
+/// Shedding is a structured reply, never a dropped connection.
+pub fn rejection_to_json(op: &str, rej: &crate::runner::Rejection) -> Json {
+    Json::obj([
+        ("type", Json::str("rejected")),
+        ("op", Json::str(op)),
+        ("reason", Json::str(rej.reason.name())),
+        ("message", Json::str(&rej.message)),
+        (
+            "retry_after_ms",
+            rej.retry_after
+                .map_or(Json::Null, |d| Json::Int(d.as_millis() as i64)),
+        ),
+    ])
 }
 
 /// Serializes a terminal job's result (the payload of a `wait`
@@ -455,13 +600,103 @@ mod tests {
     fn submit_request_parses_with_defaults() {
         let line = r#"{"op":"submit","source":"r(a,b).","variant":"restricted","max_apps":7}"#;
         let req = parse_request(&parse_json(line).unwrap()).unwrap();
-        let Request::Submit { source, config, .. } = req else {
+        let Request::Submit {
+            source,
+            config,
+            priority,
+            submitter,
+            ..
+        } = req
+        else {
             panic!("expected submit");
         };
-        assert_eq!(source, "r(a,b).");
+        assert_eq!(source.as_deref(), Some("r(a,b)."));
         assert_eq!(config.variant, ChaseVariant::Restricted);
         assert_eq!(config.max_applications, 7);
         assert_eq!(config.max_atoms, ChaseConfig::default().max_atoms);
+        assert_eq!(priority, Priority::Normal);
+        assert_eq!(submitter, None);
+    }
+
+    #[test]
+    fn submit_accepts_named_kb_priority_and_submitter() {
+        let line =
+            r#"{"op":"submit","kb":"elevator","priority":"high","submitter":"alice","max_apps":9}"#;
+        let req = parse_request(&parse_json(line).unwrap()).unwrap();
+        let Request::Submit {
+            source,
+            kb,
+            priority,
+            submitter,
+            ..
+        } = req
+        else {
+            panic!("expected submit");
+        };
+        assert_eq!(source, None);
+        assert_eq!(kb.as_deref(), Some("elevator"));
+        assert_eq!(priority, Priority::High);
+        assert_eq!(submitter.as_deref(), Some("alice"));
+    }
+
+    #[test]
+    fn submit_validation_rejects_bad_inputs_structurally() {
+        let cases = [
+            (r#"{"op":"submit"}"#, "source"),
+            (
+                r#"{"op":"submit","source":"r(a).","kb":"elevator"}"#,
+                "not both",
+            ),
+            (r#"{"op":"submit","kb":"nosuch"}"#, "unknown kb"),
+            (
+                r#"{"op":"submit","source":"r(a).","max_apps":0}"#,
+                "must be positive",
+            ),
+            (
+                r#"{"op":"submit","source":"r(a).","max_atoms":0}"#,
+                "must be positive",
+            ),
+            (
+                r#"{"op":"submit","source":"r(a).","progress_every":0}"#,
+                "must be positive",
+            ),
+            (
+                r#"{"op":"submit","source":"r(a).","mem_soft":10,"mem_hard":5}"#,
+                "must not exceed",
+            ),
+            (
+                r#"{"op":"submit","source":"r(a).","priority":"urgent"}"#,
+                "unknown priority",
+            ),
+            (
+                r#"{"op":"submit","source":"r(a).","fault":"app:x"}"#,
+                "fault site",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = parse_request(&parse_json(line).unwrap()).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "for {line}: error `{err}` should mention `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_and_drain_requests_parse() {
+        let req = parse_request(&parse_json(r#"{"op":"wait","job":3,"timeout_ms":250}"#).unwrap())
+            .unwrap();
+        let Request::Wait { job, timeout_ms } = req else {
+            panic!("expected wait");
+        };
+        assert_eq!((job, timeout_ms), (3, Some(250)));
+        assert!(
+            parse_request(&parse_json(r#"{"op":"wait","job":3,"timeout_ms":0}"#).unwrap()).is_err()
+        );
+        assert!(matches!(
+            parse_request(&parse_json(r#"{"op":"drain"}"#).unwrap()).unwrap(),
+            Request::Drain
+        ));
     }
 
     #[test]
@@ -504,6 +739,9 @@ mod tests {
             core_truncations: 1,
             core_time_us: 5678,
             wall_us: 91_011,
+            nulls_minted: 21,
+            peak_trigger_queue: 12,
+            peak_mem_units: 42,
         };
         let back = stats_from_json(&stats_to_json(&stats)).unwrap();
         assert_eq!(back, stats);
@@ -526,6 +764,43 @@ mod tests {
         assert!(parse_fault_plan("app:0").is_err());
         assert!(parse_fault_plan("boom:1").is_err());
         assert!(parse_fault_plan("").is_err());
+    }
+
+    #[test]
+    fn overload_fault_sites_parse() {
+        use chase_engine::FaultSite;
+        let plan = parse_fault_plan("mem:4, slow:2:150").unwrap();
+        assert_eq!(
+            plan.sites(),
+            &[FaultSite::MemoryPressure(4), FaultSite::Slow(2, 150)]
+        );
+        assert!(parse_fault_plan("mem:0").is_err());
+        assert!(parse_fault_plan("mem").is_err());
+        assert!(parse_fault_plan("slow:1").is_err(), "slow needs K and MS");
+        assert!(parse_fault_plan("slow:0:10").is_err());
+        assert!(parse_fault_plan("slow:1:abc").is_err());
+    }
+
+    #[test]
+    fn malformed_rand_specs_are_rejected() {
+        for bad in [
+            "rand:9",         // missing kills + horizon
+            "rand:9:2",       // missing horizon
+            "rand:9:2:100:7", // extra field
+            "rand:9:0:100",   // zero kills
+            "rand:9:2:0",     // zero horizon
+            "rand:9:101:100", // more kills than horizon
+            "rand:x:2:100",   // non-numeric seed
+            "rand:9:x:100",   // non-numeric kills
+            "rand:9:2:x",     // non-numeric horizon
+        ] {
+            let err = parse_fault_plan(bad)
+                .err()
+                .unwrap_or_else(|| panic!("`{bad}` should be rejected"));
+            assert!(err.contains(bad), "error for `{bad}` should echo the spec");
+        }
+        // The boundary case kills == horizon is legal.
+        assert!(parse_fault_plan("rand:9:3:3").is_ok());
     }
 
     #[test]

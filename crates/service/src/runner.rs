@@ -33,7 +33,7 @@ use chase_homomorphism::maps_to;
 use chase_treewidth::treewidth_bounds;
 
 use crate::checkpoint::Checkpoint;
-use crate::job::{add_stats, JobId, JobResult, JobSpec, JobStatus, QueryVerdict};
+use crate::job::{add_stats, JobId, JobResult, JobSpec, JobStatus, Priority, QueryVerdict};
 use crate::store::{CheckpointStore, CorruptEntry};
 
 /// A progress event, tagged with the job it belongs to.
@@ -112,6 +112,15 @@ pub enum JobEventKind {
         /// after which the job degrades to `Failed`).
         retrying: bool,
     },
+    /// The job crossed its soft memory ceiling and entered degraded
+    /// mode: an immediate core retraction pass and a tightened matcher
+    /// budget. Emitted at most once per slice.
+    Degraded {
+        /// Abstract memory units at the crossing.
+        mem_units: usize,
+        /// The configured soft ceiling.
+        soft_limit: usize,
+    },
     /// The job could not run at all, or crashed past its retry budget.
     Failed {
         /// Human-readable reason.
@@ -142,6 +151,22 @@ pub struct ServiceConfig {
     /// Default checkpoint interval, in applications, for jobs that do
     /// not set their own; `None` checkpoints only at slice boundaries.
     pub checkpoint_every: Option<usize>,
+    /// Admission control: reject new submissions once this many jobs sit
+    /// in the queue (`None` = unbounded, the historical behaviour).
+    pub max_queue: Option<usize>,
+    /// Admission control: reject a submission whose submitter tag
+    /// already has this many live (queued or running) jobs. Untagged
+    /// submissions are exempt.
+    pub submitter_quota: Option<usize>,
+    /// Default wall-clock deadline applied to jobs that set no
+    /// `max_wall` of their own — no admitted job runs forever.
+    pub job_deadline: Option<Duration>,
+    /// Default timeout for blocking protocol operations (`wait`) that do
+    /// not carry their own; `None` blocks indefinitely.
+    pub op_deadline: Option<Duration>,
+    /// How long [`Service::drain`] waits for running slices to
+    /// checkpoint and stop before reporting them timed out.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -152,8 +177,73 @@ impl Default for ServiceConfig {
             retry_backoff: Duration::from_millis(50),
             event_capacity: 4096,
             checkpoint_every: None,
+            max_queue: None,
+            submitter_quota: None,
+            job_deadline: None,
+            op_deadline: None,
+            drain_grace: Duration::from_secs(5),
         }
     }
+}
+
+/// Why an admission-controlled submission was shed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// The submitter already has its quota of live jobs.
+    QuotaExceeded,
+    /// The service is draining (or shut down) and admits nothing new.
+    Draining,
+}
+
+impl RejectReason {
+    /// Wire spelling of the reason.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::QuotaExceeded => "quota-exceeded",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
+/// A structured load-shedding reply: the client learns why it was shed
+/// and when a retry is worth attempting — never a panic, never a
+/// silently dropped job.
+#[derive(Clone, Debug)]
+pub struct Rejection {
+    /// Why the submission was shed.
+    pub reason: RejectReason,
+    /// Human-readable detail (includes the current counts).
+    pub message: String,
+    /// Suggested client backoff; `None` when retrying is pointless
+    /// (draining).
+    pub retry_after: Option<Duration>,
+}
+
+/// What [`Service::wait_timeout`] observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaitResult {
+    /// The job reached this terminal state.
+    Terminal(JobStatus),
+    /// The deadline passed first; the job was still in this
+    /// (non-terminal) state.
+    TimedOut(JobStatus),
+    /// No job with that id exists.
+    Unknown,
+}
+
+/// What [`Service::drain`] accomplished within its grace period.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Queued jobs cancelled before they ever ran.
+    pub cancelled_queued: usize,
+    /// Running jobs that stopped within the grace period and left a
+    /// resume checkpoint behind.
+    pub checkpointed: usize,
+    /// Running jobs still not terminal when the grace period expired.
+    pub timed_out: usize,
 }
 
 struct HubState {
@@ -270,12 +360,17 @@ struct JobEntry {
     /// or the one it was recovered from. Feeds crash retries and stays
     /// retrievable after a `Failed` degradation.
     last_checkpoint: Option<Checkpoint>,
+    priority: Priority,
+    submitter: Option<String>,
 }
 
 struct State {
     next_id: JobId,
     queue: VecDeque<JobId>,
     jobs: HashMap<JobId, JobEntry>,
+    /// Raised by [`Service::drain`]: nothing new is admitted and the
+    /// workers stop picking (idle until shutdown).
+    draining: bool,
 }
 
 struct Inner {
@@ -318,10 +413,11 @@ impl Inner {
 
 /// A handle to a running worker pool. Dropping the service shuts the
 /// pool down (pending queued jobs are abandoned, running jobs are
-/// cancelled).
+/// cancelled). All methods take `&self`, so the handle can be shared
+/// behind an [`Arc`] (e.g. with a signal-watcher thread that drains).
 pub struct Service {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     recovered: Vec<JobId>,
     recovery_errors: Vec<CorruptEntry>,
 }
@@ -363,6 +459,7 @@ impl Service {
                 next_id: 1,
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
+                draining: false,
             }),
             cv: Condvar::new(),
             hub: EventHub::new(event_capacity),
@@ -391,6 +488,8 @@ impl Service {
                     let mut st = inner.state.lock().expect("state lock poisoned");
                     let id = st.next_id;
                     st.next_id += 1;
+                    let priority = spec.priority;
+                    let submitter = spec.submitter.clone();
                     st.jobs.insert(
                         id,
                         JobEntry {
@@ -400,6 +499,8 @@ impl Service {
                             spec: Some(spec),
                             result: None,
                             last_checkpoint: Some(ck.clone()),
+                            priority,
+                            submitter,
                         },
                     );
                     st.queue.push_back(id);
@@ -423,7 +524,7 @@ impl Service {
             .collect();
         Ok(Service {
             inner,
-            workers,
+            workers: Mutex::new(workers),
             recovered,
             recovery_errors,
         })
@@ -452,12 +553,19 @@ impl Service {
         }
     }
 
-    /// Enqueues a job and returns its id.
-    pub fn submit(&self, spec: JobSpec) -> JobId {
-        let mut st = self.inner.state.lock().expect("state lock poisoned");
+    /// Inserts the job into the table and queue. Caller holds the lock;
+    /// the `Queued` event is the caller's to emit after releasing it.
+    fn enqueue_locked(&self, st: &mut State, mut spec: JobSpec) -> (JobId, String) {
+        // No admitted job runs forever: jobs without their own wall
+        // budget inherit the service-level deadline.
+        if spec.config.max_wall.is_none() {
+            spec.config.max_wall = self.inner.cfg.job_deadline;
+        }
         let id = st.next_id;
         st.next_id += 1;
         let name = spec.name.clone();
+        let priority = spec.priority;
+        let submitter = spec.submitter.clone();
         st.jobs.insert(
             id,
             JobEntry {
@@ -467,9 +575,20 @@ impl Service {
                 spec: Some(spec),
                 result: None,
                 last_checkpoint: None,
+                priority,
+                submitter,
             },
         );
         st.queue.push_back(id);
+        (id, name)
+    }
+
+    /// Enqueues a job unconditionally (the trusted in-process path used
+    /// by tests and the bench drivers — admission control applies to
+    /// [`Service::try_submit`], the wire path).
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        let mut st = self.inner.state.lock().expect("state lock poisoned");
+        let (id, name) = self.enqueue_locked(&mut st, spec);
         drop(st);
         self.inner.cv.notify_all();
         self.inner.hub.emit(JobEvent {
@@ -478,6 +597,63 @@ impl Service {
             kind: JobEventKind::Queued,
         });
         id
+    }
+
+    /// Enqueues a job subject to admission control: a full queue, an
+    /// exhausted submitter quota or a draining service sheds the
+    /// submission with a structured [`Rejection`] instead of accepting
+    /// unbounded work.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, Rejection> {
+        let mut st = self.inner.state.lock().expect("state lock poisoned");
+        if st.draining || self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(Rejection {
+                reason: RejectReason::Draining,
+                message: "service is draining; not admitting new jobs".to_string(),
+                retry_after: None,
+            });
+        }
+        let queued = st
+            .jobs
+            .values()
+            .filter(|e| e.status == JobStatus::Queued)
+            .count();
+        if let Some(cap) = self.inner.cfg.max_queue {
+            if queued >= cap {
+                // Backoff scales with the backlog so a retry storm
+                // spreads out instead of hammering a full queue.
+                let backoff = (100 * queued as u64).clamp(100, 5_000);
+                return Err(Rejection {
+                    reason: RejectReason::QueueFull,
+                    message: format!("queue is full ({queued}/{cap} jobs queued)"),
+                    retry_after: Some(Duration::from_millis(backoff)),
+                });
+            }
+        }
+        if let (Some(quota), Some(sub)) =
+            (self.inner.cfg.submitter_quota, spec.submitter.as_deref())
+        {
+            let live = st
+                .jobs
+                .values()
+                .filter(|e| !e.status.is_terminal() && e.submitter.as_deref() == Some(sub))
+                .count();
+            if live >= quota {
+                return Err(Rejection {
+                    reason: RejectReason::QuotaExceeded,
+                    message: format!("submitter `{sub}` has {live}/{quota} live jobs"),
+                    retry_after: Some(Duration::from_millis(1_000)),
+                });
+            }
+        }
+        let (id, name) = self.enqueue_locked(&mut st, spec);
+        drop(st);
+        self.inner.cv.notify_all();
+        self.inner.hub.emit(JobEvent {
+            job: id,
+            name,
+            kind: JobEventKind::Queued,
+        });
+        Ok(id)
     }
 
     /// Requests cancellation. Queued jobs die immediately; running jobs
@@ -528,13 +704,43 @@ impl Service {
     /// Blocks until the job reaches a terminal state and returns it.
     /// Returns `None` for unknown job ids.
     pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        match self.wait_timeout(id, None) {
+            WaitResult::Terminal(s) => Some(s),
+            WaitResult::TimedOut(_) => unreachable!("no deadline given"),
+            WaitResult::Unknown => None,
+        }
+    }
+
+    /// Blocks until the job is terminal or the timeout expires,
+    /// whichever comes first. `timeout: None` falls back to the
+    /// service-level [`ServiceConfig::op_deadline`]; if that is also
+    /// `None`, blocks indefinitely. A timed-out wait is not an error:
+    /// the caller gets the current status and may wait again.
+    pub fn wait_timeout(&self, id: JobId, timeout: Option<Duration>) -> WaitResult {
+        let timeout = timeout.or(self.inner.cfg.op_deadline);
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.inner.state.lock().expect("state lock poisoned");
         loop {
-            match st.jobs.get(&id) {
-                None => return None,
-                Some(e) if e.status.is_terminal() => return Some(e.status.clone()),
-                Some(_) => {
+            let status = match st.jobs.get(&id) {
+                None => return WaitResult::Unknown,
+                Some(e) if e.status.is_terminal() => return WaitResult::Terminal(e.status.clone()),
+                Some(e) => e.status.clone(),
+            };
+            match deadline {
+                None => {
                     st = self.inner.cv.wait(st).expect("state lock poisoned");
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return WaitResult::TimedOut(status);
+                    }
+                    let (guard, _) = self
+                        .inner
+                        .cv
+                        .wait_timeout(st, d - now)
+                        .expect("state lock poisoned");
+                    st = guard;
                 }
             }
         }
@@ -589,9 +795,113 @@ impl Service {
         rows
     }
 
+    /// Graceful drain: stop admitting and picking, cancel queued jobs,
+    /// ask running slices to stop at their next trigger boundary, and
+    /// wait up to `grace` (`None` = the configured
+    /// [`ServiceConfig::drain_grace`]) for them to land their resume
+    /// checkpoints. Does *not* join the workers or close the event
+    /// stream — a drained service still answers status/checkpoint
+    /// requests; call [`Service::shutdown`] to finish.
+    pub fn drain(&self, grace: Option<Duration>) -> DrainReport {
+        let grace = grace.unwrap_or(self.inner.cfg.drain_grace);
+        let (cancelled, running) = {
+            let mut st = self.inner.state.lock().expect("state lock poisoned");
+            st.draining = true;
+            st.queue.clear();
+            let mut cancelled = Vec::new();
+            let mut running = Vec::new();
+            for (&id, e) in st.jobs.iter_mut() {
+                match e.status {
+                    JobStatus::Queued => {
+                        e.status = JobStatus::Cancelled;
+                        e.cancel.cancel();
+                        e.spec = None;
+                        cancelled.push((id, e.name.clone()));
+                    }
+                    JobStatus::Running => {
+                        e.cancel.cancel();
+                        running.push(id);
+                    }
+                    _ => {}
+                }
+            }
+            (cancelled, running)
+        };
+        self.inner.cv.notify_all();
+        for (id, name) in &cancelled {
+            self.inner.hub.emit(JobEvent {
+                job: *id,
+                name: name.clone(),
+                kind: JobEventKind::Finished {
+                    status: JobStatus::Cancelled,
+                    outcome: ChaseOutcome::Cancelled,
+                    applications: 0,
+                    atoms: 0,
+                    resumable: false,
+                    wall_ms: 0,
+                },
+            });
+        }
+
+        let deadline = Instant::now() + grace;
+        let mut st = self.inner.state.lock().expect("state lock poisoned");
+        loop {
+            let live = running
+                .iter()
+                .filter(|id| st.jobs.get(id).is_some_and(|e| !e.status.is_terminal()))
+                .count();
+            if live == 0 {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .inner
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("state lock poisoned");
+            st = guard;
+        }
+        let mut report = DrainReport {
+            cancelled_queued: cancelled.len(),
+            ..DrainReport::default()
+        };
+        for id in &running {
+            let Some(e) = st.jobs.get(id) else { continue };
+            if !e.status.is_terminal() {
+                report.timed_out += 1;
+                continue;
+            }
+            let ck = e
+                .result
+                .as_ref()
+                .and_then(|r| r.checkpoint.clone())
+                .or_else(|| e.last_checkpoint.clone());
+            if let Some(ck) = ck {
+                report.checkpointed += 1;
+                // The worker persists after publishing; re-persisting
+                // here closes the window where an exit right after
+                // drain() races the worker's own durable write.
+                if let Some(store) = self.inner.store.as_ref() {
+                    let _ = store.save(*id, &ck, None);
+                }
+            }
+        }
+        report
+    }
+
+    /// Closes the event stream: subscribers drain what is buffered and
+    /// then see the end. Part of the serve loop's exit sequence (after
+    /// [`Service::drain`], before joining the output forwarder).
+    pub fn close_events(&self) {
+        self.inner.hub.close();
+    }
+
     /// Stops accepting work, cancels everything live and joins the
     /// workers. Idempotent.
-    pub fn shutdown(&mut self) {
+    pub fn shutdown(&self) {
         if self.inner.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -607,7 +917,11 @@ impl Service {
             }
         }
         self.inner.cv.notify_all();
-        for h in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut ws = self.workers.lock().expect("worker list poisoned");
+            ws.drain(..).collect()
+        };
+        for h in handles {
             let _ = h.join();
         }
         self.inner.hub.close();
@@ -621,26 +935,34 @@ impl Drop for Service {
 }
 
 /// Blocks until a queued job is available (returns `None` on shutdown)
-/// and marks it running.
+/// and marks it running. Picks the best-priority job, FIFO within a
+/// priority class — so a small high-priority probe overtakes a backlog
+/// of heavyweights. A draining service picks nothing: workers idle
+/// until shutdown.
 fn pick_job(inner: &Inner) -> Option<(JobId, JobSpec, CancelToken, String)> {
     let mut st = inner.state.lock().expect("state lock poisoned");
     let picked = loop {
         if inner.shutdown.load(Ordering::Acquire) {
             return None;
         }
-        // Lazily skip queue entries whose job was cancelled while still
-        // queued (their spec is gone).
-        let mut found = None;
-        while let Some(id) = st.queue.pop_front() {
-            let live = st
-                .jobs
-                .get(&id)
-                .is_some_and(|e| e.status == JobStatus::Queued);
-            if live {
-                found = Some(id);
-                break;
-            }
-        }
+        let found = if st.draining {
+            None
+        } else {
+            // Lazily drop queue entries whose job was cancelled while
+            // still queued (their spec is gone), then pick the earliest
+            // entry of the best priority class.
+            let State { queue, jobs, .. } = &mut *st;
+            queue.retain(|id| jobs.get(id).is_some_and(|e| e.status == JobStatus::Queued));
+            queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, id)| {
+                    let prio = jobs.get(*id).map(|e| e.priority).unwrap_or(Priority::Low);
+                    (prio, *i)
+                })
+                .map(|(i, _)| i)
+                .and_then(|i| queue.remove(i))
+        };
         match found {
             Some(id) => break id,
             None => {
@@ -895,6 +1217,20 @@ fn execute(
                             inner.persist_checkpoint(id, name, spec, &ck);
                         }
                     }
+                }
+                ChaseEvent::Degraded {
+                    mem_units,
+                    soft_limit,
+                    ..
+                } => {
+                    inner.hub.emit(JobEvent {
+                        job: id,
+                        name: name.to_string(),
+                        kind: JobEventKind::Degraded {
+                            mem_units,
+                            soft_limit,
+                        },
+                    });
                 }
                 ChaseEvent::CoreRetracted {
                     before,
@@ -1224,6 +1560,153 @@ mod tests {
         assert!(rx.try_recv().is_some());
     }
 
+    /// A job that spins long enough to still be running when the test
+    /// acts on it (cancellation cuts it at a trigger boundary).
+    fn heavyweight(name: &str) -> JobSpec {
+        JobSpec::from_kb(
+            name,
+            chase_core::KnowledgeBase::staircase(),
+            ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(500_000),
+        )
+    }
+
+    #[test]
+    fn full_queue_sheds_with_structured_rejection() {
+        let svc = Service::with_config(
+            1,
+            ServiceConfig {
+                max_queue: Some(2),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // Occupy the single worker so submissions pile up in the queue.
+        let busy = svc.submit(heavyweight("busy"));
+        while svc.status(busy) == Some(JobStatus::Queued) {
+            std::thread::yield_now();
+        }
+        let a = svc.try_submit(transitive_spec(
+            "a",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        let b = svc.try_submit(transitive_spec(
+            "b",
+            ChaseConfig::variant(ChaseVariant::Restricted),
+        ));
+        assert!(a.is_ok() && b.is_ok());
+        let shed = svc
+            .try_submit(transitive_spec(
+                "c",
+                ChaseConfig::variant(ChaseVariant::Restricted),
+            ))
+            .unwrap_err();
+        assert_eq!(shed.reason, RejectReason::QueueFull);
+        assert!(shed.retry_after.is_some());
+        assert!(shed.message.contains("2/2"));
+        svc.cancel(busy);
+    }
+
+    #[test]
+    fn submitter_quota_limits_live_jobs_per_tag() {
+        let svc = Service::with_config(
+            1,
+            ServiceConfig {
+                submitter_quota: Some(1),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let first = svc
+            .try_submit(heavyweight("first").with_submitter("alice"))
+            .unwrap();
+        let over = svc
+            .try_submit(heavyweight("second").with_submitter("alice"))
+            .unwrap_err();
+        assert_eq!(over.reason, RejectReason::QuotaExceeded);
+        assert!(over.message.contains("alice"));
+        // A different (or absent) tag is unaffected.
+        assert!(svc
+            .try_submit(heavyweight("other").with_submitter("bob"))
+            .is_ok());
+        assert!(svc.try_submit(heavyweight("untagged")).is_ok());
+        // Quota frees up once the job is terminal.
+        svc.cancel(first);
+        assert_eq!(svc.wait(first), Some(JobStatus::Cancelled));
+        assert!(svc
+            .try_submit(heavyweight("third").with_submitter("alice"))
+            .is_ok());
+    }
+
+    #[test]
+    fn high_priority_probe_overtakes_queued_heavyweights() {
+        let svc = Service::start(1);
+        let busy = svc.submit(heavyweight("busy"));
+        while svc.status(busy) == Some(JobStatus::Queued) {
+            std::thread::yield_now();
+        }
+        // Two heavyweights queued ahead of a small high-priority probe.
+        let heavy1 = svc.submit(heavyweight("heavy1"));
+        let heavy2 = svc.submit(heavyweight("heavy2"));
+        let probe = svc.submit(
+            transitive_spec("probe", ChaseConfig::variant(ChaseVariant::Restricted))
+                .with_priority(Priority::High),
+        );
+        // Free the worker: the probe must be picked before the queued
+        // heavyweights, so it finishes while they are still queued.
+        svc.cancel(busy);
+        assert_eq!(svc.wait(probe), Some(JobStatus::Finished));
+        assert!(
+            svc.status(heavy1) != Some(JobStatus::Finished)
+                && svc.status(heavy2) != Some(JobStatus::Finished),
+            "the probe overtook the heavyweights"
+        );
+        svc.cancel(heavy1);
+        svc.cancel(heavy2);
+    }
+
+    #[test]
+    fn wait_timeout_reports_nonterminal_status_and_recovers() {
+        let svc = Service::start(1);
+        let id = svc.submit(heavyweight("slowpoke"));
+        match svc.wait_timeout(id, Some(Duration::from_millis(50))) {
+            WaitResult::TimedOut(s) => {
+                assert!(!s.is_terminal());
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert_eq!(svc.wait_timeout(999, None), WaitResult::Unknown);
+        svc.cancel(id);
+        assert_eq!(
+            svc.wait_timeout(id, Some(Duration::from_secs(30))),
+            WaitResult::Terminal(JobStatus::Cancelled)
+        );
+    }
+
+    #[test]
+    fn drain_cancels_queued_checkpoints_running_and_stops_admitting() {
+        let svc = Service::start(1);
+        let running = svc.submit(heavyweight("running"));
+        while svc.status(running) == Some(JobStatus::Queued) {
+            std::thread::yield_now();
+        }
+        let queued = svc.submit(heavyweight("queued"));
+        let report = svc.drain(Some(Duration::from_secs(30)));
+        assert_eq!(report.cancelled_queued, 1);
+        assert_eq!(report.checkpointed, 1, "the running slice checkpointed");
+        assert_eq!(report.timed_out, 0);
+        assert_eq!(svc.status(queued), Some(JobStatus::Cancelled));
+        assert_eq!(svc.status(running), Some(JobStatus::Cancelled));
+        assert!(
+            svc.checkpoint_of(running).is_some(),
+            "drained slice left a resume checkpoint"
+        );
+        // Drained means closed for business, but still answering.
+        let shed = svc.try_submit(heavyweight("late")).unwrap_err();
+        assert_eq!(shed.reason, RejectReason::Draining);
+        assert!(shed.retry_after.is_none());
+        assert_eq!(svc.list().len(), 2);
+    }
+
     #[test]
     fn state_dir_persists_and_recovers_interrupted_jobs() {
         let dir = std::env::temp_dir().join(format!("treechase-recover-{}", std::process::id()));
@@ -1237,7 +1720,7 @@ mod tests {
         // First service: the job exhausts its 1-application budget
         // mid-derivation, so its final checkpoint stays on disk.
         {
-            let mut svc = Service::with_config(1, cfg()).unwrap();
+            let svc = Service::with_config(1, cfg()).unwrap();
             let id = svc.submit(transitive_spec(
                 "durable",
                 ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(1),
@@ -1250,7 +1733,7 @@ mod tests {
         // Second service on the same dir: the checkpoint comes back as a
         // queued job continuing the same derivation.
         {
-            let mut svc = Service::with_config(1, cfg()).unwrap();
+            let svc = Service::with_config(1, cfg()).unwrap();
             assert!(svc.recovery_errors().is_empty());
             let recovered = svc.recovered_jobs().to_vec();
             assert_eq!(recovered.len(), 1);

@@ -235,6 +235,50 @@ mod tests {
     }
 
     #[test]
+    fn truncated_zero_byte_and_version_skew_files_degrade_gracefully() {
+        let dir = temp_dir("degrade");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(1, &sample_checkpoint("ok"), None).unwrap();
+        // A checkpoint cut mid-file (e.g. by a full disk on a tool that
+        // did not write atomically): valid prefix, no closing braces.
+        let full = fs::read_to_string(dir.join("job-1.ckpt.json")).unwrap();
+        fs::write(dir.join("job-2.ckpt.json"), &full[..full.len() / 2]).unwrap();
+        // A zero-byte file (open() landed, write never did).
+        fs::write(dir.join("job-3.ckpt.json"), "").unwrap();
+        // A version from the future.
+        fs::write(
+            dir.join("job-4.ckpt.json"),
+            full.replace("\"version\":1", "\"version\":2"),
+        )
+        .unwrap();
+        // A file with the right shape but the wrong format tag.
+        fs::write(
+            dir.join("job-5.ckpt.json"),
+            full.replace(FORMAT, "someone-elses-checkpoint"),
+        )
+        .unwrap();
+        let (good, bad) = store.load_all().unwrap();
+        assert_eq!(good.len(), 1, "only the intact file recovers");
+        assert_eq!(good[0].0, 1);
+        assert_eq!(bad.len(), 4);
+        let errors_for = |job: u64| {
+            bad.iter()
+                .find(|c| c.path.ends_with(format!("job-{job}.ckpt.json")))
+                .unwrap_or_else(|| panic!("job-{job} should be reported"))
+                .error
+                .clone()
+        };
+        assert!(errors_for(4).contains("unsupported version 2"));
+        assert!(errors_for(5).contains("unexpected format"));
+        // Truncated and empty files fail at the JSON layer; the exact
+        // message matters less than that they are reported, not fatal
+        // and not half-recovered.
+        assert!(!errors_for(2).is_empty());
+        assert!(!errors_for(3).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn injected_checkpoint_write_fault_fails_once_and_keeps_old_file() {
         let dir = temp_dir("fault");
         let store = CheckpointStore::open(&dir).unwrap();

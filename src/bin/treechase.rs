@@ -6,10 +6,13 @@
 //! treechase decide <file> "<query>" [--max-apps N]
 //! treechase serve [--workers N] [--state-dir DIR] [--retries N]
 //!                 [--retry-backoff-ms N] [--checkpoint-every N]
+//!                 [--max-queue N] [--quota N] [--mem-soft N] [--mem-hard N]
+//!                 [--op-deadline MS] [--drain-grace MS] [--job-deadline MS]
 //! treechase batch <dir> [--workers N] [--variant V] [--max-apps N]
 //!                       [--max-wall-ms N] [--tw-every N] [--progress-every N]
 //!                       [--state-dir DIR] [--retries N] [--retry-backoff-ms N]
 //!                       [--checkpoint-every N] [--fault-plan SPEC]
+//!                       [--mem-soft N] [--mem-hard N]
 //! ```
 //!
 //! The input files use the `chase-parser` syntax (facts, rules, optional
@@ -56,6 +59,13 @@ struct Args {
     retry_backoff_ms: u64,
     checkpoint_every: Option<usize>,
     fault_plan: Option<String>,
+    max_queue: Option<usize>,
+    quota: Option<usize>,
+    mem_soft: Option<usize>,
+    mem_hard: Option<usize>,
+    op_deadline_ms: Option<u64>,
+    drain_grace_ms: u64,
+    job_deadline_ms: Option<u64>,
 }
 
 impl Default for Args {
@@ -75,6 +85,13 @@ impl Default for Args {
             retry_backoff_ms: 50,
             checkpoint_every: None,
             fault_plan: None,
+            max_queue: None,
+            quota: None,
+            mem_soft: None,
+            mem_hard: None,
+            op_deadline_ms: None,
+            drain_grace_ms: 5_000,
+            job_deadline_ms: None,
         }
     }
 }
@@ -206,11 +223,74 @@ const FLAGS: &[FlagSpec] = &[
     },
     FlagSpec {
         name: "--fault-plan",
-        metavar: "app:K|core:K|ckpt:K|rand:S:K:H,...",
+        metavar: "app:K|core:K|ckpt:K|mem:K|slow:K:MS|rand:S:K:H,...",
         commands: &["batch"],
         apply: |a, v| {
             parse_fault_plan(v)?; // validate eagerly; a fresh plan is built per job
             a.fault_plan = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--max-queue",
+        metavar: "N",
+        commands: &["serve"],
+        apply: |a, v| {
+            a.max_queue = Some(parse_num::<usize>("--max-queue", v)?.max(1));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--quota",
+        metavar: "N",
+        commands: &["serve"],
+        apply: |a, v| {
+            a.quota = Some(parse_num::<usize>("--quota", v)?.max(1));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--mem-soft",
+        metavar: "UNITS",
+        commands: &["serve", "batch"],
+        apply: |a, v| {
+            a.mem_soft = Some(parse_num::<usize>("--mem-soft", v)?.max(1));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--mem-hard",
+        metavar: "UNITS",
+        commands: &["serve", "batch"],
+        apply: |a, v| {
+            a.mem_hard = Some(parse_num::<usize>("--mem-hard", v)?.max(1));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--op-deadline",
+        metavar: "MS",
+        commands: &["serve"],
+        apply: |a, v| {
+            a.op_deadline_ms = Some(parse_num("--op-deadline", v)?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--drain-grace",
+        metavar: "MS",
+        commands: &["serve"],
+        apply: |a, v| {
+            a.drain_grace_ms = parse_num("--drain-grace", v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--job-deadline",
+        metavar: "MS",
+        commands: &["serve"],
+        apply: |a, v| {
+            a.job_deadline_ms = Some(parse_num("--job-deadline", v)?);
             Ok(())
         },
     },
@@ -433,15 +513,44 @@ fn error_response(message: &str) -> Json {
     ])
 }
 
-/// The supervision/persistence configuration shared by `serve` and
-/// `batch`.
+/// The supervision/persistence/overload configuration shared by `serve`
+/// and `batch`.
 fn service_config(args: &Args) -> ServiceConfig {
     ServiceConfig {
         state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
         max_retries: args.retries,
         retry_backoff: Duration::from_millis(args.retry_backoff_ms),
         checkpoint_every: args.checkpoint_every,
+        max_queue: args.max_queue,
+        submitter_quota: args.quota,
+        job_deadline: args.job_deadline_ms.map(Duration::from_millis),
+        op_deadline: args.op_deadline_ms.map(Duration::from_millis),
+        drain_grace: Duration::from_millis(args.drain_grace_ms),
         ..ServiceConfig::default()
+    }
+}
+
+/// Checks the service-level memory ceilings for consistency (the same
+/// rule the protocol enforces per request).
+fn validate_mem_flags(args: &Args) -> Result<(), String> {
+    if let (Some(soft), Some(hard)) = (args.mem_soft, args.mem_hard) {
+        if soft > hard {
+            return Err(format!(
+                "--mem-soft ({soft}) must not exceed --mem-hard ({hard})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Applies the service-level memory ceilings to a job config that did
+/// not set its own.
+fn apply_mem_defaults(cfg: &mut ChaseConfig, args: &Args) {
+    if cfg.mem_soft.is_none() {
+        cfg.mem_soft = args.mem_soft;
+    }
+    if cfg.mem_hard.is_none() {
+        cfg.mem_hard = args.mem_hard;
     }
 }
 
@@ -478,17 +587,35 @@ fn resume_spec(
     Ok(spec)
 }
 
-fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
+fn handle_request(svc: &Service, args: &Args, req: Request) -> Result<Json, String> {
     match req {
         Request::Submit {
             name,
             source,
-            config,
+            kb,
+            mut config,
             tw_sample_interval,
             progress_every,
             checkpoint_every,
+            priority,
+            submitter,
         } => {
-            let mut spec = JobSpec::from_text(name.unwrap_or_default(), &source, config)?;
+            apply_mem_defaults(&mut config, args);
+            let mut spec = match (&source, &kb) {
+                (Some(src), None) => JobSpec::from_text(name.unwrap_or_default(), src, *config)?,
+                (None, Some(kb_name)) => {
+                    let base = treechase::service::named_kb(kb_name)?;
+                    let mut spec =
+                        JobSpec::from_kb(name.unwrap_or_else(|| kb_name.clone()), base, *config);
+                    if spec.name.is_empty() {
+                        spec.name = kb_name.clone();
+                    }
+                    spec
+                }
+                // parse_request enforces exactly-one; keep a defensive
+                // error for in-process callers.
+                _ => return Err("submit takes exactly one of `source` / `kb`".to_string()),
+            };
             if let Some(every) = tw_sample_interval {
                 spec = spec.with_tw_samples(every);
             }
@@ -498,16 +625,20 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
             if let Some(every) = checkpoint_every {
                 spec = spec.with_checkpoint_every(every);
             }
+            spec = spec.with_priority(priority);
+            spec.submitter = submitter;
             if spec.name.is_empty() {
                 // Ids are minted densely from 1 and entries are never
                 // removed, so the next id is the table size plus one.
                 spec.name = format!("job-{}", svc.list().len() + 1);
             }
-            let id = svc.submit(spec);
-            Ok(response(
-                "submit",
-                vec![("job".to_string(), Json::Int(id as i64))],
-            ))
+            match svc.try_submit(spec) {
+                Ok(id) => Ok(response(
+                    "submit",
+                    vec![("job".to_string(), Json::Int(id as i64))],
+                )),
+                Err(rej) => Ok(treechase::service::rejection_to_json("submit", &rej)),
+            }
         }
         Request::Resume {
             checkpoint,
@@ -515,14 +646,16 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
             max_wall_ms,
         } => {
             let spec = resume_spec(&checkpoint, max_applications, max_wall_ms)?;
-            let id = svc.submit(spec);
-            Ok(response(
-                "resume",
-                vec![
-                    ("job".to_string(), Json::Int(id as i64)),
-                    ("exact".to_string(), Json::Bool(checkpoint.exact())),
-                ],
-            ))
+            match svc.try_submit(spec) {
+                Ok(id) => Ok(response(
+                    "resume",
+                    vec![
+                        ("job".to_string(), Json::Int(id as i64)),
+                        ("exact".to_string(), Json::Bool(checkpoint.exact())),
+                    ],
+                )),
+                Err(rej) => Ok(treechase::service::rejection_to_json("resume", &rej)),
+            }
         }
         Request::Cancel { job } => {
             let ok = svc.cancel(job);
@@ -549,24 +682,35 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
                 ],
             ))
         }
-        Request::Wait { job } => {
-            let status = svc.wait(job).ok_or_else(|| format!("unknown job {job}"))?;
+        Request::Wait { job, timeout_ms } => {
+            // An explicit timeout wins; otherwise the service-level
+            // --op-deadline applies; with neither, blocks indefinitely.
+            let (status, timed_out) =
+                match svc.wait_timeout(job, timeout_ms.map(Duration::from_millis)) {
+                    treechase::service::WaitResult::Terminal(s) => (s, false),
+                    treechase::service::WaitResult::TimedOut(s) => (s, true),
+                    treechase::service::WaitResult::Unknown => {
+                        return Err(format!("unknown job {job}"))
+                    }
+                };
             let name = svc
                 .list()
                 .into_iter()
                 .find(|r| r.id == job)
                 .map(|r| r.name)
                 .unwrap_or_default();
-            let result = svc.with_result(job, |r| result_to_json(job, &name, r));
             let mut fields = vec![
                 ("job".to_string(), Json::Int(job as i64)),
                 (
                     "status".to_string(),
                     Json::str(protocol::status_name(&status)),
                 ),
+                ("timed_out".to_string(), Json::Bool(timed_out)),
             ];
-            if let Some(r) = result {
-                fields.push(("result".to_string(), r));
+            if !timed_out {
+                if let Some(r) = svc.with_result(job, |r| result_to_json(job, &name, r)) {
+                    fields.push(("result".to_string(), r));
+                }
             }
             Ok(response("wait", fields))
         }
@@ -604,12 +748,66 @@ fn handle_request(svc: &Service, req: Request) -> Result<Json, String> {
                 ),
             )],
         )),
+        Request::Drain => {
+            let report = svc.drain(None);
+            Ok(response("drain", drain_fields(&report)))
+        }
         Request::Shutdown => Ok(response("shutdown", Vec::new())),
     }
 }
 
+/// The wire rendering of a [`DrainReport`] (shared by the `drain` op
+/// response and the SIGTERM-driven `drained` line).
+fn drain_fields(report: &treechase::service::DrainReport) -> Vec<(String, Json)> {
+    vec![
+        (
+            "cancelled_queued".to_string(),
+            Json::Int(report.cancelled_queued as i64),
+        ),
+        (
+            "checkpointed".to_string(),
+            Json::Int(report.checkpointed as i64),
+        ),
+        ("timed_out".to_string(), Json::Int(report.timed_out as i64)),
+    ]
+}
+
+/// SIGTERM handling for graceful drain, without any external crate: the
+/// C handler only flips an atomic; a watcher thread polls it and runs
+/// the drain sequence outside signal context.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::Release);
+    }
+
+    /// Installs the handler (async-signal-safe: it only stores a flag).
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` with a handler that only performs an atomic
+        // store is async-signal-safe; no allocation, locking or I/O
+        // happens in signal context.
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+
+    /// Has SIGTERM arrived?
+    pub fn received() -> bool {
+        TERM.load(Ordering::Acquire)
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let mut svc = Service::with_config(args.workers, service_config(args))?;
+    validate_mem_flags(args)?;
+    let svc = std::sync::Arc::new(Service::with_config(args.workers, service_config(args))?);
     let recovered = report_recovery(&svc);
     let events = svc.events();
     let lock = std::sync::Arc::new(Mutex::new(()));
@@ -626,11 +824,38 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         );
     }
     let event_lock = std::sync::Arc::clone(&lock);
-    let forwarder = std::thread::spawn(move || {
+    let forwarder = std::sync::Arc::new(Mutex::new(Some(std::thread::spawn(move || {
         for ev in events {
             emit_line(&event_lock, &event_to_json(&ev));
         }
-    });
+    }))));
+
+    // SIGTERM → graceful drain: stop admitting, checkpoint running
+    // slices, flush the event stream, exit 0. The watcher thread keeps
+    // the signal handler itself trivial.
+    #[cfg(unix)]
+    {
+        sigterm::install();
+        let svc = std::sync::Arc::clone(&svc);
+        let lock = std::sync::Arc::clone(&lock);
+        let forwarder = std::sync::Arc::clone(&forwarder);
+        std::thread::spawn(move || loop {
+            if sigterm::received() {
+                let report = svc.drain(None);
+                let mut fields = vec![("type".to_string(), Json::str("drained"))];
+                fields.extend(drain_fields(&report));
+                emit_line(&lock, &Json::Obj(fields));
+                svc.close_events();
+                let handle = forwarder.lock().ok().and_then(|mut g| g.take());
+                if let Some(h) = handle {
+                    let _ = h.join();
+                }
+                std::process::exit(0);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
@@ -639,24 +864,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         let reply = parse_json(&line)
             .and_then(|v| parse_request(&v))
-            .and_then(|req| handle_request(&svc, req));
-        let is_shutdown = matches!(
+            .and_then(|req| handle_request(&svc, args, req));
+        // `drain` and `shutdown` both end the serve loop; a drain has
+        // already checkpointed the running slices by the time its
+        // response is emitted.
+        let is_exit = matches!(
             &reply,
             Ok(Json::Obj(fields)) if fields.iter().any(|(k, v)| {
-                k == "op" && v.as_str() == Some("shutdown")
+                k == "op" && matches!(v.as_str(), Some("shutdown") | Some("drain"))
             })
         );
         match reply {
             Ok(json) => emit_line(&lock, &json),
             Err(message) => emit_line(&lock, &error_response(&message)),
         }
-        if is_shutdown {
+        if is_exit {
             break;
         }
     }
     svc.shutdown();
-    drop(svc);
-    let _ = forwarder.join();
+    let handle = forwarder.lock().ok().and_then(|mut g| g.take());
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
     Ok(())
 }
 
@@ -672,10 +902,12 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         return Err(format!("{dir}: no .tc files"));
     }
 
+    validate_mem_flags(args)?;
     let mut cfg = ChaseConfig::variant(args.variant).with_max_applications(args.max_apps);
     cfg.max_wall = args.max_wall_ms.map(Duration::from_millis);
+    apply_mem_defaults(&mut cfg, args);
 
-    let mut svc = Service::with_config(args.workers, service_config(args))?;
+    let svc = Service::with_config(args.workers, service_config(args))?;
     let recovered = report_recovery(&svc);
     let events = svc.events();
     let lock = std::sync::Arc::new(Mutex::new(()));

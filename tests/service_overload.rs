@@ -1,0 +1,330 @@
+//! Overload-protection integration tests: admission control under
+//! burst load, hard-memory-ceiling suspension with resume equivalence,
+//! priority scheduling, and graceful SIGTERM drain of the `serve`
+//! subcommand.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use treechase::core::KnowledgeBase;
+use treechase::engine::{ChaseConfig, ChaseOutcome, ChaseVariant, SuspendReason};
+use treechase::homomorphism::isomorphism;
+use treechase::service::{
+    parse_json, JobSpec, JobStatus, Priority, RejectReason, Service, ServiceConfig, WaitResult,
+};
+
+fn elevator_spec(name: &str, cfg: ChaseConfig) -> JobSpec {
+    JobSpec::from_kb(name, KnowledgeBase::elevator(), cfg)
+}
+
+fn staircase_spec(name: &str, cfg: ChaseConfig) -> JobSpec {
+    JobSpec::from_kb(name, KnowledgeBase::staircase(), cfg)
+}
+
+/// Spins until the job leaves the queue (i.e. a worker picked it up).
+fn wait_until_running(svc: &Service, id: u64) {
+    let start = Instant::now();
+    while svc.status(id) == Some(JobStatus::Queued) {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "job {id} never started"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// The acceptance burst: 4× queue capacity of elevator jobs. Exactly
+/// `capacity` are admitted, the rest are shed with structured
+/// rejections carrying a retry hint — no panic, no silent drop.
+#[test]
+fn elevator_burst_over_queue_capacity_sheds_structurally() {
+    let cap = 3usize;
+    let svc = Service::with_config(
+        1,
+        ServiceConfig {
+            max_queue: Some(cap),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+    // Occupy the single worker so the burst lands entirely in the queue.
+    let busy = svc.submit(elevator_spec(
+        "busy",
+        ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(10_000_000),
+    ));
+    wait_until_running(&svc, busy);
+
+    let mut admitted = Vec::new();
+    let mut sheds = Vec::new();
+    for i in 0..cap * 4 {
+        let spec = elevator_spec(
+            &format!("burst-{i}"),
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(50),
+        );
+        match svc.try_submit(spec) {
+            Ok(id) => admitted.push(id),
+            Err(rej) => sheds.push(rej),
+        }
+    }
+    assert_eq!(admitted.len(), cap, "queue admits exactly its capacity");
+    assert_eq!(sheds.len(), cap * 3, "the overflow is shed");
+    for rej in &sheds {
+        assert_eq!(rej.reason, RejectReason::QueueFull);
+        let retry = rej.retry_after.expect("shed replies carry a retry hint");
+        assert!(retry >= Duration::from_millis(100));
+        assert!(rej.message.contains(&format!("{cap}/{cap}")));
+    }
+    // The pool survives the burst: free the worker and the admitted
+    // backlog completes.
+    svc.cancel(busy);
+    for id in admitted {
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+    }
+}
+
+/// The acceptance memory scenario: a job driven past its hard memory
+/// ceiling suspends cleanly (no abort, no OOM) with a resumable
+/// checkpoint, and the resumed run — ceiling lifted — reaches exactly
+/// what an unconstrained run reaches.
+#[test]
+fn mem_hard_suspension_resumes_isomorphic_to_unconstrained_run() {
+    // A terminating program (transitive closure of a 10-node chain) so
+    // "unconstrained" has a canonical final instance to compare against.
+    let chain = "r(c1, c2). r(c2, c3). r(c3, c4). r(c4, c5). r(c5, c6). \
+                 r(c6, c7). r(c7, c8). r(c8, c9). r(c9, c10). \
+                 T: r(X, Y), r(Y, Z) -> r(X, Z). Q: ?- r(c1, c10).";
+    let spec = |name: &str, cfg: ChaseConfig| JobSpec::from_text(name, chain, cfg).unwrap();
+    let svc = Service::start(1);
+
+    let free = svc
+        .take_result(svc.submit(spec(
+            "free",
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(1_000),
+        )))
+        .expect("unconstrained result");
+    assert_eq!(free.outcome, ChaseOutcome::Terminated);
+
+    let constrained = svc
+        .take_result(
+            svc.submit(spec(
+                "ceiling",
+                ChaseConfig::variant(ChaseVariant::Restricted)
+                    .with_max_applications(1_000)
+                    .with_mem_hard(20),
+            )),
+        )
+        .expect("constrained result");
+    assert_eq!(
+        constrained.outcome,
+        ChaseOutcome::Suspended(SuspendReason::MemoryCeiling)
+    );
+    let k = constrained.stats.applications;
+    assert!(
+        k >= 1 && k < free.stats.applications,
+        "suspended strictly mid-derivation (at {k})"
+    );
+    assert!(constrained.stats.peak_mem_units > 20);
+    let ck = constrained
+        .checkpoint
+        .expect("memory suspension is resumable");
+    assert!(ck.exact(), "restricted checkpoints are resume-exact");
+
+    // Resume with the ceiling lifted (the operator's move after adding
+    // capacity) and budget to spare.
+    let mut resumed_spec = ck.into_spec().expect("checkpoint reparses");
+    resumed_spec.config.mem_hard = None;
+    resumed_spec.config.mem_soft = None;
+    resumed_spec.config.max_applications = 1_000;
+    let resumed = svc
+        .take_result(svc.submit(resumed_spec))
+        .expect("resumed result");
+    assert_eq!(resumed.outcome, ChaseOutcome::Terminated);
+    assert_eq!(
+        resumed.stats.applications, free.stats.applications,
+        "counters accumulate across the suspension"
+    );
+    assert!(
+        isomorphism(&resumed.final_instance, &free.final_instance).is_some(),
+        "suspend/resume is equivalent to never having been constrained \
+         ({} vs {} atoms)",
+        resumed.final_instance.len(),
+        free.final_instance.len()
+    );
+}
+
+/// Soft-ceiling degradation is observable end to end: the degraded
+/// event fires exactly once and the job still completes its budget.
+#[test]
+fn mem_soft_degrades_once_and_job_completes() {
+    let svc = Service::start(1);
+    let rx = svc.events();
+    let id = svc.submit(staircase_spec(
+        "softy",
+        ChaseConfig::variant(ChaseVariant::Restricted)
+            .with_max_applications(25)
+            .with_mem_soft(8),
+    ));
+    assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+    let res = svc.take_result(id).expect("result");
+    assert_eq!(res.outcome, ChaseOutcome::ApplicationBudgetExhausted);
+    let degraded: Vec<(usize, usize)> = std::iter::from_fn(|| rx.try_recv())
+        .filter_map(|ev| match ev.kind {
+            treechase::service::JobEventKind::Degraded {
+                mem_units,
+                soft_limit,
+            } => Some((mem_units, soft_limit)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(degraded.len(), 1, "degrade fires exactly once");
+    assert!(degraded[0].0 > 8);
+    assert_eq!(degraded[0].1, 8);
+}
+
+/// A high-priority probe submitted behind a wall of queued heavyweights
+/// finishes while they still wait — and a timed-out wait on one of the
+/// heavyweights reports without blocking the client forever.
+#[test]
+fn probe_overtakes_heavyweights_and_waits_respect_deadlines() {
+    let svc = Service::with_config(
+        1,
+        ServiceConfig {
+            op_deadline: Some(Duration::from_millis(200)),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+    let busy = svc.submit(elevator_spec(
+        "busy",
+        ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(10_000_000),
+    ));
+    wait_until_running(&svc, busy);
+    let heavy = svc.submit(elevator_spec(
+        "heavy",
+        ChaseConfig::variant(ChaseVariant::Oblivious).with_max_applications(10_000_000),
+    ));
+    let probe = svc.submit(
+        elevator_spec(
+            "probe",
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(50),
+        )
+        .with_priority(Priority::High),
+    );
+    // The op-deadline bounds this wait: the heavyweight is nowhere near
+    // terminal, so the wait reports a timeout instead of hanging.
+    match svc.wait_timeout(heavy, None) {
+        WaitResult::TimedOut(status) => assert!(!status.is_terminal()),
+        other => panic!("expected deadline-bounded wait, got {other:?}"),
+    }
+    svc.cancel(busy);
+    assert_eq!(svc.wait(probe), Some(JobStatus::Finished));
+    assert_ne!(
+        svc.status(heavy),
+        Some(JobStatus::Finished),
+        "probe overtook the queued heavyweight"
+    );
+    svc.cancel(heavy);
+}
+
+/// The acceptance drain scenario, end to end over the binary: SIGTERM
+/// mid-burst stops admission, checkpoints the running slice durably,
+/// emits a `drained` line and exits 0.
+#[cfg(unix)]
+#[test]
+fn sigterm_mid_burst_drains_checkpoints_and_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("treechase-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_treechase"))
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--max-queue",
+            "2",
+            "--state-dir",
+            dir.to_str().unwrap(),
+            "--drain-grace",
+            "10000",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut stdin = child.stdin.take().unwrap();
+    // One long-running elevator job plus a burst over the queue bound:
+    // some are admitted, the rest must be shed with structured replies.
+    writeln!(
+        stdin,
+        r#"{{"op":"submit","name":"long","kb":"elevator","variant":"oblivious","max_apps":10000000}}"#
+    )
+    .unwrap();
+    for i in 0..6 {
+        writeln!(
+            stdin,
+            r#"{{"op":"submit","name":"burst-{i}","kb":"elevator","variant":"oblivious","max_apps":10000000}}"#
+        )
+        .unwrap();
+    }
+    stdin.flush().unwrap();
+    // Let the worker pick the long job up and make some progress.
+    std::thread::sleep(Duration::from_millis(700));
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    // stdin stays open: the exit must come from the drain path, not
+    // from EOF on the request loop.
+    let out = child.wait_with_output().expect("serve exits");
+    drop(stdin);
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "drain must exit 0\nstderr: {stderr}\nstdout: {stdout}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "no panics under overload: {stderr}"
+    );
+    // Every line is valid JSON (structured shedding, no torn output).
+    let mut sheds = 0usize;
+    let mut drained = None;
+    for line in stdout.lines() {
+        let v = parse_json(line).unwrap_or_else(|e| panic!("bad wire line {line}: {e}"));
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("rejected") => {
+                assert_eq!(
+                    v.get("reason").and_then(|r| r.as_str()),
+                    Some("queue-full"),
+                    "{line}"
+                );
+                sheds += 1;
+            }
+            Some("drained") => drained = Some(v.clone()),
+            _ => {}
+        }
+    }
+    assert!(sheds >= 1, "the burst overflow was shed\n{stdout}");
+    let drained = drained.expect("SIGTERM emits a drained line");
+    assert!(
+        drained.get("checkpointed").and_then(|n| n.as_i64()) >= Some(1),
+        "the running slice was checkpointed: {stdout}"
+    );
+    // The checkpoint of the running slice is durable: a fresh service
+    // over the same state dir recovers it.
+    let ckpts: Vec<_> = std::fs::read_dir(&dir)
+        .expect("state dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt.json"))
+        .collect();
+    assert!(
+        !ckpts.is_empty(),
+        "drain persisted at least one checkpoint in {}",
+        dir.display()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
