@@ -100,7 +100,10 @@ impl PositionGraph {
 }
 
 /// Iterative Tarjan SCC; returns the component id of each vertex.
-fn tarjan_scc(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+///
+/// Components are numbered in reverse topological order: if there is an
+/// edge `u → v` crossing components then `comp[v] < comp[u]`.
+pub(crate) fn tarjan_scc(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
     #[derive(Clone, Copy)]
     struct Frame {
         v: usize,

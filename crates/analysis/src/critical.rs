@@ -16,22 +16,61 @@
 //! `chase_core::classes` and incomparable to weak/joint acyclicity.
 
 use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
-use chase_engine::{run_chase, ChaseConfig, ChaseVariant, RecordLevel, RuleSet};
+use chase_engine::{run_chase_controlled, ChaseConfig, ChaseVariant, RecordLevel, RuleSet};
+use chase_homomorphism::SearchBudget;
 
-/// The critical instance of a ruleset: one atom `p(∗, …, ∗)` per
-/// predicate occurring in the rules, over a single fresh constant.
+/// The critical instance of a ruleset: every atom `p(c₁, …, cₖ)` over
+/// the constants occurring in the rules plus one fresh constant `∗`,
+/// for each predicate occurring in the rules.
+///
+/// Including the rules' own constants is essential for soundness: a
+/// rule body like `ok(a), …` never matches an all-`∗` instance, so
+/// omitting `a` would certify termination for rulesets that diverge on
+/// any fact base containing `ok(a)`.
 pub fn critical_instance(vocab: &mut Vocabulary, rules: &RuleSet) -> AtomSet {
-    let star = vocab.constant("critical_star");
     let mut preds = std::collections::BTreeSet::new();
+    let mut consts = std::collections::BTreeSet::new();
     for (_, rule) in rules.iter() {
         for atom in rule.body().iter().chain(rule.head().iter()) {
             preds.insert((atom.pred(), atom.arity()));
+            for t in atom.terms() {
+                if let Term::Const(c) = t {
+                    consts.insert(c);
+                }
+            }
         }
     }
-    preds
-        .into_iter()
-        .map(|(p, arity)| Atom::new(p, vec![Term::Const(star); arity]))
-        .collect()
+    // Mint a star id distinct from every rule constant. The rules' ids
+    // come from the kb's vocabulary; when the caller hands us a fresh
+    // one, the first interned names may collide id-wise with rule
+    // constants, so keep minting until the id is genuinely new.
+    let mut star = vocab.constant("critical_star");
+    let mut n = 0usize;
+    while consts.contains(&star) {
+        n += 1;
+        star = vocab.constant(&format!("critical_star_{n}"));
+    }
+    consts.insert(star);
+    let consts: Vec<Term> = consts.into_iter().map(Term::Const).collect();
+    let mut out = AtomSet::new();
+    for (p, arity) in preds {
+        // All `|consts|^arity` tuples, counted in base `|consts|`.
+        let mut tuple = vec![0usize; arity];
+        loop {
+            out.insert(Atom::new(
+                p,
+                tuple.iter().map(|&i| consts[i]).collect::<Vec<_>>(),
+            ));
+            let Some(pos) = (0..arity).rev().find(|&i| tuple[i] + 1 < consts.len()) else {
+                break;
+            };
+            tuple[pos] += 1;
+            for slot in tuple.iter_mut().skip(pos + 1) {
+                *slot = 0;
+            }
+        }
+    }
+    out
 }
 
 /// Outcome of the critical-instance test.
@@ -49,15 +88,25 @@ pub enum CriticalOutcome {
     BudgetExhausted,
 }
 
-/// Runs the Marnette test with the given application budget.
-pub fn critical_instance_test(rules: &RuleSet, budget: usize) -> CriticalOutcome {
+/// Applications allowed when the budget carries no node limit.
+const DEFAULT_APPLICATIONS: usize = 10_000;
+
+/// Runs the Marnette test under the shared [`SearchBudget`]: its node
+/// limit caps chase applications, and its deadline and cancel flags cut
+/// the run cooperatively — so a service can abort an admission-time
+/// analysis exactly like any other search.
+pub fn critical_instance_test(rules: &RuleSet, budget: &SearchBudget) -> CriticalOutcome {
     let mut vocab = Vocabulary::new();
     let facts = critical_instance(&mut vocab, rules);
+    let applications = budget.node_limit.unwrap_or(DEFAULT_APPLICATIONS);
     let cfg = ChaseConfig::variant(ChaseVariant::SemiOblivious)
-        .with_max_applications(budget)
-        .with_max_atoms(budget.saturating_mul(8).max(1_000))
-        .with_record(RecordLevel::FinalOnly);
-    let res = run_chase(&mut vocab, &facts, rules, &cfg);
+        .with_max_applications(applications)
+        .with_max_atoms(applications.saturating_mul(8).max(1_000))
+        .with_record(RecordLevel::FinalOnly)
+        .with_search_budget(budget.clone());
+    let res = run_chase_controlled(&mut vocab, &facts, rules, &cfg, None, |_| {
+        std::ops::ControlFlow::Continue(())
+    });
     if res.outcome.terminated() {
         CriticalOutcome::TerminatesEverywhere {
             applications: res.stats.applications,
@@ -76,6 +125,10 @@ mod tests {
         parse_program(src).expect("parses").rules
     }
 
+    fn budget(n: usize) -> SearchBudget {
+        SearchBudget::unlimited().with_node_limit(n)
+    }
+
     #[test]
     fn critical_instance_shape() {
         let rs = rules("R: r(X, Y) -> s(Y, Z). S: s(X, Y) -> t(X).");
@@ -87,10 +140,27 @@ mod tests {
     }
 
     #[test]
+    fn critical_instance_includes_rule_constants() {
+        // `ok(a)` never matches an all-∗ instance; without `a` in the
+        // critical instance the diverging recursion below would be
+        // (unsoundly) certified as terminating.
+        let rs = rules("R: ok(a), r(X, Y) -> r(Y, Z).");
+        let mut vocab = Vocabulary::new();
+        let ci = critical_instance(&mut vocab, &rs);
+        // ok/1 over {∗, a} = 2 atoms; r/2 over {∗, a}² = 4 atoms.
+        assert_eq!(ci.len(), 6);
+        assert_eq!(ci.constants().len(), 2);
+        assert_eq!(
+            critical_instance_test(&rs, &budget(100)),
+            CriticalOutcome::BudgetExhausted
+        );
+    }
+
+    #[test]
     fn weakly_acyclic_ruleset_passes() {
         let rs = rules("R: r(X, Y) -> s(Y, Z). S: s(X, Y) -> t(X).");
         assert!(matches!(
-            critical_instance_test(&rs, 200),
+            critical_instance_test(&rs, &budget(200)),
             CriticalOutcome::TerminatesEverywhere { .. }
         ));
     }
@@ -99,7 +169,7 @@ mod tests {
     fn datalog_passes() {
         let rs = rules("T: r(X, Y), r(Y, Z) -> r(X, Z).");
         assert!(matches!(
-            critical_instance_test(&rs, 200),
+            critical_instance_test(&rs, &budget(200)),
             CriticalOutcome::TerminatesEverywhere { .. }
         ));
     }
@@ -111,7 +181,7 @@ mod tests {
         // class).
         let rs = rules("R: r(X, Y) -> r(Y, Z).");
         assert_eq!(
-            critical_instance_test(&rs, 100),
+            critical_instance_test(&rs, &budget(100)),
             CriticalOutcome::BudgetExhausted
         );
     }
@@ -129,7 +199,7 @@ mod tests {
         let rs = rules("R1: p(X), ok(X) -> q(X, Z). R2: q(X, Z) -> p(Z).");
         assert!(!crate::acyclicity::weakly_acyclic(&rs));
         assert!(matches!(
-            critical_instance_test(&rs, 100),
+            critical_instance_test(&rs, &budget(100)),
             CriticalOutcome::TerminatesEverywhere { .. }
         ));
 
@@ -145,7 +215,7 @@ mod tests {
         let diverging = rules("R: p(X) -> e(X, Z), p(Z).");
         assert!(!crate::acyclicity::jointly_acyclic(&diverging));
         assert_eq!(
-            critical_instance_test(&diverging, 60),
+            critical_instance_test(&diverging, &budget(60)),
             CriticalOutcome::BudgetExhausted
         );
     }

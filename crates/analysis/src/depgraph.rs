@@ -1,0 +1,327 @@
+//! Rule dependency graph via piece-unification (Baget et al.'s *graph
+//! of rule dependencies*), SCC condensation, and per-SCC
+//! classification.
+//!
+//! Rule `r₂` **depends on** `r₁` when an application of `r₁` can create
+//! a new trigger for `r₂` — approximated soundly by single-atom
+//! unification: some head atom of `r₁` unifies with some body atom of
+//! `r₂` under the piece-unifier constraints (an existential variable of
+//! the producer may only be unified with body variables of the
+//! consumer and other producer existentials, never with a constant or
+//! a producer frontier variable). Every genuine piece-unifier restricts
+//! to such a single-atom unifier, so the graph built here is a
+//! *superset* of the true dependency graph: an absent edge really means
+//! independence, which is the direction stratification needs.
+//!
+//! The condensation of this graph (its DAG of strongly connected
+//! components, in producers-first topological order) is the skeleton of
+//! the stratified chase plan built by [`crate::stratify`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use chase_atoms::{Atom, ConstId, Term, VarId};
+use chase_engine::{Rule, RuleId, RuleSet};
+
+use crate::acyclicity::{tarjan_scc, weakly_acyclic};
+use crate::guards::{guard_kind, GuardKind};
+
+/// The rule dependency graph: edge `p → c` when rule `c` may depend on
+/// (be triggered by) rule `p`.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    /// `adj[p]` = consumers that producer `p` may trigger.
+    adj: Vec<BTreeSet<RuleId>>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of a ruleset.
+    pub fn build(rules: &RuleSet) -> Self {
+        let n = rules.len();
+        let mut adj: Vec<BTreeSet<RuleId>> = vec![BTreeSet::new(); n];
+        for (p, producer) in rules.iter() {
+            for (c, consumer) in rules.iter() {
+                if may_trigger(producer, consumer) {
+                    adj[p].insert(c);
+                }
+            }
+        }
+        DepGraph { adj }
+    }
+
+    /// Number of rules (vertices).
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Is the graph empty (no rules)?
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Does an edge `producer → consumer` exist?
+    pub fn depends(&self, producer: RuleId, consumer: RuleId) -> bool {
+        self.adj[producer].contains(&consumer)
+    }
+
+    /// All edges `(producer, consumer)` in deterministic order.
+    pub fn edges(&self) -> Vec<(RuleId, RuleId)> {
+        let mut out = Vec::new();
+        for (p, outs) in self.adj.iter().enumerate() {
+            for &c in outs {
+                out.push((p, c));
+            }
+        }
+        out
+    }
+
+    /// SCC condensation with per-component classification, components in
+    /// producers-first topological order.
+    pub fn condensation(&self, rules: &RuleSet) -> Condensation {
+        let n = self.adj.len();
+        let adj_vec: Vec<Vec<usize>> = self
+            .adj
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        let tarjan = tarjan_scc(n, &adj_vec);
+        let num_comps = tarjan.iter().map(|&c| c + 1).max().unwrap_or(0);
+        // Tarjan numbers components in reverse topological order (an edge
+        // u → v across components has comp[v] < comp[u]); flip so that
+        // producers come first.
+        let comp_of: Vec<usize> = tarjan.iter().map(|&c| num_comps - 1 - c).collect();
+        let mut members: Vec<Vec<RuleId>> = vec![Vec::new(); num_comps];
+        for (rule, &comp) in comp_of.iter().enumerate() {
+            members[comp].push(rule);
+        }
+        let components = members
+            .into_iter()
+            .map(|rule_ids| {
+                let cyclic = rule_ids.len() > 1 || rule_ids.iter().any(|&r| self.depends(r, r));
+                let sub: RuleSet = rule_ids.iter().map(|&r| rules.get(r).clone()).collect();
+                let datalog = rule_ids.iter().all(|&r| rules.get(r).is_datalog());
+                let wa = weakly_acyclic(&sub);
+                let worst_guard = rule_ids
+                    .iter()
+                    .map(|&r| guard_kind(rules.get(r)))
+                    .min()
+                    .unwrap_or(GuardKind::Linear);
+                SccInfo {
+                    rules: rule_ids,
+                    cyclic,
+                    datalog,
+                    weakly_acyclic: wa,
+                    worst_guard,
+                }
+            })
+            .collect();
+        Condensation {
+            comp_of,
+            components,
+        }
+    }
+}
+
+/// The condensation of a [`DepGraph`]: its DAG of strongly connected
+/// components in producers-first topological order.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Component index (into [`Condensation::components`]) of each rule.
+    pub comp_of: Vec<usize>,
+    /// Components in execution (producers-first topological) order.
+    pub components: Vec<SccInfo>,
+}
+
+/// Classification of one strongly connected component of the rule
+/// dependency graph.
+#[derive(Clone, Debug)]
+pub struct SccInfo {
+    /// Member rules, ascending by id.
+    pub rules: Vec<RuleId>,
+    /// Can the component feed itself (size > 1, or a self-loop)?
+    pub cyclic: bool,
+    /// Are all member rules datalog (no existentials)?
+    pub datalog: bool,
+    /// Is the member sub-ruleset weakly acyclic on its own?
+    pub weakly_acyclic: bool,
+    /// The weakest guard kind among member rules.
+    pub worst_guard: GuardKind,
+}
+
+/// Can an application of `producer` create a new trigger for
+/// `consumer`? Sound over-approximation by single-atom unification.
+pub fn may_trigger(producer: &Rule, consumer: &Rule) -> bool {
+    producer
+        .head()
+        .iter()
+        .any(|h| consumer.body().iter().any(|b| atoms_unify(h, producer, b)))
+}
+
+/// Term key in the unification partition. Constants are shared between
+/// the two rules; variables are kept apart per side.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Key {
+    Const(ConstId),
+    Producer(VarId),
+    Consumer(VarId),
+}
+
+/// Unifies the producer's head atom with the consumer's body atom under
+/// the piece-unifier constraints: no class may contain two distinct
+/// constants, and a class containing a producer *existential* variable
+/// may contain neither a constant nor a producer *frontier* variable
+/// (a fresh null can never be forced equal to either).
+fn atoms_unify(head: &Atom, producer: &Rule, body: &Atom) -> bool {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    if head.pred() != body.pred() || head.arity() != body.arity() {
+        return false;
+    }
+    let mut index: BTreeMap<Key, usize> = BTreeMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    let mut key_of = |t: Term, producer_side: bool, parent: &mut Vec<usize>| -> usize {
+        let key = match t {
+            Term::Const(c) => Key::Const(c),
+            Term::Var(v) if producer_side => Key::Producer(v),
+            Term::Var(v) => Key::Consumer(v),
+        };
+        *index.entry(key).or_insert_with(|| {
+            parent.push(parent.len());
+            parent.len() - 1
+        })
+    };
+
+    for (&ht, &bt) in head.args().iter().zip(body.args()) {
+        let a = key_of(ht, true, &mut parent);
+        let b = key_of(bt, false, &mut parent);
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    // Aggregate per-class attributes and check the constraints.
+    let n = parent.len();
+    let mut constant: Vec<Option<ConstId>> = vec![None; n];
+    let mut existential = vec![false; n];
+    let mut frontier = vec![false; n];
+    for (&key, &i) in &index {
+        let root = find(&mut parent, i);
+        match key {
+            Key::Const(c) => {
+                if let Some(prev) = constant[root] {
+                    if prev != c {
+                        return false;
+                    }
+                } else {
+                    constant[root] = Some(c);
+                }
+            }
+            Key::Producer(v) => {
+                if producer.existential_vars().contains(&v) {
+                    existential[root] = true;
+                } else {
+                    frontier[root] = true;
+                }
+            }
+            Key::Consumer(_) => {}
+        }
+    }
+    (0..n).all(|root| !(existential[root] && (constant[root].is_some() || frontier[root])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_parser::parse_program;
+
+    fn rules(src: &str) -> RuleSet {
+        parse_program(src).expect("parses").rules
+    }
+
+    #[test]
+    fn datalog_chain_orders_producers_first() {
+        // a feeds b feeds c; no cycles.
+        let rs = rules("A: p(X) -> q(X). B: q(X) -> r(X). C: r(X) -> s(X).");
+        let g = DepGraph::build(&rs);
+        assert!(g.depends(0, 1));
+        assert!(g.depends(1, 2));
+        assert!(!g.depends(1, 0));
+        let cond = g.condensation(&rs);
+        assert_eq!(cond.components.len(), 3);
+        assert_eq!(cond.components[0].rules, vec![0]);
+        assert_eq!(cond.components[2].rules, vec![2]);
+        assert!(cond.components.iter().all(|c| !c.cyclic && c.datalog));
+        // comp_of is consistent with execution order.
+        assert!(cond.comp_of[0] < cond.comp_of[1]);
+        assert!(cond.comp_of[1] < cond.comp_of[2]);
+    }
+
+    #[test]
+    fn existential_does_not_unify_with_constant() {
+        // R produces q(X, Z) with Z existential; S requires q(Y, a):
+        // the null Z can never equal the constant a, so S does not
+        // depend on R.
+        let rs = rules("R: p(X) -> q(X, Z). S: q(Y, a) -> r(Y).");
+        let g = DepGraph::build(&rs);
+        assert!(!g.depends(0, 1));
+    }
+
+    #[test]
+    fn existential_does_not_unify_with_frontier_join() {
+        // R produces q(X, Z), Z existential and X frontier; a body atom
+        // q(U, U) would need Z ≡ X — forbidden.
+        let rs = rules("R: p(X) -> q(X, Z). S: q(U, U) -> r(U).");
+        let g = DepGraph::build(&rs);
+        assert!(!g.depends(0, 1));
+        // But q(U, V) is fine.
+        let rs2 = rules("R: p(X) -> q(X, Z). S: q(U, V) -> r(U).");
+        assert!(DepGraph::build(&rs2).depends(0, 1));
+    }
+
+    #[test]
+    fn two_existentials_may_share_a_consumer_variable() {
+        // Head h(Z1, Z2), both existential, against body h(U, U):
+        // Z1 ≡ U ≡ Z2 is a legal unification (both are nulls).
+        let rs = rules("R: p(X) -> h(Z1, Z2). S: h(U, U) -> r(U).");
+        assert!(DepGraph::build(&rs).depends(0, 1));
+    }
+
+    #[test]
+    fn self_loop_marks_cyclic() {
+        let rs = rules("R: r(X, Y) -> r(Y, Z).");
+        let g = DepGraph::build(&rs);
+        assert!(g.depends(0, 0));
+        let cond = g.condensation(&rs);
+        assert_eq!(cond.components.len(), 1);
+        assert!(cond.components[0].cyclic);
+        assert!(!cond.components[0].datalog);
+    }
+
+    #[test]
+    fn mutual_recursion_collapses_to_one_component() {
+        let rs = rules("A: p(X) -> q(X, Z). B: q(X, Y) -> p(Y). C: p(X) -> done(X).");
+        let g = DepGraph::build(&rs);
+        let cond = g.condensation(&rs);
+        assert_eq!(cond.components.len(), 2);
+        assert_eq!(cond.components[0].rules, vec![0, 1]);
+        assert!(cond.components[0].cyclic);
+        assert_eq!(cond.components[1].rules, vec![2]);
+        assert!(!cond.components[1].cyclic);
+    }
+
+    #[test]
+    fn constants_shared_across_sides() {
+        // Head r(a) unifies with body r(a) but not r(b).
+        let rs = rules("A: p(X) -> r(a). B: r(a) -> s(X0). C: r(b) -> t(X1).");
+        let g = DepGraph::build(&rs);
+        assert!(g.depends(0, 1));
+        assert!(!g.depends(0, 2));
+    }
+}

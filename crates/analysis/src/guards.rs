@@ -1,5 +1,7 @@
 //! Guardedness checks: syntactic bts certificates.
 
+use std::collections::BTreeSet;
+
 use chase_atoms::{Term, VarId};
 use chase_engine::{Rule, RuleSet};
 
@@ -43,10 +45,10 @@ impl Guardedness {
     }
 }
 
-fn atom_covers(rule: &Rule, vars: impl Iterator<Item = VarId> + Clone) -> bool {
+fn atom_covers(rule: &Rule, vars: &BTreeSet<VarId>) -> bool {
     rule.body()
         .iter()
-        .any(|atom| vars.clone().all(|v| atom.mentions(Term::Var(v))))
+        .any(|atom| vars.iter().all(|&v| atom.mentions(Term::Var(v))))
 }
 
 /// Classifies one rule.
@@ -54,10 +56,10 @@ pub fn guard_kind(rule: &Rule) -> GuardKind {
     if rule.body().len() == 1 {
         return GuardKind::Linear;
     }
-    if atom_covers(rule, rule.universal_vars().iter().copied()) {
+    if atom_covers(rule, rule.universal_vars()) {
         return GuardKind::Guarded;
     }
-    if atom_covers(rule, rule.frontier_vars().iter().copied()) {
+    if atom_covers(rule, rule.frontier_vars()) {
         return GuardKind::FrontierGuarded;
     }
     GuardKind::Unguarded

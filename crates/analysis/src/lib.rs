@@ -21,20 +21,41 @@
 //!   [17]): semi-oblivious chase termination on the *critical instance*
 //!   implies termination on every instance — a dynamic fes certificate
 //!   that covers rulesets beyond every acyclicity notion.
+//! * [`mfa_test`] — model-faithful-acyclicity-style certificates: the
+//!   critical-instance Skolem chase with cyclic-term detection, which
+//!   certifies fes beyond joint acyclicity and *refutes* MFA membership
+//!   with a divergence witness.
+//! * [`DepGraph`] / [`stratified_plan`] — the rule dependency graph by
+//!   piece-unification, its SCC condensation, and the stratified chase
+//!   plans derived from it.
+//!
+//! Everything semantic is reported through the three-valued
+//! [`Verdict`] lattice (Certified / Refuted / Inconclusive) with
+//! explicit [`Certificate`] provenance.
 //!
 //! These analyses complement the dynamic probes in
 //! `chase_core::classes`: a syntactic certificate holds for *every* fact
-//! base, while a probe observes one chase on one fact base.
+//! base, while a probe observes one chase on one fact base. Probe
+//! results can be folded back in via [`RulesetReport::attach_evidence`]
+//! and [`stratified_plan_with`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod acyclicity;
 mod critical;
+mod depgraph;
 mod guards;
+mod mfa;
 mod report;
+mod stratify;
 
 pub use acyclicity::{jointly_acyclic, weakly_acyclic, PositionGraph};
 pub use critical::{critical_instance, critical_instance_test, CriticalOutcome};
+pub use depgraph::{may_trigger, Condensation, DepGraph, SccInfo};
 pub use guards::{guardedness, GuardKind, Guardedness};
-pub use report::{analyze, RulesetReport};
+pub use mfa::{mfa_test, MfaOutcome};
+pub use report::{
+    analyze, analyze_with_budget, Certificate, DynamicEvidence, Refutation, RulesetReport, Verdict,
+};
+pub use stratify::{stratified_plan, stratified_plan_with, ChasePlan, Stratum, StratumShape};

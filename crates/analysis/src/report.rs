@@ -1,14 +1,175 @@
-//! Combined static-analysis report for a ruleset.
+//! Combined static-analysis report for a ruleset: a three-valued
+//! verdict lattice per semantic property, with certificate provenance.
+//!
+//! Each semantic property (termination / bts / core-bts) gets a
+//! [`Verdict`]: **Certified** with the [`Certificate`] that justifies
+//! it, **Refuted** with the witness, or **Inconclusive** with the
+//! budget that ran out. The raw syntactic facts (datalog, acyclicity,
+//! guardedness) stay available as plain booleans.
+//!
+//! Certificate provenance matters because the routes are *not*
+//! interchangeable (the paper's "complications"): guardedness certifies
+//! bts but says nothing about core-chase width — the elevator `K_v` is
+//! treewidth-1 bts while its core chase width diverges — so `core-bts`
+//! is never certified from a guardedness certificate, only from a
+//! termination certificate or explicit core-width evidence.
 
 use std::fmt;
 
-use chase_engine::RuleSet;
+use chase_engine::{RuleId, RuleSet};
+use chase_homomorphism::SearchBudget;
 
 use crate::acyclicity::{jointly_acyclic, weakly_acyclic};
 use crate::guards::{guardedness, Guardedness};
+use crate::mfa::{mfa_test, MfaOutcome};
 
-/// Everything the static analyses can certify about a ruleset, with the
-/// class memberships they imply (Figure 1 vocabulary).
+/// Default application budget for the MFA sub-test of [`analyze`].
+const DEFAULT_MFA_BUDGET: usize = 5_000;
+
+/// What justified a [`Verdict::Certified`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Certificate {
+    /// Every rule is datalog.
+    Datalog,
+    /// Weak acyclicity (Fagin et al.).
+    WeaklyAcyclic,
+    /// Joint acyclicity (Krötzsch & Rudolph).
+    JointlyAcyclic,
+    /// MFA-style critical-instance saturation ([`crate::mfa`]).
+    Mfa,
+    /// Every rule is guarded.
+    Guarded,
+    /// Every rule is frontier-guarded.
+    FrontierGuarded,
+    /// Every rule is linear.
+    Linear,
+    /// Dynamic evidence: the restricted-chase treewidth profile
+    /// plateaued at this bound (finite-horizon evidence, not a proof).
+    RestrictedWidthProbe(usize),
+    /// Dynamic evidence: the core-chase treewidth profile plateaued at
+    /// this bound (finite-horizon evidence, not a proof).
+    CoreWidthProbe(usize),
+}
+
+impl Certificate {
+    /// Stable kebab-case name for reports and wire formats.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Certificate::Datalog => "datalog",
+            Certificate::WeaklyAcyclic => "weakly-acyclic",
+            Certificate::JointlyAcyclic => "jointly-acyclic",
+            Certificate::Mfa => "mfa",
+            Certificate::Guarded => "guarded",
+            Certificate::FrontierGuarded => "frontier-guarded",
+            Certificate::Linear => "linear",
+            Certificate::RestrictedWidthProbe(_) => "restricted-width-probe",
+            Certificate::CoreWidthProbe(_) => "core-width-probe",
+        }
+    }
+}
+
+/// What justified a [`Verdict::Refuted`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Refutation {
+    /// The MFA test found a cyclically nested Skolem term: membership
+    /// in the MFA class is refuted and the critical chase shows the
+    /// self-similar expansion that drives divergence.
+    MfaCycle {
+        /// Rule whose existential restarted its own expansion.
+        rule: RuleId,
+        /// Nesting depth at which the cycle closed.
+        depth: usize,
+    },
+    /// Dynamic evidence: the core-chase treewidth profile kept growing
+    /// over the whole probe horizon.
+    CoreWidthDiverging,
+}
+
+impl Refutation {
+    /// Stable kebab-case name for reports and wire formats.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Refutation::MfaCycle { .. } => "mfa-cycle",
+            Refutation::CoreWidthDiverging => "core-width-diverging",
+        }
+    }
+}
+
+/// Three-valued verdict for one semantic property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds, justified by this certificate.
+    Certified(Certificate),
+    /// The property (or its best sufficient condition) fails, with a
+    /// witness.
+    Refuted(Refutation),
+    /// Neither direction was decided within the budget (applications
+    /// granted to the dynamic sub-tests).
+    Inconclusive {
+        /// The application budget that ran out.
+        budget: usize,
+    },
+}
+
+impl Verdict {
+    /// Is the property certified?
+    pub fn is_certified(&self) -> bool {
+        matches!(self, Verdict::Certified(_))
+    }
+
+    /// Is the property refuted?
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted(_))
+    }
+
+    /// The certificate, when certified.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            Verdict::Certified(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Certified(c) => match c {
+                Certificate::RestrictedWidthProbe(w) | Certificate::CoreWidthProbe(w) => {
+                    write!(f, "certified by {} (width {w})", c.name())
+                }
+                _ => write!(f, "certified by {}", c.name()),
+            },
+            Verdict::Refuted(r) => match r {
+                Refutation::MfaCycle { rule, depth } => {
+                    write!(f, "refuted by mfa-cycle (rule {rule}, depth {depth})")
+                }
+                Refutation::CoreWidthDiverging => write!(f, "refuted by {}", r.name()),
+            },
+            Verdict::Inconclusive { budget } => write!(f, "inconclusive (budget {budget})"),
+        }
+    }
+}
+
+/// Dynamic (per-instance, finite-horizon) evidence from the chase
+/// probes in `chase_core::classes`, used to settle verdicts that the
+/// syntactic certificates leave inconclusive.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynamicEvidence {
+    /// Did the restricted-chase probe terminate within its budget?
+    pub restricted_terminated: bool,
+    /// `Some(w)`: the restricted-chase treewidth profile plateaued at
+    /// `w`; `None`: it was still growing when the probe stopped.
+    pub restricted_width: Option<usize>,
+    /// Did the core-chase probe terminate within its budget?
+    pub core_terminated: bool,
+    /// `Some(w)`: the core-chase treewidth profile plateaued at `w`;
+    /// `None`: it was still growing when the probe stopped.
+    pub core_width: Option<usize>,
+}
+
+/// Everything the analyses can certify about a ruleset: syntactic
+/// facts plus the semantic verdict lattice (Figure 1 vocabulary).
 #[derive(Clone, Debug)]
 pub struct RulesetReport {
     /// Is every rule datalog (no existential variables)?
@@ -19,31 +180,63 @@ pub struct RulesetReport {
     pub jointly_acyclic: bool,
     /// Guardedness classification.
     pub guardedness: Guardedness,
+    /// Raw outcome of the MFA-style critical-instance test.
+    pub mfa: MfaOutcome,
+    /// Chase termination on every fact base (**fes** membership).
+    pub terminating: Verdict,
+    /// Treewidth-bounded restricted chase on every fact base (**bts**).
+    pub bts: Verdict,
+    /// Terminating, treewidth-bounded **core** chase (**core-bts**).
+    /// Never certified from guardedness alone: bts does not bound the
+    /// core chase (the elevator is the counterexample).
+    pub core_bts: Verdict,
 }
 
 impl RulesetReport {
-    /// Does some syntactic certificate guarantee **fes** membership
-    /// (chase termination on every fact base)?
+    /// Does some certificate guarantee **fes** membership?
     pub fn certified_fes(&self) -> bool {
-        self.datalog || self.weakly_acyclic || self.jointly_acyclic
+        self.terminating.is_certified()
     }
 
-    /// Does some syntactic certificate guarantee **bts** membership
-    /// (a treewidth-bounded restricted chase on every fact base)?
+    /// Does some certificate guarantee **bts** membership?
     pub fn certified_bts(&self) -> bool {
-        // fes ⊆ "every chase is finite" ⇒ trivially bounded; plus the
-        // guarded family.
-        self.certified_fes()
-            || self.guardedness.is_guarded()
-            || self.guardedness.is_frontier_guarded()
-            || self.guardedness.is_linear()
+        self.bts.is_certified()
     }
 
-    /// Does some certificate guarantee **core-bts** membership? Per
-    /// Proposition 13 core-bts subsumes both fes and bts, so any
-    /// certificate for either suffices.
+    /// Does some certificate guarantee **core-bts** membership?
     pub fn certified_core_bts(&self) -> bool {
-        self.certified_fes() || self.certified_bts()
+        self.core_bts.is_certified()
+    }
+
+    /// Is every decidability route refuted-or-unknown, with at least
+    /// the termination route positively refuted? This is the
+    /// strict-admission shedding predicate: nothing certified, and the
+    /// divergence evidence is positive.
+    pub fn refutes_every_route(&self) -> bool {
+        self.terminating.is_refuted() && !self.bts.is_certified() && !self.core_bts.is_certified()
+    }
+
+    /// Upgrades inconclusive verdicts with dynamic probe evidence.
+    ///
+    /// Probe certificates are finite-horizon evidence, not proofs; they
+    /// carry their own [`Certificate`] variants so consumers can
+    /// discount them. Syntactic certificates are never overridden.
+    pub fn attach_evidence(&mut self, ev: &DynamicEvidence) {
+        if !self.bts.is_certified() {
+            if let Some(w) = ev.restricted_width {
+                self.bts = Verdict::Certified(Certificate::RestrictedWidthProbe(w));
+            }
+        }
+        if !self.core_bts.is_certified() {
+            match ev.core_width {
+                Some(w) => {
+                    self.core_bts = Verdict::Certified(Certificate::CoreWidthProbe(w));
+                }
+                None => {
+                    self.core_bts = Verdict::Refuted(Refutation::CoreWidthDiverging);
+                }
+            }
+        }
     }
 }
 
@@ -58,19 +251,91 @@ impl fmt::Display for RulesetReport {
             "frontier-guarded: {}",
             self.guardedness.is_frontier_guarded()
         )?;
-        writeln!(f, "⇒ fes certified:      {}", self.certified_fes())?;
-        writeln!(f, "⇒ bts certified:      {}", self.certified_bts())?;
-        write!(f, "⇒ core-bts certified: {}", self.certified_core_bts())
+        let mfa = match &self.mfa {
+            MfaOutcome::Acyclic { applications } => {
+                format!("acyclic ({applications} applications)")
+            }
+            MfaOutcome::CyclicTerm { rule, depth } => {
+                format!("cyclic term (rule {rule}, depth {depth})")
+            }
+            MfaOutcome::BudgetExhausted { applications } => {
+                format!("budget exhausted ({applications} applications)")
+            }
+        };
+        writeln!(f, "mfa:              {mfa}")?;
+        writeln!(f, "⇒ terminating: {}", self.terminating)?;
+        writeln!(f, "⇒ bts:         {}", self.bts)?;
+        write!(f, "⇒ core-bts:    {}", self.core_bts)
     }
 }
 
-/// Runs every static analysis on a ruleset.
+/// Runs every static analysis on a ruleset with the default MFA budget.
 pub fn analyze(rules: &RuleSet) -> RulesetReport {
+    analyze_with_budget(
+        rules,
+        &SearchBudget::unlimited().with_node_limit(DEFAULT_MFA_BUDGET),
+    )
+}
+
+/// Runs every static analysis, granting the dynamic sub-tests (MFA) the
+/// given shared [`SearchBudget`].
+pub fn analyze_with_budget(rules: &RuleSet, budget: &SearchBudget) -> RulesetReport {
+    let datalog = rules.iter().all(|(_, r)| r.is_datalog());
+    let wa = weakly_acyclic(rules);
+    let ja = jointly_acyclic(rules);
+    let guards = guardedness(rules);
+    let mfa = mfa_test(rules, budget);
+    let spent = budget.node_limit.unwrap_or(DEFAULT_MFA_BUDGET);
+
+    let terminating = if datalog {
+        Verdict::Certified(Certificate::Datalog)
+    } else if wa {
+        Verdict::Certified(Certificate::WeaklyAcyclic)
+    } else if ja {
+        Verdict::Certified(Certificate::JointlyAcyclic)
+    } else {
+        match &mfa {
+            MfaOutcome::Acyclic { .. } => Verdict::Certified(Certificate::Mfa),
+            MfaOutcome::CyclicTerm { rule, depth } => Verdict::Refuted(Refutation::MfaCycle {
+                rule: *rule,
+                depth: *depth,
+            }),
+            MfaOutcome::BudgetExhausted { .. } => Verdict::Inconclusive { budget: spent },
+        }
+    };
+
+    let bts = if let Verdict::Certified(c) = &terminating {
+        // fes ⇒ every chase is finite ⇒ trivially treewidth-bounded.
+        Verdict::Certified(c.clone())
+    } else if guards.is_linear() {
+        Verdict::Certified(Certificate::Linear)
+    } else if guards.is_guarded() {
+        Verdict::Certified(Certificate::Guarded)
+    } else if guards.is_frontier_guarded() {
+        Verdict::Certified(Certificate::FrontierGuarded)
+    } else {
+        Verdict::Inconclusive { budget: spent }
+    };
+
+    // Core-bts: a termination certificate gives a finite core chase;
+    // guardedness does NOT carry over (bts with diverging core-chase
+    // width is possible — the elevator). Width evidence arrives later
+    // via `attach_evidence`.
+    let core_bts = if let Verdict::Certified(c) = &terminating {
+        Verdict::Certified(c.clone())
+    } else {
+        Verdict::Inconclusive { budget: spent }
+    };
+
     RulesetReport {
-        datalog: rules.iter().all(|(_, r)| r.is_datalog()),
-        weakly_acyclic: weakly_acyclic(rules),
-        jointly_acyclic: jointly_acyclic(rules),
-        guardedness: guardedness(rules),
+        datalog,
+        weakly_acyclic: wa,
+        jointly_acyclic: ja,
+        guardedness: guards,
+        mfa,
+        terminating,
+        bts,
+        core_bts,
     }
 }
 
@@ -90,14 +355,29 @@ mod tests {
         assert!(report.certified_fes());
         assert!(report.certified_bts());
         assert!(report.certified_core_bts());
+        assert_eq!(
+            report.terminating.certificate(),
+            Some(&Certificate::Datalog)
+        );
     }
 
     #[test]
-    fn linear_chain_certifies_bts_not_fes() {
+    fn linear_chain_certifies_bts_not_fes_nor_core_bts() {
         let report = analyze(&rules("R: r(X, Y) -> r(Y, Z)."));
         assert!(!report.certified_fes());
         assert!(report.certified_bts(), "linear rules are guarded ⇒ bts");
-        assert!(report.certified_core_bts());
+        assert_eq!(report.bts.certificate(), Some(&Certificate::Linear));
+        // The fixed predicate: guardedness certifies bts only. Whether
+        // the *core* chase stays width-bounded is a separate question
+        // (the elevator is bts with diverging core-chase width), so
+        // without width evidence the verdict stays open.
+        assert!(!report.certified_core_bts());
+        assert!(!report.core_bts.is_refuted());
+        // Termination is positively refuted by the MFA cycle.
+        assert!(matches!(
+            report.terminating,
+            Verdict::Refuted(Refutation::MfaCycle { rule: 0, .. })
+        ));
     }
 
     #[test]
@@ -106,6 +386,7 @@ mod tests {
         assert!(!report.certified_fes());
         assert!(!report.certified_bts());
         assert!(!report.certified_core_bts());
+        assert!(report.refutes_every_route());
     }
 
     #[test]
@@ -114,6 +395,46 @@ mod tests {
         assert!(!report.datalog);
         assert!(report.weakly_acyclic);
         assert!(report.certified_fes());
+        assert!(report.certified_core_bts());
+        assert_eq!(
+            report.core_bts.certificate(),
+            Some(&Certificate::WeaklyAcyclic)
+        );
+    }
+
+    #[test]
+    fn mfa_certifies_beyond_acyclicity() {
+        // The same-variable-join pattern: R1 puts its null in *both*
+        // columns of `q` (in separate atoms), and R2's body `q(Y, Y)`
+        // joins the columns. Position-wise the null reaches every body
+        // position of R2's frontier and flows back into `p`, so both
+        // weak and joint acyclicity report a cycle. Atom-wise no single
+        // null ever occupies both columns of one `q`-fact, so R2 never
+        // fires on invented values and the Skolem chase saturates: MFA
+        // certifies what the positional over-approximations cannot.
+        let report = analyze(&rules("R1: p(X) -> q(X, Z), q(Z, X). R2: q(Y, Y) -> p(Y)."));
+        assert!(!report.weakly_acyclic);
+        assert!(!report.jointly_acyclic);
+        assert_eq!(report.terminating.certificate(), Some(&Certificate::Mfa));
+        assert!(report.certified_core_bts());
+    }
+
+    #[test]
+    fn evidence_upgrades_inconclusive_verdicts() {
+        let mut report = analyze(&rules("R: r(X, Y) -> r(Y, Z)."));
+        assert!(!report.certified_core_bts());
+        report.attach_evidence(&DynamicEvidence {
+            restricted_terminated: false,
+            restricted_width: Some(1),
+            core_terminated: false,
+            core_width: None,
+        });
+        // bts was already certified by linearity — untouched.
+        assert_eq!(report.bts.certificate(), Some(&Certificate::Linear));
+        assert_eq!(
+            report.core_bts,
+            Verdict::Refuted(Refutation::CoreWidthDiverging)
+        );
     }
 
     #[test]
@@ -121,6 +442,7 @@ mod tests {
         let report = analyze(&rules("R: r(X, Y) -> r(Y, Z)."));
         let text = report.to_string();
         assert!(text.contains("weakly acyclic:   false"));
-        assert!(text.contains("bts certified:      true"));
+        assert!(text.contains("⇒ bts:         certified by linear"));
+        assert!(text.contains("mfa-cycle (rule 0"));
     }
 }

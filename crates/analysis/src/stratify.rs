@@ -1,0 +1,273 @@
+//! Stratified chase plans from the dependency-graph condensation.
+//!
+//! The condensation of the rule dependency graph is a DAG of SCCs in
+//! producers-first order; running the chase stratum by stratum (each
+//! stratum saturated before the next starts) is sound because a rule
+//! in a later stratum can never feed an earlier one. The payoff is that
+//! each stratum can get the *cheapest strategy that is safe for it*:
+//!
+//! * acyclic or weakly-acyclic strata terminate on their own — plain
+//!   oblivious/restricted expansion, no core maintenance;
+//! * cyclic datalog strata saturate — plain saturation;
+//! * cyclic existential strata are where divergence lives. Guarded ones
+//!   keep a treewidth-bounded restricted chase; otherwise dynamic
+//!   width evidence ([`DynamicEvidence`]) picks between a restricted
+//!   chase with a width plateau (the elevator `K_v`) and core
+//!   maintenance with tight memory ceilings (the staircase `K_h` —
+//!   core width plateaus while the restricted chase balloons). The two
+//!   paper rulesets land in **distinct** plan shapes by construction.
+
+use std::fmt;
+
+use chase_engine::{ChaseConfig, ChaseVariant, CoreMaintenance, RuleId, RuleSet};
+
+use crate::depgraph::DepGraph;
+use crate::guards::GuardKind;
+use crate::report::DynamicEvidence;
+
+/// The strategy shape assigned to one stratum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StratumShape {
+    /// Datalog rules (cyclic or not): saturation terminates on finite
+    /// instances, no nulls, no core maintenance.
+    DatalogSaturation,
+    /// Acyclic or weakly-acyclic existential stratum: the chase
+    /// terminates; run it as plain expansion.
+    TerminatingExpansion,
+    /// Cyclic existential stratum whose rules are all (frontier-)
+    /// guarded: the restricted chase keeps bounded treewidth.
+    GuardedLoop,
+    /// Cyclic unguarded stratum where dynamic evidence shows the
+    /// *restricted* chase width plateauing (elevator-like): run the
+    /// restricted chase, skip core maintenance.
+    BoundedWidthLoop,
+    /// Cyclic unguarded stratum where dynamic evidence shows the *core*
+    /// chase width plateauing while the restricted chase balloons
+    /// (staircase-like): core maintenance with tight ceilings.
+    CoreBoundedLoop,
+    /// Cyclic unguarded stratum with no decidability route in sight:
+    /// core maintenance as damage control under tight ceilings.
+    UnboundedFrontier,
+}
+
+impl StratumShape {
+    /// Stable kebab-case name for reports and wire formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            StratumShape::DatalogSaturation => "datalog-saturation",
+            StratumShape::TerminatingExpansion => "terminating-expansion",
+            StratumShape::GuardedLoop => "guarded-loop",
+            StratumShape::BoundedWidthLoop => "bounded-width-loop",
+            StratumShape::CoreBoundedLoop => "core-bounded-loop",
+            StratumShape::UnboundedFrontier => "unbounded-frontier",
+        }
+    }
+
+    /// Does this shape need core maintenance?
+    pub fn needs_core(self) -> bool {
+        matches!(
+            self,
+            StratumShape::CoreBoundedLoop | StratumShape::UnboundedFrontier
+        )
+    }
+}
+
+/// One stratum of a chase plan: a set of rules run to saturation
+/// before the next stratum starts.
+#[derive(Clone, Debug)]
+pub struct Stratum {
+    /// Member rules, ascending by id.
+    pub rules: Vec<RuleId>,
+    /// Can the stratum feed itself?
+    pub cyclic: bool,
+    /// Strategy shape.
+    pub shape: StratumShape,
+}
+
+/// A stratified chase plan.
+#[derive(Clone, Debug)]
+pub struct ChasePlan {
+    /// Strata in execution order.
+    pub strata: Vec<Stratum>,
+}
+
+impl ChasePlan {
+    /// The rule-id partition in execution order, the format consumed by
+    /// `ChaseConfig::with_strata`.
+    pub fn partition(&self) -> Vec<Vec<RuleId>> {
+        self.strata.iter().map(|s| s.rules.clone()).collect()
+    }
+
+    /// The worst (most expensive) shape in the plan.
+    pub fn worst_shape(&self) -> Option<StratumShape> {
+        self.strata.iter().map(|s| s.shape).max_by_key(|s| *s as u8)
+    }
+
+    /// The chase variant the plan recommends for the whole run.
+    pub fn recommended_variant(&self) -> ChaseVariant {
+        if self.strata.iter().any(|s| s.shape.needs_core()) {
+            ChaseVariant::Core
+        } else {
+            ChaseVariant::Restricted
+        }
+    }
+
+    /// Applies the plan to a chase configuration: sets the variant, the
+    /// stratified rule schedule, and core maintenance mode.
+    pub fn apply(&self, mut cfg: ChaseConfig) -> ChaseConfig {
+        cfg.variant = self.recommended_variant();
+        cfg.strata = Some(self.partition());
+        if cfg.variant == ChaseVariant::Core {
+            cfg.core_maintenance = CoreMaintenance::Incremental;
+        }
+        cfg
+    }
+
+    /// Human-readable plan summary, e.g.
+    /// `datalog-saturation[R4] → core-bounded-loop[R1,R2]`.
+    pub fn describe(&self, rules: &RuleSet) -> String {
+        self.strata
+            .iter()
+            .map(|s| {
+                let names: Vec<&str> = s.rules.iter().map(|&r| rules.get(r).name()).collect();
+                format!("{}[{}]", s.shape.name(), names.join(","))
+            })
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+impl fmt::Display for ChasePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.strata.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" → ")?;
+            }
+            write!(f, "{}{:?}", s.shape.name(), s.rules)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a stratified plan from static analysis alone.
+pub fn stratified_plan(rules: &RuleSet) -> ChasePlan {
+    stratified_plan_with(rules, None)
+}
+
+/// Builds a stratified plan, using dynamic width evidence (when given)
+/// to pick strategies for cyclic unguarded strata.
+pub fn stratified_plan_with(rules: &RuleSet, evidence: Option<&DynamicEvidence>) -> ChasePlan {
+    let cond = DepGraph::build(rules).condensation(rules);
+    let mut strata: Vec<Stratum> = Vec::new();
+    for scc in cond.components {
+        let shape = if scc.datalog {
+            StratumShape::DatalogSaturation
+        } else if !scc.cyclic || scc.weakly_acyclic {
+            StratumShape::TerminatingExpansion
+        } else if scc.worst_guard >= GuardKind::FrontierGuarded {
+            StratumShape::GuardedLoop
+        } else {
+            match evidence {
+                Some(ev) if ev.restricted_width.is_some() || ev.restricted_terminated => {
+                    StratumShape::BoundedWidthLoop
+                }
+                Some(ev) if ev.core_width.is_some() || ev.core_terminated => {
+                    StratumShape::CoreBoundedLoop
+                }
+                _ => StratumShape::UnboundedFrontier,
+            }
+        };
+        // Merge runs of equally-shaped strata to keep plans compact; the
+        // merged stratum stays sound (a coarser partition only delays
+        // saturation checks).
+        match strata.last_mut() {
+            Some(prev) if prev.shape == shape => {
+                prev.rules.extend(scc.rules);
+                prev.cyclic |= scc.cyclic;
+            }
+            _ => strata.push(Stratum {
+                rules: scc.rules,
+                cyclic: scc.cyclic,
+                shape,
+            }),
+        }
+    }
+    ChasePlan { strata }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_parser::parse_program;
+
+    fn rules(src: &str) -> RuleSet {
+        parse_program(src).expect("parses").rules
+    }
+
+    #[test]
+    fn weakly_acyclic_plan_terminates_without_core() {
+        let rs = rules("R: r(X, Y) -> s(Y, Z). S: s(X, Y) -> t(X).");
+        let plan = stratified_plan(&rs);
+        // R is an acyclic existential stratum, S a datalog tail.
+        assert_eq!(plan.strata.len(), 2);
+        assert_eq!(plan.strata[0].shape, StratumShape::TerminatingExpansion);
+        assert_eq!(plan.strata[1].shape, StratumShape::DatalogSaturation);
+        assert!(plan.strata.iter().all(|s| !s.shape.needs_core()));
+        assert_eq!(plan.recommended_variant(), ChaseVariant::Restricted);
+    }
+
+    #[test]
+    fn datalog_tail_gets_its_own_stratum() {
+        let rs = rules("A: p(X) -> q(X, Z). B: q(X, Y) -> p(Y). C: p(X), q(X, Y) -> done(X).");
+        let plan = stratified_plan(&rs);
+        assert_eq!(plan.strata.len(), 2);
+        assert_eq!(plan.strata[0].rules, vec![0, 1]);
+        assert!(plan.strata[0].cyclic);
+        assert_eq!(plan.strata[1].shape, StratumShape::DatalogSaturation);
+    }
+
+    #[test]
+    fn guarded_loop_detected() {
+        let rs = rules("R: r(X, Y) -> r(Y, Z).");
+        let plan = stratified_plan(&rs);
+        assert_eq!(plan.strata.len(), 1);
+        assert_eq!(plan.strata[0].shape, StratumShape::GuardedLoop);
+        assert_eq!(plan.recommended_variant(), ChaseVariant::Restricted);
+    }
+
+    #[test]
+    fn evidence_splits_bounded_width_from_core_bounded() {
+        // An unguarded cyclic rule: shape must come from evidence.
+        let src = "F: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2).";
+        let elevator_like = DynamicEvidence {
+            restricted_terminated: false,
+            restricted_width: Some(1),
+            core_terminated: false,
+            core_width: None,
+        };
+        let staircase_like = DynamicEvidence {
+            restricted_terminated: false,
+            restricted_width: None,
+            core_terminated: false,
+            core_width: Some(2),
+        };
+        let p1 = stratified_plan_with(&rules(src), Some(&elevator_like));
+        assert_eq!(p1.strata[0].shape, StratumShape::BoundedWidthLoop);
+        assert_eq!(p1.recommended_variant(), ChaseVariant::Restricted);
+        let p2 = stratified_plan_with(&rules(src), Some(&staircase_like));
+        assert_eq!(p2.strata[0].shape, StratumShape::CoreBoundedLoop);
+        assert_eq!(p2.recommended_variant(), ChaseVariant::Core);
+        let p3 = stratified_plan(&rules(src));
+        assert_eq!(p3.strata[0].shape, StratumShape::UnboundedFrontier);
+    }
+
+    #[test]
+    fn describe_names_rules_and_merges_equal_shapes() {
+        // Two acyclic datalog strata merge into one compact stratum.
+        let rs = rules("A: p(X) -> q(X). B: q(X) -> r(X).");
+        let plan = stratified_plan(&rs);
+        assert_eq!(plan.strata.len(), 1);
+        let text = plan.describe(&rs);
+        assert!(text.contains("datalog-saturation[A,B]"), "{text}");
+    }
+}

@@ -190,7 +190,7 @@ fn main() {
     // instances left treewidth 1 behind and keep climbing (each +1 in
     // side needs a quadratically larger cabin, Prop. 8.3's f grows
     // slowly).
-    let first = grid_track.first().map(|&(_, g, _)| g).unwrap_or(0);
+    let first = grid_track.first().map_or(0, |&(_, g, _)| g);
     let max_side = grid_track.iter().map(|&(_, g, _)| g).max().unwrap_or(0);
     report.claim(
         "cor1/grid-growth-onset",

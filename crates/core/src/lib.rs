@@ -15,7 +15,10 @@
 //!   universal model (detecting `K ⊭ Q`);
 //! * [`classes`] — empirical probes for the decidable classes of
 //!   Figure 1: fes (core-chase termination), bts (treewidth-bounded
-//!   restricted chase), core-bts (treewidth-bounded core chase).
+//!   restricted chase), core-bts (treewidth-bounded core chase);
+//! * [`gate`] — the admission-time analysis gate fusing the static
+//!   analyzer's certificates with the dynamic probes into a verdict
+//!   lattice and a stratified chase plan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod classes;
 pub mod cq;
 pub mod decide;
 pub mod entail;
+pub mod gate;
 mod kb;
 pub mod prelude;
 
@@ -33,4 +37,5 @@ pub use cq::{
 };
 pub use decide::{decide, DecideConfig, DecideOutcome};
 pub use entail::{entail, Entailment};
+pub use gate::{analyze_kb, AnalysisGate, DEFAULT_PROBE_APPLICATIONS};
 pub use kb::KnowledgeBase;

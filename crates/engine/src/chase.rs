@@ -134,8 +134,23 @@ pub struct ChaseConfig {
     /// Hard memory ceiling, in the same units. Crossing it suspends the
     /// run cleanly with [`ChaseOutcome::Suspended`]
     /// ([`SuspendReason::MemoryCeiling`]) — resumable via the ordinary
-    /// checkpoint path, instead of aborting or OOMing. `None` disables.
+    /// checkpoint path, instead of aborting or `OOMing`. `None` disables.
     pub mem_hard: Option<usize>,
+    /// Optional stratified rule schedule: an ordered partition of rule
+    /// ids. Each stratum is chased to saturation before the next one is
+    /// enabled; rules missing from every stratum never fire. Sound when
+    /// the partition follows the rule-dependency condensation
+    /// (producers before consumers), because later strata cannot feed
+    /// earlier ones. Serialized into checkpoints so resumed jobs keep
+    /// their plan.
+    pub strata: Option<Vec<Vec<usize>>>,
+    /// Externally supplied [`SearchBudget`], merged into the budget that
+    /// every retraction search runs under (cancel flags appended, the
+    /// earlier deadline wins, node limits combine by minimum) and polled
+    /// between trigger applications — an expired or cancelled external
+    /// budget stops the run with [`ChaseOutcome::Cancelled`]. Process
+    /// state, never serialized.
+    pub search_budget: SearchBudget,
 }
 
 impl Default for ChaseConfig {
@@ -153,6 +168,8 @@ impl Default for ChaseConfig {
             fault: None,
             mem_soft: None,
             mem_hard: None,
+            strata: None,
+            search_budget: SearchBudget::unlimited(),
         }
     }
 }
@@ -230,6 +247,20 @@ impl ChaseConfig {
     /// Sets the hard memory ceiling (abstract units; suspend cleanly).
     pub fn with_mem_hard(mut self, units: usize) -> Self {
         self.mem_hard = Some(units);
+        self
+    }
+
+    /// Sets a stratified rule schedule (an ordered partition of rule
+    /// ids; each stratum saturates before the next starts).
+    pub fn with_strata(mut self, strata: Vec<Vec<usize>>) -> Self {
+        self.strata = Some(strata);
+        self
+    }
+
+    /// Sets the external search budget (merged into retraction searches
+    /// and polled between applications).
+    pub fn with_search_budget(mut self, budget: SearchBudget) -> Self {
+        self.search_budget = budget;
         self
     }
 }
@@ -390,6 +421,12 @@ pub fn run_chase_controlled(
     cancel: Option<&CancelToken>,
     mut observer: impl FnMut(ChaseEvent<'_>) -> std::ops::ControlFlow<()>,
 ) -> ChaseResult {
+    // Once the soft memory ceiling is crossed, retraction searches run
+    // under this node limit: degraded mode trades core quality (a
+    // truncated phase is a sound non-core retract) for bounded memory
+    // and latency.
+    const DEGRADED_NODE_LIMIT: usize = 50_000;
+
     // Make sure the supply is ahead of every variable already mentioned.
     for v in facts.vars() {
         vocab.ensure_var(v);
@@ -415,28 +452,28 @@ pub fn run_chase_controlled(
         Some(limit) => started.elapsed() >= limit,
         None => false,
     };
-    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+    let cancelled =
+        || cancel.is_some_and(CancelToken::is_cancelled) || cfg.search_budget.interrupted();
 
-    // The budget threaded into every retraction search: deadline from
-    // `max_wall`, cancel flag from the token. This is what keeps a single
-    // expensive core phase from overshooting the wall budget or ignoring
-    // a cancel — the matcher polls it inside its backtracking loop.
-    let mut budget = SearchBudget::unlimited();
+    // The budget threaded into every retraction search: the caller's
+    // external budget, plus a deadline from `max_wall` and the cancel
+    // flag from the token. This is what keeps a single expensive core
+    // phase from overshooting the wall budget or ignoring a cancel — the
+    // matcher polls it inside its backtracking loop.
+    let mut budget = cfg.search_budget.clone();
     if let Some(limit) = effective_wall {
-        budget = budget.with_deadline(started + limit);
+        let wall_deadline = started + limit;
+        budget.deadline = Some(
+            budget
+                .deadline
+                .map_or(wall_deadline, |d| d.min(wall_deadline)),
+        );
     }
     if let Some(token) = cancel {
         budget = budget.with_cancel(token.flag());
     }
-    let probe_threads = std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1);
+    let probe_threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
 
-    // Once the soft memory ceiling is crossed, retraction searches run
-    // under this node limit: degraded mode trades core quality (a
-    // truncated phase is a sound non-core retract) for bounded memory
-    // and latency.
-    const DEGRADED_NODE_LIMIT: usize = 50_000;
     let mut degraded = false;
 
     let mut stats = ChaseStats {
@@ -474,6 +511,16 @@ pub fn run_chase_controlled(
     );
     let mut delta: Vec<chase_atoms::Atom> = facts.iter().cloned().collect();
 
+    // Stratified schedule: only rules of the active stratum may fire;
+    // when the active stratum saturates, the next one is enabled and the
+    // semi-naive delta is reset to the full instance so the newly
+    // enabled rules see every atom.
+    let strata_sets: Option<Vec<HashSet<usize>>> = cfg
+        .strata
+        .as_ref()
+        .map(|parts| parts.iter().map(|s| s.iter().copied().collect()).collect());
+    let mut stratum = 0usize;
+
     let mut skolem = SkolemTable::new();
     let mut since_core = 0usize;
     // Dirty region accumulated since the last core step: the head images
@@ -500,6 +547,11 @@ pub fn run_chase_controlled(
         };
         let mut snapshot: Vec<Trigger> = discovered
             .into_iter()
+            .filter(|t| {
+                strata_sets
+                    .as_ref()
+                    .is_none_or(|sets| sets.get(stratum).is_some_and(|s| s.contains(&t.rule)))
+            })
             .filter(|t| match cfg.variant {
                 ChaseVariant::Oblivious => !applied_keys.contains(&t.universal_key(rules)),
                 ChaseVariant::SemiOblivious => !applied_keys.contains(&t.frontier_key(rules)),
@@ -509,6 +561,15 @@ pub fn run_chase_controlled(
             })
             .collect();
         if snapshot.is_empty() {
+            if let Some(sets) = &strata_sets {
+                if stratum + 1 < sets.len() {
+                    stratum += 1;
+                    // Re-prime discovery for the next stratum: its rules
+                    // have never matched, so every atom is "new" to them.
+                    delta = current.iter().cloned().collect();
+                    continue;
+                }
+            }
             break ChaseOutcome::Terminated;
         }
         order_snapshot(&mut snapshot, rules, cfg, &mut rng);
@@ -1686,5 +1747,104 @@ mod skolem_chase_tests {
         assert_eq!(a.final_instance, b.final_instance);
         let strip = |s: ChaseStats| ChaseStats { wall_us: 0, ..s };
         assert_eq!(strip(a.stats), strip(b.stats));
+    }
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.ensure_var(VarId::from_raw(99));
+        v
+    }
+
+    /// p(X) → ∃Z. e(X, Z) followed by a datalog projection of `e`.
+    fn two_strata_rules() -> RuleSet {
+        [
+            Rule::new(
+                "mk",
+                set(&[atom(0, &[v(0)])]),
+                set(&[atom(1, &[v(0), v(1)])]),
+            )
+            .unwrap(),
+            Rule::new(
+                "proj",
+                set(&[atom(1, &[v(0), v(1)])]),
+                set(&[atom(2, &[v(1)])]),
+            )
+            .unwrap(),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn stratified_schedule_matches_unstratified_result() {
+        let rules = two_strata_rules();
+        let facts = set(&[atom(0, &[v(10)]), atom(0, &[v(11)])]);
+        let unstrat = {
+            let mut vocab = vocab();
+            run_chase(&mut vocab, &facts, &rules, &ChaseConfig::default())
+        };
+        let strat = {
+            let mut vocab = vocab();
+            let cfg = ChaseConfig::default().with_strata(vec![vec![0], vec![1]]);
+            run_chase(&mut vocab, &facts, &rules, &cfg)
+        };
+        assert!(unstrat.outcome.terminated());
+        assert!(strat.outcome.terminated());
+        assert_eq!(strat.final_instance.len(), unstrat.final_instance.len());
+        assert!(crate::trigger::is_model_of_rules(
+            &rules,
+            &strat.final_instance
+        ));
+    }
+
+    #[test]
+    fn stratified_schedule_saturates_each_stratum_in_order() {
+        // Schedule the projection rule FIRST: the stratum saturates
+        // immediately (no `e`-facts yet), then the existential stratum
+        // runs — but its output is never projected, because stratum 0
+        // is already closed. The final instance is a model of stratum 1
+        // but deliberately not of the full ruleset: strata really do
+        // run to saturation in order, not interleaved.
+        let rules = two_strata_rules();
+        let facts = set(&[atom(0, &[v(10)])]);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::default().with_strata(vec![vec![1], vec![0]]);
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert!(res.outcome.terminated());
+        assert!(!crate::trigger::is_model_of_rules(
+            &rules,
+            &res.final_instance
+        ));
+        assert_eq!(
+            res.final_instance
+                .iter()
+                .filter(|a| a.pred() == PredId::from_raw(2))
+                .count(),
+            0,
+            "projection stratum closed before e-facts existed"
+        );
+    }
+
+    #[test]
+    fn search_budget_cancel_flag_interrupts_chase() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // r(X, Y) → ∃Z. r(Y, Z): would diverge without the flag.
+        let rules: RuleSet = [Rule::new(
+            "chain",
+            set(&[atom(0, &[v(0), v(1)])]),
+            set(&[atom(0, &[v(1), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let facts = set(&[atom(0, &[v(10), v(11)])]);
+        let flag = Arc::new(AtomicBool::new(true));
+        flag.store(true, Ordering::SeqCst);
+        let mut vocab = vocab();
+        let cfg = ChaseConfig::variant(ChaseVariant::Oblivious)
+            .with_search_budget(chase_homomorphism::SearchBudget::unlimited().with_cancel(flag));
+        let res = run_chase(&mut vocab, &facts, &rules, &cfg);
+        assert_eq!(res.outcome, ChaseOutcome::Cancelled);
     }
 }

@@ -9,7 +9,7 @@
 
 /// A splitmix64 generator. Every stream is fully determined by its seed.
 ///
-/// Splitmix64 passes BigCrush, has a full 2^64 period over its state
+/// Splitmix64 passes `BigCrush`, has a full 2^64 period over its state
 /// increment, and is two multiplications per draw — more than enough for
 /// scheduling jitter and test-case generation (it is the generator used
 /// to seed xoshiro in the reference implementations).

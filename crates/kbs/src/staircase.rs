@@ -199,10 +199,10 @@ impl Staircase {
     /// (isomorphism type of the) robust aggregation of the canonical core
     /// chase, and a finitely universal — but not universal — model.
     pub fn infinite_column_prefix(&mut self, n: u32) -> AtomSet {
-        let mut out = AtomSet::new();
         // Reuse grid column indices far out so names don't collide:
         // heights are what matters; use synthetic column u32::MAX - 1.
         const COL: u32 = u32::MAX - 1;
+        let mut out = AtomSet::new();
         let t0 = self.x(COL, 0);
         out.insert(Atom::new(self.f, vec![t0]));
         for j in 0..=n {

@@ -61,8 +61,7 @@ fn term_text(
     match t {
         Term::Const(c) => vocab
             .const_name(c)
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("k{}", c.raw())),
+            .map_or_else(|| format!("k{}", c.raw()), str::to_string),
         Term::Var(v) => match names.and_then(|m| m.get(&v)) {
             Some(name) => name.clone(),
             None => var_name(vocab, v, scope),

@@ -104,6 +104,16 @@ pub struct JobSpec {
     /// Who submitted the job, for per-submitter admission quotas; `None`
     /// is exempt from quota counting.
     pub submitter: Option<String>,
+    /// Let the admission-time analyzer pick the chase variant and a
+    /// stratified rule schedule for this job. Wire submits that did not
+    /// pin a `variant` set this; programmatic specs default to `false`
+    /// (what you configure is what runs).
+    pub auto_strategy: bool,
+    /// Let the admission-time analyzer tighten the application budget
+    /// when it positively refutes termination. Wire submits that did
+    /// not pin any budget set this; programmatic specs default to
+    /// `false`.
+    pub auto_budgets: bool,
     /// Counters carried over from the checkpointed prefix this job
     /// resumes (zero for fresh jobs).
     pub base_stats: ChaseStats,
@@ -134,6 +144,8 @@ impl JobSpec {
             checkpoint_every: None,
             priority: Priority::default(),
             submitter: None,
+            auto_strategy: false,
+            auto_budgets: false,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         })
@@ -158,6 +170,8 @@ impl JobSpec {
             checkpoint_every: None,
             priority: Priority::default(),
             submitter: None,
+            auto_strategy: false,
+            auto_budgets: false,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         })
@@ -176,6 +190,8 @@ impl JobSpec {
             checkpoint_every: None,
             priority: Priority::default(),
             submitter: None,
+            auto_strategy: false,
+            auto_budgets: false,
             base_stats: ChaseStats::default(),
             resumed_inexact: false,
         }

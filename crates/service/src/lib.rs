@@ -41,9 +41,11 @@ pub mod store;
 pub use checkpoint::Checkpoint;
 pub use job::{add_stats, JobId, JobResult, JobSpec, JobStatus, Priority, QueryVerdict};
 pub use json::{parse_json, Json};
-pub use protocol::{named_kb, parse_fault_plan, parse_request, rejection_to_json, Request};
+pub use protocol::{
+    analysis_to_json, named_kb, parse_fault_plan, parse_request, rejection_to_json, Request,
+};
 pub use runner::{
-    DrainReport, EventReceiver, JobEvent, JobEventKind, JobSummary, RejectReason, Rejection,
-    Service, ServiceConfig, WaitResult,
+    Admission, DrainReport, EventReceiver, JobEvent, JobEventKind, JobSummary, RejectReason,
+    Rejection, Service, ServiceConfig, WaitResult,
 };
 pub use store::{CheckpointStore, CorruptEntry};

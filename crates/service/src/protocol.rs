@@ -8,9 +8,11 @@
 
 use std::time::Duration;
 
+use chase_analysis::{Certificate, Refutation, RulesetReport, Verdict};
+use chase_core::AnalysisGate;
 use chase_engine::{
     ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, CoreMaintenance, FaultPlan, FaultSite,
-    SchedulerKind, SuspendReason,
+    RuleSet, SchedulerKind, SuspendReason,
 };
 
 use crate::job::{JobId, JobResult, JobStatus, Priority, QueryVerdict};
@@ -42,6 +44,13 @@ pub enum Request {
         priority: Priority,
         /// Submitter tag, counted against the per-submitter quota.
         submitter: Option<String>,
+        /// The request did not pin a `variant`: the admission analyzer
+        /// may pick the chase variant and a stratified schedule.
+        auto_strategy: bool,
+        /// The request did not pin any budget (`max_apps` /
+        /// `max_wall_ms`): the analyzer may tighten the defaults when
+        /// it positively refutes termination.
+        auto_budgets: bool,
     },
     /// Resume a job from a previously returned checkpoint object.
     Resume {
@@ -168,6 +177,17 @@ pub fn config_to_json(cfg: &ChaseConfig) -> Json {
             "mem_hard",
             cfg.mem_hard.map_or(Json::Null, |n| Json::Int(n as i64)),
         ),
+        (
+            "strata",
+            cfg.strata.as_ref().map_or(Json::Null, |strata| {
+                Json::Arr(
+                    strata
+                        .iter()
+                        .map(|s| Json::Arr(s.iter().map(|&r| Json::Int(r as i64)).collect()))
+                        .collect(),
+                )
+            }),
+        ),
     ])
 }
 
@@ -200,6 +220,29 @@ pub fn config_from_json(v: &Json) -> Result<ChaseConfig, String> {
     // Older checkpoints predate the memory ceilings; absent means off.
     cfg.mem_soft = v.opt_u64("mem_soft")?.map(|n| n as usize);
     cfg.mem_hard = v.opt_u64("mem_hard")?.map(|n| n as usize);
+    // Older checkpoints predate stratified schedules; absent means none
+    // — a resumed job keeps the plan it was admitted under.
+    cfg.strata = match v.get("strata") {
+        None | Some(Json::Null) => None,
+        Some(Json::Arr(strata)) => {
+            let mut out = Vec::with_capacity(strata.len());
+            for s in strata {
+                let ids = s
+                    .as_arr()
+                    .ok_or_else(|| "`strata` must be an array of rule-id arrays".to_string())?;
+                let mut stratum = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let n = id
+                        .as_u64()
+                        .ok_or_else(|| "`strata` entries must be rule ids".to_string())?;
+                    stratum.push(n as usize);
+                }
+                out.push(stratum);
+            }
+            Some(out)
+        }
+        Some(_) => return Err("`strata` must be an array of rule-id arrays".to_string()),
+    };
     Ok(cfg)
 }
 
@@ -345,6 +388,12 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
                 // Fail fast on an unknown name, before the job is queued.
                 named_kb(name)?;
             }
+            // What the client did not pin, the admission analyzer may
+            // choose: variant/schedule when no `variant` key, budget
+            // tightening when no explicit budget keys.
+            let auto_strategy = v.opt_str("variant")?.is_none();
+            let auto_budgets =
+                v.opt_u64("max_apps")?.is_none() && v.opt_u64("max_wall_ms")?.is_none();
             Ok(Request::Submit {
                 name: v.opt_str("name")?.map(str::to_string),
                 source,
@@ -358,6 +407,8 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
                     None => Priority::default(),
                 },
                 submitter: v.opt_str("submitter")?.map(str::to_string),
+                auto_strategy,
+                auto_budgets,
             })
         }
         "resume" => Ok(Request::Resume {
@@ -591,6 +642,125 @@ pub fn result_to_json(job: JobId, name: &str, res: &JobResult) -> Json {
     ])
 }
 
+/// Serializes one three-valued analysis verdict
+/// (`{"status":"certified","certificate":"mfa"}`-shaped objects).
+pub fn analysis_verdict_to_json(v: &Verdict) -> Json {
+    match v {
+        Verdict::Certified(c) => {
+            let mut fields = vec![
+                ("status".to_string(), Json::str("certified")),
+                ("certificate".to_string(), Json::str(c.name())),
+            ];
+            if let Certificate::RestrictedWidthProbe(w) | Certificate::CoreWidthProbe(w) = c {
+                fields.push(("width".to_string(), Json::Int(*w as i64)));
+            }
+            Json::Obj(fields)
+        }
+        Verdict::Refuted(r) => {
+            let mut fields = vec![
+                ("status".to_string(), Json::str("refuted")),
+                ("refutation".to_string(), Json::str(r.name())),
+            ];
+            if let Refutation::MfaCycle { rule, depth } = r {
+                fields.push(("rule".to_string(), Json::Int(*rule as i64)));
+                fields.push(("depth".to_string(), Json::Int(*depth as i64)));
+            }
+            Json::Obj(fields)
+        }
+        Verdict::Inconclusive { budget } => Json::obj([
+            ("status", Json::str("inconclusive")),
+            ("budget", Json::Int(*budget as i64)),
+        ]),
+    }
+}
+
+/// Serializes the static half of an analysis report.
+pub fn report_to_json(report: &RulesetReport) -> Json {
+    Json::obj([
+        ("datalog", Json::Bool(report.datalog)),
+        ("weakly_acyclic", Json::Bool(report.weakly_acyclic)),
+        ("jointly_acyclic", Json::Bool(report.jointly_acyclic)),
+        ("guarded", Json::Bool(report.guardedness.is_guarded())),
+        (
+            "frontier_guarded",
+            Json::Bool(report.guardedness.is_frontier_guarded()),
+        ),
+        ("terminating", analysis_verdict_to_json(&report.terminating)),
+        ("bts", analysis_verdict_to_json(&report.bts)),
+        ("core_bts", analysis_verdict_to_json(&report.core_bts)),
+    ])
+}
+
+/// Serializes the full admission-gate analysis: report, plan, dynamic
+/// evidence, and the admissibility bit. Attached to accepted `submit`
+/// replies and emitted by `treechase analyze --json`.
+pub fn analysis_to_json(gate: &AnalysisGate, rules: &RuleSet) -> Json {
+    let strata = gate
+        .plan
+        .strata
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("shape", Json::str(s.shape.name())),
+                (
+                    "rules",
+                    Json::Arr(
+                        s.rules
+                            .iter()
+                            .map(|&r| Json::str(rules.get(r).name()))
+                            .collect(),
+                    ),
+                ),
+                ("cyclic", Json::Bool(s.cyclic)),
+            ])
+        })
+        .collect();
+    let width = |w: Option<usize>| w.map_or(Json::Null, |n| Json::Int(n as i64));
+    Json::obj([
+        ("report", report_to_json(&gate.report)),
+        (
+            "plan",
+            Json::obj([
+                (
+                    "variant",
+                    Json::str(variant_name(gate.plan.recommended_variant())),
+                ),
+                ("strata", Json::Arr(strata)),
+            ]),
+        ),
+        (
+            "evidence",
+            Json::obj([
+                (
+                    "restricted_terminated",
+                    Json::Bool(gate.evidence.restricted_terminated),
+                ),
+                ("restricted_width", width(gate.evidence.restricted_width)),
+                ("core_terminated", Json::Bool(gate.evidence.core_terminated)),
+                ("core_width", width(gate.evidence.core_width)),
+            ]),
+        ),
+        (
+            "probe",
+            Json::obj([
+                (
+                    "core_applications",
+                    Json::Int(gate.probe.core_applications as i64),
+                ),
+                (
+                    "restricted_profile_len",
+                    Json::Int(gate.probe.restricted_profile.len() as i64),
+                ),
+                (
+                    "core_profile_len",
+                    Json::Int(gate.probe.core_profile.len() as i64),
+                ),
+            ]),
+        ),
+        ("admissible", Json::Bool(gate.admissible())),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,5 +977,76 @@ mod tests {
     fn unknown_op_is_rejected() {
         let line = r#"{"op":"frobnicate"}"#;
         assert!(parse_request(&parse_json(line).unwrap()).is_err());
+    }
+
+    #[test]
+    fn config_strata_roundtrip_through_json() {
+        let mut cfg = ChaseConfig::variant(ChaseVariant::Core);
+        cfg.strata = Some(vec![vec![0, 2], vec![1]]);
+        let back = config_from_json(&config_to_json(&cfg)).unwrap();
+        assert_eq!(back.strata, Some(vec![vec![0, 2], vec![1]]));
+        // Absent (old checkpoints) and null both mean "no schedule".
+        let line = r#"{"variant":"core","scheduler":"deterministic","scheduler_seed":null,
+                       "max_applications":10,"max_atoms":100,"max_wall_ms":null,"core_interval":1}"#;
+        let cfg = config_from_json(&parse_json(line).unwrap()).unwrap();
+        assert_eq!(cfg.strata, None);
+    }
+
+    #[test]
+    fn submit_detects_pinned_strategy_and_budgets() {
+        let cases = [
+            (r#"{"op":"submit","kb":"elevator"}"#, true, true),
+            (
+                r#"{"op":"submit","kb":"elevator","variant":"core"}"#,
+                false,
+                true,
+            ),
+            (
+                r#"{"op":"submit","kb":"elevator","max_apps":9}"#,
+                true,
+                false,
+            ),
+            (
+                r#"{"op":"submit","kb":"elevator","max_wall_ms":50}"#,
+                true,
+                false,
+            ),
+        ];
+        for (line, want_strategy, want_budgets) in cases {
+            let req = parse_request(&parse_json(line).unwrap()).unwrap();
+            let Request::Submit {
+                auto_strategy,
+                auto_budgets,
+                ..
+            } = req
+            else {
+                panic!("expected submit");
+            };
+            assert_eq!(auto_strategy, want_strategy, "{line}");
+            assert_eq!(auto_budgets, want_budgets, "{line}");
+        }
+    }
+
+    #[test]
+    fn analysis_json_names_certificates_and_plan_shapes() {
+        let kb = chase_core::KnowledgeBase::staircase();
+        let budget = chase_homomorphism::SearchBudget::unlimited().with_node_limit(2_000);
+        let gate = chase_core::analyze_kb(&kb, &budget, 80);
+        let v = analysis_to_json(&gate, &kb.rules);
+        let text = v.to_string();
+        assert!(text.contains(r#""admissible":true"#), "{text}");
+        assert!(text.contains("core-bounded-loop"), "{text}");
+        let report = v.get("report").unwrap();
+        assert_eq!(
+            report.get("weakly_acyclic").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            report
+                .get("core_bts")
+                .and_then(|c| c.get("status"))
+                .and_then(Json::as_str),
+            Some("certified")
+        );
     }
 }

@@ -28,8 +28,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use chase_core::AnalysisGate;
 use chase_engine::{run_chase_controlled, CancelToken, ChaseEvent, ChaseOutcome};
-use chase_homomorphism::maps_to;
+use chase_homomorphism::{maps_to, SearchBudget};
 use chase_treewidth::treewidth_bounds;
 
 use crate::checkpoint::Checkpoint;
@@ -167,6 +168,16 @@ pub struct ServiceConfig {
     /// How long [`Service::drain`] waits for running slices to
     /// checkpoint and stop before reporting them timed out.
     pub drain_grace: Duration,
+    /// Strict admission: shed submissions (via
+    /// [`Service::submit_analyzed`]) whose admission-time analysis
+    /// refutes every decidability route instead of admitting a job that
+    /// can only burn its budget.
+    pub strict_admission: bool,
+    /// Homomorphism-search node limit granted to the admission-time
+    /// static analyzer (the MFA critical-instance test).
+    pub analysis_node_limit: usize,
+    /// Chase applications granted to the admission-time dynamic probe.
+    pub analysis_probe: usize,
 }
 
 impl Default for ServiceConfig {
@@ -182,6 +193,9 @@ impl Default for ServiceConfig {
             job_deadline: None,
             op_deadline: None,
             drain_grace: Duration::from_secs(5),
+            strict_admission: false,
+            analysis_node_limit: 2_000,
+            analysis_probe: chase_core::DEFAULT_PROBE_APPLICATIONS,
         }
     }
 }
@@ -195,6 +209,9 @@ pub enum RejectReason {
     QuotaExceeded,
     /// The service is draining (or shut down) and admits nothing new.
     Draining,
+    /// Strict admission: the analyzer refuted every decidability route
+    /// for the submitted ruleset.
+    AnalysisRefuted,
 }
 
 impl RejectReason {
@@ -204,6 +221,7 @@ impl RejectReason {
             RejectReason::QueueFull => "queue-full",
             RejectReason::QuotaExceeded => "quota-exceeded",
             RejectReason::Draining => "draining",
+            RejectReason::AnalysisRefuted => "analysis-refuted",
         }
     }
 }
@@ -220,6 +238,33 @@ pub struct Rejection {
     /// Suggested client backoff; `None` when retrying is pointless
     /// (draining).
     pub retry_after: Option<Duration>,
+}
+
+/// Application ceiling applied by [`Service::submit_analyzed`] when the
+/// analyzer positively refutes termination and the submit pinned no
+/// budget of its own: divergence is expected, so cut early.
+pub const TIGHT_MAX_APPLICATIONS: usize = 1_000;
+/// Soft memory ceiling (abstract units) for refuted-terminating jobs.
+pub const TIGHT_MEM_SOFT: usize = 8_192;
+/// Hard memory ceiling (abstract units) for refuted-terminating jobs.
+pub const TIGHT_MEM_HARD: usize = 16_384;
+
+/// What [`Service::submit_analyzed`] decided at admission time.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    /// The full analysis gate (report, plan, evidence, probe) — boxed,
+    /// it dominates the struct's size. `None` when the gate was skipped
+    /// because the submit pinned both its strategy and its budgets and
+    /// strict admission is off: there is nothing for the analyzer to
+    /// decide, and keeping fully-pinned submits probe-free keeps them
+    /// cheap to shed under an overload burst.
+    pub gate: Option<Box<AnalysisGate>>,
+    /// The plan's variant + stratified schedule were written into the
+    /// job's config (`auto_strategy`).
+    pub strategy_applied: bool,
+    /// Default budgets were tightened because termination is refuted
+    /// (`auto_budgets`).
+    pub budgets_tightened: bool,
 }
 
 /// What [`Service::wait_timeout`] observed.
@@ -656,6 +701,78 @@ impl Service {
         Ok(id)
     }
 
+    /// Runs the admission-time analyzer over the spec's KB, then
+    /// enqueues through [`Service::try_submit`]. This is the wire path
+    /// for `submit` requests:
+    ///
+    /// * under [`ServiceConfig::strict_admission`], a ruleset whose
+    ///   analysis refutes every decidability route is shed with
+    ///   [`RejectReason::AnalysisRefuted`] — the job could only burn
+    ///   its budget;
+    /// * with [`JobSpec::auto_strategy`], the derived [`ChasePlan`]
+    ///   picks the chase variant and stratified rule schedule;
+    /// * with [`JobSpec::auto_budgets`], a ruleset whose termination is
+    ///   positively *refuted* gets tighter default budgets — divergence
+    ///   is expected, so fail fast and leave a resumable checkpoint.
+    ///
+    /// A submit that pinned both its variant and a budget (neither
+    /// `auto_strategy` nor `auto_budgets`) gives the analyzer nothing
+    /// to decide; unless strict admission needs a verdict, such a spec
+    /// skips the gate entirely — admission latency stays flat under a
+    /// burst of pinned submissions, which the overload ladder (shed on
+    /// `queue-full`) depends on.
+    ///
+    /// [`ChasePlan`]: chase_analysis::ChasePlan
+    pub fn submit_analyzed(&self, mut spec: JobSpec) -> Result<(JobId, Admission), Rejection> {
+        if !spec.auto_strategy && !spec.auto_budgets && !self.inner.cfg.strict_admission {
+            let id = self.try_submit(spec)?;
+            return Ok((
+                id,
+                Admission {
+                    gate: None,
+                    strategy_applied: false,
+                    budgets_tightened: false,
+                },
+            ));
+        }
+        let budget = SearchBudget::unlimited().with_node_limit(self.inner.cfg.analysis_node_limit);
+        let gate = chase_core::analyze_kb(&spec.kb, &budget, self.inner.cfg.analysis_probe);
+        if self.inner.cfg.strict_admission && !gate.admissible() {
+            return Err(Rejection {
+                reason: RejectReason::AnalysisRefuted,
+                message: format!(
+                    "strict admission: every decidability route is refuted-or-unknown \
+                     (terminating {}; bts {}; core-bts {})",
+                    gate.report.terminating, gate.report.bts, gate.report.core_bts
+                ),
+                retry_after: None,
+            });
+        }
+        let strategy_applied = spec.auto_strategy;
+        if spec.auto_strategy {
+            spec.config = gate.plan.apply(spec.config.clone());
+        }
+        let budgets_tightened = spec.auto_budgets && gate.report.terminating.is_refuted();
+        if budgets_tightened {
+            spec.config.max_applications = spec.config.max_applications.min(TIGHT_MAX_APPLICATIONS);
+            if spec.config.mem_soft.is_none() {
+                spec.config.mem_soft = Some(TIGHT_MEM_SOFT);
+            }
+            if spec.config.mem_hard.is_none() {
+                spec.config.mem_hard = Some(TIGHT_MEM_HARD);
+            }
+        }
+        let id = self.try_submit(spec)?;
+        Ok((
+            id,
+            Admission {
+                gate: Some(Box::new(gate)),
+                strategy_applied,
+                budgets_tightened,
+            },
+        ))
+    }
+
     /// Requests cancellation. Queued jobs die immediately; running jobs
     /// stop at the next trigger boundary. Returns false for unknown or
     /// already-terminal jobs.
@@ -957,7 +1074,7 @@ fn pick_job(inner: &Inner) -> Option<(JobId, JobSpec, CancelToken, String)> {
                 .iter()
                 .enumerate()
                 .min_by_key(|(i, id)| {
-                    let prio = jobs.get(*id).map(|e| e.priority).unwrap_or(Priority::Low);
+                    let prio = jobs.get(*id).map_or(Priority::Low, |e| e.priority);
                     (prio, *i)
                 })
                 .map(|(i, _)| i)
@@ -977,7 +1094,7 @@ fn pick_job(inner: &Inner) -> Option<(JobId, JobSpec, CancelToken, String)> {
 }
 
 /// Renders a panic payload for the `Crashed` event.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1026,7 +1143,7 @@ fn worker_loop(inner: &Inner) {
             match run {
                 Ok(result) => break result,
                 Err(payload) => {
-                    let message = panic_message(payload);
+                    let message = panic_message(payload.as_ref());
                     attempt += 1;
                     let retrying = attempt <= inner.cfg.max_retries;
                     inner.hub.emit(JobEvent {
@@ -1705,6 +1822,96 @@ mod tests {
         assert_eq!(shed.reason, RejectReason::Draining);
         assert!(shed.retry_after.is_none());
         assert_eq!(svc.list().len(), 2);
+    }
+
+    #[test]
+    fn submit_analyzed_applies_strategy_and_tightens_budgets() {
+        let svc = Service::with_config(
+            1,
+            ServiceConfig {
+                analysis_probe: 80,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let mut spec = JobSpec::from_kb(
+            "auto",
+            chase_core::KnowledgeBase::staircase(),
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(40),
+        );
+        spec.auto_strategy = true;
+        spec.auto_budgets = true;
+        let (id, admission) = svc.submit_analyzed(spec).unwrap();
+        // The staircase: termination refuted, core width plateaus — the
+        // plan recommends the core variant and the budgets tighten.
+        assert!(admission.strategy_applied);
+        assert!(admission.budgets_tightened);
+        let gate = admission.gate.as_ref().expect("auto submits run the gate");
+        assert_eq!(
+            gate.plan.recommended_variant(),
+            chase_engine::ChaseVariant::Core
+        );
+        assert!(!gate.plan.strata.is_empty());
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+        let apps = svc.with_result(id, |r| r.stats.applications).unwrap();
+        assert!(apps <= TIGHT_MAX_APPLICATIONS);
+    }
+
+    #[test]
+    fn strict_admission_sheds_refuted_rulesets() {
+        // A probe too short for any width plateau: every decidability
+        // route of the staircase ruleset stays refuted-or-unknown.
+        let strict = Service::with_config(
+            1,
+            ServiceConfig {
+                strict_admission: true,
+                analysis_probe: 8,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let spec = || {
+            JobSpec::from_kb(
+                "refuted",
+                chase_core::KnowledgeBase::staircase(),
+                ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(10),
+            )
+        };
+        let shed = strict.submit_analyzed(spec()).unwrap_err();
+        assert_eq!(shed.reason, RejectReason::AnalysisRefuted);
+        assert!(shed.retry_after.is_none());
+        assert!(shed.message.contains("refuted"));
+        // The same submission is admitted without strict admission —
+        // and because it pins both variant and budget, the lax path
+        // skips the probe entirely (fully-pinned admission stays flat).
+        let lax = Service::with_config(
+            1,
+            ServiceConfig {
+                analysis_probe: 8,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let (id, admission) = lax.submit_analyzed(spec()).unwrap();
+        assert!(admission.gate.is_none());
+        assert_eq!(lax.wait(id), Some(JobStatus::Finished));
+        // … and under strict admission with the production probe, the
+        // core-width plateau keeps the staircase admissible.
+        let strict_long = Service::with_config(
+            1,
+            ServiceConfig {
+                strict_admission: true,
+                analysis_probe: 80,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let (id, admission) = strict_long.submit_analyzed(spec()).unwrap();
+        assert!(admission
+            .gate
+            .expect("strict admission runs the gate")
+            .admissible());
+        assert_eq!(strict_long.wait(id), Some(JobStatus::Finished));
     }
 
     #[test]

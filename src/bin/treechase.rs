@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! treechase run <file> [--variant V] [--max-apps N] [--dot OUT.dot]
-//! treechase analyze <file> [--budget N]
+//! treechase analyze <file> [--budget N] [--json]
 //! treechase decide <file> "<query>" [--max-apps N]
 //! treechase serve [--workers N] [--state-dir DIR] [--retries N]
 //!                 [--retry-backoff-ms N] [--checkpoint-every N]
 //!                 [--max-queue N] [--quota N] [--mem-soft N] [--mem-hard N]
 //!                 [--op-deadline MS] [--drain-grace MS] [--job-deadline MS]
+//!                 [--strict-admission]
 //! treechase batch <dir> [--workers N] [--variant V] [--max-apps N]
 //!                       [--max-wall-ms N] [--tw-every N] [--progress-every N]
 //!                       [--state-dir DIR] [--retries N] [--retry-backoff-ms N]
@@ -17,8 +18,10 @@
 //!
 //! The input files use the `chase-parser` syntax (facts, rules, optional
 //! `?-` queries). `run` chases the KB and evaluates every query of the
-//! file against the result; `analyze` prints static certificates plus the
-//! Figure 1 dynamic probes; `decide` races the Theorem 1 twin procedure
+//! file against the result; `analyze` runs the admission-time analysis
+//! gate — static certificates, the Figure 1 dynamic probes, and the
+//! derived stratified chase plan (`--json` emits the wire-format
+//! report); `decide` races the Theorem 1 twin procedure
 //! on an ad-hoc query. `serve` speaks the JSONL job protocol over
 //! stdin/stdout (see README, "Running as a service"); `batch` submits
 //! every `.tc` file in a directory to a shared worker pool and streams
@@ -33,9 +36,10 @@ use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use treechase::analysis::{analyze, critical_instance_test, CriticalOutcome};
-use treechase::core::classes::probe_classes;
+use treechase::analysis::{critical_instance_test, CriticalOutcome};
+use treechase::core::analyze_kb;
 use treechase::engine::dot::instance_dot;
+use treechase::homomorphism::SearchBudget;
 use treechase::prelude::*;
 use treechase::service::protocol::{self, event_to_json, parse_request, result_to_json, Request};
 use treechase::service::{
@@ -66,6 +70,8 @@ struct Args {
     op_deadline_ms: Option<u64>,
     drain_grace_ms: u64,
     job_deadline_ms: Option<u64>,
+    json: bool,
+    strict_admission: bool,
 }
 
 impl Default for Args {
@@ -92,12 +98,15 @@ impl Default for Args {
             op_deadline_ms: None,
             drain_grace_ms: 5_000,
             job_deadline_ms: None,
+            json: false,
+            strict_admission: false,
         }
     }
 }
 
-/// One row of the flag table: spelling, value placeholder, the
-/// subcommands that accept it, and the setter.
+/// One row of the flag table: spelling, value placeholder (empty for a
+/// boolean flag that takes no value), the subcommands that accept it,
+/// and the setter.
 struct FlagSpec {
     name: &'static str,
     metavar: &'static str,
@@ -294,6 +303,24 @@ const FLAGS: &[FlagSpec] = &[
             Ok(())
         },
     },
+    FlagSpec {
+        name: "--json",
+        metavar: "",
+        commands: &["analyze"],
+        apply: |a, _| {
+            a.json = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--strict-admission",
+        metavar: "",
+        commands: &["serve"],
+        apply: |a, _| {
+            a.strict_admission = true;
+            Ok(())
+        },
+    },
 ];
 
 /// One row of the command table: spelling, operand count bounds, operand
@@ -355,7 +382,11 @@ fn usage() -> ExitCode {
         }
         for flag in FLAGS {
             if flag.commands.contains(&cmd.name) {
-                text.push_str(&format!(" [{} {}]", flag.name, flag.metavar));
+                if flag.metavar.is_empty() {
+                    text.push_str(&format!(" [{}]", flag.name));
+                } else {
+                    text.push_str(&format!(" [{} {}]", flag.name, flag.metavar));
+                }
             }
         }
         text.push('\n');
@@ -373,9 +404,13 @@ fn parse_args(cmd: &CommandSpec, mut raw: impl Iterator<Item = String>) -> Resul
             if !flag.commands.contains(&cmd.name) {
                 return Err(format!("{} does not apply to `{}`", flag.name, cmd.name));
             }
-            let value = raw
-                .next()
-                .ok_or_else(|| format!("{} needs a value", flag.name))?;
+            // An empty metavar marks a boolean flag: no value consumed.
+            let value = if flag.metavar.is_empty() {
+                String::new()
+            } else {
+                raw.next()
+                    .ok_or_else(|| format!("{} needs a value", flag.name))?
+            };
             (flag.apply)(&mut args, &value)?;
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag `{arg}`"));
@@ -439,22 +474,38 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let path = &args.positional[0];
-    let (kb, _) = load(path)?;
-    println!("--- static certificates ---");
-    println!("{}", analyze(&kb.rules));
-    match critical_instance_test(&kb.rules, args.budget * 4) {
+    // The operand is a program file, or the name of a built-in KB
+    // (`staircase` / `elevator`) when no such file exists.
+    let kb = match load(path) {
+        Ok((kb, _)) => kb,
+        Err(e) => treechase::service::named_kb(path).map_err(|_| e)?,
+    };
+    // The static sub-tests get a search budget proportional to the
+    // probe budget, so one knob scales the whole analysis.
+    let budget = SearchBudget::unlimited().with_node_limit(args.budget.saturating_mul(25));
+    let gate = analyze_kb(&kb, &budget, args.budget);
+    if args.json {
+        println!("{}", protocol::analysis_to_json(&gate, &kb.rules));
+        return Ok(());
+    }
+    println!("--- ruleset report (static + probe evidence) ---");
+    println!("{}", gate.report);
+    match critical_instance_test(
+        &kb.rules,
+        &SearchBudget::unlimited().with_node_limit(args.budget.saturating_mul(4)),
+    ) {
         CriticalOutcome::TerminatesEverywhere { applications } => println!(
             "critical-instance test: terminates everywhere ({applications} applications) ⇒ fes"
         ),
         CriticalOutcome::BudgetExhausted => {
-            println!("critical-instance test: inconclusive at this budget")
+            println!("critical-instance test: inconclusive at this budget");
         }
     }
     println!(
         "--- dynamic probes (this fact base, budget {}) ---",
         args.budget
     );
-    let probe = probe_classes(&kb, args.budget);
+    let probe = &gate.probe;
     println!("core chase terminated: {}", probe.core_chase_terminated);
     println!(
         "restricted chase: terminated={} tw-profile max {}",
@@ -466,6 +517,13 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         probe.core_uniform_bound(),
         probe.core_recurring_bound()
     );
+    println!("--- chase plan ---");
+    println!("{}", gate.plan.describe(&kb.rules));
+    println!(
+        "recommended variant: {}",
+        protocol::variant_name(gate.plan.recommended_variant())
+    );
+    println!("admissible: {}", gate.admissible());
     Ok(())
 }
 
@@ -526,6 +584,7 @@ fn service_config(args: &Args) -> ServiceConfig {
         job_deadline: args.job_deadline_ms.map(Duration::from_millis),
         op_deadline: args.op_deadline_ms.map(Duration::from_millis),
         drain_grace: Duration::from_millis(args.drain_grace_ms),
+        strict_admission: args.strict_admission,
         ..ServiceConfig::default()
     }
 }
@@ -599,6 +658,8 @@ fn handle_request(svc: &Service, args: &Args, req: Request) -> Result<Json, Stri
             checkpoint_every,
             priority,
             submitter,
+            auto_strategy,
+            auto_budgets,
         } => {
             apply_mem_defaults(&mut config, args);
             let mut spec = match (&source, &kb) {
@@ -627,16 +688,35 @@ fn handle_request(svc: &Service, args: &Args, req: Request) -> Result<Json, Stri
             }
             spec = spec.with_priority(priority);
             spec.submitter = submitter;
+            spec.auto_strategy = auto_strategy;
+            spec.auto_budgets = auto_budgets;
             if spec.name.is_empty() {
                 // Ids are minted densely from 1 and entries are never
                 // removed, so the next id is the table size plus one.
                 spec.name = format!("job-{}", svc.list().len() + 1);
             }
-            match svc.try_submit(spec) {
-                Ok(id) => Ok(response(
-                    "submit",
-                    vec![("job".to_string(), Json::Int(id as i64))],
-                )),
+            let rules = spec.kb.rules.clone();
+            match svc.submit_analyzed(spec) {
+                Ok((id, admission)) => {
+                    let mut fields = vec![("job".to_string(), Json::Int(id as i64))];
+                    // Fully-pinned submits skip the gate; the reply then
+                    // carries no analysis block.
+                    if let Some(gate) = &admission.gate {
+                        fields.push((
+                            "analysis".to_string(),
+                            protocol::analysis_to_json(gate, &rules),
+                        ));
+                        fields.push((
+                            "strategy_applied".to_string(),
+                            Json::Bool(admission.strategy_applied),
+                        ));
+                        fields.push((
+                            "budgets_tightened".to_string(),
+                            Json::Bool(admission.budgets_tightened),
+                        ));
+                    }
+                    Ok(response("submit", fields))
+                }
                 Err(rej) => Ok(treechase::service::rejection_to_json("submit", &rej)),
             }
         }
@@ -776,6 +856,7 @@ fn drain_fields(report: &treechase::service::DrainReport) -> Vec<(String, Json)>
 /// C handler only flips an atomic; a watcher thread polls it and runs
 /// the drain sequence outside signal context.
 #[cfg(unix)]
+#[allow(unsafe_code)] // the single vetted `signal(2)` registration below
 mod sigterm {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -920,10 +1001,10 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
 
     let mut ids = recovered;
     for path in &files {
-        let name = path
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_else(|| path.display().to_string());
+        let name = path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
         let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         // A fresh fault plan per job: each job's sites fire once.
         let mut job_cfg = cfg.clone();

@@ -1,0 +1,193 @@
+//! Integration tests of the admission-time analysis gate: property
+//! tests tying static certificates to actual chase behaviour, the
+//! paper's two headline KBs landing in distinct plan shapes, and the
+//! analysis block a service submit puts on the wire.
+
+use treechase::analysis::{analyze_with_budget, StratumShape};
+use treechase::atoms::Vocabulary;
+use treechase::core::{analyze_kb, KnowledgeBase};
+use treechase::engine::{ChaseConfig, ChaseVariant};
+use treechase::homomorphism::SearchBudget;
+use treechase::kbs::random::{random_instance, random_linear_ruleset, InstanceConfig};
+use treechase::service::{protocol, JobSpec, Service, ServiceConfig};
+
+fn budget() -> SearchBudget {
+    SearchBudget::unlimited().with_node_limit(4_000)
+}
+
+/// Probe horizon used throughout: separates the staircase from the
+/// elevator (see `chase_core::gate`) while staying cheap in debug
+/// builds.
+const PROBE: usize = 80;
+
+/// Soundness of the fes certificates, checked against the engine: on
+/// seeded random linear rulesets, whenever the analyzer certifies
+/// termination (weak/joint acyclicity or MFA), the restricted chase
+/// from a seeded random instance really does reach a fixpoint within a
+/// generous application budget. A single counterexample here would mean
+/// an unsound certificate, so the budget failure mode is a hard panic.
+#[test]
+fn certified_fes_rulesets_really_terminate() {
+    let mut certified = 0;
+    for seed in 0..40u64 {
+        let mut vocab = Vocabulary::new();
+        let rules = random_linear_ruleset(&mut vocab, 4, seed);
+        let report = analyze_with_budget(&rules, &budget());
+        if !report.certified_fes() {
+            continue;
+        }
+        certified += 1;
+        let facts = random_instance(
+            &mut vocab,
+            &InstanceConfig {
+                atoms: 12,
+                terms: 8,
+                const_percent: 50,
+                preds: vec!["r", "s"],
+            },
+            seed,
+        );
+        let kb = KnowledgeBase::new(vocab, facts, rules);
+        let res =
+            kb.chase(&ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(20_000));
+        assert!(
+            res.outcome.terminated(),
+            "seed {seed}: certified-terminating ruleset did not reach a fixpoint \
+             within 20k applications (outcome {:?})",
+            res.outcome
+        );
+    }
+    // The generator mixes datalog-ish and existential chain rules, so a
+    // healthy fraction of seeds must actually exercise the property.
+    assert!(
+        certified >= 5,
+        "only {certified}/40 seeds produced a certified-terminating ruleset; \
+         the property test lost its teeth"
+    );
+}
+
+/// The steepening staircase (paper §5): not weakly acyclic, termination
+/// positively refuted by MFA, yet core-bts certified by the plateauing
+/// core-width probe — and the plan puts its rules in a core-bounded
+/// loop.
+#[test]
+fn staircase_is_refuted_weakly_acyclic_but_certified_core_bts() {
+    let kb = KnowledgeBase::staircase();
+    let gate = analyze_kb(&kb, &budget(), PROBE);
+    assert!(!gate.report.weakly_acyclic);
+    assert!(
+        gate.report.terminating.is_refuted(),
+        "the staircase chase never terminates; MFA must refute fes: {}",
+        gate.report.terminating
+    );
+    assert!(
+        gate.report.certified_core_bts(),
+        "core-width probe must certify core-bts: {}",
+        gate.report.core_bts
+    );
+    assert!(gate
+        .plan
+        .strata
+        .iter()
+        .any(|s| s.shape == StratumShape::CoreBoundedLoop));
+    assert_eq!(gate.plan.recommended_variant(), ChaseVariant::Core);
+}
+
+/// The inflating elevator (paper §6): its universal model has treewidth
+/// 1, so the restricted-width probe plateaus at a small constant, bts
+/// stays unrefuted, and the plan shape is a bounded-width loop — a
+/// restricted-chase strategy, distinct from the staircase's core plan.
+#[test]
+fn elevator_is_treewidth_compatible_and_gets_restricted_plan() {
+    let kb = KnowledgeBase::elevator();
+    let gate = analyze_kb(&kb, &budget(), PROBE);
+    assert!(!gate.report.bts.is_refuted(), "{}", gate.report.bts);
+    let w = gate
+        .evidence
+        .restricted_width
+        .expect("restricted profile must plateau");
+    assert!(
+        w <= 3,
+        "elevator restricted-chase width must stay near its treewidth-1 \
+         universal model, got {w}"
+    );
+    assert!(gate
+        .plan
+        .strata
+        .iter()
+        .any(|s| s.shape == StratumShape::BoundedWidthLoop));
+    assert_eq!(gate.plan.recommended_variant(), ChaseVariant::Restricted);
+}
+
+/// The two headline KBs must land in *distinct* plan shapes — this is
+/// the separation the admission gate exists to make.
+#[test]
+fn staircase_and_elevator_plans_are_distinct() {
+    let stairs = analyze_kb(&KnowledgeBase::staircase(), &budget(), PROBE);
+    let lift = analyze_kb(&KnowledgeBase::elevator(), &budget(), PROBE);
+    let shapes =
+        |p: &treechase::analysis::ChasePlan| p.strata.iter().map(|s| s.shape).collect::<Vec<_>>();
+    assert_ne!(shapes(&stairs.plan), shapes(&lift.plan));
+    assert_ne!(
+        stairs.plan.recommended_variant(),
+        lift.plan.recommended_variant()
+    );
+}
+
+/// Submitting a certified-terminating ruleset with auto-strategy on:
+/// the admission gate certifies fes, derives a stratified terminating
+/// plan, applies it to the job's config, and the analysis block
+/// serializes for the wire with the plan attached.
+#[test]
+fn submit_analyzed_attaches_plan_and_analysis_block() {
+    let kb = KnowledgeBase::from_text(
+        "e(a, b). e(b, c).
+         Copy:  e(X, Y) -> r(X, Y).
+         Close: r(X, Y), r(Y, Z) -> r(X, Z).
+         Label: r(X, Y) -> lab(X, L).",
+    )
+    .unwrap();
+    let rules = kb.rules.clone();
+    let svc = Service::with_config(
+        2,
+        ServiceConfig {
+            analysis_probe: PROBE,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut spec = JobSpec::from_kb("auto", kb, ChaseConfig::default());
+    spec.auto_strategy = true;
+    let (id, admission) = svc.submit_analyzed(spec).expect("admitted");
+    assert!(admission.strategy_applied);
+    let gate = admission.gate.as_ref().expect("auto submits run the gate");
+    assert!(gate.report.certified_fes());
+    assert!(gate.plan.strata.iter().all(|s| !s.shape.needs_core()));
+
+    // The analysis block as the wire sees it: report + stratified plan.
+    let json = protocol::analysis_to_json(gate, &rules).to_string();
+    let parsed = treechase::service::parse_json(&json).unwrap();
+    assert_eq!(
+        parsed
+            .get("report")
+            .and_then(|r| r.get("terminating"))
+            .and_then(|t| t.get("status"))
+            .and_then(|s| s.as_str()),
+        Some("certified")
+    );
+    let strata = parsed
+        .get("plan")
+        .and_then(|p| p.get("strata"))
+        .and_then(|s| s.as_arr())
+        .expect("plan.strata array");
+    assert!(!strata.is_empty());
+    assert_eq!(
+        parsed.get("admissible").and_then(|a| a.as_bool()),
+        Some(true)
+    );
+
+    // And the job itself runs to termination under the applied plan.
+    let result = svc.take_result(id).expect("job result");
+    assert!(result.outcome.terminated(), "{:?}", result.outcome);
+    svc.shutdown();
+}

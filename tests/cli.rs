@@ -135,3 +135,108 @@ fn dot_export_writes_file() {
     let dot = std::fs::read_to_string(&dot_path).unwrap();
     assert!(dot.starts_with("digraph"));
 }
+
+/// Runs `analyze <operand> --json` and parses the emitted report.
+fn analyze_json(operand: &str) -> treechase::service::Json {
+    let out = bin()
+        .args(["analyze", operand, "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    treechase::service::parse_json(stdout.trim()).expect("valid JSON")
+}
+
+fn str_at<'j>(j: &'j treechase::service::Json, path: &[&str]) -> Option<&'j str> {
+    let mut cur = j;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_str()
+}
+
+/// Snapshot of the stable fields for the built-in steepening staircase:
+/// termination refuted, core-bts certified by the core-width probe, and
+/// a core-bounded plan.
+#[test]
+fn analyze_json_staircase_snapshot() {
+    let j = analyze_json("staircase");
+    assert_eq!(
+        j.get("report")
+            .and_then(|r| r.get("weakly_acyclic"))
+            .and_then(|b| b.as_bool()),
+        Some(false)
+    );
+    assert_eq!(
+        str_at(&j, &["report", "terminating", "status"]),
+        Some("refuted")
+    );
+    assert_eq!(
+        str_at(&j, &["report", "core_bts", "status"]),
+        Some("certified")
+    );
+    assert_eq!(str_at(&j, &["plan", "variant"]), Some("core"));
+    let shapes: Vec<&str> = j
+        .get("plan")
+        .and_then(|p| p.get("strata"))
+        .and_then(|s| s.as_arr())
+        .expect("strata")
+        .iter()
+        .filter_map(|s| s.get("shape").and_then(|v| v.as_str()))
+        .collect();
+    assert!(shapes.contains(&"core-bounded-loop"), "{shapes:?}");
+    assert_eq!(j.get("admissible").and_then(|b| b.as_bool()), Some(true));
+}
+
+/// Snapshot for the built-in inflating elevator: the restricted profile
+/// plateaus, so the plan stays on the restricted chase — distinct from
+/// the staircase snapshot above.
+#[test]
+fn analyze_json_elevator_snapshot() {
+    let j = analyze_json("elevator");
+    assert_eq!(str_at(&j, &["plan", "variant"]), Some("restricted"));
+    let shapes: Vec<&str> = j
+        .get("plan")
+        .and_then(|p| p.get("strata"))
+        .and_then(|s| s.as_arr())
+        .expect("strata")
+        .iter()
+        .filter_map(|s| s.get("shape").and_then(|v| v.as_str()))
+        .collect();
+    assert!(shapes.contains(&"bounded-width-loop"), "{shapes:?}");
+    assert!(!shapes.contains(&"core-bounded-loop"), "{shapes:?}");
+    let w = j
+        .get("evidence")
+        .and_then(|e| e.get("restricted_width"))
+        .and_then(|v| v.as_i64())
+        .expect("plateaued width");
+    assert!(w <= 3, "elevator restricted width should be small, got {w}");
+    assert_eq!(j.get("admissible").and_then(|b| b.as_bool()), Some(true));
+}
+
+/// A weakly acyclic file KB: certified-terminating end to end, with a
+/// fully non-core plan.
+#[test]
+fn analyze_json_weakly_acyclic_file() {
+    let kb = write_kb(
+        "wa_json.tc",
+        "r(a, b).\nR: r(X, Y) -> s(Y, Z).\nS: s(X, Y) -> t(X).\n",
+    );
+    let j = analyze_json(kb.to_str().unwrap());
+    assert_eq!(
+        j.get("report")
+            .and_then(|r| r.get("weakly_acyclic"))
+            .and_then(|b| b.as_bool()),
+        Some(true)
+    );
+    assert_eq!(
+        str_at(&j, &["report", "terminating", "status"]),
+        Some("certified")
+    );
+    assert_eq!(str_at(&j, &["plan", "variant"]), Some("restricted"));
+    assert_eq!(j.get("admissible").and_then(|b| b.as_bool()), Some(true));
+}

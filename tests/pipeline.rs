@@ -58,13 +58,14 @@ fn decide_races_on_paper_kbs() {
 
 #[test]
 fn chase_results_are_reproducible_across_runs() {
+    use treechase::engine::ChaseStats;
+
     let kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
     let cfg = ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(7);
     let r1 = kb.chase(&cfg);
     let r2 = kb.chase(&cfg);
     assert_eq!(r1.final_instance, r2.final_instance);
     // Wall time is the one legitimately nondeterministic counter.
-    use treechase::engine::ChaseStats;
     let strip = |s: ChaseStats| ChaseStats { wall_us: 0, ..s };
     assert_eq!(strip(r1.stats), strip(r2.stats));
 }

@@ -37,7 +37,7 @@ fn staircase_natural_vs_robust_aggregation() {
 }
 
 /// The per-height stable names of the worked example: after the first
-/// fold the bottom variable keeps the original X0_0 name.
+/// fold the bottom variable keeps the original `X0_0` name.
 #[test]
 fn first_fold_preserves_oldest_names() {
     let mut s = Staircase::new();
@@ -49,8 +49,7 @@ fn first_fold_preserves_oldest_names() {
     let x00 = s.x(0, 0);
     assert!(
         g_last.mentions(x00),
-        "stable name X0_0 must survive the fold; G = {:?}",
-        g_last
+        "stable name X0_0 must survive the fold; G = {g_last:?}"
     );
 }
 
