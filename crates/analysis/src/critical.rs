@@ -27,7 +27,27 @@ use chase_homomorphism::SearchBudget;
 /// rule body like `ok(a), …` never matches an all-`∗` instance, so
 /// omitting `a` would certify termination for rulesets that diverge on
 /// any fact base containing `ok(a)`.
+///
+/// The instance has `Σ_p |consts|^arity(p)` atoms — exponential in the
+/// worst predicate arity — so anything on a latency-sensitive path must
+/// use [`critical_instance_capped`], which refuses to materialize past
+/// a caller-chosen ceiling.
 pub fn critical_instance(vocab: &mut Vocabulary, rules: &RuleSet) -> AtomSet {
+    critical_instance_capped(vocab, rules, usize::MAX)
+        .expect("critical instance exceeds usize::MAX atoms")
+}
+
+/// [`critical_instance`] with an atom ceiling: returns `None` — without
+/// doing the exponential work — when the instance would exceed
+/// `max_atoms`. A single rule mentioning a few constants in a
+/// high-arity predicate (say `p/8` over 9 constants) describes ~43M
+/// atoms; callers under a [`SearchBudget`] must bail out instead of
+/// stalling on construction.
+pub fn critical_instance_capped(
+    vocab: &mut Vocabulary,
+    rules: &RuleSet,
+    max_atoms: usize,
+) -> Option<AtomSet> {
     let mut preds = std::collections::BTreeSet::new();
     let mut consts = std::collections::BTreeSet::new();
     for (_, rule) in rules.iter() {
@@ -38,6 +58,20 @@ pub fn critical_instance(vocab: &mut Vocabulary, rules: &RuleSet) -> AtomSet {
                     consts.insert(c);
                 }
             }
+        }
+    }
+    // Size check before any materialization: Σ_p |consts|^arity(p),
+    // with overflow treated as "over the cap". +1 for the star below.
+    let base = consts.len() as u128 + 1;
+    let mut total: u128 = 0;
+    for &(_, arity) in &preds {
+        let tuples = u32::try_from(arity)
+            .ok()
+            .and_then(|a| base.checked_pow(a))
+            .and_then(|t| total.checked_add(t));
+        match tuples {
+            Some(t) if t <= max_atoms as u128 => total = t,
+            _ => return None,
         }
     }
     // Mint a star id distinct from every rule constant. The rules' ids
@@ -70,7 +104,7 @@ pub fn critical_instance(vocab: &mut Vocabulary, rules: &RuleSet) -> AtomSet {
             }
         }
     }
-    out
+    Some(out)
 }
 
 /// Outcome of the critical-instance test.
@@ -91,17 +125,31 @@ pub enum CriticalOutcome {
 /// Applications allowed when the budget carries no node limit.
 const DEFAULT_APPLICATIONS: usize = 10_000;
 
+/// Atom ceiling the tests grant the chase (and hence the critical
+/// instance itself), derived from the application budget.
+pub(crate) fn atom_cap(applications: usize) -> usize {
+    applications.saturating_mul(8).max(1_000)
+}
+
 /// Runs the Marnette test under the shared [`SearchBudget`]: its node
 /// limit caps chase applications, and its deadline and cancel flags cut
 /// the run cooperatively — so a service can abort an admission-time
 /// analysis exactly like any other search.
+///
+/// The critical instance itself is built under the same ceiling as the
+/// chase's atom budget: a ruleset whose critical instance would already
+/// blow past it (high predicate arity over several constants) returns
+/// [`CriticalOutcome::BudgetExhausted`] immediately instead of stalling
+/// the caller on construction.
 pub fn critical_instance_test(rules: &RuleSet, budget: &SearchBudget) -> CriticalOutcome {
     let mut vocab = Vocabulary::new();
-    let facts = critical_instance(&mut vocab, rules);
     let applications = budget.node_limit.unwrap_or(DEFAULT_APPLICATIONS);
+    let Some(facts) = critical_instance_capped(&mut vocab, rules, atom_cap(applications)) else {
+        return CriticalOutcome::BudgetExhausted;
+    };
     let cfg = ChaseConfig::variant(ChaseVariant::SemiOblivious)
         .with_max_applications(applications)
-        .with_max_atoms(applications.saturating_mul(8).max(1_000))
+        .with_max_atoms(atom_cap(applications))
         .with_record(RecordLevel::FinalOnly)
         .with_search_budget(budget.clone());
     let res = run_chase_controlled(&mut vocab, &facts, rules, &cfg, None, |_| {
@@ -183,6 +231,35 @@ mod tests {
         assert_eq!(
             critical_instance_test(&rs, &budget(100)),
             CriticalOutcome::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn high_arity_blowup_is_rejected_not_materialized() {
+        // p/8 over 8 rule constants + ∗ describes 9^8 ≈ 43M atoms; the
+        // capped constructor must refuse without enumerating, and the
+        // budgeted test must come back immediately as inconclusive.
+        let rs = rules("R: p(a, b, c, d, e, f, g, h) -> q(Z).");
+        let mut vocab = Vocabulary::new();
+        let started = std::time::Instant::now();
+        assert_eq!(critical_instance_capped(&mut vocab, &rs, 100_000), None);
+        assert_eq!(
+            critical_instance_test(&rs, &budget(1_000)),
+            CriticalOutcome::BudgetExhausted
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "cap check must not enumerate the instance"
+        );
+        // The count is exact, not a heuristic: a 6-atom instance (ok/1
+        // over {∗,a} plus r/2 over {∗,a}²) builds at cap 6 and refuses
+        // at cap 5.
+        let small = rules("R: ok(a), r(X, Y) -> r(Y, Z).");
+        let mut vocab = Vocabulary::new();
+        assert_eq!(critical_instance_capped(&mut vocab, &small, 5), None);
+        assert_eq!(
+            critical_instance_capped(&mut vocab, &small, 6).map(|ci| ci.len()),
+            Some(6)
         );
     }
 

@@ -29,9 +29,9 @@
 //!   piece-unification, its SCC condensation, and the stratified chase
 //!   plans derived from it.
 //!
-//! Everything semantic is reported through the three-valued
-//! [`Verdict`] lattice (Certified / Refuted / Inconclusive) with
-//! explicit [`Certificate`] provenance.
+//! Everything semantic is reported through the [`Verdict`] lattice
+//! (Certified / Refuted / `LikelyRefuted` / Inconclusive) with explicit
+//! [`Certificate`] provenance.
 //!
 //! These analyses complement the dynamic probes in
 //! `chase_core::classes`: a syntactic certificate holds for *every* fact
@@ -51,11 +51,16 @@ mod report;
 mod stratify;
 
 pub use acyclicity::{jointly_acyclic, weakly_acyclic, PositionGraph};
-pub use critical::{critical_instance, critical_instance_test, CriticalOutcome};
+pub use critical::{
+    critical_instance, critical_instance_capped, critical_instance_test, CriticalOutcome,
+};
 pub use depgraph::{may_trigger, Condensation, DepGraph, SccInfo};
 pub use guards::{guardedness, GuardKind, Guardedness};
 pub use mfa::{mfa_test, MfaOutcome};
 pub use report::{
     analyze, analyze_with_budget, Certificate, DynamicEvidence, Refutation, RulesetReport, Verdict,
+    WidthObservation,
 };
-pub use stratify::{stratified_plan, stratified_plan_with, ChasePlan, Stratum, StratumShape};
+pub use stratify::{
+    stratified_plan, stratified_plan_probed, stratified_plan_with, ChasePlan, Stratum, StratumShape,
+};

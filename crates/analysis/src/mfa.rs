@@ -27,7 +27,7 @@ use chase_atoms::{Term, VarId, Vocabulary};
 use chase_engine::{all_triggers, apply_trigger, RuleId, RuleSet};
 use chase_homomorphism::SearchBudget;
 
-use crate::critical::critical_instance;
+use crate::critical::{atom_cap, critical_instance_capped};
 
 /// A Skolem symbol: one existential variable of one rule.
 type Symbol = (RuleId, usize);
@@ -61,10 +61,20 @@ pub enum MfaOutcome {
 }
 
 /// Runs the MFA-style test for `rules` under `budget`.
+///
+/// The critical instance is materialized under an atom ceiling derived
+/// from the budget: a ruleset whose instance would exceed it (a
+/// high-arity predicate over a handful of constants is enough to
+/// describe tens of millions of atoms) is reported
+/// [`MfaOutcome::BudgetExhausted`] up front, so an admission-time
+/// caller never stalls on construction.
 pub fn mfa_test(rules: &RuleSet, budget: &SearchBudget) -> MfaOutcome {
     let mut vocab = Vocabulary::new();
-    let mut instance = critical_instance(&mut vocab, rules);
     let max_applications = budget.node_limit.unwrap_or(DEFAULT_APPLICATIONS);
+    let Some(mut instance) = critical_instance_capped(&mut vocab, rules, atom_cap(max_applications))
+    else {
+        return MfaOutcome::BudgetExhausted { applications: 0 };
+    };
 
     // Per-null provenance: all Skolem symbols in the null's term tree,
     // plus its nesting depth.
@@ -182,6 +192,20 @@ mod tests {
         assert_eq!(
             mfa_test(&rs, &budget(0)),
             MfaOutcome::BudgetExhausted { applications: 0 }
+        );
+    }
+
+    #[test]
+    fn high_arity_blowup_is_inconclusive_not_materialized() {
+        let rs = rules("R: p(a, b, c, d, e, f, g, h) -> q(Z).");
+        let started = std::time::Instant::now();
+        assert_eq!(
+            mfa_test(&rs, &budget(1_000)),
+            MfaOutcome::BudgetExhausted { applications: 0 }
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "the 9^8-atom critical instance must not be enumerated"
         );
     }
 

@@ -1,9 +1,11 @@
-//! Combined static-analysis report for a ruleset: a three-valued
-//! verdict lattice per semantic property, with certificate provenance.
+//! Combined static-analysis report for a ruleset: a verdict lattice
+//! per semantic property, with certificate provenance.
 //!
 //! Each semantic property (termination / bts / core-bts) gets a
 //! [`Verdict`]: **Certified** with the [`Certificate`] that justifies
-//! it, **Refuted** with the witness, or **Inconclusive** with the
+//! it, **Refuted** with the witness, **`LikelyRefuted`** when the witness
+//! only sinks a sufficient condition (an MFA cycle refutes MFA-class
+//! membership, not termination itself), or **Inconclusive** with the
 //! budget that ran out. The raw syntactic facts (datalog, acyclicity,
 //! guardedness) stay available as plain booleans.
 //!
@@ -68,12 +70,16 @@ impl Certificate {
     }
 }
 
-/// What justified a [`Verdict::Refuted`].
+/// What justified a [`Verdict::Refuted`] or [`Verdict::LikelyRefuted`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Refutation {
     /// The MFA test found a cyclically nested Skolem term: membership
     /// in the MFA class is refuted and the critical chase shows the
-    /// self-similar expansion that drives divergence.
+    /// self-similar expansion that drives divergence. This witness
+    /// refutes the MFA *class*, not termination itself (terminating
+    /// rulesets can produce cyclic Skolem terms), so the termination
+    /// route carries it as [`Verdict::LikelyRefuted`], never
+    /// [`Verdict::Refuted`].
     MfaCycle {
         /// Rule whose existential restarted its own expansion.
         rule: RuleId,
@@ -95,14 +101,22 @@ impl Refutation {
     }
 }
 
-/// Three-valued verdict for one semantic property.
+/// Verdict for one semantic property: certified, refuted, likely
+/// refuted (positive divergence evidence short of a proof), or
+/// inconclusive.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// The property holds, justified by this certificate.
     Certified(Certificate),
-    /// The property (or its best sufficient condition) fails, with a
-    /// witness.
+    /// The property fails, with a witness.
     Refuted(Refutation),
+    /// Finite-horizon evidence points against the property — the
+    /// witness refutes a *sufficient condition* (e.g. MFA-class
+    /// membership), not the property itself. Strictly weaker than
+    /// [`Verdict::Refuted`]; consumers that act on divergence evidence
+    /// (budget tightening, strict shedding) opt into it via
+    /// [`Verdict::suspects_divergence`].
+    LikelyRefuted(Refutation),
     /// Neither direction was decided within the budget (applications
     /// granted to the dynamic sub-tests).
     Inconclusive {
@@ -117,15 +131,41 @@ impl Verdict {
         matches!(self, Verdict::Certified(_))
     }
 
-    /// Is the property refuted?
+    /// Is the property positively refuted?
     pub fn is_refuted(&self) -> bool {
         matches!(self, Verdict::Refuted(_))
+    }
+
+    /// Is the property likely refuted (evidence, not proof)?
+    pub fn is_likely_refuted(&self) -> bool {
+        matches!(self, Verdict::LikelyRefuted(_))
+    }
+
+    /// Did the budget run out before either direction was decided?
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Verdict::Inconclusive { .. })
+    }
+
+    /// Refuted or likely refuted: there is a positive divergence
+    /// witness, proven or finite-horizon. This is the predicate that
+    /// fail-fast policies (tight budgets, strict admission shedding)
+    /// key on — deliberately including the evidence-only level.
+    pub fn suspects_divergence(&self) -> bool {
+        matches!(self, Verdict::Refuted(_) | Verdict::LikelyRefuted(_))
     }
 
     /// The certificate, when certified.
     pub fn certificate(&self) -> Option<&Certificate> {
         match self {
             Verdict::Certified(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The divergence witness, when refuted or likely refuted.
+    pub fn refutation(&self) -> Option<&Refutation> {
+        match self {
+            Verdict::Refuted(r) | Verdict::LikelyRefuted(r) => Some(r),
             _ => None,
         }
     }
@@ -140,13 +180,63 @@ impl fmt::Display for Verdict {
                 }
                 _ => write!(f, "certified by {}", c.name()),
             },
-            Verdict::Refuted(r) => match r {
-                Refutation::MfaCycle { rule, depth } => {
-                    write!(f, "refuted by mfa-cycle (rule {rule}, depth {depth})")
+            Verdict::Refuted(r) | Verdict::LikelyRefuted(r) => {
+                let level = if self.is_refuted() {
+                    "refuted"
+                } else {
+                    "likely refuted"
+                };
+                match r {
+                    Refutation::MfaCycle { rule, depth } => {
+                        write!(f, "{level} by mfa-cycle (rule {rule}, depth {depth})")
+                    }
+                    Refutation::CoreWidthDiverging => write!(f, "{level} by {}", r.name()),
                 }
-                Refutation::CoreWidthDiverging => write!(f, "refuted by {}", r.name()),
-            },
+            }
             Verdict::Inconclusive { budget } => write!(f, "inconclusive (budget {budget})"),
+        }
+    }
+}
+
+/// What a finite-horizon treewidth-profile probe observed.
+///
+/// The three states are deliberately distinct: a profile that *climbed*
+/// over the whole horizon is positive divergence evidence, while a
+/// horizon too short to judge carries **no** signal — conflating the
+/// two would mint refutations out of small probe budgets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WidthObservation {
+    /// The profile plateaued at this certified upper bound (or the
+    /// chase terminated, trivially bounding it).
+    Plateau(usize),
+    /// The profile was still climbing when the horizon ended.
+    Climbing,
+    /// The horizon was too short (or no probe ran): no signal either
+    /// way.
+    #[default]
+    Unobserved,
+}
+
+impl WidthObservation {
+    /// The plateau bound, when one was observed.
+    pub fn plateau(self) -> Option<usize> {
+        match self {
+            WidthObservation::Plateau(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Did the profile climb over the whole horizon?
+    pub fn is_climbing(self) -> bool {
+        matches!(self, WidthObservation::Climbing)
+    }
+
+    /// Stable kebab-case name for reports and wire formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            WidthObservation::Plateau(_) => "plateau",
+            WidthObservation::Climbing => "climbing",
+            WidthObservation::Unobserved => "unobserved",
         }
     }
 }
@@ -158,14 +248,12 @@ impl fmt::Display for Verdict {
 pub struct DynamicEvidence {
     /// Did the restricted-chase probe terminate within its budget?
     pub restricted_terminated: bool,
-    /// `Some(w)`: the restricted-chase treewidth profile plateaued at
-    /// `w`; `None`: it was still growing when the probe stopped.
-    pub restricted_width: Option<usize>,
+    /// What the restricted-chase treewidth profile showed.
+    pub restricted_width: WidthObservation,
     /// Did the core-chase probe terminate within its budget?
     pub core_terminated: bool,
-    /// `Some(w)`: the core-chase treewidth profile plateaued at `w`;
-    /// `None`: it was still growing when the probe stopped.
-    pub core_width: Option<usize>,
+    /// What the core-chase treewidth profile showed.
+    pub core_width: WidthObservation,
 }
 
 /// Everything the analyses can certify about a ruleset: syntactic
@@ -208,33 +296,42 @@ impl RulesetReport {
         self.core_bts.is_certified()
     }
 
-    /// Is every decidability route refuted-or-unknown, with at least
-    /// the termination route positively refuted? This is the
-    /// strict-admission shedding predicate: nothing certified, and the
-    /// divergence evidence is positive.
+    /// Is every decidability route refuted-or-unknown, with positive
+    /// divergence evidence on the termination route? This is the
+    /// strict-admission shedding predicate: nothing certified, and a
+    /// divergence witness in hand. It deliberately accepts the
+    /// [`Verdict::LikelyRefuted`] level — an MFA cycle does not *prove*
+    /// non-termination, but shedding on it while no other route is
+    /// certified is the analyzer's only actionable signal.
     pub fn refutes_every_route(&self) -> bool {
-        self.terminating.is_refuted() && !self.bts.is_certified() && !self.core_bts.is_certified()
+        self.terminating.suspects_divergence()
+            && !self.bts.is_certified()
+            && !self.core_bts.is_certified()
     }
 
     /// Upgrades inconclusive verdicts with dynamic probe evidence.
     ///
     /// Probe certificates are finite-horizon evidence, not proofs; they
     /// carry their own [`Certificate`] variants so consumers can
-    /// discount them. Syntactic certificates are never overridden.
+    /// discount them. Syntactic certificates are never overridden, and
+    /// an [`WidthObservation::Unobserved`] probe (horizon too short)
+    /// changes nothing — only a profile that *climbed over the whole
+    /// horizon* refutes core-bts.
     pub fn attach_evidence(&mut self, ev: &DynamicEvidence) {
         if !self.bts.is_certified() {
-            if let Some(w) = ev.restricted_width {
+            if let Some(w) = ev.restricted_width.plateau() {
                 self.bts = Verdict::Certified(Certificate::RestrictedWidthProbe(w));
             }
         }
         if !self.core_bts.is_certified() {
             match ev.core_width {
-                Some(w) => {
+                WidthObservation::Plateau(w) => {
                     self.core_bts = Verdict::Certified(Certificate::CoreWidthProbe(w));
                 }
-                None => {
+                WidthObservation::Climbing => {
                     self.core_bts = Verdict::Refuted(Refutation::CoreWidthDiverging);
                 }
+                WidthObservation::Unobserved => {}
             }
         }
     }
@@ -296,10 +393,14 @@ pub fn analyze_with_budget(rules: &RuleSet, budget: &SearchBudget) -> RulesetRep
     } else {
         match &mfa {
             MfaOutcome::Acyclic { .. } => Verdict::Certified(Certificate::Mfa),
-            MfaOutcome::CyclicTerm { rule, depth } => Verdict::Refuted(Refutation::MfaCycle {
-                rule: *rule,
-                depth: *depth,
-            }),
+            // A cyclic Skolem term refutes MFA-class membership, not
+            // termination itself (mfa.rs): evidence level, not proof.
+            MfaOutcome::CyclicTerm { rule, depth } => {
+                Verdict::LikelyRefuted(Refutation::MfaCycle {
+                    rule: *rule,
+                    depth: *depth,
+                })
+            }
             MfaOutcome::BudgetExhausted { .. } => Verdict::Inconclusive { budget: spent },
         }
     };
@@ -373,11 +474,15 @@ mod tests {
         // without width evidence the verdict stays open.
         assert!(!report.certified_core_bts());
         assert!(!report.core_bts.is_refuted());
-        // Termination is positively refuted by the MFA cycle.
+        // The MFA cycle is divergence *evidence*: it refutes MFA-class
+        // membership, so termination is likely refuted — never the
+        // proven-refuted level, which the cycle cannot justify.
         assert!(matches!(
             report.terminating,
-            Verdict::Refuted(Refutation::MfaCycle { rule: 0, .. })
+            Verdict::LikelyRefuted(Refutation::MfaCycle { rule: 0, .. })
         ));
+        assert!(!report.terminating.is_refuted());
+        assert!(report.terminating.suspects_divergence());
     }
 
     #[test]
@@ -425,9 +530,9 @@ mod tests {
         assert!(!report.certified_core_bts());
         report.attach_evidence(&DynamicEvidence {
             restricted_terminated: false,
-            restricted_width: Some(1),
+            restricted_width: WidthObservation::Plateau(1),
             core_terminated: false,
-            core_width: None,
+            core_width: WidthObservation::Climbing,
         });
         // bts was already certified by linearity — untouched.
         assert_eq!(report.bts.certificate(), Some(&Certificate::Linear));
@@ -435,6 +540,18 @@ mod tests {
             report.core_bts,
             Verdict::Refuted(Refutation::CoreWidthDiverging)
         );
+    }
+
+    #[test]
+    fn unobserved_probe_refutes_nothing() {
+        // A probe horizon too short to judge must leave the verdicts
+        // exactly where the static pass put them — a short profile is
+        // the absence of a signal, not a divergence witness.
+        let mut report = analyze(&rules("R: r(X, Y) -> r(Y, Z)."));
+        let before = report.core_bts.clone();
+        report.attach_evidence(&DynamicEvidence::default());
+        assert_eq!(report.core_bts, before);
+        assert!(!report.core_bts.is_refuted());
     }
 
     #[test]

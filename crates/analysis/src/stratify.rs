@@ -154,9 +154,34 @@ pub fn stratified_plan(rules: &RuleSet) -> ChasePlan {
     stratified_plan_with(rules, None)
 }
 
-/// Builds a stratified plan, using dynamic width evidence (when given)
-/// to pick strategies for cyclic unguarded strata.
+/// Builds a stratified plan, applying one whole-KB [`DynamicEvidence`]
+/// uniformly to every cyclic unguarded stratum.
+///
+/// Uniform evidence is only faithful when the ruleset has (at most) one
+/// such stratum: a KB containing both an elevator-like and a
+/// staircase-like component would get the same shape for both. Callers
+/// that can probe sub-rulesets should use [`stratified_plan_probed`],
+/// which asks for evidence per stratum.
 pub fn stratified_plan_with(rules: &RuleSet, evidence: Option<&DynamicEvidence>) -> ChasePlan {
+    build_plan(rules, &mut |_| evidence.cloned())
+}
+
+/// Builds a stratified plan, calling `probe` once per cyclic unguarded
+/// SCC (with the member rule ids) to obtain width evidence *for that
+/// component* — so two components with opposite chase behaviour land in
+/// their own shapes instead of sharing whichever evidence the whole KB
+/// happened to produce.
+pub fn stratified_plan_probed(
+    rules: &RuleSet,
+    mut probe: impl FnMut(&[RuleId]) -> DynamicEvidence,
+) -> ChasePlan {
+    build_plan(rules, &mut |scc| Some(probe(scc)))
+}
+
+fn build_plan(
+    rules: &RuleSet,
+    evidence_for: &mut dyn FnMut(&[RuleId]) -> Option<DynamicEvidence>,
+) -> ChasePlan {
     let cond = DepGraph::build(rules).condensation(rules);
     let mut strata: Vec<Stratum> = Vec::new();
     for scc in cond.components {
@@ -167,11 +192,13 @@ pub fn stratified_plan_with(rules: &RuleSet, evidence: Option<&DynamicEvidence>)
         } else if scc.worst_guard >= GuardKind::FrontierGuarded {
             StratumShape::GuardedLoop
         } else {
-            match evidence {
-                Some(ev) if ev.restricted_width.is_some() || ev.restricted_terminated => {
+            match evidence_for(&scc.rules) {
+                Some(ev)
+                    if ev.restricted_width.plateau().is_some() || ev.restricted_terminated =>
+                {
                     StratumShape::BoundedWidthLoop
                 }
-                Some(ev) if ev.core_width.is_some() || ev.core_terminated => {
+                Some(ev) if ev.core_width.plateau().is_some() || ev.core_terminated => {
                     StratumShape::CoreBoundedLoop
                 }
                 _ => StratumShape::UnboundedFrontier,
@@ -198,6 +225,7 @@ pub fn stratified_plan_with(rules: &RuleSet, evidence: Option<&DynamicEvidence>)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::WidthObservation;
     use chase_parser::parse_program;
 
     fn rules(src: &str) -> RuleSet {
@@ -235,30 +263,76 @@ mod tests {
         assert_eq!(plan.recommended_variant(), ChaseVariant::Restricted);
     }
 
+    fn elevator_like() -> DynamicEvidence {
+        DynamicEvidence {
+            restricted_terminated: false,
+            restricted_width: WidthObservation::Plateau(1),
+            core_terminated: false,
+            core_width: WidthObservation::Climbing,
+        }
+    }
+
+    fn staircase_like() -> DynamicEvidence {
+        DynamicEvidence {
+            restricted_terminated: false,
+            restricted_width: WidthObservation::Climbing,
+            core_terminated: false,
+            core_width: WidthObservation::Plateau(2),
+        }
+    }
+
     #[test]
     fn evidence_splits_bounded_width_from_core_bounded() {
         // An unguarded cyclic rule: shape must come from evidence.
         let src = "F: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2).";
-        let elevator_like = DynamicEvidence {
-            restricted_terminated: false,
-            restricted_width: Some(1),
-            core_terminated: false,
-            core_width: None,
-        };
-        let staircase_like = DynamicEvidence {
-            restricted_terminated: false,
-            restricted_width: None,
-            core_terminated: false,
-            core_width: Some(2),
-        };
-        let p1 = stratified_plan_with(&rules(src), Some(&elevator_like));
+        let p1 = stratified_plan_with(&rules(src), Some(&elevator_like()));
         assert_eq!(p1.strata[0].shape, StratumShape::BoundedWidthLoop);
         assert_eq!(p1.recommended_variant(), ChaseVariant::Restricted);
-        let p2 = stratified_plan_with(&rules(src), Some(&staircase_like));
+        let p2 = stratified_plan_with(&rules(src), Some(&staircase_like()));
         assert_eq!(p2.strata[0].shape, StratumShape::CoreBoundedLoop);
         assert_eq!(p2.recommended_variant(), ChaseVariant::Core);
         let p3 = stratified_plan(&rules(src));
         assert_eq!(p3.strata[0].shape, StratumShape::UnboundedFrontier);
+    }
+
+    #[test]
+    fn unobserved_evidence_does_not_pick_a_width_shape() {
+        // An Unobserved probe (horizon too short) is no signal: the
+        // stratum must fall through to damage control, exactly as if no
+        // evidence had been supplied at all.
+        let src = "F: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2).";
+        let plan = stratified_plan_with(&rules(src), Some(&DynamicEvidence::default()));
+        assert_eq!(plan.strata[0].shape, StratumShape::UnboundedFrontier);
+    }
+
+    #[test]
+    fn per_scc_probe_separates_mixed_components() {
+        // Two independent cyclic unguarded components over disjoint
+        // predicates: one elevator-like, one staircase-like. Uniform
+        // whole-KB evidence forces a single shape onto both; the probed
+        // plan asks per component and keeps them distinct.
+        let src = "A: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2).
+                   B: p(X, Y), q(X, X2) -> p(X2, Y2), q(Y, Y2).";
+        let rs = rules(src);
+        let probed = stratified_plan_probed(&rs, |scc| {
+            // Rule A (id 0) behaves elevator-like, rule B staircase-like.
+            if scc.contains(&0) {
+                elevator_like()
+            } else {
+                staircase_like()
+            }
+        });
+        let shapes: Vec<StratumShape> = probed.strata.iter().map(|s| s.shape).collect();
+        assert!(shapes.contains(&StratumShape::BoundedWidthLoop), "{shapes:?}");
+        assert!(shapes.contains(&StratumShape::CoreBoundedLoop), "{shapes:?}");
+        // The uniform-evidence path gives both components the same
+        // (restricted-width) shape — the limitation the probed variant
+        // exists to remove.
+        let uniform = stratified_plan_with(&rs, Some(&elevator_like()));
+        assert!(uniform
+            .strata
+            .iter()
+            .all(|s| s.shape == StratumShape::BoundedWidthLoop));
     }
 
     #[test]

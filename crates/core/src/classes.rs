@@ -16,6 +16,7 @@
 use chase_engine::{
     boundedness::treewidth_profile, run_chase, ChaseConfig, ChaseVariant, SchedulerKind,
 };
+use chase_homomorphism::SearchBudget;
 use chase_treewidth::measure::{recurring_bound_from, uniform_bound};
 
 use crate::kb::KnowledgeBase;
@@ -55,13 +56,36 @@ impl ClassProbe {
     }
 }
 
-/// Probes a KB's class memberships with the given application budget.
+/// Probes a KB's class memberships with the given application budget
+/// and no wall-clock or cancellation control.
 pub fn probe_classes(kb: &KnowledgeBase, budget: usize) -> ClassProbe {
+    probe_classes_budgeted(kb, budget, &SearchBudget::unlimited())
+}
+
+/// [`probe_classes`] under a shared [`SearchBudget`]: the budget's
+/// deadline and cancel flags are threaded into both probe chases (and
+/// their retraction searches), so an admission-time caller can cut a
+/// probe that outlives its welcome — a probe interrupted mid-chase just
+/// reports a short profile and a non-terminated outcome, which the
+/// evidence heuristics treat as "no signal".
+pub fn probe_classes_budgeted(
+    kb: &KnowledgeBase,
+    budget: usize,
+    search: &SearchBudget,
+) -> ClassProbe {
+    // Only the *interruption* half of the budget is forwarded: its node
+    // limit is sized for the MFA test's homomorphism searches, and
+    // letting it truncate the probes' retraction searches would skew
+    // the width profiles the evidence is read from.
+    let mut interrupt = SearchBudget::unlimited();
+    interrupt.deadline = search.deadline;
+    interrupt.cancel = search.cancel.clone();
     let base = |variant| {
         ChaseConfig::variant(variant)
             .with_scheduler(SchedulerKind::DatalogFirst)
             .with_max_applications(budget)
             .with_max_atoms(100_000)
+            .with_search_budget(interrupt.clone())
     };
     let mut vocab = kb.vocab.clone();
     let core = run_chase(&mut vocab, &kb.facts, &kb.rules, &base(ChaseVariant::Core));

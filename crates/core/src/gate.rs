@@ -13,18 +13,23 @@
 //! The plateau heuristic compares the maximum certified treewidth upper
 //! bound over the trailing half of a chase prefix against the leading
 //! half: a profile that has stopped climbing is evidence (not proof) of
-//! a width-bounded chase. On the paper's two headline KBs the heuristic
+//! a width-bounded chase, a profile still climbing is divergence
+//! evidence, and a profile too short to split is **no signal at all**
+//! ([`WidthObservation::Unobserved`]) — a small probe budget must never
+//! mint a refutation. On the paper's two headline KBs the heuristic
 //! lands them in distinct plan shapes: the steepening staircase's
 //! restricted profile climbs while its core profile plateaus
 //! (`core-bounded-loop`), the inflating elevator's restricted profile
 //! plateaus (`bounded-width-loop`).
 
 use chase_analysis::{
-    analyze_with_budget, stratified_plan_with, ChasePlan, DynamicEvidence, RulesetReport,
+    analyze_with_budget, stratified_plan_probed, ChasePlan, DynamicEvidence, RulesetReport,
+    WidthObservation,
 };
+use chase_engine::RuleSet;
 use chase_homomorphism::SearchBudget;
 
-use crate::classes::{probe_classes, ClassProbe};
+use crate::classes::{probe_classes_budgeted, ClassProbe};
 use crate::kb::KnowledgeBase;
 
 /// Default application budget for the admission-time dynamic probe —
@@ -61,18 +66,28 @@ impl AnalysisGate {
 /// prefixes have not left the fact base's influence yet.
 const MIN_PROFILE: usize = 16;
 
-fn plateau(profile: &[usize], terminated: bool) -> Option<usize> {
+/// Reads a width profile into a [`WidthObservation`]. Three outcomes,
+/// kept deliberately distinct: a profile shorter than [`MIN_PROFILE`]
+/// is [`WidthObservation::Unobserved`] — *no signal*, never a
+/// divergence claim — while only a long-enough profile whose trailing
+/// half exceeds its leading half counts as
+/// [`WidthObservation::Climbing`].
+fn plateau(profile: &[usize], terminated: bool) -> WidthObservation {
     if terminated {
         // A terminated chase is trivially width-bounded by its maximum.
-        return Some(profile.iter().copied().max().unwrap_or(0));
+        return WidthObservation::Plateau(profile.iter().copied().max().unwrap_or(0));
     }
     if profile.len() < MIN_PROFILE {
-        return None;
+        return WidthObservation::Unobserved;
     }
     let mid = profile.len() / 2;
     let leading = profile[..mid].iter().copied().max().unwrap_or(0);
     let trailing = profile[mid..].iter().copied().max().unwrap_or(0);
-    (trailing <= leading).then_some(trailing)
+    if trailing <= leading {
+        WidthObservation::Plateau(trailing)
+    } else {
+        WidthObservation::Climbing
+    }
 }
 
 /// Converts a raw class probe into the evidence shape the analyzer's
@@ -89,16 +104,35 @@ pub fn evidence_from_probe(probe: &ClassProbe) -> DynamicEvidence {
 /// Runs the full admission-time analysis: static certificates under
 /// `budget`, a dynamic probe of `probe_applications` chase steps, and
 /// the fused report + plan.
+///
+/// `budget`'s deadline and cancel flags are threaded into every dynamic
+/// sub-test — the MFA Skolem chase *and* both probe chases — so a
+/// service can bound the whole analysis by wall clock.
+///
+/// The plan's cyclic unguarded strata are shaped by **per-component**
+/// evidence: when such a stratum is a strict subset of the ruleset, the
+/// KB restricted to its rules is probed separately, so a KB containing
+/// both an elevator-like and a staircase-like component gets distinct
+/// shapes for them instead of whichever evidence the whole-KB probe
+/// happened to produce. A stratum covering the whole ruleset reuses the
+/// whole-KB probe — the common case pays for exactly one probe.
 pub fn analyze_kb(
     kb: &KnowledgeBase,
     budget: &SearchBudget,
     probe_applications: usize,
 ) -> AnalysisGate {
     let mut report = analyze_with_budget(&kb.rules, budget);
-    let probe = probe_classes(kb, probe_applications);
+    let probe = probe_classes_budgeted(kb, probe_applications, budget);
     let evidence = evidence_from_probe(&probe);
     report.attach_evidence(&evidence);
-    let plan = stratified_plan_with(&kb.rules, Some(&evidence));
+    let plan = stratified_plan_probed(&kb.rules, |scc| {
+        if scc.len() == kb.rules.len() {
+            return evidence.clone();
+        }
+        let sub_rules: RuleSet = scc.iter().map(|&r| kb.rules.get(r).clone()).collect();
+        let sub = KnowledgeBase::new(kb.vocab.clone(), kb.facts.clone(), sub_rules);
+        evidence_from_probe(&probe_classes_budgeted(&sub, probe_applications, budget))
+    });
     AnalysisGate {
         report,
         plan,
@@ -128,8 +162,8 @@ mod tests {
         // Not weakly acyclic, and the restricted profile keeps climbing
         // while the core profile plateaus: core-bounded evidence.
         assert!(!gate.report.weakly_acyclic);
-        assert_eq!(gate.evidence.restricted_width, None);
-        assert!(gate.evidence.core_width.is_some());
+        assert_eq!(gate.evidence.restricted_width, WidthObservation::Climbing);
+        assert!(gate.evidence.core_width.plateau().is_some());
         assert!(gate.report.certified_core_bts());
         assert!(gate
             .plan
@@ -147,7 +181,7 @@ mod tests {
         // a plateauing restricted profile, so bts stays certified-or-open
         // and the plan picks a restricted-width shape — distinct from
         // the staircase's core-bounded shape.
-        assert!(gate.evidence.restricted_width.is_some());
+        assert!(gate.evidence.restricted_width.plateau().is_some());
         assert!(!gate.report.bts.is_refuted());
         assert!(gate
             .plan

@@ -17,7 +17,7 @@ pub use chase_treewidth::{
     contains_grid, treewidth, treewidth_bounds, GridLabeling, TreeDecomposition, TwBounds,
 };
 
-pub use crate::classes::{probe_classes, ClassProbe};
+pub use crate::classes::{probe_classes, probe_classes_budgeted, ClassProbe};
 pub use crate::cq::{
     certain_answers, cq_contained_in, cq_equivalent, entail_ucq, minimize_cq, AnswerQuery,
     CertainAnswers, Ucq,

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use chase_analysis::{Certificate, Refutation, RulesetReport, Verdict};
+use chase_analysis::{Certificate, Refutation, RulesetReport, Verdict, WidthObservation};
 use chase_core::AnalysisGate;
 use chase_engine::{
     ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, CoreMaintenance, FaultPlan, FaultSite,
@@ -642,8 +642,11 @@ pub fn result_to_json(job: JobId, name: &str, res: &JobResult) -> Json {
     ])
 }
 
-/// Serializes one three-valued analysis verdict
+/// Serializes one four-valued analysis verdict
 /// (`{"status":"certified","certificate":"mfa"}`-shaped objects).
+/// `likely-refuted` carries the same refutation payload as `refuted`
+/// but flags evidence (e.g. an MFA cyclic-term witness) rather than
+/// proof.
 pub fn analysis_verdict_to_json(v: &Verdict) -> Json {
     match v {
         Verdict::Certified(c) => {
@@ -656,9 +659,14 @@ pub fn analysis_verdict_to_json(v: &Verdict) -> Json {
             }
             Json::Obj(fields)
         }
-        Verdict::Refuted(r) => {
+        Verdict::Refuted(r) | Verdict::LikelyRefuted(r) => {
+            let status = if matches!(v, Verdict::Refuted(_)) {
+                "refuted"
+            } else {
+                "likely-refuted"
+            };
             let mut fields = vec![
-                ("status".to_string(), Json::str("refuted")),
+                ("status".to_string(), Json::str(status)),
                 ("refutation".to_string(), Json::str(r.name())),
             ];
             if let Refutation::MfaCycle { rule, depth } = r {
@@ -715,7 +723,11 @@ pub fn analysis_to_json(gate: &AnalysisGate, rules: &RuleSet) -> Json {
             ])
         })
         .collect();
-    let width = |w: Option<usize>| w.map_or(Json::Null, |n| Json::Int(n as i64));
+    // A width observation serializes as two fields: `*_width` keeps its
+    // historical plateau-or-null shape, `*_width_status` spells out the
+    // tri-state ("plateau" / "climbing" / "unobserved") so clients can
+    // tell divergence evidence from a probe that saw nothing.
+    let width = |w: WidthObservation| w.plateau().map_or(Json::Null, |n| Json::Int(n as i64));
     Json::obj([
         ("report", report_to_json(&gate.report)),
         (
@@ -736,8 +748,16 @@ pub fn analysis_to_json(gate: &AnalysisGate, rules: &RuleSet) -> Json {
                     Json::Bool(gate.evidence.restricted_terminated),
                 ),
                 ("restricted_width", width(gate.evidence.restricted_width)),
+                (
+                    "restricted_width_status",
+                    Json::str(gate.evidence.restricted_width.name()),
+                ),
                 ("core_terminated", Json::Bool(gate.evidence.core_terminated)),
                 ("core_width", width(gate.evidence.core_width)),
+                (
+                    "core_width_status",
+                    Json::str(gate.evidence.core_width.name()),
+                ),
             ]),
         ),
         (

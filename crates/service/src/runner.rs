@@ -178,6 +178,14 @@ pub struct ServiceConfig {
     pub analysis_node_limit: usize,
     /// Chase applications granted to the admission-time dynamic probe.
     pub analysis_probe: usize,
+    /// Wall-clock ceiling for the whole admission-time analysis (static
+    /// tests and dynamic probes alike). The submit path runs the
+    /// analyzer synchronously, so without a deadline one pathological
+    /// ruleset could stall every subsequent submission; an analysis cut
+    /// short reports inconclusive verdicts and short (no-signal)
+    /// profiles rather than a fabricated refutation. `None` disables
+    /// the ceiling.
+    pub analysis_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -196,6 +204,7 @@ impl Default for ServiceConfig {
             strict_admission: false,
             analysis_node_limit: 2_000,
             analysis_probe: chase_core::DEFAULT_PROBE_APPLICATIONS,
+            analysis_deadline: Some(Duration::from_secs(2)),
         }
     }
 }
@@ -712,8 +721,10 @@ impl Service {
     /// * with [`JobSpec::auto_strategy`], the derived [`ChasePlan`]
     ///   picks the chase variant and stratified rule schedule;
     /// * with [`JobSpec::auto_budgets`], a ruleset whose termination is
-    ///   positively *refuted* gets tighter default budgets — divergence
-    ///   is expected, so fail fast and leave a resumable checkpoint.
+    ///   refuted **or likely refuted** (an MFA cyclic-term witness —
+    ///   strong divergence evidence, though not a proof) gets tighter
+    ///   default budgets — divergence is expected, so fail fast and
+    ///   leave a resumable checkpoint.
     ///
     /// A submit that pinned both its variant and a budget (neither
     /// `auto_strategy` nor `auto_budgets`) gives the analyzer nothing
@@ -735,7 +746,11 @@ impl Service {
                 },
             ));
         }
-        let budget = SearchBudget::unlimited().with_node_limit(self.inner.cfg.analysis_node_limit);
+        let mut budget =
+            SearchBudget::unlimited().with_node_limit(self.inner.cfg.analysis_node_limit);
+        if let Some(d) = self.inner.cfg.analysis_deadline {
+            budget = budget.with_deadline(Instant::now() + d);
+        }
         let gate = chase_core::analyze_kb(&spec.kb, &budget, self.inner.cfg.analysis_probe);
         if self.inner.cfg.strict_admission && !gate.admissible() {
             return Err(Rejection {
@@ -752,7 +767,7 @@ impl Service {
         if spec.auto_strategy {
             spec.config = gate.plan.apply(spec.config.clone());
         }
-        let budgets_tightened = spec.auto_budgets && gate.report.terminating.is_refuted();
+        let budgets_tightened = spec.auto_budgets && gate.report.terminating.suspects_divergence();
         if budgets_tightened {
             spec.config.max_applications = spec.config.max_applications.min(TIGHT_MAX_APPLICATIONS);
             if spec.config.mem_soft.is_none() {
@@ -1912,6 +1927,68 @@ mod tests {
             .expect("strict admission runs the gate")
             .admissible());
         assert_eq!(strict_long.wait(id), Some(JobStatus::Finished));
+    }
+
+    #[test]
+    fn high_arity_blowup_does_not_stall_admission() {
+        // The critical instance of this ruleset would hold ~9^8 (~43M)
+        // atoms; the capped construction must refuse it up front so the
+        // synchronous submit path stays responsive. The r-cycle keeps
+        // the ruleset outside every acyclicity class, so the verdict
+        // really does fall through to the capped dynamic tests.
+        let svc = Service::with_config(1, ServiceConfig::default()).unwrap();
+        let kb = chase_core::KnowledgeBase::from_text(
+            "seed(a). R: r(X, Y), p(a, b, c, d, e, f, g, h) -> r(Y, Z).",
+        )
+        .unwrap();
+        let mut spec = JobSpec::from_kb(
+            "wide",
+            kb,
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(10),
+        );
+        spec.auto_budgets = true;
+        let started = Instant::now();
+        let (id, admission) = svc.submit_analyzed(spec).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "admission must not materialize the critical instance"
+        );
+        let gate = admission.gate.expect("auto submits run the gate");
+        // No certificate and no refutation — the test gave up, it did
+        // not guess.
+        assert!(gate.report.terminating.is_inconclusive());
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
+    }
+
+    #[test]
+    fn expired_analysis_deadline_yields_no_signal_not_refutation() {
+        // With the analysis deadline already spent, the probe chases are
+        // cut immediately: short profiles must read as "unobserved", and
+        // the gate must not fabricate a width-divergence refutation.
+        let svc = Service::with_config(
+            1,
+            ServiceConfig {
+                analysis_deadline: Some(Duration::ZERO),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let mut spec = JobSpec::from_kb(
+            "rushed",
+            chase_core::KnowledgeBase::staircase(),
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(10),
+        );
+        spec.auto_strategy = true;
+        let (id, admission) = svc.submit_analyzed(spec).unwrap();
+        let gate = admission.gate.expect("auto submits run the gate");
+        assert!(gate.evidence.restricted_width.plateau().is_none());
+        assert!(!gate.evidence.restricted_width.is_climbing());
+        assert!(!gate.evidence.core_width.is_climbing());
+        assert!(
+            !gate.report.bts.is_refuted() && !gate.report.core_bts.is_refuted(),
+            "an interrupted probe is no evidence of divergence"
+        );
+        assert_eq!(svc.wait(id), Some(JobStatus::Finished));
     }
 
     #[test]

@@ -66,20 +66,24 @@ fn certified_fes_rulesets_really_terminate() {
     );
 }
 
-/// The steepening staircase (paper §5): not weakly acyclic, termination
-/// positively refuted by MFA, yet core-bts certified by the plateauing
-/// core-width probe — and the plan puts its rules in a core-bounded
-/// loop.
+/// The steepening staircase (paper §5): not weakly acyclic, MFA finds a
+/// cyclic-term witness (divergence *evidence* — the verdict is
+/// likely-refuted, since a cyclic Skolem term refutes MFA-class
+/// membership, not termination itself), yet core-bts certified by the
+/// plateauing core-width probe — and the plan puts its rules in a
+/// core-bounded loop.
 #[test]
 fn staircase_is_refuted_weakly_acyclic_but_certified_core_bts() {
     let kb = KnowledgeBase::staircase();
     let gate = analyze_kb(&kb, &budget(), PROBE);
     assert!(!gate.report.weakly_acyclic);
     assert!(
-        gate.report.terminating.is_refuted(),
-        "the staircase chase never terminates; MFA must refute fes: {}",
+        gate.report.terminating.is_likely_refuted(),
+        "the staircase chase never terminates; MFA's cyclic-term witness \
+         must mark fes likely-refuted: {}",
         gate.report.terminating
     );
+    assert!(gate.report.terminating.suspects_divergence());
     assert!(
         gate.report.certified_core_bts(),
         "core-width probe must certify core-bts: {}",
@@ -105,6 +109,7 @@ fn elevator_is_treewidth_compatible_and_gets_restricted_plan() {
     let w = gate
         .evidence
         .restricted_width
+        .plateau()
         .expect("restricted profile must plateau");
     assert!(
         w <= 3,

@@ -160,8 +160,9 @@ fn str_at<'j>(j: &'j treechase::service::Json, path: &[&str]) -> Option<&'j str>
 }
 
 /// Snapshot of the stable fields for the built-in steepening staircase:
-/// termination refuted, core-bts certified by the core-width probe, and
-/// a core-bounded plan.
+/// termination likely-refuted (the MFA cyclic-term witness is evidence,
+/// not proof), core-bts certified by the core-width probe, and a
+/// core-bounded plan.
 #[test]
 fn analyze_json_staircase_snapshot() {
     let j = analyze_json("staircase");
@@ -173,7 +174,15 @@ fn analyze_json_staircase_snapshot() {
     );
     assert_eq!(
         str_at(&j, &["report", "terminating", "status"]),
-        Some("refuted")
+        Some("likely-refuted")
+    );
+    assert_eq!(
+        str_at(&j, &["evidence", "restricted_width_status"]),
+        Some("climbing")
+    );
+    assert_eq!(
+        str_at(&j, &["evidence", "core_width_status"]),
+        Some("plateau")
     );
     assert_eq!(
         str_at(&j, &["report", "core_bts", "status"]),
@@ -209,6 +218,10 @@ fn analyze_json_elevator_snapshot() {
         .collect();
     assert!(shapes.contains(&"bounded-width-loop"), "{shapes:?}");
     assert!(!shapes.contains(&"core-bounded-loop"), "{shapes:?}");
+    assert_eq!(
+        str_at(&j, &["evidence", "restricted_width_status"]),
+        Some("plateau")
+    );
     let w = j
         .get("evidence")
         .and_then(|e| e.get("restricted_width"))
