@@ -71,7 +71,8 @@ pub enum MfaOutcome {
 pub fn mfa_test(rules: &RuleSet, budget: &SearchBudget) -> MfaOutcome {
     let mut vocab = Vocabulary::new();
     let max_applications = budget.node_limit.unwrap_or(DEFAULT_APPLICATIONS);
-    let Some(mut instance) = critical_instance_capped(&mut vocab, rules, atom_cap(max_applications))
+    let Some(mut instance) =
+        critical_instance_capped(&mut vocab, rules, atom_cap(max_applications))
     else {
         return MfaOutcome::BudgetExhausted { applications: 0 };
     };

@@ -193,9 +193,7 @@ fn build_plan(
             StratumShape::GuardedLoop
         } else {
             match evidence_for(&scc.rules) {
-                Some(ev)
-                    if ev.restricted_width.plateau().is_some() || ev.restricted_terminated =>
-                {
+                Some(ev) if ev.restricted_width.plateau().is_some() || ev.restricted_terminated => {
                     StratumShape::BoundedWidthLoop
                 }
                 Some(ev) if ev.core_width.plateau().is_some() || ev.core_terminated => {
@@ -323,8 +321,14 @@ mod tests {
             }
         });
         let shapes: Vec<StratumShape> = probed.strata.iter().map(|s| s.shape).collect();
-        assert!(shapes.contains(&StratumShape::BoundedWidthLoop), "{shapes:?}");
-        assert!(shapes.contains(&StratumShape::CoreBoundedLoop), "{shapes:?}");
+        assert!(
+            shapes.contains(&StratumShape::BoundedWidthLoop),
+            "{shapes:?}"
+        );
+        assert!(
+            shapes.contains(&StratumShape::CoreBoundedLoop),
+            "{shapes:?}"
+        );
         // The uniform-evidence path gives both components the same
         // (restricted-width) shape — the limitation the probed variant
         // exists to remove.

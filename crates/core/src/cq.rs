@@ -10,7 +10,9 @@ use std::collections::BTreeSet;
 
 use chase_atoms::{AtomSet, ConstId, Substitution, Term, VarId};
 use chase_engine::{run_chase_observed, ChaseConfig, ChaseOutcome, RecordLevel};
-use chase_homomorphism::{core_of, find_homomorphism, for_each_homomorphism, MatchConfig};
+use chase_homomorphism::{
+    core_of, find_homomorphism, for_each_homomorphism_budgeted, MatchConfig, SearchBudget,
+};
 
 use crate::kb::KnowledgeBase;
 
@@ -142,6 +144,10 @@ pub struct CertainAnswers {
     /// instance is a universal model). When `false` the set is a sound
     /// under-approximation computed from a universal chase prefix.
     pub complete: bool,
+    /// Whether the search budget clipped the chase or the homomorphism
+    /// enumeration. A truncated run is never complete; its answers remain
+    /// sound (inconclusive-never-refutation).
+    pub truncated: bool,
 }
 
 /// Computes the certain answers of `query` over `kb`.
@@ -155,18 +161,63 @@ pub fn certain_answers(
     query: &AnswerQuery,
     cfg: &ChaseConfig,
 ) -> CertainAnswers {
+    certain_answers_budgeted(kb, query, cfg, &SearchBudget::unlimited())
+}
+
+/// Like [`certain_answers`], but both the chase *and* the homomorphism
+/// enumeration honor `budget` (deadline, node limit, cancel token), so a
+/// query can never outlive its operation deadline. When the budget fires,
+/// the result is flagged [`CertainAnswers::truncated`] and `complete`
+/// stays `false`: the answers found so far are still sound.
+pub fn certain_answers_budgeted(
+    kb: &KnowledgeBase,
+    query: &AnswerQuery,
+    cfg: &ChaseConfig,
+    budget: &SearchBudget,
+) -> CertainAnswers {
     let mut vocab = kb.vocab.clone();
-    let run_cfg = cfg.clone().with_record(RecordLevel::FinalOnly);
+    let run_cfg = cfg
+        .clone()
+        .with_record(RecordLevel::FinalOnly)
+        .with_search_budget(budget.clone());
     let res = run_chase_observed(&mut vocab, &kb.facts, &kb.rules, &run_cfg, |_, _| {
         std::ops::ControlFlow::Continue(())
     });
-    let complete = res.outcome == ChaseOutcome::Terminated;
+    // An interrupted external budget stops the chase with `Cancelled`.
+    let chase_truncated = res.outcome == ChaseOutcome::Cancelled && budget.interrupted();
+    let answers = collect_answer_tuples(query, &res.final_instance, budget);
+    let truncated = chase_truncated || answers.truncated;
+    CertainAnswers {
+        answers: answers.tuples,
+        complete: res.outcome == ChaseOutcome::Terminated && !truncated,
+        truncated,
+    }
+}
+
+/// Constant-only answer tuples found by one budgeted enumeration.
+pub struct AnswerTuples {
+    /// The tuples, sorted and deduplicated.
+    pub tuples: Vec<Vec<ConstId>>,
+    /// Whether the budget clipped the enumeration (a miss is then
+    /// inconclusive, never a refutation).
+    pub truncated: bool,
+}
+
+/// Enumerates constant-only answer tuples of `query` over `instance`
+/// under `budget`. Shared by [`certain_answers_budgeted`] and the
+/// snapshot-serving query engine in `chase-query`.
+pub fn collect_answer_tuples(
+    query: &AnswerQuery,
+    instance: &AtomSet,
+    budget: &SearchBudget,
+) -> AnswerTuples {
     let mut answers: BTreeSet<Vec<ConstId>> = BTreeSet::new();
-    for_each_homomorphism(
+    let outcome = for_each_homomorphism_budgeted(
         &query.atoms,
-        &res.final_instance,
+        instance,
         &Substitution::new(),
         &MatchConfig::default(),
+        budget,
         |sub| {
             let tuple: Option<Vec<ConstId>> = query
                 .answer_vars
@@ -182,9 +233,9 @@ pub fn certain_answers(
             std::ops::ControlFlow::Continue(())
         },
     );
-    CertainAnswers {
-        answers: answers.into_iter().collect(),
-        complete,
+    AnswerTuples {
+        tuples: answers.into_iter().collect(),
+        truncated: outcome.truncated,
     }
 }
 
@@ -329,5 +380,208 @@ mod ucq_tests {
         let kb = KnowledgeBase::from_text("r(a, b).").unwrap();
         let cfg = ChaseConfig::variant(ChaseVariant::Core);
         assert!(entail_ucq(&kb, &Ucq::default(), &cfg).is_not_entailed());
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use chase_engine::{ChaseConfig, ChaseVariant};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn query_of(kb: &mut KnowledgeBase, src: &str) -> AnswerQuery {
+        let atoms = kb.parse_query(src).unwrap();
+        let mut vars: Vec<VarId> = atoms.vars().iter().copied().collect();
+        vars.sort();
+        AnswerQuery::new(atoms, vars).unwrap()
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted() {
+        let mut kb =
+            KnowledgeBase::from_text("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).").unwrap();
+        let query = query_of(&mut kb, "r(a, X)");
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        let plain = certain_answers(&kb, &query, &cfg);
+        let budgeted = certain_answers_budgeted(&kb, &query, &cfg, &SearchBudget::unlimited());
+        assert_eq!(plain, budgeted);
+        assert!(plain.complete);
+        assert!(!plain.truncated);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_nonterminating_chase() {
+        // r(X,Y) → ∃Z. r(Y,Z) never terminates under the restricted
+        // chase; an already-expired deadline must stop it immediately
+        // and flag the result truncated, not complete.
+        let mut kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
+        let query = query_of(&mut kb, "r(a, X)");
+        let cfg = ChaseConfig::variant(ChaseVariant::Restricted);
+        let budget = SearchBudget::unlimited().with_deadline(Instant::now());
+        let started = Instant::now();
+        let res = certain_answers_budgeted(&kb, &query, &cfg, &budget);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(res.truncated);
+        assert!(!res.complete);
+    }
+
+    #[test]
+    fn cancel_flag_truncates() {
+        let mut kb = KnowledgeBase::from_text("r(a, b). R: r(X, Y) -> r(Y, Z).").unwrap();
+        let query = query_of(&mut kb, "r(a, X)");
+        let cfg = ChaseConfig::variant(ChaseVariant::Restricted);
+        let flag = Arc::new(AtomicBool::new(true));
+        flag.store(true, Ordering::SeqCst);
+        let budget = SearchBudget::unlimited().with_cancel(flag);
+        let res = certain_answers_budgeted(&kb, &query, &cfg, &budget);
+        assert!(res.truncated);
+        assert!(!res.complete);
+    }
+
+    #[test]
+    fn truncated_answers_stay_sound() {
+        // Bound the chase by applications (sound prefix), then clip the
+        // match with a node budget: whatever comes back must be a subset
+        // of the true certain answers.
+        let mut kb =
+            KnowledgeBase::from_text("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).").unwrap();
+        let query = query_of(&mut kb, "r(X, Y)");
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        let full = certain_answers(&kb, &query, &cfg);
+        assert!(full.complete);
+        for limit in [0usize, 1, 2, 4, 8] {
+            let budget = SearchBudget::unlimited().with_node_limit(limit);
+            let clipped = certain_answers_budgeted(&kb, &query, &cfg, &budget);
+            for t in &clipped.answers {
+                assert!(
+                    full.answers.contains(t),
+                    "unsound tuple under limit {limit}"
+                );
+            }
+            if clipped.answers.len() < full.answers.len() {
+                assert!(clipped.truncated, "missing answers must flag truncation");
+                assert!(!clipped.complete);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod ucq_property_tests {
+    use super::*;
+    use chase_atoms::{Atom, PredId, Vocabulary};
+    use chase_engine::prng::SplitMix64;
+
+    /// A random CQ over `preds` binary predicates and `vars` variables.
+    #[allow(clippy::cast_possible_truncation)]
+    fn random_cq(rng: &mut SplitMix64, preds: usize, vars: usize) -> AtomSet {
+        let n_atoms = 1 + rng.gen_range(4);
+        (0..n_atoms)
+            .map(|_| {
+                Atom::new(
+                    PredId::from_raw(rng.gen_range(preds) as u32),
+                    vec![
+                        Term::Var(VarId::from_raw(rng.gen_range(vars) as u32)),
+                        Term::Var(VarId::from_raw(rng.gen_range(vars) as u32)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    /// UCQ containment `u1 ⊑ u2`: every disjunct of `u1` is contained in
+    /// some disjunct of `u2` (sound and complete for UCQs by the
+    /// disjunctive Chandra–Merlin argument).
+    fn ucq_contained_in(u1: &Ucq, u2: &Ucq) -> bool {
+        u1.disjuncts
+            .iter()
+            .all(|q| u2.disjuncts.iter().any(|other| cq_contained_in(q, other)))
+    }
+
+    fn ucq_equivalent(u1: &Ucq, u2: &Ucq) -> bool {
+        ucq_contained_in(u1, u2) && ucq_contained_in(u2, u1)
+    }
+
+    /// Pins the subtle containment direction in [`Ucq::minimized`]:
+    /// the minimized UCQ must be *equivalent* to the original (dropping a
+    /// disjunct is only sound when a more general one survives), minimal
+    /// (no survivor contained in another), and idempotent.
+    #[test]
+    fn minimized_is_equivalent_minimal_and_idempotent() {
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        for round in 0..200 {
+            let n_disjuncts = 1 + rng.gen_range(4);
+            let ucq = Ucq::new(
+                (0..n_disjuncts)
+                    .map(|_| random_cq(&mut rng, 2, 4))
+                    .collect(),
+            );
+            let min = ucq.minimized();
+            assert!(
+                !min.disjuncts.is_empty(),
+                "round {round}: minimization emptied a nonempty UCQ"
+            );
+            assert!(
+                min.disjuncts.len() <= ucq.disjuncts.len(),
+                "round {round}: minimization grew the UCQ"
+            );
+            assert!(
+                ucq_equivalent(&ucq, &min),
+                "round {round}: minimized() not equivalent to original"
+            );
+            for (i, q) in min.disjuncts.iter().enumerate() {
+                for (j, other) in min.disjuncts.iter().enumerate() {
+                    assert!(
+                        i == j || !cq_contained_in(q, other),
+                        "round {round}: survivors {i} ⊑ {j} — not minimal"
+                    );
+                }
+            }
+            let twice = min.minimized();
+            assert_eq!(
+                twice.disjuncts.len(),
+                min.disjuncts.len(),
+                "round {round}: minimized() not idempotent"
+            );
+            assert!(ucq_equivalent(&min, &twice), "round {round}");
+        }
+    }
+
+    /// Entailment agrees before and after minimization on a concrete KB.
+    #[test]
+    fn minimized_preserves_entailment() {
+        use chase_engine::{ChaseConfig, ChaseVariant};
+        let mut rng = SplitMix64::new(0xBEEF);
+        // Fixed KB: a small transitive graph.
+        let kb = {
+            let mut vocab = Vocabulary::new();
+            let p0 = vocab.pred("e0", 2);
+            let p1 = vocab.pred("e1", 2);
+            let a = vocab.constant("a");
+            let b = vocab.constant("b");
+            let c = vocab.constant("c");
+            let facts: AtomSet = [
+                Atom::new(p0, vec![Term::Const(a), Term::Const(b)]),
+                Atom::new(p0, vec![Term::Const(b), Term::Const(c)]),
+                Atom::new(p1, vec![Term::Const(c), Term::Const(a)]),
+            ]
+            .into_iter()
+            .collect();
+            KnowledgeBase::new(vocab, facts, chase_engine::RuleSet::new())
+        };
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        for round in 0..50 {
+            let n_disjuncts = 1 + rng.gen_range(3);
+            let ucq = Ucq::new(
+                (0..n_disjuncts)
+                    .map(|_| random_cq(&mut rng, 2, 3))
+                    .collect(),
+            );
+            let before = entail_ucq(&kb, &ucq, &cfg).is_entailed();
+            let after = entail_ucq(&kb, &ucq.minimized(), &cfg).is_entailed();
+            assert_eq!(before, after, "round {round}: entailment changed");
+        }
     }
 }

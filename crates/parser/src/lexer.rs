@@ -22,6 +22,12 @@ pub enum TokenKind {
     Arrow,
     /// `?-`
     QueryMark,
+    /// `?` (answer-query head, as in `?(X, Y) :- …`)
+    Question,
+    /// `:-` (answer-query body separator)
+    Turnstile,
+    /// `;` (UCQ disjunct separator)
+    Semi,
     /// End of input.
     Eof,
 }
@@ -137,9 +143,18 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 TokenKind::Period
             }
+            b':' if self.peek2() == Some(b'-') => {
+                self.bump();
+                self.bump();
+                TokenKind::Turnstile
+            }
             b':' => {
                 self.bump();
                 TokenKind::Colon
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
             }
             b'-' if self.peek2() == Some(b'>') => {
                 self.bump();
@@ -150,6 +165,10 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 self.bump();
                 TokenKind::QueryMark
+            }
+            b'?' => {
+                self.bump();
+                TokenKind::Question
             }
             b if b.is_ascii_alphanumeric() || b == b'_' => {
                 let start = self.pos;
@@ -232,6 +251,18 @@ mod tests {
     fn query_mark() {
         let ks = kinds("?- p(X).");
         assert_eq!(ks[0], TokenKind::QueryMark);
+    }
+
+    #[test]
+    fn answer_query_tokens() {
+        let ks = kinds("?(X) :- p(X) ; q(X).");
+        assert_eq!(ks[0], TokenKind::Question);
+        assert_eq!(ks[4], TokenKind::Turnstile);
+        assert!(ks.contains(&TokenKind::Semi));
+        // `?-` keeps lexing as one token, not Question + something.
+        assert_eq!(kinds("?- p(X).")[0], TokenKind::QueryMark);
+        // A statement name's `:` is still a plain colon.
+        assert_eq!(kinds("R1: p(X).")[1], TokenKind::Colon);
     }
 
     #[test]

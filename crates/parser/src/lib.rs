@@ -12,6 +12,15 @@
 //! Q1: ?- h(X, Y), c(Y).            % boolean conjunctive query
 //! ```
 //!
+//! Standalone *answer queries* (not program statements) add
+//! distinguished variables and UCQ disjunction:
+//!
+//! ```text
+//! ?(X, Y) :- p(X, Z), q(Z, Y) ; r(X, Y).   % answer vars X, Y; two disjuncts
+//! ?- p(X), q(X).                           % boolean query
+//! p(X), q(X)                               % boolean, bare atom list
+//! ```
+//!
 //! * Identifiers starting with an uppercase letter (or `_`) are
 //!   **variables**, scoped to their statement (rule / query / fact
 //!   statement).
@@ -23,8 +32,9 @@
 //! ## Entry points
 //!
 //! [`parse_program`] parses a whole source text into a [`Program`]
-//! (vocabulary + facts + rules + named queries); [`parse_atoms_with`] and
-//! [`parse_rule_with`] parse fragments against an existing vocabulary.
+//! (vocabulary + facts + rules + named queries); [`parse_atoms_with`],
+//! [`parse_rule_with`] and [`parse_query_with`] parse fragments against
+//! an existing vocabulary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,8 +46,8 @@ mod printer;
 
 pub use lexer::{Lexer, Token, TokenKind};
 pub use lower::{
-    is_reserved_null_name, parse_atoms_with, parse_program, parse_program_trusted, parse_rule_with,
-    Program,
+    is_reserved_null_name, parse_atoms_with, parse_program, parse_program_trusted,
+    parse_query_with, parse_query_with_trusted, parse_rule_with, ParsedQuery, Program,
 };
-pub use parser_impl::{AtomAst, ParseError, RuleAst, Span, StmtAst, TermAst};
+pub use parser_impl::{AtomAst, ParseError, QueryAst, RuleAst, Span, StmtAst, TermAst};
 pub use printer::{program_to_text, rule_to_text};

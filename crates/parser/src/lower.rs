@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
-use chase_atoms::{Atom, AtomSet, Term, Vocabulary};
+use chase_atoms::{Atom, AtomSet, Term, VarId, Vocabulary};
 use chase_engine::{Rule, RuleSet};
 
-use crate::parser_impl::{parse_stmts, AtomAst, ParseError, StmtAst, TermAst};
+use crate::parser_impl::{parse_query_ast, parse_stmts, AtomAst, ParseError, StmtAst, TermAst};
 
 /// A fully lowered program: vocabulary, fact set, rules and named queries.
 #[derive(Clone, Debug)]
@@ -199,6 +199,80 @@ pub fn parse_rule_with(vocab: &mut Vocabulary, name: &str, src: &str) -> Result<
     Rule::new(name, body, head).map_err(|e| ParseError::new(rule.span, e.to_string()))
 }
 
+/// A lowered answer query: named answer variables plus one or more
+/// disjuncts, each carrying its own binding of the answer variables
+/// (variables are scoped per disjunct, so the "same" `X` is a distinct
+/// [`VarId`] in each disjunct).
+#[derive(Clone, Debug)]
+pub struct ParsedQuery {
+    /// Answer variable names, in output order (empty for boolean queries).
+    pub var_names: Vec<String>,
+    /// `(atoms, answer_vars)` per disjunct; `answer_vars` is parallel to
+    /// [`ParsedQuery::var_names`].
+    pub disjuncts: Vec<(AtomSet, Vec<VarId>)>,
+}
+
+/// Parses an answer query (`?(X, Y) :- p(X, Z) ; q(X, Y)`, `?- p(X)`, or
+/// a bare atom list) against an existing vocabulary. Each disjunct gets a
+/// fresh variable scope with prefix `{prefix}.d{i}.`; every disjunct must
+/// use every answer variable.
+pub fn parse_query_with(
+    vocab: &mut Vocabulary,
+    prefix: &str,
+    src: &str,
+) -> Result<ParsedQuery, ParseError> {
+    parse_query_impl(vocab, prefix, src, false)
+}
+
+/// Like [`parse_query_with`], but accepts the reserved `_N<digits>` null
+/// spelling (printer output). Never feed untrusted user input through
+/// this entry point.
+pub fn parse_query_with_trusted(
+    vocab: &mut Vocabulary,
+    prefix: &str,
+    src: &str,
+) -> Result<ParsedQuery, ParseError> {
+    parse_query_impl(vocab, prefix, src, true)
+}
+
+fn parse_query_impl(
+    vocab: &mut Vocabulary,
+    prefix: &str,
+    src: &str,
+    trusted: bool,
+) -> Result<ParsedQuery, ParseError> {
+    let ast = parse_query_ast(src)?;
+    let mut disjuncts = Vec::with_capacity(ast.disjuncts.len());
+    for (i, atoms) in ast.disjuncts.iter().enumerate() {
+        let mut scope = Scope::new(&mut *vocab, format!("{prefix}.d{i}."));
+        scope.allow_reserved = trusted;
+        let lowered = scope.lower_atoms(atoms)?;
+        if lowered.is_empty() {
+            return Err(ParseError::new(ast.span, "query must not be empty"));
+        }
+        let answer_vars = ast
+            .answer_vars
+            .iter()
+            .map(|name| {
+                scope.vars.get(name).copied().ok_or_else(|| {
+                    ParseError::new(
+                        ast.span,
+                        format!(
+                            "answer variable `{name}` does not occur in disjunct {}",
+                            i + 1
+                        ),
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        disjuncts.push((lowered, answer_vars));
+    }
+    Ok(ParsedQuery {
+        var_names: ast.answer_vars,
+        disjuncts,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +363,40 @@ mod tests {
         assert_eq!(atoms.vars().len(), 2);
         let rule = parse_rule_with(&mut vocab, "R", "r(X, Y) -> r(Y, Z)").unwrap();
         assert_eq!(rule.existential_vars().len(), 1);
+    }
+
+    #[test]
+    fn lowers_answer_query() {
+        let mut vocab = Vocabulary::new();
+        let q = parse_query_with(&mut vocab, "q", "?(X, Y) :- p(X, Z), r(Z, Y) ; s(X, Y)").unwrap();
+        assert_eq!(q.var_names, vec!["X".to_owned(), "Y".to_owned()]);
+        assert_eq!(q.disjuncts.len(), 2);
+        let (atoms0, vars0) = &q.disjuncts[0];
+        assert_eq!(atoms0.len(), 2);
+        assert_eq!(vars0.len(), 2);
+        // Variables are scoped per disjunct: X in d0 ≠ X in d1.
+        let (_, vars1) = &q.disjuncts[1];
+        assert_ne!(vars0[0], vars1[0]);
+        assert_eq!(vocab.var_name(vars0[0]), Some("q.d0.X"));
+        assert_eq!(vocab.var_name(vars1[0]), Some("q.d1.X"));
+    }
+
+    #[test]
+    fn answer_query_validation() {
+        let mut vocab = Vocabulary::new();
+        // Answer var missing from the second disjunct.
+        let err = parse_query_with(&mut vocab, "q", "?(X, Y) :- p(X, Y) ; p(X, X)").unwrap_err();
+        assert!(err.message.contains("does not occur"), "{}", err.message);
+        // Boolean forms lower with empty answer tuples.
+        let q = parse_query_with(&mut vocab, "q", "?- p(X, X)").unwrap();
+        assert!(q.var_names.is_empty());
+        assert_eq!(q.disjuncts[0].1.len(), 0);
+        // Reserved nulls rejected strictly, accepted trusted.
+        assert!(parse_query_with(&mut vocab, "q", "?- p(_N1, _N1)").is_err());
+        assert!(parse_query_with_trusted(&mut vocab, "q", "?- p(_N1, _N1)").is_ok());
+        // Arity checking runs against the shared vocabulary.
+        let err = parse_query_with(&mut vocab, "q", "?- p(X)").unwrap_err();
+        assert!(err.message.contains("arity"), "{}", err.message);
     }
 
     #[test]

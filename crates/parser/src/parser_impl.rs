@@ -92,6 +92,20 @@ pub enum StmtAst {
     },
 }
 
+/// An answer query `?(X, Y) :- p(X, Z), q(Z, Y) ; r(X, Y)` at the AST
+/// level: distinguished answer variables plus one or more disjuncts
+/// (a UCQ). The boolean forms `?- p(X)` and a bare atom list parse as a
+/// query with no answer variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAst {
+    /// Answer (distinguished) variable names, in output order.
+    pub answer_vars: Vec<String>,
+    /// The disjuncts; entailed iff some disjunct matches.
+    pub disjuncts: Vec<Vec<AtomAst>>,
+    /// Location of the query start.
+    pub span: Span,
+}
+
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -240,6 +254,78 @@ impl Parser {
         }
     }
 
+    /// One `;`-separated list of atom conjunctions (UCQ disjuncts).
+    fn disjuncts(&mut self) -> Result<Vec<Vec<AtomAst>>, ParseError> {
+        let mut out = vec![self.atoms()?];
+        while self.peek().kind == TokenKind::Semi {
+            self.bump();
+            out.push(self.atoms()?);
+        }
+        Ok(out)
+    }
+
+    /// A standalone answer query (fragment grammar, not a program
+    /// statement):
+    ///
+    /// ```text
+    /// ?(X, Y) :- p(X, Z), q(Z, Y) ; r(X, Y).   % answer variables X, Y
+    /// ?- p(X), q(X).                           % boolean (no answer vars)
+    /// p(X), q(X)                               % boolean, bare atom list
+    /// ```
+    ///
+    /// The trailing period is optional in all three forms.
+    pub(crate) fn answer_query(&mut self) -> Result<QueryAst, ParseError> {
+        let span = self.peek().span;
+        let answer_vars = match &self.peek().kind {
+            TokenKind::Question => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let mut vars = Vec::new();
+                if self.peek().kind != TokenKind::RParen {
+                    loop {
+                        let (name, vspan) = self.ident("an answer variable")?;
+                        if !Self::is_var_name(&name) {
+                            return Err(ParseError::new(
+                                vspan,
+                                format!("answer position `{name}` must be a variable"),
+                            ));
+                        }
+                        if vars.contains(&name) {
+                            return Err(ParseError::new(
+                                vspan,
+                                format!("answer variable `{name}` is repeated"),
+                            ));
+                        }
+                        vars.push(name);
+                        if self.peek().kind == TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.expect(&TokenKind::Turnstile, "`:-`")?;
+                vars
+            }
+            TokenKind::QueryMark => {
+                self.bump();
+                Vec::new()
+            }
+            _ => Vec::new(),
+        };
+        let disjuncts = self.disjuncts()?;
+        if self.peek().kind == TokenKind::Period {
+            self.bump();
+        }
+        self.expect(&TokenKind::Eof, "end of query")?;
+        Ok(QueryAst {
+            answer_vars,
+            disjuncts,
+            span,
+        })
+    }
+
     pub(crate) fn program(&mut self) -> Result<Vec<StmtAst>, ParseError> {
         let mut out = Vec::new();
         while self.peek().kind != TokenKind::Eof {
@@ -252,6 +338,11 @@ impl Parser {
 /// Parses a source text into statements (AST level).
 pub(crate) fn parse_stmts(src: &str) -> Result<Vec<StmtAst>, ParseError> {
     Parser::new(src)?.program()
+}
+
+/// Parses a standalone answer query (AST level).
+pub(crate) fn parse_query_ast(src: &str) -> Result<QueryAst, ParseError> {
+    Parser::new(src)?.answer_query()
 }
 
 #[cfg(test)]
@@ -316,5 +407,50 @@ mod tests {
     fn multi_atom_fact_statement() {
         let stmts = parse_stmts("p(a), q(b).").unwrap();
         assert!(matches!(&stmts[0], StmtAst::Facts(atoms) if atoms.len() == 2));
+    }
+
+    #[test]
+    fn answer_query_with_vars_and_disjuncts() {
+        let q = parse_query_ast("?(X, Y) :- p(X, Z), q(Z, Y) ; r(X, Y).").unwrap();
+        assert_eq!(q.answer_vars, vec!["X".to_owned(), "Y".to_owned()]);
+        assert_eq!(q.disjuncts.len(), 2);
+        assert_eq!(q.disjuncts[0].len(), 2);
+        assert_eq!(q.disjuncts[1].len(), 1);
+    }
+
+    #[test]
+    fn boolean_query_forms() {
+        // `?-` prefix, trailing period optional.
+        let q = parse_query_ast("?- p(X), q(X)").unwrap();
+        assert!(q.answer_vars.is_empty());
+        assert_eq!(q.disjuncts.len(), 1);
+        assert_eq!(q.disjuncts[0].len(), 2);
+        // Bare atom list stays accepted (legacy `decide` query strings).
+        let q = parse_query_ast("p(X), q(X).").unwrap();
+        assert!(q.answer_vars.is_empty());
+        // Boolean UCQ.
+        let q = parse_query_ast("?- p(X) ; q(X).").unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn zero_answer_vars_with_head() {
+        let q = parse_query_ast("?() :- p(a).").unwrap();
+        assert!(q.answer_vars.is_empty());
+        assert_eq!(q.disjuncts.len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_answer_heads() {
+        // Constants can't be answer positions.
+        let err = parse_query_ast("?(a) :- p(a).").unwrap_err();
+        assert!(err.message.contains("must be a variable"));
+        // Repeats are rejected.
+        let err = parse_query_ast("?(X, X) :- p(X, X).").unwrap_err();
+        assert!(err.message.contains("repeated"));
+        // Missing `:-`.
+        assert!(parse_query_ast("?(X) p(X).").is_err());
+        // Trailing garbage after the query.
+        assert!(parse_query_ast("p(X). q(X).").is_err());
     }
 }

@@ -1,0 +1,300 @@
+//! The query-answering engine: evaluates parsed CQ/UCQ answer queries
+//! against snapshot views or directly against a knowledge base, tagging
+//! every reply with its completeness status.
+
+use std::collections::BTreeSet;
+
+use chase_atoms::{AtomSet, Vocabulary};
+use chase_core::{collect_answer_tuples, AnswerQuery, KnowledgeBase};
+use chase_engine::{run_chase_observed, ChaseConfig, ChaseOutcome, RecordLevel};
+use chase_homomorphism::SearchBudget;
+use chase_parser::{parse_query_with, ParseError, ParsedQuery};
+
+use crate::snapshot::QueryView;
+
+/// How much of the true certain-answer set a reply covers. The lattice
+/// is `Complete > SoundPrefix > Truncated`: every level is sound, lower
+/// levels promise less about missing tuples.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Completeness {
+    /// The chase terminated: the instance is a universal model and the
+    /// answers are exactly the certain answers.
+    Complete,
+    /// The chase is still running (or was budget-stopped): the answers
+    /// are a sound subset computed from the robust prefix as of
+    /// `horizon` rule applications. Missing tuples may appear later.
+    SoundPrefix {
+        /// Rule applications performed when the prefix was captured.
+        horizon: u64,
+    },
+    /// The *query's* search budget clipped the homomorphism enumeration
+    /// (or the synchronous chase): a missing tuple means nothing at all
+    /// (inconclusive-never-refutation).
+    Truncated,
+}
+
+impl Completeness {
+    /// Stable wire label: `complete`, `sound-prefix`, or `truncated`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Completeness::Complete => "complete",
+            Completeness::SoundPrefix { .. } => "sound-prefix",
+            Completeness::Truncated => "truncated",
+        }
+    }
+
+    /// The sound-prefix horizon, when there is one.
+    pub fn horizon(&self) -> Option<u64> {
+        match self {
+            Completeness::SoundPrefix { horizon } => Some(*horizon),
+            _ => None,
+        }
+    }
+}
+
+/// The reply to one answer query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Answer variable names, in output order (empty for boolean
+    /// queries).
+    pub var_names: Vec<String>,
+    /// Answer tuples rendered as constant names, sorted and
+    /// deduplicated. A boolean query answers with one empty tuple when
+    /// entailed and no tuples otherwise.
+    pub answers: Vec<Vec<String>>,
+    /// How much of the certain-answer set the reply covers.
+    pub completeness: Completeness,
+}
+
+impl QueryOutcome {
+    /// Is the (boolean or answer) query entailed, i.e. has at least one
+    /// answer? For [`Completeness::Complete`] replies `false` is a
+    /// refutation; otherwise it is inconclusive.
+    pub fn entailed(&self) -> bool {
+        !self.answers.is_empty()
+    }
+}
+
+/// Evaluates every disjunct of `parsed` on `instance` under `budget`,
+/// unioning the constant-only answer tuples. Over a single instance the
+/// union over disjuncts is exactly UCQ evaluation; over a universal
+/// model it is exactly the certain answers (UCQs are preserved by
+/// homomorphisms).
+fn evaluate_disjuncts(
+    parsed: &ParsedQuery,
+    instance: &AtomSet,
+    budget: &SearchBudget,
+) -> (BTreeSet<Vec<chase_atoms::ConstId>>, bool) {
+    let mut tuples = BTreeSet::new();
+    let mut truncated = false;
+    for (atoms, answer_vars) in &parsed.disjuncts {
+        let query = AnswerQuery {
+            atoms: atoms.clone(),
+            answer_vars: answer_vars.clone(),
+        };
+        let found = collect_answer_tuples(&query, instance, budget);
+        truncated |= found.truncated;
+        tuples.extend(found.tuples);
+    }
+    (tuples, truncated)
+}
+
+fn render_tuples(
+    vocab: &Vocabulary,
+    tuples: BTreeSet<Vec<chase_atoms::ConstId>>,
+) -> Vec<Vec<String>> {
+    tuples
+        .into_iter()
+        .map(|t| {
+            t.into_iter()
+                .map(|c| vocab.const_name(c).unwrap_or("?").to_owned())
+                .collect()
+        })
+        .collect()
+}
+
+/// Answers `query_src` against a snapshot view (the cache read path).
+///
+/// The query is parsed strictly against a clone of the view's
+/// vocabulary, so predicate and constant identifiers line up with the
+/// snapshot instance; unknown predicates simply match nothing. The view
+/// itself is never mutated — concurrent readers share it by `Arc`.
+pub fn answer_view(
+    view: &QueryView,
+    query_src: &str,
+    budget: &SearchBudget,
+) -> Result<QueryOutcome, ParseError> {
+    let mut vocab = (*view.vocab).clone();
+    let parsed = parse_query_with(&mut vocab, "q", query_src)?;
+    let (tuples, truncated) = evaluate_disjuncts(&parsed, &view.instance, budget);
+    let completeness = if truncated {
+        Completeness::Truncated
+    } else if view.terminated {
+        Completeness::Complete
+    } else {
+        Completeness::SoundPrefix {
+            horizon: view.applications,
+        }
+    };
+    Ok(QueryOutcome {
+        var_names: parsed.var_names,
+        answers: render_tuples(&vocab, tuples),
+        completeness,
+    })
+}
+
+/// Answers `query_src` against a knowledge base by running a budgeted
+/// chase to (attempted) completion and evaluating on the final
+/// instance — the synchronous path behind `treechase query <file>` and
+/// the `kb`/`source` forms of the `query` wire op.
+///
+/// Both the chase and the homomorphism enumeration honor `budget`, so
+/// the call never outlives its operation deadline.
+pub fn answer_kb(
+    kb: &KnowledgeBase,
+    query_src: &str,
+    cfg: &ChaseConfig,
+    budget: &SearchBudget,
+) -> Result<QueryOutcome, ParseError> {
+    let mut vocab = kb.vocab.clone();
+    let parsed = parse_query_with(&mut vocab, "q", query_src)?;
+    let run_cfg = cfg
+        .clone()
+        .with_record(RecordLevel::FinalOnly)
+        .with_search_budget(budget.clone());
+    let res = run_chase_observed(&mut vocab, &kb.facts, &kb.rules, &run_cfg, |_, _| {
+        std::ops::ControlFlow::Continue(())
+    });
+    let (tuples, match_truncated) = evaluate_disjuncts(&parsed, &res.final_instance, budget);
+    let chase_truncated = res.outcome == ChaseOutcome::Cancelled && budget.interrupted();
+    let completeness = if match_truncated || chase_truncated {
+        Completeness::Truncated
+    } else if res.outcome == ChaseOutcome::Terminated {
+        Completeness::Complete
+    } else {
+        Completeness::SoundPrefix {
+            horizon: res.stats.applications as u64,
+        }
+    };
+    Ok(QueryOutcome {
+        var_names: parsed.var_names,
+        answers: render_tuples(&vocab, tuples),
+        completeness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Snapshot, SnapshotCache};
+    use chase_engine::ChaseVariant;
+
+    fn kb(src: &str) -> KnowledgeBase {
+        KnowledgeBase::from_text(src).expect("valid KB source")
+    }
+
+    #[test]
+    fn kb_answers_match_library_certain_answers() {
+        let kb = kb("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).");
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        let out = answer_kb(&kb, "?(X) :- r(a, X)", &cfg, &SearchBudget::unlimited()).unwrap();
+        assert_eq!(out.completeness, Completeness::Complete);
+        assert_eq!(out.var_names, vec!["X".to_owned()]);
+        assert_eq!(
+            out.answers,
+            vec![vec!["b".to_owned()], vec!["c".to_owned()]]
+        );
+        // Differential check against the library path.
+        let mut kb2 = kb.clone();
+        let atoms = kb2.parse_query("r(a, X)").unwrap();
+        let x = *atoms.vars().iter().next().unwrap();
+        let query = chase_core::AnswerQuery::new(atoms, vec![x]).unwrap();
+        let lib = chase_core::certain_answers(&kb2, &query, &cfg);
+        assert!(lib.complete);
+        assert_eq!(lib.answers.len(), out.answers.len());
+    }
+
+    #[test]
+    fn boolean_and_ucq_forms() {
+        let kb = kb("r(a, b). r(b, c). T: r(X, Y), r(Y, Z) -> r(X, Z).");
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        let yes = answer_kb(&kb, "?- r(a, c)", &cfg, &SearchBudget::unlimited()).unwrap();
+        assert!(yes.entailed());
+        assert_eq!(yes.answers, vec![Vec::<String>::new()]);
+        let no = answer_kb(&kb, "?- r(c, a)", &cfg, &SearchBudget::unlimited()).unwrap();
+        assert!(!no.entailed());
+        assert_eq!(no.completeness, Completeness::Complete);
+        // UCQ: one bad disjunct, one good.
+        let ucq = answer_kb(
+            &kb,
+            "?(X) :- r(X, a) ; r(X, c)",
+            &cfg,
+            &SearchBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(ucq.answers.len(), 2, "a and b reach c");
+    }
+
+    #[test]
+    fn nulls_never_rendered_as_answers() {
+        let kb = kb("r(a, b). R: r(X, Y) -> s(Y, Z).");
+        let cfg = ChaseConfig::variant(ChaseVariant::Core);
+        let out = answer_kb(&kb, "?(W) :- s(b, W)", &cfg, &SearchBudget::unlimited()).unwrap();
+        assert_eq!(out.completeness, Completeness::Complete);
+        assert!(out.answers.is_empty());
+        // …but the boolean projection is entailed.
+        let out = answer_kb(&kb, "?- s(b, W)", &cfg, &SearchBudget::unlimited()).unwrap();
+        assert!(out.entailed());
+    }
+
+    #[test]
+    fn snapshot_view_answers_and_tags() {
+        let kb = kb("r(a, b). r(b, c).");
+        let cache = SnapshotCache::new(3);
+        cache.publish(1, Snapshot::live(kb.vocab.clone(), kb.facts.clone(), 4));
+        let view = cache.view(1).unwrap();
+        let out = answer_view(&view, "?(X, Y) :- r(X, Y)", &SearchBudget::unlimited()).unwrap();
+        assert_eq!(out.completeness, Completeness::SoundPrefix { horizon: 4 });
+        assert_eq!(out.completeness.label(), "sound-prefix");
+        assert_eq!(out.completeness.horizon(), Some(4));
+        assert_eq!(out.answers.len(), 2);
+        cache.publish(1, Snapshot::terminal(kb.vocab.clone(), kb.facts.clone(), 4));
+        let view = cache.view(1).unwrap();
+        let out = answer_view(&view, "?(X, Y) :- r(X, Y)", &SearchBudget::unlimited()).unwrap();
+        assert_eq!(out.completeness, Completeness::Complete);
+    }
+
+    #[test]
+    fn unknown_predicate_matches_nothing() {
+        let kb = kb("r(a, b).");
+        let cache = SnapshotCache::new(1);
+        cache.publish(1, Snapshot::terminal(kb.vocab.clone(), kb.facts.clone(), 0));
+        let view = cache.view(1).unwrap();
+        let out = answer_view(&view, "?(X) :- zzz(X, X)", &SearchBudget::unlimited()).unwrap();
+        assert!(out.answers.is_empty());
+        assert_eq!(out.completeness, Completeness::Complete);
+    }
+
+    #[test]
+    fn budget_truncation_tags_truncated() {
+        let kb = kb("r(a, b). r(b, c). r(c, d).");
+        let cache = SnapshotCache::new(1);
+        cache.publish(1, Snapshot::terminal(kb.vocab.clone(), kb.facts.clone(), 0));
+        let view = cache.view(1).unwrap();
+        let tight = SearchBudget::unlimited().with_node_limit(1);
+        let out = answer_view(&view, "?(X, Y) :- r(X, Y)", &tight).unwrap();
+        assert_eq!(out.completeness, Completeness::Truncated);
+        let full = answer_view(&view, "?(X, Y) :- r(X, Y)", &SearchBudget::unlimited()).unwrap();
+        for t in &out.answers {
+            assert!(full.answers.contains(t), "truncated answers must be sound");
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let kb = kb("r(a, b).");
+        let cfg = ChaseConfig::default();
+        assert!(answer_kb(&kb, "?(X) :-", &cfg, &SearchBudget::unlimited()).is_err());
+        assert!(answer_kb(&kb, "?(a) :- r(a, b)", &cfg, &SearchBudget::unlimited()).is_err());
+    }
+}

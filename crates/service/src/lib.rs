@@ -42,10 +42,11 @@ pub use checkpoint::Checkpoint;
 pub use job::{add_stats, JobId, JobResult, JobSpec, JobStatus, Priority, QueryVerdict};
 pub use json::{parse_json, Json};
 pub use protocol::{
-    analysis_to_json, named_kb, parse_fault_plan, parse_request, rejection_to_json, Request,
+    analysis_to_json, named_kb, parse_fault_plan, parse_request, query_reply_to_json,
+    rejection_to_json, Request,
 };
 pub use runner::{
-    Admission, DrainReport, EventReceiver, JobEvent, JobEventKind, JobSummary, RejectReason,
-    Rejection, Service, ServiceConfig, WaitResult,
+    Admission, DrainReport, EventReceiver, JobEvent, JobEventKind, JobSummary, QueryError,
+    QueryReply, RejectReason, Rejection, Service, ServiceConfig, WaitResult,
 };
 pub use store::{CheckpointStore, CorruptEntry};

@@ -86,6 +86,30 @@ pub enum Request {
         /// The job whose state to serialize.
         job: JobId,
     },
+    /// Answer a CQ/UCQ, either from a job's materialization snapshot or
+    /// against an ad-hoc knowledge base.
+    Query {
+        /// Answer from this job's snapshot. Exactly one of `job` /
+        /// `kb` / `source` must be present.
+        job: Option<JobId>,
+        /// Name of a built-in knowledge base (see [`named_kb`]) to run a
+        /// synchronous budgeted chase over.
+        kb: Option<String>,
+        /// KB source text to run a synchronous budgeted chase over.
+        source: Option<String>,
+        /// The query text (`?(X, Y) :- p(X, Z), q(Z, Y) ; r(X, Y)`,
+        /// `?- p(X)`, or a bare atom list).
+        query: String,
+        /// Chase configuration for the `kb`/`source` forms (ignored on
+        /// the `job` path — the snapshot is whatever the job produced).
+        config: Box<ChaseConfig>,
+        /// Homomorphism-search node budget; exceeding it tags the reply
+        /// `truncated`.
+        node_limit: Option<usize>,
+        /// Per-op deadline in milliseconds (defaults to the service's
+        /// `--op-deadline`).
+        timeout_ms: Option<u64>,
+    },
     /// List all known jobs.
     List,
     /// Gracefully drain: stop admitting, checkpoint running slices,
@@ -431,6 +455,36 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
         "checkpoint" => Ok(Request::Checkpoint {
             job: v.require_u64("job")?,
         }),
+        "query" => {
+            let job = v.opt_u64("job")?;
+            let kb = v.opt_str("kb")?.map(str::to_string);
+            let source = v.opt_str("source")?.map(str::to_string);
+            let targets = usize::from(job.is_some())
+                + usize::from(kb.is_some())
+                + usize::from(source.is_some());
+            if targets != 1 {
+                return Err(
+                    "query needs exactly one of `job` (id), `kb` (name) or `source` (program text)"
+                        .to_string(),
+                );
+            }
+            if let Some(name) = &kb {
+                named_kb(name)?;
+            }
+            let query = v
+                .opt_str("query")?
+                .ok_or_else(|| "query needs a `query` string".to_string())?
+                .to_string();
+            Ok(Request::Query {
+                job,
+                kb,
+                source,
+                query,
+                config: Box::new(submit_config(v)?),
+                node_limit: opt_positive(v, "node_limit")?.map(|n| n as usize),
+                timeout_ms: opt_positive(v, "timeout_ms")?,
+            })
+        }
         "list" => Ok(Request::List),
         "drain" => Ok(Request::Drain),
         "shutdown" => Ok(Request::Shutdown),
@@ -605,6 +659,56 @@ pub fn rejection_to_json(op: &str, rej: &crate::runner::Rejection) -> Json {
             "retry_after_ms",
             rej.retry_after
                 .map_or(Json::Null, |d| Json::Int(d.as_millis() as i64)),
+        ),
+    ])
+}
+
+/// Serializes a query reply
+/// (`{"type":"response","op":"query","completeness":...,"answers":...}`).
+/// The snapshot metadata fields (`job` / `sequence` / `applications` /
+/// `snapshot_age_ms`) are present on the job path and null on the
+/// synchronous kb/source path.
+pub fn query_reply_to_json(reply: &crate::runner::QueryReply) -> Json {
+    let opt_int = |n: Option<u64>| n.map_or(Json::Null, |n| Json::Int(n as i64));
+    Json::obj([
+        ("type", Json::str("response")),
+        ("op", Json::str("query")),
+        (
+            "completeness",
+            Json::str(reply.outcome.completeness.label()),
+        ),
+        ("horizon", opt_int(reply.outcome.completeness.horizon())),
+        ("entailed", Json::Bool(reply.outcome.entailed())),
+        (
+            "vars",
+            Json::Arr(reply.outcome.var_names.iter().map(Json::str).collect()),
+        ),
+        (
+            "answers",
+            Json::Arr(
+                reply
+                    .outcome
+                    .answers
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                    .collect(),
+            ),
+        ),
+        ("job", opt_int(reply.job)),
+        ("sequence", opt_int(reply.sequence)),
+        ("applications", opt_int(reply.applications)),
+        ("snapshot_age_ms", opt_int(reply.snapshot_age_ms)),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Int(reply.cache.hits as i64)),
+                ("misses", Json::Int(reply.cache.misses as i64)),
+                ("published", Json::Int(reply.cache.published as i64)),
+                (
+                    "answers_served",
+                    Json::Int(reply.cache.answers_served as i64),
+                ),
+            ]),
         ),
     ])
 }
@@ -991,6 +1095,62 @@ mod tests {
         }
         // The boundary case kills == horizon is legal.
         assert!(parse_fault_plan("rand:9:3:3").is_ok());
+    }
+
+    #[test]
+    fn query_request_parses_and_validates() {
+        let line = r#"{"op":"query","job":4,"query":"?(X) :- at(X, f0)","node_limit":500,"timeout_ms":200}"#;
+        let req = parse_request(&parse_json(line).unwrap()).unwrap();
+        let Request::Query {
+            job,
+            kb,
+            source,
+            query,
+            node_limit,
+            timeout_ms,
+            ..
+        } = req
+        else {
+            panic!("expected query");
+        };
+        assert_eq!(job, Some(4));
+        assert_eq!((kb, source), (None, None));
+        assert_eq!(query, "?(X) :- at(X, f0)");
+        assert_eq!(node_limit, Some(500));
+        assert_eq!(timeout_ms, Some(200));
+
+        let line = r#"{"op":"query","kb":"staircase","query":"?- top(X)","variant":"restricted","max_apps":50}"#;
+        let Request::Query { kb, config, .. } = parse_request(&parse_json(line).unwrap()).unwrap()
+        else {
+            panic!("expected query");
+        };
+        assert_eq!(kb.as_deref(), Some("staircase"));
+        assert_eq!(config.variant, ChaseVariant::Restricted);
+        assert_eq!(config.max_applications, 50);
+
+        let cases = [
+            (r#"{"op":"query","query":"p(X)"}"#, "exactly one"),
+            (
+                r#"{"op":"query","job":1,"kb":"staircase","query":"p(X)"}"#,
+                "exactly one",
+            ),
+            (r#"{"op":"query","job":1}"#, "`query` string"),
+            (
+                r#"{"op":"query","kb":"nosuch","query":"p(X)"}"#,
+                "unknown kb",
+            ),
+            (
+                r#"{"op":"query","job":1,"query":"p(X)","node_limit":0}"#,
+                "must be positive",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = parse_request(&parse_json(line).unwrap()).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "for {line}: error `{err}` should mention `{needle}`"
+            );
+        }
     }
 
     #[test]

@@ -28,9 +28,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chase_core::AnalysisGate;
-use chase_engine::{run_chase_controlled, CancelToken, ChaseEvent, ChaseOutcome};
+use chase_core::{AnalysisGate, KnowledgeBase};
+use chase_engine::{run_chase_controlled, CancelToken, ChaseConfig, ChaseEvent, ChaseOutcome};
 use chase_homomorphism::{maps_to, SearchBudget};
+use chase_query::{answer_kb, answer_view, CacheStats, QueryOutcome, Snapshot, SnapshotCache};
 use chase_treewidth::treewidth_bounds;
 
 use crate::checkpoint::Checkpoint;
@@ -186,6 +187,13 @@ pub struct ServiceConfig {
     /// profiles rather than a fabricated refutation. `None` disables
     /// the ceiling.
     pub analysis_deadline: Option<Duration>,
+    /// Publish a materialization snapshot for the query cache every this
+    /// many rule applications (plus one at slice start and one at slice
+    /// end).
+    pub snapshot_every: usize,
+    /// Trailing snapshots kept per job; their intersection is the robust
+    /// D^⊛ prefix that live-job queries evaluate against.
+    pub snapshot_ring: usize,
 }
 
 impl Default for ServiceConfig {
@@ -205,6 +213,8 @@ impl Default for ServiceConfig {
             analysis_node_limit: 2_000,
             analysis_probe: chase_core::DEFAULT_PROBE_APPLICATIONS,
             analysis_deadline: Some(Duration::from_secs(2)),
+            snapshot_every: 64,
+            snapshot_ring: 4,
         }
     }
 }
@@ -416,6 +426,9 @@ struct JobEntry {
     last_checkpoint: Option<Checkpoint>,
     priority: Priority,
     submitter: Option<String>,
+    /// Queries answered from this job's snapshots (surfaced in
+    /// [`JobSummary::queries_served`]).
+    queries_served: u64,
 }
 
 struct State {
@@ -434,6 +447,10 @@ struct Inner {
     cfg: ServiceConfig,
     store: Option<CheckpointStore>,
     shutdown: AtomicBool,
+    /// Per-job materialization snapshots for the query read path.
+    /// Separate from `state`: readers take views by `Arc` and never
+    /// contend with the job table or the chase writers.
+    snapshots: SnapshotCache,
 }
 
 impl Inner {
@@ -488,6 +505,58 @@ pub struct JobSummary {
     /// Events of this job dropped from the bounded buffer because no
     /// subscriber drained them in time.
     pub events_dropped: u64,
+    /// Queries answered from this job's materialization snapshots.
+    pub queries_served: u64,
+    /// Age of the newest published snapshot, in milliseconds; `None`
+    /// when the job has not published one yet.
+    pub snapshot_age_ms: Option<u64>,
+}
+
+/// Why a `query` operation could not produce answers.
+#[derive(Clone, Debug)]
+pub enum QueryError {
+    /// Shed by admission control (draining, or queue at capacity — the
+    /// service protects the chase writers before serving more reads).
+    Rejected(Rejection),
+    /// The referenced job does not exist.
+    UnknownJob(JobId),
+    /// The job exists but has not published a snapshot yet (still
+    /// queued).
+    NoSnapshot(JobId),
+    /// The query text failed to parse.
+    Parse(chase_parser::ParseError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Rejected(rej) => write!(f, "query rejected: {}", rej.message),
+            QueryError::UnknownJob(id) => write!(f, "no such job: {id}"),
+            QueryError::NoSnapshot(id) => {
+                write!(f, "job {id} has not published a snapshot yet")
+            }
+            QueryError::Parse(e) => write!(f, "query parse error: {e}"),
+        }
+    }
+}
+
+/// A successful `query` reply: the answers plus the snapshot metadata
+/// and cache counters that let a client reason about staleness.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// Answers, variable names and the completeness tag.
+    pub outcome: QueryOutcome,
+    /// The job answered from (`None` for ad-hoc KB queries).
+    pub job: Option<JobId>,
+    /// Monotone snapshot publication counter (job path only).
+    pub sequence: Option<u64>,
+    /// Rule applications at the snapshot horizon (job path only).
+    pub applications: Option<u64>,
+    /// Age of the snapshot answered from, in milliseconds (job path
+    /// only).
+    pub snapshot_age_ms: Option<u64>,
+    /// Service-wide cache counters as of this reply.
+    pub cache: CacheStats,
 }
 
 impl Service {
@@ -508,6 +577,7 @@ impl Service {
             None => None,
         };
         let event_capacity = cfg.event_capacity;
+        let snapshot_ring = cfg.snapshot_ring.max(1);
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 next_id: 1,
@@ -520,6 +590,7 @@ impl Service {
             cfg,
             store,
             shutdown: AtomicBool::new(false),
+            snapshots: SnapshotCache::new(snapshot_ring),
         });
 
         let mut recovered = Vec::new();
@@ -555,6 +626,7 @@ impl Service {
                             last_checkpoint: Some(ck.clone()),
                             priority,
                             submitter,
+                            queries_served: 0,
                         },
                     );
                     st.queue.push_back(id);
@@ -631,6 +703,7 @@ impl Service {
                 last_checkpoint: None,
                 priority,
                 submitter,
+                queries_served: 0,
             },
         );
         st.queue.push_back(id);
@@ -917,14 +990,153 @@ impl Service {
                     name: e.name.clone(),
                     status: e.status.clone(),
                     events_dropped: 0,
+                    queries_served: e.queries_served,
+                    snapshot_age_ms: None,
                 })
                 .collect()
         };
         for row in &mut rows {
             row.events_dropped = self.inner.hub.dropped_for(row.id);
+            row.snapshot_age_ms = self
+                .inner
+                .snapshots
+                .latest_captured(row.id)
+                .map(|t| t.elapsed().as_millis() as u64);
         }
         rows.sort_by_key(|r| r.id);
         rows
+    }
+
+    /// Admission gate for the read path: queries are shed while the
+    /// service drains, and — with `--max-queue` set — while the write
+    /// queue is at capacity, so an overloaded service protects its
+    /// chase workers before taking on more reads.
+    fn admit_query(&self) -> Result<(), Rejection> {
+        let st = self.inner.state.lock().expect("state lock poisoned");
+        if st.draining || self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(Rejection {
+                reason: RejectReason::Draining,
+                message: "service is draining; not serving queries".to_string(),
+                retry_after: None,
+            });
+        }
+        if let Some(cap) = self.inner.cfg.max_queue {
+            let queued = st
+                .jobs
+                .values()
+                .filter(|e| e.status == JobStatus::Queued)
+                .count();
+            if queued >= cap {
+                let backoff = (100 * queued as u64).clamp(100, 5_000);
+                return Err(Rejection {
+                    reason: RejectReason::QueueFull,
+                    message: format!(
+                        "service overloaded ({queued}/{cap} jobs queued); queries shed"
+                    ),
+                    retry_after: Some(Duration::from_millis(backoff)),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The budget every query runs under: the caller's node limit plus a
+    /// deadline from the explicit timeout or the service's
+    /// `--op-deadline`, so a query can never outlive its operation
+    /// deadline.
+    fn query_search_budget(
+        &self,
+        node_limit: Option<usize>,
+        timeout: Option<Duration>,
+    ) -> SearchBudget {
+        let mut budget = SearchBudget::unlimited();
+        if let Some(n) = node_limit {
+            budget = budget.with_node_limit(n);
+        }
+        if let Some(d) = timeout.or(self.inner.cfg.op_deadline) {
+            budget = budget.with_deadline(Instant::now() + d);
+        }
+        budget
+    }
+
+    /// Answers a CQ/UCQ against a job's newest materialization snapshot
+    /// (the robust D^⊛ prefix while the chase is live, the final
+    /// universal model once it terminated).
+    ///
+    /// Runs synchronously on the caller's thread — queries never queue
+    /// behind chase jobs, which is what lets millions of cheap reads
+    /// overtake a few expensive writes. The snapshot is shared by `Arc`,
+    /// so concurrent queries never block the chase writer.
+    pub fn query_job(
+        &self,
+        id: JobId,
+        query: &str,
+        node_limit: Option<usize>,
+        timeout: Option<Duration>,
+    ) -> Result<QueryReply, QueryError> {
+        self.admit_query().map_err(QueryError::Rejected)?;
+        {
+            let st = self.inner.state.lock().expect("state lock poisoned");
+            if !st.jobs.contains_key(&id) {
+                return Err(QueryError::UnknownJob(id));
+            }
+        }
+        let view = self
+            .inner
+            .snapshots
+            .view(id)
+            .ok_or(QueryError::NoSnapshot(id))?;
+        let budget = self.query_search_budget(node_limit, timeout);
+        let outcome = answer_view(&view, query, &budget).map_err(QueryError::Parse)?;
+        self.inner
+            .snapshots
+            .add_answers_served(outcome.answers.len() as u64);
+        {
+            let mut st = self.inner.state.lock().expect("state lock poisoned");
+            if let Some(entry) = st.jobs.get_mut(&id) {
+                entry.queries_served += 1;
+            }
+        }
+        Ok(QueryReply {
+            outcome,
+            job: Some(id),
+            sequence: Some(view.sequence),
+            applications: Some(view.applications),
+            snapshot_age_ms: Some(view.captured.elapsed().as_millis() as u64),
+            cache: self.inner.snapshots.stats(),
+        })
+    }
+
+    /// Answers a CQ/UCQ against an ad-hoc knowledge base by running a
+    /// budgeted chase to (attempted) completion on the caller's thread —
+    /// the `kb`/`source` form of the `query` wire op.
+    pub fn query_kb(
+        &self,
+        kb: &KnowledgeBase,
+        cfg: &ChaseConfig,
+        query: &str,
+        node_limit: Option<usize>,
+        timeout: Option<Duration>,
+    ) -> Result<QueryReply, QueryError> {
+        self.admit_query().map_err(QueryError::Rejected)?;
+        let budget = self.query_search_budget(node_limit, timeout);
+        let outcome = answer_kb(kb, query, cfg, &budget).map_err(QueryError::Parse)?;
+        self.inner
+            .snapshots
+            .add_answers_served(outcome.answers.len() as u64);
+        Ok(QueryReply {
+            outcome,
+            job: None,
+            sequence: None,
+            applications: None,
+            snapshot_age_ms: None,
+            cache: self.inner.snapshots.stats(),
+        })
+    }
+
+    /// Service-wide query-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.snapshots.stats()
     }
 
     /// Graceful drain: stop admitting and picking, cancel queued jobs,
@@ -1280,9 +1492,23 @@ fn execute(
     let mut vocab = spec.kb.vocab.clone();
     let progress_every = spec.progress_every.max(1);
     let checkpoint_every = spec.checkpoint_every.or(inner.cfg.checkpoint_every);
+    let snapshot_every = inner.cfg.snapshot_every.max(1);
+    let base_applications = spec.base_stats.applications as u64;
     let mut last_step_emitted = 0usize;
     let mut last_tw_sampled = 0usize;
     let mut last_checkpointed = 0usize;
+    let mut last_snapshotted = 0usize;
+    // Queries can be answered from the moment the slice starts: the
+    // initial facts (or the resumed instance) are already a sound
+    // prefix of every chase element.
+    inner.snapshots.publish(
+        id,
+        Snapshot::live(
+            spec.kb.vocab.clone(),
+            spec.kb.facts.clone(),
+            base_applications,
+        ),
+    );
     if spec.resumed_inexact {
         // The checkpoint could not carry the applied-trigger memory of
         // its oblivious/semi-oblivious prefix; the resumed slice may
@@ -1349,6 +1575,17 @@ fn execute(
                             inner.persist_checkpoint(id, name, spec, &ck);
                         }
                     }
+                    if stats.applications >= last_snapshotted + snapshot_every {
+                        last_snapshotted = stats.applications;
+                        inner.snapshots.publish(
+                            id,
+                            Snapshot::live(
+                                vocab.clone(),
+                                instance.clone(),
+                                base_applications + stats.applications as u64,
+                            ),
+                        );
+                    }
                 }
                 ChaseEvent::Degraded {
                     mem_units,
@@ -1388,6 +1625,22 @@ fn execute(
     );
 
     let stats = add_stats(spec.base_stats, res.stats);
+    // Final snapshot: a terminated run's instance is a universal model,
+    // so queries over it are complete from here on.
+    let final_snapshot = if res.outcome.terminated() {
+        Snapshot::terminal(
+            vocab.clone(),
+            res.final_instance.clone(),
+            stats.applications as u64,
+        )
+    } else {
+        Snapshot::live(
+            vocab.clone(),
+            res.final_instance.clone(),
+            stats.applications as u64,
+        )
+    };
+    inner.snapshots.publish(id, final_snapshot);
     let queries = spec
         .queries
         .iter()

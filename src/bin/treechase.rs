@@ -4,6 +4,8 @@
 //! treechase run <file> [--variant V] [--max-apps N] [--dot OUT.dot]
 //! treechase analyze <file> [--budget N] [--json]
 //! treechase decide <file> "<query>" [--max-apps N]
+//! treechase query <file|kb> "<query>" [--variant V] [--max-apps N]
+//!                 [--node-limit N] [--max-wall-ms N]
 //! treechase serve [--workers N] [--state-dir DIR] [--retries N]
 //!                 [--retry-backoff-ms N] [--checkpoint-every N]
 //!                 [--max-queue N] [--quota N] [--mem-soft N] [--mem-hard N]
@@ -22,7 +24,10 @@
 //! gate — static certificates, the Figure 1 dynamic probes, and the
 //! derived stratified chase plan (`--json` emits the wire-format
 //! report); `decide` races the Theorem 1 twin procedure
-//! on an ad-hoc query. `serve` speaks the JSONL job protocol over
+//! on an ad-hoc query; `query` answers a CQ/UCQ with answer variables
+//! (`?(X) :- p(X, Y)`) over a budgeted chase of the file or a named
+//! built-in KB, tagging the reply `complete` / `sound-prefix` /
+//! `truncated`. `serve` speaks the JSONL job protocol over
 //! stdin/stdout (see README, "Running as a service"); `batch` submits
 //! every `.tc` file in a directory to a shared worker pool and streams
 //! progress events as JSONL.
@@ -53,6 +58,7 @@ struct Args {
     variant: ChaseVariant,
     max_apps: usize,
     budget: usize,
+    node_limit: Option<usize>,
     dot: Option<String>,
     workers: usize,
     max_wall_ms: Option<u64>,
@@ -81,6 +87,7 @@ impl Default for Args {
             variant: ChaseVariant::Core,
             max_apps: 1_000,
             budget: 80,
+            node_limit: None,
             dot: None,
             workers: 4,
             max_wall_ms: None,
@@ -125,7 +132,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--variant",
         metavar: "oblivious|semi|restricted|frugal|core",
-        commands: &["run", "batch"],
+        commands: &["run", "batch", "query"],
         apply: |a, v| {
             a.variant = protocol::parse_variant(v)?;
             Ok(())
@@ -134,7 +141,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--max-apps",
         metavar: "N",
-        commands: &["run", "decide", "batch"],
+        commands: &["run", "decide", "batch", "query"],
         apply: |a, v| {
             a.max_apps = parse_num("--max-apps", v)?;
             Ok(())
@@ -146,6 +153,15 @@ const FLAGS: &[FlagSpec] = &[
         commands: &["analyze"],
         apply: |a, v| {
             a.budget = parse_num("--budget", v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--node-limit",
+        metavar: "N",
+        commands: &["query"],
+        apply: |a, v| {
+            a.node_limit = Some(parse_num::<usize>("--node-limit", v)?.max(1));
             Ok(())
         },
     },
@@ -170,7 +186,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--max-wall-ms",
         metavar: "N",
-        commands: &["batch"],
+        commands: &["batch", "query"],
         apply: |a, v| {
             a.max_wall_ms = Some(parse_num("--max-wall-ms", v)?);
             Ok(())
@@ -354,6 +370,13 @@ const COMMANDS: &[CommandSpec] = &[
         min_args: 2,
         max_args: 2,
         run: cmd_decide,
+    },
+    CommandSpec {
+        name: "query",
+        operands: "<file|kb> \"<query>\"",
+        min_args: 2,
+        max_args: 2,
+        run: cmd_query,
     },
     CommandSpec {
         name: "serve",
@@ -542,6 +565,46 @@ fn cmd_decide(args: &Args) -> Result<(), String> {
     };
     let out = decide(&kb, &query, &cfg);
     println!("{out:?}");
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let [path, query_src] = &args.positional[..] else {
+        unreachable!("operand count checked by parse_args");
+    };
+    // The operand is a program file, or the name of a built-in KB
+    // (`staircase` / `elevator`) when no such file exists.
+    let kb = match load(path) {
+        Ok((kb, _)) => kb,
+        Err(e) => treechase::service::named_kb(path).map_err(|_| e)?,
+    };
+    let mut cfg = ChaseConfig::variant(args.variant).with_max_applications(args.max_apps);
+    cfg.max_wall = args.max_wall_ms.map(Duration::from_millis);
+    let mut budget = SearchBudget::unlimited();
+    if let Some(n) = args.node_limit {
+        budget = budget.with_node_limit(n);
+    }
+    let out = treechase::query::answer_kb(&kb, query_src, &cfg, &budget)
+        .map_err(|e| format!("query: {e}"))?;
+    match out.completeness.horizon() {
+        Some(h) => println!("completeness: {} (horizon {h})", out.completeness.label()),
+        None => println!("completeness: {}", out.completeness.label()),
+    }
+    println!("entailed: {}", out.entailed());
+    if out.var_names.is_empty() {
+        return Ok(());
+    }
+    println!("answers ({}):", out.answers.len());
+    for row in &out.answers {
+        let mut line = String::new();
+        for (name, value) in out.var_names.iter().zip(row) {
+            if !line.is_empty() {
+                line.push_str(", ");
+            }
+            line.push_str(&format!("{name} = {value}"));
+        }
+        println!("  {line}");
+    }
     Ok(())
 }
 
@@ -809,6 +872,40 @@ fn handle_request(svc: &Service, args: &Args, req: Request) -> Result<Json, Stri
                 ],
             ))
         }
+        Request::Query {
+            job,
+            kb,
+            source,
+            query,
+            config,
+            node_limit,
+            timeout_ms,
+        } => {
+            let timeout = timeout_ms.map(Duration::from_millis);
+            let reply = if let Some(id) = job {
+                svc.query_job(id, &query, node_limit, timeout)
+            } else {
+                let base = match (&kb, &source) {
+                    (Some(kb_name), None) => treechase::service::named_kb(kb_name)?,
+                    (None, Some(src)) => {
+                        JobSpec::from_text(String::new(), src, (*config).clone())?.kb
+                    }
+                    // parse_request enforces exactly-one; keep a
+                    // defensive error for in-process callers.
+                    _ => {
+                        return Err("query takes exactly one of `job` / `kb` / `source`".to_string())
+                    }
+                };
+                svc.query_kb(&base, &config, &query, node_limit, timeout)
+            };
+            match reply {
+                Ok(r) => Ok(protocol::query_reply_to_json(&r)),
+                Err(treechase::service::QueryError::Rejected(rej)) => {
+                    Ok(treechase::service::rejection_to_json("query", &rej))
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
         Request::List => Ok(response(
             "list",
             vec![(
@@ -822,6 +919,12 @@ fn handle_request(svc: &Service, args: &Args, req: Request) -> Result<Json, Stri
                                 ("name", Json::str(&r.name)),
                                 ("status", Json::str(protocol::status_name(&r.status))),
                                 ("events_dropped", Json::Int(r.events_dropped as i64)),
+                                ("queries_served", Json::Int(r.queries_served as i64)),
+                                (
+                                    "snapshot_age_ms",
+                                    r.snapshot_age_ms
+                                        .map_or(Json::Null, |ms| Json::Int(ms as i64)),
+                                ),
                             ])
                         })
                         .collect(),

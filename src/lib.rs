@@ -12,6 +12,7 @@
 //! * [`chase_kbs`] — the paper's knowledge bases and workload generators
 //! * [`chase_analysis`] — static ruleset analyses (acyclicity, guards)
 //! * [`chase_core`] — the public facade: KBs, entailment, class analysis
+//! * [`chase_query`] — CQ/UCQ answering over materialization snapshots
 //! * [`treechase_service`] — concurrent, budgeted chase job runner
 
 pub use chase_analysis as analysis;
@@ -21,6 +22,7 @@ pub use chase_engine as engine;
 pub use chase_homomorphism as homomorphism;
 pub use chase_kbs as kbs;
 pub use chase_parser as parser;
+pub use chase_query as query;
 pub use chase_treewidth as treewidth;
 pub use treechase_service as service;
 
