@@ -14,10 +14,13 @@ use crate::substitution::Substitution;
 use crate::term::{ConstId, Term, VarId};
 use crate::vocab::PredId;
 
-/// A stable handle to an atom inside one [`AtomSet`].
+/// A handle to an atom inside one [`AtomSet`].
 ///
-/// Ids are allocated in insertion order and never reused, so sorting by
-/// `AtomId` recovers insertion order even after removals.
+/// Ids are allocated in insertion order, so sorting by `AtomId` recovers
+/// insertion order even after removals. They are **not** stable across
+/// mutations: a removal may auto-compact the arena (see
+/// [`AtomSet::compact`]), which reassigns ids — hold the [`Atom`]
+/// itself, not its id, across anything that removes atoms.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct AtomId(u32);
 
@@ -42,6 +45,10 @@ pub struct AtomSet {
     /// Number of live atoms.
     live: usize,
 }
+
+/// Arenas smaller than this never auto-compact: a handful of dead slots
+/// is cheaper than the rebuild.
+const COMPACT_MIN_SLOTS: usize = 64;
 
 impl AtomSet {
     /// Creates an empty atomset.
@@ -76,6 +83,9 @@ impl AtomSet {
     }
 
     /// Removes an atom; returns `true` if it was present.
+    ///
+    /// Removal may auto-compact the arena (see [`AtomSet::compact`]),
+    /// invalidating previously obtained [`AtomId`]s.
     pub fn remove(&mut self, atom: &Atom) -> bool {
         let Some(id) = self.lookup.remove(atom) else {
             return false;
@@ -98,7 +108,21 @@ impl AtomSet {
             }
         }
         self.live -= 1;
+        self.maybe_compact();
         true
+    }
+
+    /// Compacts once tombstones outnumber live atoms two-to-one. The
+    /// rebuild is O(live), so charging it to the ≥ 2·live removals since
+    /// the last compaction keeps removal amortized O(1) while bounding
+    /// the arena at 3·live + [`COMPACT_MIN_SLOTS`] slots — without this,
+    /// a retraction-heavy core chase grows `slots` monotonically even
+    /// when the live instance stays small.
+    fn maybe_compact(&mut self) {
+        let dead = self.slots.len() - self.live;
+        if self.slots.len() >= COMPACT_MIN_SLOTS && dead > 2 * self.live {
+            self.compact();
+        }
     }
 
     /// Does the set contain the given atom?
@@ -235,6 +259,13 @@ impl AtomSet {
     pub fn compact(&mut self) {
         let atoms: Vec<Atom> = self.iter().cloned().collect();
         *self = atoms.into_iter().collect();
+    }
+
+    /// Number of arena slots, live atoms plus tombstones — the set's
+    /// real memory footprint, which auto-compaction keeps within a
+    /// constant factor of [`AtomSet::len`].
+    pub fn arena_len(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -401,6 +432,33 @@ mod tests {
         let after: Vec<Atom> = s.iter().cloned().collect();
         assert_eq!(before, after);
         assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn retraction_churn_keeps_arena_bounded() {
+        let mut s = AtomSet::new();
+        // A small persistent core plus a long insert/retract churn — the
+        // access pattern of a core chase folding fresh nulls away.
+        for i in 0..8 {
+            s.insert(atom(1, &[v(1_000_000 + i)]));
+        }
+        for i in 0..10_000u32 {
+            let a = atom(0, &[v(i), v(i + 1)]);
+            s.insert(a.clone());
+            s.remove(&a);
+            assert!(
+                s.arena_len() <= 3 * s.len() + COMPACT_MIN_SLOTS,
+                "arena grew unboundedly: {} slots for {} live atoms",
+                s.arena_len(),
+                s.len()
+            );
+        }
+        assert_eq!(s.len(), 8);
+        // Auto-compaction preserved the insertion order of survivors.
+        let order: Vec<&Atom> = s.iter().collect();
+        for (i, a) in order.iter().enumerate() {
+            assert_eq!(**a, atom(1, &[v(1_000_000 + i as u32)]));
+        }
     }
 
     #[test]

@@ -1,0 +1,1303 @@
+//! The coordinator: job table, lease grants, heartbeat monitoring and
+//! reschedule-from-checkpoint.
+//!
+//! The coordinator never runs a chase itself. It owns three things:
+//!
+//! 1. the **job table** — every job is a durable
+//!    [`Checkpoint`] (fresh submits are checkpointed at their base
+//!    facts), so granting, rescheduling and resuming are all "hand the
+//!    worker a checkpoint";
+//! 2. the **lease clock** — a grant is good for
+//!    [`ClusterConfig::lease`]; each heartbeat or shipped checkpoint
+//!    extends it; a reaper thread requeues jobs whose lease expired
+//!    (worker lost, wedged, or `SIGKILL`ed) from the last durable
+//!    checkpoint;
+//! 3. the **lease epoch** — bumped on every grant. A message from a
+//!    worker whose `(worker, epoch)` no longer matches the live lease
+//!    is *fenced*: replied to with `{"op":"fenced"}` and otherwise
+//!    ignored, so a zombie worker that wakes up after its lease was
+//!    rescheduled cannot corrupt the re-run or double-count budget.
+//!
+//! Budget exactness across reschedules follows the checkpoint
+//! invariants: checkpoints store derivation-total budgets and
+//! [`Checkpoint::into_spec`] re-derives the remainder, so a job
+//! `SIGKILL`ed mid-lease and replayed from its checkpoint performs the
+//! same total number of applications as an uninterrupted run.
+//!
+//! Client ops (`submit`, `query`, `status`, `wait`, …) ride the same
+//! framed socket, reuse the service wire vocabulary via
+//! [`parse_request`], and pass through the same admission gate
+//! ([`apply_admission_gate`]) and structured rejections as the
+//! single-process service. Queries are served from the freshest
+//! checkpoint snapshot of whichever worker holds (or held) the lease,
+//! through the same [`SnapshotCache`] ring/terminal semantics as
+//! `treechase serve`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use chase_homomorphism::SearchBudget;
+use chase_query::{answer_kb, answer_view, Snapshot, SnapshotCache};
+use treechase_service::protocol::{analysis_to_json, status_name};
+use treechase_service::{
+    apply_admission_gate, named_kb, parse_request, query_reply_to_json, rejection_to_json,
+    Checkpoint, CheckpointStore, JobId, JobSpec, JobStatus, Json, QueryReply, RejectReason,
+    Rejection, Request, ServiceConfig,
+};
+
+use crate::wire::{read_frame, write_frame, FrameRead};
+
+/// Tuning knobs for a [`Coordinator`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// How long a granted lease is good for without a heartbeat.
+    pub lease: Duration,
+    /// Heartbeat cadence workers are told to keep (sent in `welcome`;
+    /// should be a small fraction of `lease`).
+    pub heartbeat: Duration,
+    /// Checkpoint-shipping interval, in rule applications, workers are
+    /// told to use (sent in `welcome`).
+    pub checkpoint_every: usize,
+    /// Backoff an idle worker is told before its next `pull`.
+    pub idle_retry: Duration,
+    /// Admission control: reject new submissions once this many jobs
+    /// sit queued (`None` = unbounded).
+    pub max_queue: Option<usize>,
+    /// Trailing snapshots kept per job for the robust query prefix.
+    pub snapshot_ring: usize,
+    /// Service-level admission knobs (strict admission, analyzer
+    /// budgets, operation deadline) reused verbatim by the cluster
+    /// submit path.
+    pub service: ServiceConfig,
+    /// Print one JSONL line per cluster event (queued / lease /
+    /// requeue / checkpoint / done) to stdout.
+    pub announce: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            lease: Duration::from_secs(3),
+            heartbeat: Duration::from_millis(750),
+            checkpoint_every: 16,
+            idle_retry: Duration::from_millis(200),
+            max_queue: None,
+            snapshot_ring: 4,
+            service: ServiceConfig::default(),
+            announce: true,
+        }
+    }
+}
+
+/// Where a cluster job sits in its lifecycle.
+#[derive(Clone, Debug)]
+enum JobState {
+    /// Waiting for a worker to pull it.
+    Queued,
+    /// Granted to `worker` under fencing token `epoch` until
+    /// `deadline` (extended by heartbeats and checkpoints).
+    Leased {
+        worker: String,
+        epoch: u64,
+        deadline: Instant,
+    },
+    /// The worker reported an outcome. `terminated` distinguishes a
+    /// universal-model fixpoint from a resumable budget stop.
+    Done { outcome: String, terminated: bool },
+    /// The job cannot make progress (bad program, worker-side error).
+    Failed { message: String },
+    /// Cancelled by a client before completion.
+    Cancelled,
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Leased { .. } => "leased",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done { .. } | JobState::Failed { .. } | JobState::Cancelled
+        )
+    }
+}
+
+/// One entry in the coordinator's job table.
+struct ClusterJob {
+    name: String,
+    /// The freshest durable checkpoint — the unit of dispatch: granted
+    /// on lease, replayed on reschedule.
+    checkpoint: Checkpoint,
+    state: JobState,
+    /// Last granted fencing token (bumped on every grant).
+    epoch: u64,
+    /// How many times the lease expired and the job was requeued.
+    reschedules: u64,
+    /// Named-query verdicts from the `done` report, as wire labels.
+    queries: Vec<(String, String)>,
+}
+
+struct CoordState {
+    jobs: BTreeMap<JobId, ClusterJob>,
+    next_id: JobId,
+    /// Last time each registered worker was heard from (hello, pull,
+    /// heartbeat, checkpoint).
+    workers: HashMap<String, Instant>,
+    draining: bool,
+}
+
+struct Inner {
+    state: Mutex<CoordState>,
+    store: CheckpointStore,
+    snapshots: SnapshotCache,
+    cfg: ClusterConfig,
+    shutdown: AtomicBool,
+    /// Pending live-snapshot publishes, coalesced per job: the
+    /// publisher thread always materializes the *freshest* shipped
+    /// checkpoint and skips intermediates. Materializing a snapshot
+    /// (re-parse + ring intersection) scales with the instance, so
+    /// doing it on the checkpoint ack path would grow the ack latency
+    /// past any fixed lease on large instances.
+    publish_queue: Mutex<BTreeMap<JobId, Checkpoint>>,
+    publish_signal: Condvar,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, CoordState> {
+        self.state.lock().expect("coordinator state poisoned")
+    }
+
+    fn announce(&self, line: &Json) {
+        if self.cfg.announce {
+            println!("{line}");
+        }
+    }
+
+    /// Publishes a query snapshot materialized from a checkpoint. The
+    /// terminal latch in the cache makes this safe against stragglers:
+    /// a live publish racing in after the terminal one is dropped.
+    fn publish_snapshot(&self, job: JobId, ck: &Checkpoint, terminal: bool) -> Result<(), String> {
+        let spec = ck.into_spec()?;
+        let apps = ck.stats.applications as u64;
+        let snap = if terminal {
+            Snapshot::terminal(spec.kb.vocab, spec.kb.facts, apps)
+        } else {
+            Snapshot::live(spec.kb.vocab, spec.kb.facts, apps)
+        };
+        self.snapshots.publish(job, snap);
+        Ok(())
+    }
+
+    /// Hands a live publish to the publisher thread, coalescing: a
+    /// newer checkpoint for the same job replaces an unpublished older
+    /// one. The cache's monotone-sequence guard and terminal latch
+    /// make the resulting asynchrony safe — a straggling live publish
+    /// can never regress a ring or overwrite a terminal snapshot.
+    fn queue_publish(&self, job: JobId, ck: Checkpoint) {
+        let mut q = self.publish_queue.lock().expect("publish queue poisoned");
+        q.insert(job, ck);
+        self.publish_signal.notify_one();
+    }
+
+    /// Inserts a spec as a new job: capture its base checkpoint, make
+    /// it durable, publish the base snapshot, enqueue. Fresh submits,
+    /// resumes and recovered checkpoints all funnel through here, which
+    /// is what makes dispatch/reschedule/resume one code path.
+    fn enqueue(&self, spec: &JobSpec) -> Result<JobId, String> {
+        let ck = Checkpoint::capture(spec, &spec.kb.vocab, &spec.kb.facts, spec.base_stats);
+        let mut st = self.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        self.store.save(id, &ck, None)?;
+        self.publish_snapshot(id, &ck, false)?;
+        st.jobs.insert(
+            id,
+            ClusterJob {
+                name: spec.name.clone(),
+                checkpoint: ck,
+                state: JobState::Queued,
+                epoch: 0,
+                reschedules: 0,
+                queries: Vec::new(),
+            },
+        );
+        drop(st);
+        self.announce(&Json::obj([
+            ("op", Json::str("queued")),
+            ("job", Json::Int(id as i64)),
+            ("name", Json::str(&spec.name)),
+        ]));
+        Ok(id)
+    }
+}
+
+/// True iff `(worker, epoch)` still holds the live lease on `job` —
+/// the fencing check every worker-originated message must pass.
+fn holds_lease(job: &ClusterJob, worker: &str, epoch: u64) -> bool {
+    matches!(
+        &job.state,
+        JobState::Leased { worker: w, epoch: e, .. } if w == worker && *e == epoch
+    )
+}
+
+/// A coordinator bound to a listening socket. [`Coordinator::run`]
+/// serves until [`Coordinator::shutdown`] (or a `shutdown` wire op).
+pub struct Coordinator {
+    inner: Arc<Inner>,
+    listener: TcpListener,
+}
+
+impl Coordinator {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and recovers the job table
+    /// from the durable checkpoints in `state_dir`: every readable
+    /// checkpoint becomes a queued job (rescheduling across coordinator
+    /// restarts is the same mechanism as rescheduling across worker
+    /// losses), and unreadable entries are reported as failed jobs
+    /// rather than silently dropped.
+    pub fn bind(addr: &str, state_dir: &Path, cfg: ClusterConfig) -> Result<Coordinator, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let store = CheckpointStore::open(state_dir)?;
+        let (good, bad) = store.load_all()?;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(CoordState {
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                workers: HashMap::new(),
+                draining: false,
+            }),
+            store,
+            snapshots: SnapshotCache::new(cfg.snapshot_ring.max(1)),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            publish_queue: Mutex::new(BTreeMap::new()),
+            publish_signal: Condvar::new(),
+        });
+        {
+            let mut st = inner.lock();
+            for (id, ck) in good {
+                let state = match inner.publish_snapshot(id, &ck, false) {
+                    Ok(()) => JobState::Queued,
+                    Err(e) => JobState::Failed {
+                        message: format!("recovered checkpoint does not parse: {e}"),
+                    },
+                };
+                st.next_id = st.next_id.max(id + 1);
+                st.jobs.insert(
+                    id,
+                    ClusterJob {
+                        name: ck.name.clone(),
+                        checkpoint: ck,
+                        state,
+                        epoch: 0,
+                        reschedules: 0,
+                        queries: Vec::new(),
+                    },
+                );
+            }
+            drop(st);
+            for err in bad {
+                inner.announce(&Json::obj([
+                    ("op", Json::str("recovery-error")),
+                    ("path", Json::Str(err.path.display().to_string())),
+                    ("message", Json::str(&err.error)),
+                ]));
+            }
+        }
+        Ok(Coordinator { inner, listener })
+    }
+
+    /// The address actually bound (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))
+    }
+
+    /// A handle that makes [`Coordinator::run`] return; safe to call
+    /// from any thread (the CLI's SIGTERM watcher uses it).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Serves connections until shut down. Spawns one thread per
+    /// connection plus a lease reaper; returns once the shutdown flag
+    /// is set (connection threads wind down within their read timeout).
+    pub fn run(self) -> Result<(), String> {
+        let addr = self.local_addr()?;
+        self.inner.announce(&Json::obj([
+            ("op", Json::str("listening")),
+            ("addr", Json::Str(addr.to_string())),
+        ]));
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking listener: {e}"))?;
+        let reaper = {
+            let inner = Arc::clone(&self.inner);
+            thread::spawn(move || reap_leases(&inner))
+        };
+        let publisher = {
+            let inner = Arc::clone(&self.inner);
+            thread::spawn(move || run_publisher(&inner))
+        };
+        while !self.inner.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let inner = Arc::clone(&self.inner);
+                    thread::spawn(move || handle_conn(&inner, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+        reaper.join().ok();
+        self.inner.publish_signal.notify_all();
+        publisher.join().ok();
+        Ok(())
+    }
+}
+
+impl Inner {
+    /// Requests shutdown; [`Coordinator::run`] returns shortly after.
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// A cloneable cross-thread handle that can stop a running
+/// [`Coordinator`] (the CLI's SIGTERM watcher holds one).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    inner: Arc<Inner>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown; [`Coordinator::run`] returns shortly after.
+    pub fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
+/// The lease reaper: requeues jobs whose lease deadline passed without
+/// a heartbeat. The job restarts from its last durable checkpoint; the
+/// epoch of the dead lease is left behind, so anything the lost worker
+/// still sends is fenced.
+/// Publisher thread: drains the coalesced live-publish queue and
+/// materializes snapshots off every request path. Per job only the
+/// freshest shipped checkpoint is materialized — under a fast worker,
+/// intermediates are skipped, bounding the coordinator's snapshot work
+/// by publisher throughput instead of checkpoint arrival rate.
+fn run_publisher(inner: &Inner) {
+    let mut q = inner.publish_queue.lock().expect("publish queue poisoned");
+    while !inner.shutdown.load(Ordering::Acquire) {
+        if let Some(id) = q.keys().next().copied() {
+            let ck = q.remove(&id).expect("key just observed");
+            drop(q);
+            // Only live jobs get asynchronous publishes: terminal and
+            // cancelled jobs already latched or evicted their ring, and
+            // a late live publish for them is pure wasted work (the
+            // cache would drop it anyway).
+            let live = {
+                let st = inner.lock();
+                matches!(
+                    st.jobs.get(&id).map(|j| &j.state),
+                    Some(JobState::Queued | JobState::Leased { .. })
+                )
+            };
+            if live {
+                if let Err(e) = inner.publish_snapshot(id, &ck, false) {
+                    inner.announce(&Json::obj([
+                        ("op", Json::str("publish-error")),
+                        ("job", Json::Int(id as i64)),
+                        ("message", Json::Str(e)),
+                    ]));
+                }
+            }
+            q = inner.publish_queue.lock().expect("publish queue poisoned");
+        } else {
+            let (guard, _) = inner
+                .publish_signal
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("publish queue poisoned");
+            q = guard;
+        }
+    }
+}
+
+fn reap_leases(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        thread::sleep(Duration::from_millis(50));
+        let now = Instant::now();
+        let mut requeued = Vec::new();
+        {
+            let mut st = inner.lock();
+            for (&id, job) in &mut st.jobs {
+                if let JobState::Leased {
+                    worker, deadline, ..
+                } = &job.state
+                {
+                    if *deadline < now {
+                        let from = worker.clone();
+                        job.state = JobState::Queued;
+                        job.reschedules += 1;
+                        requeued.push((id, from, job.checkpoint.stats.applications));
+                    }
+                }
+            }
+        }
+        for (id, from, apps) in requeued {
+            inner.announce(&Json::obj([
+                ("op", Json::str("requeue")),
+                ("job", Json::Int(id as i64)),
+                ("from_worker", Json::str(&from)),
+                ("applications", Json::Int(apps as i64)),
+            ]));
+        }
+    }
+}
+
+/// Serves one connection: a strict frame-in/frame-out loop. Both
+/// worker ops and client ops arrive here — the `op` field routes.
+fn handle_conn(inner: &Inner, mut stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match read_frame(&mut stream) {
+            Ok(FrameRead::Frame(msg)) => {
+                let reply = dispatch(inner, &msg);
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Ok(FrameRead::Timeout) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) | Err(_) => return,
+        }
+    }
+}
+
+fn error_json(message: &str) -> Json {
+    Json::obj([
+        ("type", Json::str("error")),
+        ("message", Json::str(message)),
+    ])
+}
+
+fn ack() -> Json {
+    Json::obj([("op", Json::str("ack"))])
+}
+
+fn fenced(job: JobId) -> Json {
+    Json::obj([("op", Json::str("fenced")), ("job", Json::Int(job as i64))])
+}
+
+/// Routes one frame. Worker ops are handled directly; anything else is
+/// treated as a client request in the service wire vocabulary.
+fn dispatch(inner: &Inner, msg: &Json) -> Json {
+    let op = msg.get("op").and_then(Json::as_str).unwrap_or("");
+    let out = match op {
+        "hello" => worker_hello(inner, msg),
+        "pull" => worker_pull(inner, msg),
+        "heartbeat" => worker_heartbeat(inner, msg),
+        // `checkpoint` is also a client op (fetch a job's checkpoint);
+        // the worker variant always carries its sender's name.
+        "checkpoint" if msg.get("worker").is_some() => worker_checkpoint(inner, msg),
+        "done" => worker_done(inner, msg),
+        "release" => worker_release(inner, msg),
+        "event" => worker_event(inner, msg),
+        "bye" => worker_bye(inner, msg),
+        _ => match parse_request(msg) {
+            Ok(req) => handle_client(inner, req),
+            Err(e) => Err(e),
+        },
+    };
+    out.unwrap_or_else(|e| error_json(&e))
+}
+
+fn msg_lease_key(msg: &Json) -> Result<(String, JobId, u64), String> {
+    let worker = msg.require_str("worker")?.to_string();
+    let job = msg.require_u64("job")?;
+    let epoch = msg.require_u64("epoch")?;
+    Ok((worker, job, epoch))
+}
+
+fn worker_hello(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    let name = msg.require_str("worker")?.to_string();
+    let mut st = inner.lock();
+    st.workers.insert(name.clone(), Instant::now());
+    drop(st);
+    inner.announce(&Json::obj([
+        ("op", Json::str("worker-joined")),
+        ("worker", Json::str(&name)),
+    ]));
+    Ok(Json::obj([
+        ("op", Json::str("welcome")),
+        ("lease_ms", Json::Int(inner.cfg.lease.as_millis() as i64)),
+        (
+            "heartbeat_ms",
+            Json::Int(inner.cfg.heartbeat.as_millis() as i64),
+        ),
+        (
+            "checkpoint_every",
+            Json::Int(inner.cfg.checkpoint_every as i64),
+        ),
+    ]))
+}
+
+/// Grants the lowest-id queued job, bumping its epoch — the previous
+/// holder (if any) is fenced from this moment on.
+fn worker_pull(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    let name = msg.require_str("worker")?.to_string();
+    let mut st = inner.lock();
+    st.workers.insert(name.clone(), Instant::now());
+    let idle = Json::obj([
+        ("op", Json::str("idle")),
+        (
+            "retry_ms",
+            Json::Int(inner.cfg.idle_retry.as_millis() as i64),
+        ),
+    ]);
+    if st.draining {
+        return Ok(idle);
+    }
+    let Some((&id, job)) = st
+        .jobs
+        .iter_mut()
+        .find(|(_, j)| matches!(j.state, JobState::Queued))
+    else {
+        return Ok(idle);
+    };
+    job.epoch += 1;
+    let epoch = job.epoch;
+    job.state = JobState::Leased {
+        worker: name.clone(),
+        epoch,
+        deadline: Instant::now() + inner.cfg.lease,
+    };
+    let reply = Json::obj([
+        ("op", Json::str("lease")),
+        ("job", Json::Int(id as i64)),
+        ("name", Json::str(&job.name)),
+        ("epoch", Json::Int(epoch as i64)),
+        ("lease_ms", Json::Int(inner.cfg.lease.as_millis() as i64)),
+        ("checkpoint", job.checkpoint.to_json()),
+    ]);
+    let line = Json::obj([
+        ("op", Json::str("lease")),
+        ("job", Json::Int(id as i64)),
+        ("worker", Json::str(&name)),
+        ("epoch", Json::Int(epoch as i64)),
+        (
+            "applications",
+            Json::Int(job.checkpoint.stats.applications as i64),
+        ),
+    ]);
+    drop(st);
+    inner.announce(&line);
+    Ok(reply)
+}
+
+fn worker_heartbeat(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    let (worker, id, epoch) = msg_lease_key(msg)?;
+    if !touch_lease(inner, &worker, id, epoch) {
+        return Ok(fenced(id));
+    }
+    Ok(ack())
+}
+
+/// Fence-checks and extends a live lease in one short critical
+/// section. Called as soon as an authenticated worker frame arrives:
+/// the frame itself proves the holder is alive, and the extension must
+/// land *before* any expensive payload processing (checkpoint parse,
+/// durable save, snapshot materialization). Otherwise a big upload
+/// eats the lease from the inside — the holder is mid-roundtrip,
+/// unable to heartbeat, while the reaper requeues its job — which
+/// showed up as requeue/fenced churn on large instances.
+fn touch_lease(inner: &Inner, worker: &str, id: JobId, epoch: u64) -> bool {
+    let mut st = inner.lock();
+    st.workers.insert(worker.to_string(), Instant::now());
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return false;
+    };
+    if !holds_lease(job, worker, epoch) {
+        return false;
+    }
+    if let JobState::Leased { deadline, .. } = &mut job.state {
+        *deadline = Instant::now() + inner.cfg.lease;
+    }
+    true
+}
+
+/// A shipped checkpoint: fence-check, make durable, republish the
+/// query snapshot, extend the lease (progress is the best heartbeat).
+fn worker_checkpoint(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    let (worker, id, epoch) = msg_lease_key(msg)?;
+    // Extend before touching the payload: parse + save + snapshot
+    // materialization scale with the instance and can cost a real
+    // fraction of the lease.
+    if !touch_lease(inner, &worker, id, epoch) {
+        return Ok(fenced(id));
+    }
+    let ck = Checkpoint::from_json(msg.require("checkpoint")?)?;
+    // The durable save runs outside the state lock so pulls and status
+    // reads never queue behind a big upload; the (expensive) snapshot
+    // materialization is queued to the publisher thread so the ack —
+    // which doubles as the holder's heartbeat — returns promptly no
+    // matter how large the instance has grown.
+    inner.store.save(id, &ck, None)?;
+    let apps = ck.stats.applications;
+    {
+        let mut st = inner.lock();
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return Ok(fenced(id));
+        };
+        if !holds_lease(job, &worker, epoch) {
+            // Requeued or cancelled while we persisted. The save is a
+            // harmless durable prefix; the holder must still stop.
+            return Ok(fenced(id));
+        }
+        job.checkpoint = ck.clone();
+        if let JobState::Leased { deadline, .. } = &mut job.state {
+            *deadline = Instant::now() + inner.cfg.lease;
+        }
+    }
+    inner.queue_publish(id, ck);
+    inner.announce(&Json::obj([
+        ("op", Json::str("checkpointed")),
+        ("job", Json::Int(id as i64)),
+        ("worker", Json::str(&worker)),
+        ("applications", Json::Int(apps as i64)),
+    ]));
+    Ok(ack())
+}
+
+/// The worker's terminal report. For a terminated chase the final
+/// checkpoint becomes a terminal query snapshot and the durable entry
+/// is removed; for a resumable budget stop the final checkpoint stays
+/// durable so a client can `checkpoint`/`resume` it later.
+fn worker_done(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    let (worker, id, epoch) = msg_lease_key(msg)?;
+    let status = msg.require_str("status")?;
+    // Extend immediately — the final checkpoint is the largest payload
+    // a worker ever ships, and a reaper requeue while it is being
+    // parsed would re-run a job that already finished. The remaining
+    // processing holds the state lock, which the reaper also needs, so
+    // after this touch the done report races nothing.
+    if !touch_lease(inner, &worker, id, epoch) {
+        return Ok(fenced(id));
+    }
+    let mut st = inner.lock();
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return Ok(fenced(id));
+    };
+    if !holds_lease(job, &worker, epoch) {
+        return Ok(fenced(id));
+    }
+    if status != "ok" {
+        let message = msg
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("worker reported failure")
+            .to_string();
+        job.state = JobState::Failed {
+            message: message.clone(),
+        };
+        drop(st);
+        inner.announce(&Json::obj([
+            ("op", Json::str("job-failed")),
+            ("job", Json::Int(id as i64)),
+            ("worker", Json::str(&worker)),
+            ("message", Json::str(&message)),
+        ]));
+        return Ok(ack());
+    }
+    let outcome = msg.require_str("outcome")?.to_string();
+    let terminated = msg
+        .get("terminated")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if let Some(v) = msg.get("checkpoint") {
+        job.checkpoint = Checkpoint::from_json(v)?;
+    }
+    job.queries = msg
+        .get("queries")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    Some((
+                        row.get("name")?.as_str()?.to_string(),
+                        row.get("verdict")?.as_str()?.to_string(),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let ck = job.checkpoint.clone();
+    job.state = JobState::Done {
+        outcome: outcome.clone(),
+        terminated,
+    };
+    inner.publish_snapshot(id, &ck, terminated)?;
+    if terminated {
+        inner.store.remove(id)?;
+    } else {
+        inner.store.save(id, &ck, None)?;
+    }
+    drop(st);
+    inner.announce(&Json::obj([
+        ("op", Json::str("job-done")),
+        ("job", Json::Int(id as i64)),
+        ("worker", Json::str(&worker)),
+        ("outcome", Json::str(&outcome)),
+        ("terminated", Json::Bool(terminated)),
+        ("applications", Json::Int(ck.stats.applications as i64)),
+    ]));
+    Ok(ack())
+}
+
+/// A draining worker hands its lease back early, with its freshest
+/// checkpoint, so the job requeues immediately instead of waiting for
+/// the lease clock.
+fn worker_release(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    let (worker, id, epoch) = msg_lease_key(msg)?;
+    // Same pre-parse extension as `checkpoint`/`done`: the release may
+    // carry a large final checkpoint.
+    if !touch_lease(inner, &worker, id, epoch) {
+        return Ok(fenced(id));
+    }
+    let mut st = inner.lock();
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return Ok(fenced(id));
+    };
+    if !holds_lease(job, &worker, epoch) {
+        return Ok(fenced(id));
+    }
+    if let Some(v) = msg.get("checkpoint") {
+        let ck = Checkpoint::from_json(v)?;
+        inner.store.save(id, &ck, None)?;
+        inner.publish_snapshot(id, &ck, false)?;
+        job.checkpoint = ck;
+    }
+    job.state = JobState::Queued;
+    let apps = job.checkpoint.stats.applications;
+    drop(st);
+    inner.announce(&Json::obj([
+        ("op", Json::str("released")),
+        ("job", Json::Int(id as i64)),
+        ("worker", Json::str(&worker)),
+        ("applications", Json::Int(apps as i64)),
+    ]));
+    Ok(ack())
+}
+
+/// A relayed job event — announced for observability, nothing else.
+fn worker_event(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    // A streamed event is also proof of life: extend the lease so a
+    // long burst of event forwarding can never starve the heartbeat.
+    if let Ok((worker, id, epoch)) = msg_lease_key(msg) {
+        let _ = touch_lease(inner, &worker, id, epoch);
+    }
+    inner.announce(msg);
+    Ok(ack())
+}
+
+fn worker_bye(inner: &Inner, msg: &Json) -> Result<Json, String> {
+    let name = msg.require_str("worker")?.to_string();
+    let mut st = inner.lock();
+    st.workers.remove(&name);
+    drop(st);
+    inner.announce(&Json::obj([
+        ("op", Json::str("worker-left")),
+        ("worker", Json::str(&name)),
+    ]));
+    Ok(Json::obj([("op", Json::str("goodbye"))]))
+}
+
+fn response(op: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![
+        ("type".to_string(), Json::str("response")),
+        ("op".to_string(), Json::str(op)),
+    ];
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+/// Client ops in the service wire vocabulary, served against the
+/// cluster job table.
+fn handle_client(inner: &Inner, req: Request) -> Result<Json, String> {
+    match req {
+        Request::Submit { .. } => client_submit(inner, req),
+        Request::Resume {
+            checkpoint,
+            max_applications,
+            max_wall_ms,
+        } => client_resume(inner, &checkpoint, max_applications, max_wall_ms),
+        Request::Query {
+            job,
+            kb,
+            source,
+            query,
+            config,
+            node_limit,
+            timeout_ms,
+        } => client_query(
+            inner,
+            job,
+            kb.as_deref(),
+            source.as_deref(),
+            &query,
+            &config,
+            node_limit,
+            timeout_ms,
+        ),
+        Request::Status { job } => client_status(inner, job),
+        Request::Wait { job, timeout_ms } => client_wait(inner, job, timeout_ms),
+        Request::Checkpoint { job } => {
+            let st = inner.lock();
+            let jb = st
+                .jobs
+                .get(&job)
+                .ok_or_else(|| format!("unknown job {job}"))?;
+            Ok(response(
+                "checkpoint",
+                vec![
+                    ("job".to_string(), Json::Int(job as i64)),
+                    ("checkpoint".to_string(), jb.checkpoint.to_json()),
+                ],
+            ))
+        }
+        Request::Cancel { job } => client_cancel(inner, job),
+        Request::List => client_list(inner),
+        Request::Drain => {
+            let mut st = inner.lock();
+            st.draining = true;
+            let queued = st
+                .jobs
+                .values()
+                .filter(|j| matches!(j.state, JobState::Queued))
+                .count();
+            let leased = st
+                .jobs
+                .values()
+                .filter(|j| matches!(j.state, JobState::Leased { .. }))
+                .count();
+            Ok(response(
+                "drain",
+                vec![
+                    ("queued".to_string(), Json::Int(queued as i64)),
+                    ("leased".to_string(), Json::Int(leased as i64)),
+                ],
+            ))
+        }
+        Request::Shutdown => {
+            inner.shutdown();
+            Ok(response("shutdown", Vec::new()))
+        }
+    }
+}
+
+/// The cluster submit path: same spec construction, admission gate and
+/// structured rejections as `treechase serve`, then enqueue-as-
+/// checkpoint instead of enqueue-in-process.
+fn client_submit(inner: &Inner, req: Request) -> Result<Json, String> {
+    let Request::Submit {
+        name,
+        source,
+        kb,
+        config,
+        tw_sample_interval,
+        progress_every,
+        checkpoint_every,
+        priority,
+        submitter,
+        auto_strategy,
+        auto_budgets,
+    } = req
+    else {
+        unreachable!("client_submit called with a non-submit request");
+    };
+    let mut spec = match (&source, &kb) {
+        (Some(src), None) => JobSpec::from_text(name.unwrap_or_default(), src, *config)?,
+        (None, Some(kb_name)) => {
+            let base = named_kb(kb_name)?;
+            let mut spec = JobSpec::from_kb(name.unwrap_or_else(|| kb_name.clone()), base, *config);
+            if spec.name.is_empty() {
+                spec.name = kb_name.clone();
+            }
+            spec
+        }
+        _ => return Err("submit takes exactly one of `source` / `kb`".to_string()),
+    };
+    if let Some(every) = tw_sample_interval {
+        spec = spec.with_tw_samples(every);
+    }
+    if let Some(every) = progress_every {
+        spec = spec.with_progress_every(every);
+    }
+    if let Some(every) = checkpoint_every {
+        spec = spec.with_checkpoint_every(every);
+    }
+    spec = spec.with_priority(priority);
+    spec.submitter = submitter;
+    spec.auto_strategy = auto_strategy;
+    spec.auto_budgets = auto_budgets;
+
+    {
+        let st = inner.lock();
+        if st.draining {
+            return Ok(rejection_to_json(
+                "submit",
+                &Rejection {
+                    reason: RejectReason::Draining,
+                    message: "coordinator is draining".to_string(),
+                    retry_after: None,
+                },
+            ));
+        }
+        if let Some(cap) = inner.cfg.max_queue {
+            let queued = st
+                .jobs
+                .values()
+                .filter(|j| matches!(j.state, JobState::Queued))
+                .count();
+            if queued >= cap {
+                return Ok(rejection_to_json(
+                    "submit",
+                    &Rejection {
+                        reason: RejectReason::QueueFull,
+                        message: format!("queue at capacity ({queued}/{cap})"),
+                        retry_after: Some(inner.cfg.lease),
+                    },
+                ));
+            }
+        }
+    }
+    // The gate runs the static analyzer + bounded probe; never under
+    // the state lock.
+    let admission = match apply_admission_gate(&mut spec, &inner.cfg.service) {
+        Ok(adm) => adm,
+        Err(rej) => return Ok(rejection_to_json("submit", &rej)),
+    };
+    if spec.name.is_empty() {
+        spec.name = format!("job-{}", inner.lock().next_id);
+    }
+    let rules = spec.kb.rules.clone();
+    let id = inner.enqueue(&spec)?;
+    let mut fields = vec![("job".to_string(), Json::Int(id as i64))];
+    if let Some(gate) = &admission.gate {
+        fields.push(("analysis".to_string(), analysis_to_json(gate, &rules)));
+        fields.push((
+            "strategy_applied".to_string(),
+            Json::Bool(admission.strategy_applied),
+        ));
+        fields.push((
+            "budgets_tightened".to_string(),
+            Json::Bool(admission.budgets_tightened),
+        ));
+    }
+    Ok(response("submit", fields))
+}
+
+fn client_resume(
+    inner: &Inner,
+    checkpoint: &Checkpoint,
+    max_applications: Option<usize>,
+    max_wall_ms: Option<u64>,
+) -> Result<Json, String> {
+    if inner.lock().draining {
+        return Ok(rejection_to_json(
+            "resume",
+            &Rejection {
+                reason: RejectReason::Draining,
+                message: "coordinator is draining".to_string(),
+                retry_after: None,
+            },
+        ));
+    }
+    let mut spec = checkpoint.into_spec()?;
+    if let Some(n) = max_applications {
+        spec.config.max_applications = n;
+    }
+    if let Some(ms) = max_wall_ms {
+        spec.config.max_wall = Some(Duration::from_millis(ms));
+        spec.config.consumed_wall = Duration::ZERO;
+    }
+    let id = inner.enqueue(&spec)?;
+    Ok(response(
+        "resume",
+        vec![
+            ("job".to_string(), Json::Int(id as i64)),
+            ("exact".to_string(), Json::Bool(checkpoint.exact())),
+        ],
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_query(
+    inner: &Inner,
+    job: Option<JobId>,
+    kb: Option<&str>,
+    source: Option<&str>,
+    query: &str,
+    config: &chase_engine::ChaseConfig,
+    node_limit: Option<usize>,
+    timeout_ms: Option<u64>,
+) -> Result<Json, String> {
+    if inner.lock().draining {
+        return Ok(rejection_to_json(
+            "query",
+            &Rejection {
+                reason: RejectReason::Draining,
+                message: "coordinator is draining".to_string(),
+                retry_after: None,
+            },
+        ));
+    }
+    let mut budget = SearchBudget::unlimited();
+    if let Some(n) = node_limit {
+        budget = budget.with_node_limit(n);
+    }
+    let timeout = timeout_ms
+        .map(Duration::from_millis)
+        .or(inner.cfg.service.op_deadline);
+    if let Some(t) = timeout {
+        budget = budget.with_deadline(Instant::now() + t);
+    }
+    let reply = if let Some(id) = job {
+        if !inner.lock().jobs.contains_key(&id) {
+            return Err(format!("unknown job {id}"));
+        }
+        let view = inner
+            .snapshots
+            .view(id)
+            .ok_or_else(|| format!("no snapshot for job {id} yet"))?;
+        let outcome = answer_view(&view, query, &budget).map_err(|e| e.to_string())?;
+        inner
+            .snapshots
+            .add_answers_served(outcome.answers.len() as u64);
+        QueryReply {
+            outcome,
+            job: Some(id),
+            sequence: Some(view.sequence),
+            applications: Some(view.applications),
+            snapshot_age_ms: Some(view.captured.elapsed().as_millis() as u64),
+            cache: inner.snapshots.stats(),
+        }
+    } else {
+        let base = match (kb, source) {
+            (Some(kb_name), None) => named_kb(kb_name)?,
+            (None, Some(src)) => JobSpec::from_text(String::new(), src, config.clone())?.kb,
+            _ => return Err("query takes exactly one of `job` / `kb` / `source`".to_string()),
+        };
+        let outcome = answer_kb(&base, query, config, &budget).map_err(|e| e.to_string())?;
+        inner
+            .snapshots
+            .add_answers_served(outcome.answers.len() as u64);
+        QueryReply {
+            outcome,
+            job: None,
+            sequence: None,
+            applications: None,
+            snapshot_age_ms: None,
+            cache: inner.snapshots.stats(),
+        }
+    };
+    Ok(query_reply_to_json(&reply))
+}
+
+/// The wire `status` label for a cluster job state, reusing the
+/// service spelling where the lifecycles coincide.
+fn wire_status(state: &JobState) -> &'static str {
+    match state {
+        JobState::Queued => status_name(&JobStatus::Queued),
+        JobState::Leased { .. } => status_name(&JobStatus::Running),
+        JobState::Done { .. } => status_name(&JobStatus::Finished),
+        JobState::Failed { .. } => status_name(&JobStatus::Failed),
+        JobState::Cancelled => status_name(&JobStatus::Cancelled),
+    }
+}
+
+fn client_status(inner: &Inner, job: JobId) -> Result<Json, String> {
+    let st = inner.lock();
+    let jb = st
+        .jobs
+        .get(&job)
+        .ok_or_else(|| format!("unknown job {job}"))?;
+    let mut fields = vec![
+        ("job".to_string(), Json::Int(job as i64)),
+        ("status".to_string(), Json::str(wire_status(&jb.state))),
+        ("state".to_string(), Json::str(jb.state.label())),
+        ("epoch".to_string(), Json::Int(jb.epoch as i64)),
+        ("reschedules".to_string(), Json::Int(jb.reschedules as i64)),
+        (
+            "applications".to_string(),
+            Json::Int(jb.checkpoint.stats.applications as i64),
+        ),
+    ];
+    match &jb.state {
+        JobState::Leased { worker, .. } => {
+            fields.push(("worker".to_string(), Json::str(worker)));
+        }
+        JobState::Done {
+            outcome,
+            terminated,
+        } => {
+            fields.push(("outcome".to_string(), Json::str(outcome)));
+            fields.push(("terminated".to_string(), Json::Bool(*terminated)));
+        }
+        JobState::Failed { message } => {
+            fields.push(("message".to_string(), Json::str(message)));
+        }
+        JobState::Queued | JobState::Cancelled => {}
+    }
+    if !jb.queries.is_empty() {
+        fields.push((
+            "queries".to_string(),
+            Json::Arr(
+                jb.queries
+                    .iter()
+                    .map(|(name, verdict)| {
+                        Json::obj([("name", Json::str(name)), ("verdict", Json::str(verdict))])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Ok(response("status", fields))
+}
+
+fn client_wait(inner: &Inner, job: JobId, timeout_ms: Option<u64>) -> Result<Json, String> {
+    let deadline = timeout_ms
+        .map(Duration::from_millis)
+        .or(inner.cfg.service.op_deadline)
+        .map(|t| Instant::now() + t);
+    loop {
+        {
+            let st = inner.lock();
+            let jb = st
+                .jobs
+                .get(&job)
+                .ok_or_else(|| format!("unknown job {job}"))?;
+            if jb.state.is_terminal() {
+                drop(st);
+                let mut status = client_status(inner, job)?;
+                if let Json::Obj(fields) = &mut status {
+                    for f in fields.iter_mut() {
+                        if f.0 == "op" {
+                            f.1 = Json::str("wait");
+                        }
+                    }
+                    fields.push(("timed_out".to_string(), Json::Bool(false)));
+                }
+                return Ok(status);
+            }
+        }
+        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+        if expired || inner.shutdown.load(Ordering::Acquire) {
+            let mut status = client_status(inner, job)?;
+            if let Json::Obj(fields) = &mut status {
+                for f in fields.iter_mut() {
+                    if f.0 == "op" {
+                        f.1 = Json::str("wait");
+                    }
+                }
+                fields.push(("timed_out".to_string(), Json::Bool(true)));
+            }
+            return Ok(status);
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Cancel: a queued job is dropped outright; a leased job flips to
+/// `Cancelled`, which fails the fencing check — the holder learns at
+/// its next heartbeat and aborts locally. Terminal jobs are left as
+/// they finished.
+fn client_cancel(inner: &Inner, job: JobId) -> Result<Json, String> {
+    let mut st = inner.lock();
+    let Some(jb) = st.jobs.get_mut(&job) else {
+        return Err(format!("unknown job {job}"));
+    };
+    let cancelled = match &jb.state {
+        JobState::Queued | JobState::Leased { .. } => {
+            jb.state = JobState::Cancelled;
+            inner.store.remove(job)?;
+            inner.snapshots.evict(job);
+            true
+        }
+        _ => false,
+    };
+    drop(st);
+    Ok(response(
+        "cancel",
+        vec![
+            ("job".to_string(), Json::Int(job as i64)),
+            ("cancelled".to_string(), Json::Bool(cancelled)),
+        ],
+    ))
+}
+
+fn client_list(inner: &Inner) -> Result<Json, String> {
+    let st = inner.lock();
+    let now = Instant::now();
+    let jobs = st
+        .jobs
+        .iter()
+        .map(|(&id, j)| {
+            Json::obj([
+                ("job", Json::Int(id as i64)),
+                ("name", Json::str(&j.name)),
+                ("status", Json::str(wire_status(&j.state))),
+                ("state", Json::str(j.state.label())),
+                ("reschedules", Json::Int(j.reschedules as i64)),
+                (
+                    "applications",
+                    Json::Int(j.checkpoint.stats.applications as i64),
+                ),
+            ])
+        })
+        .collect();
+    let workers = st
+        .workers
+        .iter()
+        .map(|(name, seen)| {
+            Json::obj([
+                ("name", Json::str(name)),
+                (
+                    "seen_ms_ago",
+                    Json::Int(now.duration_since(*seen).as_millis() as i64),
+                ),
+            ])
+        })
+        .collect();
+    Ok(response(
+        "list",
+        vec![
+            ("jobs".to_string(), Json::Arr(jobs)),
+            ("workers".to_string(), Json::Arr(workers)),
+        ],
+    ))
+}

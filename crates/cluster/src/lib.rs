@@ -1,0 +1,41 @@
+//! `treechase-cluster`: a coordinator/worker chase cluster over leased
+//! TCP jobs.
+//!
+//! One process is the wrong unit of execution for the chases this repo
+//! cares about: the core chase of the paper's title may run unboundedly
+//! long, and even terminating chases can outlast any single machine's
+//! patience. This crate splits the service into two roles:
+//!
+//! - a [`coordinator::Coordinator`] owns the job table, grants
+//!   time-bounded *leases* over a hand-rolled length-prefixed TCP
+//!   protocol ([`wire`]), monitors worker heartbeats, and reschedules
+//!   expired leases from the last durable checkpoint in its
+//!   [`CheckpointStore`](treechase_service::CheckpointStore);
+//! - a [`worker`] registers, pulls leased jobs, runs them through the
+//!   existing service runner with the checkpoint budget-exactness
+//!   invariants (derivation-total budgets, re-derived remaining
+//!   applications), streams step events and periodic checkpoints back,
+//!   and drains cleanly on SIGTERM.
+//!
+//! Every job travels as a [`Checkpoint`](treechase_service::Checkpoint)
+//! — fresh submits are checkpointed at their base facts — so dispatch,
+//! reschedule and resume are the same code path, and a job rescheduled
+//! after a worker loss replays exactly the suffix after its last
+//! durable checkpoint. Lease *epochs* fence zombies: a worker whose
+//! lease expired has its late checkpoints and results rejected instead
+//! of corrupting the re-run.
+//!
+//! The client surface reuses the existing wire ops (`submit`, `query`,
+//! `status`, …) framed over the same socket, including the admission
+//! gate and structured rejections of the single-process service.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{ClusterConfig, Coordinator, ShutdownHandle};
+pub use wire::{read_frame, write_frame, FrameRead};
+pub use worker::{run_worker, WorkerConfig};

@@ -1,6 +1,6 @@
 //! Triggers and trigger application (`α(I, tr)`).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::ops::ControlFlow;
 
 use chase_atoms::{AtomSet, Substitution, Term, VarId, Vocabulary};
@@ -172,6 +172,12 @@ pub fn triggers_using_delta(
     delta: &[chase_atoms::Atom],
 ) -> Vec<Trigger> {
     let mut out = Vec::new();
+    // A rule whose body repeats a predicate seeds the same homomorphism
+    // once per (body-atom, delta-atom) pair; dedup on the trigger's
+    // universal key *during* enumeration so each distinct trigger is
+    // materialized once, instead of piling duplicates into `out` and
+    // discarding them post-hoc in sort+dedup.
+    let mut seen: HashSet<(RuleId, Vec<(VarId, Term)>)> = HashSet::new();
     for (id, rule) in rules.iter() {
         for body_atom in rule.body().iter() {
             for new_atom in delta {
@@ -210,16 +216,21 @@ pub fn triggers_using_delta(
                     &seed,
                     &MatchConfig::default(),
                     |pi| {
-                        out.push(Trigger {
+                        let tr = Trigger {
                             rule: id,
                             pi: pi.restrict(rule.universal_vars()),
-                        });
+                        };
+                        if seen.insert(tr.universal_key(rules)) {
+                            out.push(tr);
+                        }
                         ControlFlow::Continue(())
                     },
                 );
             }
         }
     }
+    // `seen` already guarantees uniqueness; sort for a stable cross-run
+    // order like `all_triggers`.
     out.sort_by(|a, b| {
         a.rule.cmp(&b.rule).then_with(|| {
             let ka: Vec<_> = a.pi.iter().collect();
@@ -227,7 +238,6 @@ pub fn triggers_using_delta(
             ka.cmp(&kb)
         })
     });
-    out.dedup();
     out
 }
 
@@ -381,6 +391,26 @@ mod tests {
             triggers[0].universal_key(&rules),
             triggers[1].universal_key(&rules)
         );
+    }
+
+    #[test]
+    fn delta_discovery_dedups_repeated_body_predicates() {
+        // r(X, Y), r(Y, Z) → s(X, Z): both body atoms share predicate r,
+        // so every delta atom seeds the same homomorphism once per
+        // occurrence — the dedup must collapse them during enumeration.
+        let rules: RuleSet = [Rule::new(
+            "two-hop",
+            set(&[atom(0, &[v(0), v(1)]), atom(0, &[v(1), v(2)])]),
+            set(&[atom(1, &[v(0), v(2)])]),
+        )
+        .unwrap()]
+        .into_iter()
+        .collect();
+        let inst = set(&[atom(0, &[v(10), v(11)]), atom(0, &[v(11), v(12)])]);
+        let delta: Vec<Atom> = inst.iter().cloned().collect();
+        let from_delta = triggers_using_delta(&rules, &inst, &delta);
+        assert_eq!(from_delta.len(), 1, "one distinct trigger");
+        assert_eq!(from_delta, all_triggers(&rules, &inst));
     }
 
     #[test]

@@ -93,6 +93,9 @@ pub struct CacheStats {
     /// Answer tuples handed out by the query engine (bumped by callers
     /// via [`SnapshotCache::add_answers_served`]).
     pub answers_served: u64,
+    /// Live publishes ignored because a terminal snapshot already
+    /// existed for the job (stragglers racing the finisher).
+    pub stale_drops: u64,
 }
 
 struct JobRing {
@@ -101,6 +104,25 @@ struct JobRing {
     /// (frequent) read path never pays for it.
     robust: Arc<AtomSet>,
     next_seq: u64,
+    /// Latched once a terminal snapshot lands: a late `live` publish
+    /// (e.g. a checkpoint straggling in after the job finished) must not
+    /// re-enter the ring and downgrade `complete` replies back to
+    /// sound-prefix.
+    terminal: bool,
+}
+
+/// What survives a [`SnapshotCache::evict`]: enough to keep per-job
+/// reply sequences monotone (and the terminal latch honest) if the same
+/// job id publishes again.
+#[derive(Copy, Clone, Default)]
+struct Retired {
+    next_seq: u64,
+    terminal: bool,
+}
+
+struct CacheState {
+    jobs: HashMap<u64, JobRing>,
+    retired: HashMap<u64, Retired>,
 }
 
 /// A concurrent per-job snapshot cache.
@@ -110,12 +132,13 @@ struct JobRing {
 /// bookkeeping — instances are shared by `Arc`, so a reader holding a
 /// view never blocks a publisher and vice versa.
 pub struct SnapshotCache {
-    jobs: Mutex<HashMap<u64, JobRing>>,
+    jobs: Mutex<CacheState>,
     ring_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     published: AtomicU64,
     answers_served: AtomicU64,
+    stale_drops: AtomicU64,
 }
 
 impl SnapshotCache {
@@ -127,28 +150,48 @@ impl SnapshotCache {
     pub fn new(ring_capacity: usize) -> Self {
         assert!(ring_capacity >= 1, "ring capacity must be at least 1");
         SnapshotCache {
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(CacheState {
+                jobs: HashMap::new(),
+                retired: HashMap::new(),
+            }),
             ring_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             published: AtomicU64::new(0),
             answers_served: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
         }
     }
 
     /// Publishes a snapshot for `job`, sliding its ring forward and
     /// refreshing the robust intersection. A terminal snapshot clears
-    /// the ring — the final instance alone is served from then on.
+    /// the ring — the final instance alone is served from then on, and
+    /// later `live` publishes for the job are dropped (counted in
+    /// [`CacheStats::stale_drops`]) instead of downgrading `complete`
+    /// replies. Per-job sequence numbers stay monotone for the cache's
+    /// lifetime, across [`SnapshotCache::evict`] and re-publish.
     pub fn publish(&self, job: u64, snapshot: Snapshot) {
         let snapshot = Arc::new(snapshot);
-        let mut jobs = self.jobs.lock().expect("snapshot cache poisoned");
-        let entry = jobs.entry(job).or_insert_with(|| JobRing {
+        let mut st = self.jobs.lock().expect("snapshot cache poisoned");
+        let already_terminal = st.jobs.get(&job).map_or_else(
+            || st.retired.get(&job).is_some_and(|r| r.terminal),
+            |e| e.terminal,
+        );
+        if already_terminal && !snapshot.terminated {
+            drop(st);
+            self.stale_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let carried = st.retired.get(&job).copied().unwrap_or_default();
+        let entry = st.jobs.entry(job).or_insert_with(|| JobRing {
             ring: VecDeque::new(),
             robust: Arc::new(AtomSet::new()),
-            next_seq: 0,
+            next_seq: carried.next_seq,
+            terminal: carried.terminal,
         });
         if snapshot.terminated {
             entry.ring.clear();
+            entry.terminal = true;
         }
         entry.ring.push_back(Arc::clone(&snapshot));
         while entry.ring.len() > self.ring_capacity {
@@ -156,7 +199,7 @@ impl SnapshotCache {
         }
         entry.robust = intersect_ring(&entry.ring);
         entry.next_seq += 1;
-        drop(jobs);
+        drop(st);
         self.published.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -164,7 +207,7 @@ impl SnapshotCache {
     /// snapshot has been published yet.
     pub fn view(&self, job: u64) -> Option<QueryView> {
         let jobs = self.jobs.lock().expect("snapshot cache poisoned");
-        let Some(entry) = jobs.get(&job) else {
+        let Some(entry) = jobs.jobs.get(&job) else {
             drop(jobs);
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -196,15 +239,24 @@ impl SnapshotCache {
     /// hit/miss counters (for listings and health reporting).
     pub fn latest_captured(&self, job: u64) -> Option<Instant> {
         let jobs = self.jobs.lock().expect("snapshot cache poisoned");
-        jobs.get(&job)?.ring.back().map(|s| s.captured)
+        jobs.jobs.get(&job)?.ring.back().map(|s| s.captured)
     }
 
-    /// Drops a job's ring (e.g. when the job record is evicted).
+    /// Drops a job's ring (e.g. when the job record is evicted). The
+    /// job's sequence counter and terminal latch are retained, so a
+    /// later re-publish under the same id continues the sequence instead
+    /// of restarting readers at zero.
     pub fn evict(&self, job: u64) {
-        self.jobs
-            .lock()
-            .expect("snapshot cache poisoned")
-            .remove(&job);
+        let mut st = self.jobs.lock().expect("snapshot cache poisoned");
+        if let Some(ring) = st.jobs.remove(&job) {
+            st.retired.insert(
+                job,
+                Retired {
+                    next_seq: ring.next_seq,
+                    terminal: ring.terminal,
+                },
+            );
+        }
     }
 
     /// Records `n` answer tuples handed out from this cache's views.
@@ -219,6 +271,7 @@ impl SnapshotCache {
             misses: self.misses.load(Ordering::Relaxed),
             published: self.published.load(Ordering::Relaxed),
             answers_served: self.answers_served.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -296,6 +349,56 @@ mod tests {
         let view = cache.view(1).expect("published");
         assert_eq!(view.instance.len(), 2, "a and c survive the last two");
         assert_eq!(view.sequence, 2);
+    }
+
+    #[test]
+    fn sequences_stay_monotone_across_evict_and_republish() {
+        let cache = SnapshotCache::new(2);
+        let mut vocab = Vocabulary::new();
+        let i = inst(&mut vocab, &["a"]);
+        cache.publish(5, Snapshot::live(vocab.clone(), i.clone(), 1));
+        cache.publish(5, Snapshot::live(vocab.clone(), i.clone(), 2));
+        let before = cache.view(5).expect("published").sequence;
+        assert_eq!(before, 1);
+        cache.evict(5);
+        assert!(cache.view(5).is_none(), "evicted");
+        // Re-publish under the same job id: readers relying on per-job
+        // monotonicity must never see the sequence restart at zero.
+        cache.publish(5, Snapshot::live(vocab.clone(), i, 3));
+        let after = cache.view(5).expect("republished").sequence;
+        assert!(
+            after > before,
+            "sequence went backwards: {after} <= {before}"
+        );
+    }
+
+    #[test]
+    fn terminal_snapshot_wins_over_late_live_publish() {
+        let cache = SnapshotCache::new(3);
+        let mut vocab = Vocabulary::new();
+        let i_final = inst(&mut vocab, &["a", "b"]);
+        cache.publish(9, Snapshot::terminal(vocab.clone(), i_final.clone(), 7));
+        let seq = cache.view(9).expect("terminal").sequence;
+        // A checkpoint straggling in after the finisher must not
+        // downgrade `complete` replies back to sound-prefix.
+        let stale = inst(&mut vocab, &["a"]);
+        cache.publish(9, Snapshot::live(vocab.clone(), stale.clone(), 5));
+        let view = cache.view(9).expect("still served");
+        assert!(view.terminated, "late live publish downgraded the view");
+        assert_eq!(*view.instance, i_final);
+        assert_eq!(view.sequence, seq, "ignored publish must not bump seq");
+        assert_eq!(cache.stats().stale_drops, 1);
+        assert_eq!(cache.stats().published, 1);
+        // The latch survives eviction of the job record.
+        cache.evict(9);
+        cache.publish(9, Snapshot::live(vocab.clone(), stale, 6));
+        assert!(cache.view(9).is_none(), "stale publish revived evicted job");
+        assert_eq!(cache.stats().stale_drops, 2);
+        // A genuine terminal re-publish (e.g. recovery) is still allowed.
+        cache.publish(9, Snapshot::terminal(vocab, i_final, 7));
+        let view = cache.view(9).expect("terminal republished");
+        assert!(view.terminated);
+        assert!(view.sequence > seq);
     }
 
     #[test]

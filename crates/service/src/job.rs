@@ -1,6 +1,6 @@
 //! Job specifications, lifecycle states and results.
 
-use chase_atoms::AtomSet;
+use chase_atoms::{AtomSet, Vocabulary};
 use chase_core::KnowledgeBase;
 use chase_engine::{ChaseConfig, ChaseOutcome, ChaseStats, Derivation};
 use chase_parser::{parse_program, parse_program_trusted};
@@ -238,6 +238,11 @@ pub struct JobResult {
     pub stats: ChaseStats,
     /// The final instance `F_k`.
     pub final_instance: AtomSet,
+    /// The vocabulary as of the end of the run — the chase mints fresh
+    /// labeled nulls, so rendering (or re-serializing) the final
+    /// instance needs the symbol table of the same instant, not the
+    /// spec's.
+    pub final_vocab: Vocabulary,
     /// The recorded derivation of the final slice, when the config asked
     /// for full recording.
     pub derivation: Option<Derivation>,

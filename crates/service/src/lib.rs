@@ -46,7 +46,8 @@ pub use protocol::{
     rejection_to_json, Request,
 };
 pub use runner::{
-    Admission, DrainReport, EventReceiver, JobEvent, JobEventKind, JobSummary, QueryError,
-    QueryReply, RejectReason, Rejection, Service, ServiceConfig, WaitResult,
+    apply_admission_gate, Admission, DrainReport, EventReceiver, JobEvent, JobEventKind,
+    JobSummary, QueryError, QueryReply, RejectReason, Rejection, Service, ServiceConfig,
+    WaitResult,
 };
 pub use store::{CheckpointStore, CorruptEntry};

@@ -708,6 +708,7 @@ pub fn query_reply_to_json(reply: &crate::runner::QueryReply) -> Json {
                     "answers_served",
                     Json::Int(reply.cache.answers_served as i64),
                 ),
+                ("stale_drops", Json::Int(reply.cache.stale_drops as i64)),
             ]),
         ),
     ])

@@ -286,6 +286,64 @@ pub struct Admission {
     pub budgets_tightened: bool,
 }
 
+/// Runs the admission-time analyzer over `spec` and applies its
+/// strategy/budget decisions in place — the queue-independent half of
+/// admission, shared by [`Service::submit_analyzed`] and the cluster
+/// coordinator's submit path (which has no local queue but must apply
+/// the same gate and emit the same structured rejections).
+///
+/// A spec that pinned both its variant and a budget gives the analyzer
+/// nothing to decide; unless `cfg.strict_admission` needs a verdict it
+/// skips the gate entirely, keeping fully-pinned submits cheap to shed
+/// under an overload burst.
+pub fn apply_admission_gate(
+    spec: &mut JobSpec,
+    cfg: &ServiceConfig,
+) -> Result<Admission, Rejection> {
+    if !spec.auto_strategy && !spec.auto_budgets && !cfg.strict_admission {
+        return Ok(Admission {
+            gate: None,
+            strategy_applied: false,
+            budgets_tightened: false,
+        });
+    }
+    let mut budget = SearchBudget::unlimited().with_node_limit(cfg.analysis_node_limit);
+    if let Some(d) = cfg.analysis_deadline {
+        budget = budget.with_deadline(Instant::now() + d);
+    }
+    let gate = chase_core::analyze_kb(&spec.kb, &budget, cfg.analysis_probe);
+    if cfg.strict_admission && !gate.admissible() {
+        return Err(Rejection {
+            reason: RejectReason::AnalysisRefuted,
+            message: format!(
+                "strict admission: every decidability route is refuted-or-unknown \
+                 (terminating {}; bts {}; core-bts {})",
+                gate.report.terminating, gate.report.bts, gate.report.core_bts
+            ),
+            retry_after: None,
+        });
+    }
+    let strategy_applied = spec.auto_strategy;
+    if spec.auto_strategy {
+        spec.config = gate.plan.apply(spec.config.clone());
+    }
+    let budgets_tightened = spec.auto_budgets && gate.report.terminating.suspects_divergence();
+    if budgets_tightened {
+        spec.config.max_applications = spec.config.max_applications.min(TIGHT_MAX_APPLICATIONS);
+        if spec.config.mem_soft.is_none() {
+            spec.config.mem_soft = Some(TIGHT_MEM_SOFT);
+        }
+        if spec.config.mem_hard.is_none() {
+            spec.config.mem_hard = Some(TIGHT_MEM_HARD);
+        }
+    }
+    Ok(Admission {
+        gate: Some(Box::new(gate)),
+        strategy_applied,
+        budgets_tightened,
+    })
+}
+
 /// What [`Service::wait_timeout`] observed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WaitResult {
@@ -808,57 +866,9 @@ impl Service {
     ///
     /// [`ChasePlan`]: chase_analysis::ChasePlan
     pub fn submit_analyzed(&self, mut spec: JobSpec) -> Result<(JobId, Admission), Rejection> {
-        if !spec.auto_strategy && !spec.auto_budgets && !self.inner.cfg.strict_admission {
-            let id = self.try_submit(spec)?;
-            return Ok((
-                id,
-                Admission {
-                    gate: None,
-                    strategy_applied: false,
-                    budgets_tightened: false,
-                },
-            ));
-        }
-        let mut budget =
-            SearchBudget::unlimited().with_node_limit(self.inner.cfg.analysis_node_limit);
-        if let Some(d) = self.inner.cfg.analysis_deadline {
-            budget = budget.with_deadline(Instant::now() + d);
-        }
-        let gate = chase_core::analyze_kb(&spec.kb, &budget, self.inner.cfg.analysis_probe);
-        if self.inner.cfg.strict_admission && !gate.admissible() {
-            return Err(Rejection {
-                reason: RejectReason::AnalysisRefuted,
-                message: format!(
-                    "strict admission: every decidability route is refuted-or-unknown \
-                     (terminating {}; bts {}; core-bts {})",
-                    gate.report.terminating, gate.report.bts, gate.report.core_bts
-                ),
-                retry_after: None,
-            });
-        }
-        let strategy_applied = spec.auto_strategy;
-        if spec.auto_strategy {
-            spec.config = gate.plan.apply(spec.config.clone());
-        }
-        let budgets_tightened = spec.auto_budgets && gate.report.terminating.suspects_divergence();
-        if budgets_tightened {
-            spec.config.max_applications = spec.config.max_applications.min(TIGHT_MAX_APPLICATIONS);
-            if spec.config.mem_soft.is_none() {
-                spec.config.mem_soft = Some(TIGHT_MEM_SOFT);
-            }
-            if spec.config.mem_hard.is_none() {
-                spec.config.mem_hard = Some(TIGHT_MEM_HARD);
-            }
-        }
+        let admission = apply_admission_gate(&mut spec, &self.inner.cfg)?;
         let id = self.try_submit(spec)?;
-        Ok((
-            id,
-            Admission {
-                gate: Some(Box::new(gate)),
-                strategy_applied,
-                budgets_tightened,
-            },
-        ))
+        Ok((id, admission))
     }
 
     /// Requests cancellation. Queued jobs die immediately; running jobs
@@ -1669,6 +1679,7 @@ fn execute(
         outcome: res.outcome,
         stats,
         final_instance: res.final_instance,
+        final_vocab: vocab,
         derivation: res.derivation,
         queries,
         checkpoint,

@@ -16,6 +16,12 @@
 //!                       [--state-dir DIR] [--retries N] [--retry-backoff-ms N]
 //!                       [--checkpoint-every N] [--fault-plan SPEC]
 //!                       [--mem-soft N] [--mem-hard N]
+//! treechase coordinator --state-dir DIR [--listen HOST:PORT] [--lease MS]
+//!                       [--heartbeat MS] [--checkpoint-every N]
+//!                       [--max-queue N] [--op-deadline MS]
+//!                       [--strict-admission]
+//! treechase worker --connect HOST:PORT [--name NAME]
+//! treechase cluster-client <host:port>
 //! ```
 //!
 //! The input files use the `chase-parser` syntax (facts, rules, optional
@@ -78,6 +84,11 @@ struct Args {
     job_deadline_ms: Option<u64>,
     json: bool,
     strict_admission: bool,
+    listen: String,
+    connect: Option<String>,
+    lease_ms: u64,
+    heartbeat_ms: Option<u64>,
+    worker_name: Option<String>,
 }
 
 impl Default for Args {
@@ -107,6 +118,11 @@ impl Default for Args {
             job_deadline_ms: None,
             json: false,
             strict_admission: false,
+            listen: "127.0.0.1:7070".to_string(),
+            connect: None,
+            lease_ms: 3_000,
+            heartbeat_ms: None,
+            worker_name: None,
         }
     }
 }
@@ -213,7 +229,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--state-dir",
         metavar: "DIR",
-        commands: &["serve", "batch"],
+        commands: &["serve", "batch", "coordinator"],
         apply: |a, v| {
             a.state_dir = Some(v.to_string());
             Ok(())
@@ -240,7 +256,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--checkpoint-every",
         metavar: "N",
-        commands: &["serve", "batch"],
+        commands: &["serve", "batch", "coordinator"],
         apply: |a, v| {
             a.checkpoint_every = Some(parse_num::<usize>("--checkpoint-every", v)?.max(1));
             Ok(())
@@ -259,7 +275,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--max-queue",
         metavar: "N",
-        commands: &["serve"],
+        commands: &["serve", "coordinator"],
         apply: |a, v| {
             a.max_queue = Some(parse_num::<usize>("--max-queue", v)?.max(1));
             Ok(())
@@ -295,7 +311,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--op-deadline",
         metavar: "MS",
-        commands: &["serve"],
+        commands: &["serve", "coordinator"],
         apply: |a, v| {
             a.op_deadline_ms = Some(parse_num("--op-deadline", v)?);
             Ok(())
@@ -331,9 +347,54 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--strict-admission",
         metavar: "",
-        commands: &["serve"],
+        commands: &["serve", "coordinator"],
         apply: |a, _| {
             a.strict_admission = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--listen",
+        metavar: "HOST:PORT",
+        commands: &["coordinator"],
+        apply: |a, v| {
+            a.listen = v.to_string();
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--connect",
+        metavar: "HOST:PORT",
+        commands: &["worker"],
+        apply: |a, v| {
+            a.connect = Some(v.to_string());
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--lease",
+        metavar: "MS",
+        commands: &["coordinator"],
+        apply: |a, v| {
+            a.lease_ms = parse_num::<u64>("--lease", v)?.max(1);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--heartbeat",
+        metavar: "MS",
+        commands: &["coordinator"],
+        apply: |a, v| {
+            a.heartbeat_ms = Some(parse_num::<u64>("--heartbeat", v)?.max(1));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--name",
+        metavar: "NAME",
+        commands: &["worker"],
+        apply: |a, v| {
+            a.worker_name = Some(v.to_string());
             Ok(())
         },
     },
@@ -391,6 +452,27 @@ const COMMANDS: &[CommandSpec] = &[
         min_args: 1,
         max_args: 1,
         run: cmd_batch,
+    },
+    CommandSpec {
+        name: "coordinator",
+        operands: "",
+        min_args: 0,
+        max_args: 0,
+        run: cmd_coordinator,
+    },
+    CommandSpec {
+        name: "worker",
+        operands: "",
+        min_args: 0,
+        max_args: 0,
+        run: cmd_worker,
+    },
+    CommandSpec {
+        name: "cluster-client",
+        operands: "<host:port>",
+        min_args: 1,
+        max_args: 1,
+        run: cmd_cluster_client,
     },
 ];
 
@@ -1169,6 +1251,100 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     }
     if failed > 0 {
         return Err(format!("{failed} job(s) failed"));
+    }
+    Ok(())
+}
+
+/// `treechase coordinator`: owns the cluster job table, grants leases
+/// to workers over TCP, and reschedules lost leases from the durable
+/// checkpoints in `--state-dir`. SIGTERM shuts the listener down; the
+/// state dir *is* the drain — every job's progress is already durable.
+fn cmd_coordinator(args: &Args) -> Result<(), String> {
+    let state_dir = args
+        .state_dir
+        .as_ref()
+        .ok_or("coordinator requires --state-dir (durable checkpoints are the unit of dispatch)")?;
+    let lease = Duration::from_millis(args.lease_ms);
+    let cluster_cfg = treechase::cluster::ClusterConfig {
+        lease,
+        heartbeat: args.heartbeat_ms.map_or(lease / 4, Duration::from_millis),
+        checkpoint_every: args.checkpoint_every.unwrap_or(16),
+        max_queue: args.max_queue,
+        service: ServiceConfig {
+            // The coordinator never runs jobs itself; its store is
+            // opened separately from --state-dir.
+            state_dir: None,
+            op_deadline: args.op_deadline_ms.map(Duration::from_millis),
+            strict_admission: args.strict_admission,
+            ..ServiceConfig::default()
+        },
+        ..treechase::cluster::ClusterConfig::default()
+    };
+    let coord = treechase::cluster::Coordinator::bind(
+        &args.listen,
+        std::path::Path::new(state_dir),
+        cluster_cfg,
+    )?;
+    #[cfg(unix)]
+    {
+        sigterm::install();
+        let handle = coord.shutdown_handle();
+        std::thread::spawn(move || loop {
+            if sigterm::received() {
+                handle.shutdown();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    }
+    coord.run()
+}
+
+/// `treechase worker`: connects to a coordinator, pulls leased jobs and
+/// runs them through an embedded single-threaded service. SIGTERM
+/// drains: the running slice checkpoints, the lease is released with
+/// that checkpoint, and the process exits cleanly.
+fn cmd_worker(args: &Args) -> Result<(), String> {
+    let connect = args
+        .connect
+        .clone()
+        .ok_or("worker requires --connect <host:port>")?;
+    let name = args
+        .worker_name
+        .clone()
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    #[cfg(unix)]
+    sigterm::install();
+    #[cfg(unix)]
+    let stop = sigterm::received;
+    #[cfg(not(unix))]
+    let stop = || false;
+    let cfg = treechase::cluster::WorkerConfig {
+        connect,
+        name,
+        announce: true,
+    };
+    treechase::cluster::run_worker(&cfg, &stop)
+}
+
+/// `treechase cluster-client`: frames stdin JSONL requests to a
+/// coordinator and prints each reply as one line — the shell-scriptable
+/// client the CI smoke tests drive.
+fn cmd_cluster_client(args: &Args) -> Result<(), String> {
+    let addr = &args.positional[0];
+    let mut conn =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    conn.set_read_timeout(Some(Duration::from_millis(250)))
+        .map_err(|e| format!("read timeout: {e}"))?;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let msg = parse_json(&line)?;
+        let reply = treechase::cluster::wire::roundtrip(&mut conn, &msg)?;
+        println!("{reply}");
     }
     Ok(())
 }

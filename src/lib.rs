@@ -14,6 +14,7 @@
 //! * [`chase_core`] — the public facade: KBs, entailment, class analysis
 //! * [`chase_query`] — CQ/UCQ answering over materialization snapshots
 //! * [`treechase_service`] — concurrent, budgeted chase job runner
+//! * [`treechase_cluster`] — coordinator/worker cluster over leased TCP jobs
 
 pub use chase_analysis as analysis;
 pub use chase_atoms as atoms;
@@ -24,6 +25,7 @@ pub use chase_kbs as kbs;
 pub use chase_parser as parser;
 pub use chase_query as query;
 pub use chase_treewidth as treewidth;
+pub use treechase_cluster as cluster;
 pub use treechase_service as service;
 
 pub use chase_core::prelude;
