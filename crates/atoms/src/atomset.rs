@@ -1,15 +1,29 @@
 //! Atomsets (instances): indexed, deterministic sets of atoms.
 //!
 //! An [`AtomSet`] corresponds to the paper's notion of a (finite) atomset /
-//! instance. It keeps two secondary indexes — by predicate and by term —
-//! so the homomorphism engine can enumerate candidate atoms without a full
-//! scan, and iterates in insertion order so every printout and derived
-//! artifact is deterministic.
+//! instance. It keeps three secondary indexes — by predicate, by term, and
+//! by *(predicate, arity, position, term)* — so the homomorphism engine can
+//! enumerate candidate atoms through point lookups and posting-list
+//! intersection instead of a scan-and-filter, and iterates in insertion
+//! order so every printout and derived artifact is deterministic.
+//!
+//! ## Positional postings
+//!
+//! The positional index maps every `(pred, arity)` signature to one
+//! posting map per argument position: `positions[p][t]` is the ascending
+//! list of ids of live atoms whose `p`-th argument is exactly `t`.
+//! Candidate enumeration for a partially-bound pattern atom intersects the
+//! postings of its determined positions ([`AtomSet::matching_ids`]) via an
+//! [`IdBits`] scratch bitset, so the *exact* candidate set — not an
+//! estimate — costs roughly the size of the smallest posting involved.
+//! Postings are maintained incrementally through insert, remove and
+//! auto-compaction.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use crate::atom::Atom;
+use crate::bitset::IdBits;
 use crate::substitution::Substitution;
 use crate::term::{ConstId, Term, VarId};
 use crate::vocab::PredId;
@@ -31,7 +45,17 @@ impl AtomId {
     }
 }
 
-/// A finite set of atoms with predicate and term-occurrence indexes.
+/// The per-(predicate, arity) slice of the positional index.
+#[derive(Clone, Default)]
+struct SigIndex {
+    /// Ids of live atoms with this signature, in insertion order.
+    ids: BTreeSet<AtomId>,
+    /// One posting map per argument position: term → ascending id list.
+    positions: Vec<HashMap<Term, Vec<u32>>>,
+}
+
+/// A finite set of atoms with predicate, term-occurrence and positional
+/// `(pred, arity, position, term)` indexes.
 #[derive(Clone, Default)]
 pub struct AtomSet {
     /// Arena of atoms; `None` marks a removed (tombstoned) slot.
@@ -42,8 +66,21 @@ pub struct AtomSet {
     by_pred: HashMap<PredId, BTreeSet<AtomId>>,
     /// Ids of live atoms per occurring term, in insertion order.
     by_term: HashMap<Term, BTreeSet<AtomId>>,
+    /// Positional postings per `(pred, arity)` signature.
+    by_sig: HashMap<(PredId, u32), SigIndex>,
+    /// Number of live non-empty postings (a structural gauge the engine
+    /// reports as an index stat).
+    postings: usize,
     /// Number of live atoms.
     live: usize,
+    /// Whether removals may auto-compact the arena. Disabled only by
+    /// differential tests that need [`AtomId`]s stable across a whole
+    /// run.
+    no_auto_compact: bool,
+    /// Number of removal-triggered auto-compactions this set (or the
+    /// sets it was derived from via [`Clone`]/[`AtomSet::apply`]) has
+    /// performed — lets regression tests assert compaction really fired.
+    compactions: usize,
 }
 
 /// Arenas smaller than this never auto-compact: a handful of dead slots
@@ -76,6 +113,25 @@ impl AtomSet {
             self.by_term.entry(t).or_default().insert(id);
         }
         self.by_pred.entry(atom.pred()).or_default().insert(id);
+        let sig = self
+            .by_sig
+            .entry((atom.pred(), atom.arity() as u32))
+            .or_default();
+        if sig.positions.len() < atom.arity() {
+            sig.positions.resize_with(atom.arity(), HashMap::new);
+        }
+        sig.ids.insert(id);
+        for (pos, &t) in atom.args().iter().enumerate() {
+            let posting = sig.positions[pos].entry(t).or_default();
+            if posting.is_empty() {
+                self.postings += 1;
+            }
+            // Ids are allocated in increasing order (and the index is
+            // rebuilt in insertion order on compaction), so pushing keeps
+            // every posting sorted ascending.
+            debug_assert!(posting.last().is_none_or(|&last| last < id.0));
+            posting.push(id.0);
+        }
         self.lookup.insert(atom.clone(), id);
         self.slots.push(Some(atom));
         self.live += 1;
@@ -107,6 +163,24 @@ impl AtomSet {
                 self.by_pred.remove(&stored.pred());
             }
         }
+        let sig_key = (stored.pred(), stored.arity() as u32);
+        if let Some(sig) = self.by_sig.get_mut(&sig_key) {
+            sig.ids.remove(&id);
+            for (pos, &t) in stored.args().iter().enumerate() {
+                if let Some(posting) = sig.positions[pos].get_mut(&t) {
+                    if let Ok(at) = posting.binary_search(&id.0) {
+                        posting.remove(at);
+                    }
+                    if posting.is_empty() {
+                        sig.positions[pos].remove(&t);
+                        self.postings -= 1;
+                    }
+                }
+            }
+            if sig.ids.is_empty() {
+                self.by_sig.remove(&sig_key);
+            }
+        }
         self.live -= 1;
         self.maybe_compact();
         true
@@ -120,9 +194,27 @@ impl AtomSet {
     /// when the live instance stays small.
     fn maybe_compact(&mut self) {
         let dead = self.slots.len() - self.live;
-        if self.slots.len() >= COMPACT_MIN_SLOTS && dead > 2 * self.live {
+        if !self.no_auto_compact && self.slots.len() >= COMPACT_MIN_SLOTS && dead > 2 * self.live {
             self.compact();
+            self.compactions += 1;
         }
+    }
+
+    /// Number of removal-triggered auto-compactions performed so far
+    /// (inherited through [`Clone`] and [`AtomSet::apply`]).
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    /// Disables (or re-enables) removal-triggered auto-compaction.
+    ///
+    /// With auto-compaction off, [`AtomId`]s stay stable across removals
+    /// and the arena grows monotonically — the reference behaviour the
+    /// compaction regression tests compare against. The flag survives
+    /// [`Clone`], [`AtomSet::apply`] and explicit [`AtomSet::compact`]
+    /// calls.
+    pub fn set_auto_compact(&mut self, enabled: bool) {
+        self.no_auto_compact = !enabled;
     }
 
     /// Does the set contain the given atom?
@@ -208,7 +300,33 @@ impl AtomSet {
 
     /// Applies a substitution, producing a new atomset `σ(A)`.
     pub fn apply(&self, sigma: &Substitution) -> AtomSet {
-        self.iter().map(|a| sigma.apply_atom(a)).collect()
+        let mut out: AtomSet = self.iter().map(|a| sigma.apply_atom(a)).collect();
+        out.no_auto_compact = self.no_auto_compact;
+        out.compactions = self.compactions;
+        out
+    }
+
+    /// Applies a substitution in place: atoms whose image differs are
+    /// removed and the images inserted. Equivalent to
+    /// `*self = self.apply(sigma)` as a set, but O(moved) instead of a
+    /// full rebuild — the win when a retraction folds away a handful of
+    /// nulls from a large instance. Removals may trigger
+    /// auto-compaction, so callers must not hold [`AtomId`]s across the
+    /// call.
+    pub fn apply_in_place(&mut self, sigma: &Substitution) {
+        let moved: Vec<(Atom, Atom)> = self
+            .iter()
+            .filter_map(|a| {
+                let b = sigma.apply_atom(a);
+                (b != *a).then(|| (a.clone(), b))
+            })
+            .collect();
+        for (old, _) in &moved {
+            self.remove(old);
+        }
+        for (_, new) in moved {
+            self.insert(new);
+        }
     }
 
     /// Is `self ⊆ other`?
@@ -258,7 +376,11 @@ impl AtomSet {
     /// order. Ids are *not* stable across compaction.
     pub fn compact(&mut self) {
         let atoms: Vec<Atom> = self.iter().cloned().collect();
+        let no_auto_compact = self.no_auto_compact;
+        let compactions = self.compactions;
         *self = atoms.into_iter().collect();
+        self.no_auto_compact = no_auto_compact;
+        self.compactions = compactions;
     }
 
     /// Number of arena slots, live atoms plus tombstones — the set's
@@ -266,6 +388,108 @@ impl AtomSet {
     /// constant factor of [`AtomSet::len`].
     pub fn arena_len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Number of live non-empty positional postings — a structural gauge
+    /// of index size, reported through `ChaseStats`.
+    pub fn index_postings(&self) -> usize {
+        self.postings
+    }
+
+    /// Exact number of atoms [`Self::matching_ids`] would return for a
+    /// `bound` of **at most one** determined position — two O(1) index
+    /// lookups instead of materialising the id list. With two or more
+    /// determined positions the count requires the actual intersection;
+    /// use [`Self::matching_ids`] there.
+    pub fn matching_count(&self, pred: PredId, arity: usize, bound: &[(usize, Term)]) -> usize {
+        debug_assert!(
+            bound.len() <= 1,
+            "counts for >1 positions need the intersection"
+        );
+        let Some(sig) = self.by_sig.get(&(pred, arity as u32)) else {
+            return 0;
+        };
+        match bound.first() {
+            None => sig.ids.len(),
+            Some(&(pos, t)) => sig
+                .positions
+                .get(pos)
+                .and_then(|m| m.get(&t))
+                .map_or(0, Vec::len),
+        }
+    }
+
+    /// Collects into `out` the ids of every atom with predicate `pred`,
+    /// arity `arity`, and term `t` at position `p` for each `(p, t)` in
+    /// `bound` — the *exact* candidate set for a pattern atom whose
+    /// determined positions are `bound`, in insertion (ascending id)
+    /// order.
+    ///
+    /// `bound` may be empty (all atoms of the signature match) and may
+    /// bind the same position more than once (a repeated-variable pattern
+    /// like `r(x, x)`). With ≥ 2 bound positions the smallest posting
+    /// drives and the rest filter it, each either marked into `scratch`
+    /// (then sparsely cleared) for O(1) membership tests or binary
+    /// searched, whichever is cheaper. `out` is cleared first; `scratch`
+    /// is left empty again, so both can be reused across calls without
+    /// reallocation.
+    pub fn matching_ids(
+        &self,
+        pred: PredId,
+        arity: usize,
+        bound: &[(usize, Term)],
+        scratch: &mut IdBits,
+        out: &mut Vec<AtomId>,
+    ) {
+        out.clear();
+        let Some(sig) = self.by_sig.get(&(pred, arity as u32)) else {
+            return;
+        };
+        if bound.is_empty() {
+            out.extend(sig.ids.iter().copied());
+            return;
+        }
+        let mut posts: Vec<&[u32]> = Vec::with_capacity(bound.len());
+        for &(pos, t) in bound {
+            let Some(posting) = sig.positions.get(pos).and_then(|m| m.get(&t)) else {
+                return;
+            };
+            posts.push(posting.as_slice());
+        }
+        posts.sort_by_key(|p| p.len());
+        let (driver, rest) = posts.split_first().expect("bound is non-empty");
+        out.extend(driver.iter().map(|&i| AtomId(i)));
+        for posting in rest {
+            if out.is_empty() {
+                return;
+            }
+            // Filtering `out` against this posting costs either
+            // O(|posting|) bitset marks + O(|out|) probes + a sparse
+            // clear, or O(|out|·log|posting|) binary searches; pick the
+            // cheaper side.
+            if posting.len() <= out.len() * 8 {
+                scratch.ensure(self.slots.len());
+                for &i in *posting {
+                    scratch.insert(i);
+                }
+                out.retain(|id| scratch.contains(id.0));
+                scratch.clear_ids(posting.iter().copied());
+            } else {
+                out.retain(|id| posting.binary_search(&id.0).is_ok());
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`AtomSet::matching_ids`] that clones
+    /// the matching atoms out with a fresh scratch. Intended for tests
+    /// and cold paths; hot paths should reuse a scratch + id buffer.
+    pub fn matching_atoms(&self, pred: PredId, arity: usize, bound: &[(usize, Term)]) -> Vec<Atom> {
+        let mut scratch = IdBits::new();
+        let mut ids = Vec::new();
+        self.matching_ids(pred, arity, bound, &mut scratch, &mut ids);
+        ids.iter()
+            .map(|&id| self.get(id).expect("matching_ids returned dead id").clone())
+            .collect()
     }
 }
 
@@ -459,6 +683,148 @@ mod tests {
         for (i, a) in order.iter().enumerate() {
             assert_eq!(**a, atom(1, &[v(1_000_000 + i as u32)]));
         }
+    }
+
+    /// Reference semantics for `matching_ids`: scan everything, filter.
+    fn brute_matching(s: &AtomSet, pr: PredId, arity: usize, bound: &[(usize, Term)]) -> Vec<Atom> {
+        s.iter()
+            .filter(|a| {
+                a.pred() == pr
+                    && a.arity() == arity
+                    && bound.iter().all(|&(pos, t)| a.args()[pos] == t)
+            })
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn matching_ids_equals_brute_force_scan() {
+        // A deterministic pseudo-random mix of arities, predicates and
+        // shared terms, with interleaved removals, checked against the
+        // naive scan for every bound-position combination.
+        let mut s = AtomSet::new();
+        let mut seed = 0x9e37_79b9_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (seed >> 33) as u32
+        };
+        let mut atoms = Vec::new();
+        for _ in 0..300 {
+            let pr = next() % 4;
+            let arity = 1 + (next() % 3) as usize;
+            let args: Vec<Term> = (0..arity).map(|_| v(next() % 12)).collect();
+            let a = atom(pr, &args);
+            s.insert(a.clone());
+            atoms.push(a);
+        }
+        for (i, a) in atoms.iter().enumerate() {
+            if i % 3 == 0 {
+                s.remove(a);
+            }
+        }
+        let mut scratch = IdBits::new();
+        let mut ids = Vec::new();
+        for pr in 0..4 {
+            for arity in 1..=3usize {
+                let mut bounds: Vec<Vec<(usize, Term)>> = vec![vec![]];
+                for pos in 0..arity {
+                    for t in 0..12 {
+                        bounds.push(vec![(pos, v(t))]);
+                        for pos2 in pos + 1..arity {
+                            bounds.push(vec![(pos, v(t)), (pos2, v((t + 5) % 12))]);
+                        }
+                    }
+                }
+                for bound in &bounds {
+                    s.matching_ids(p(pr), arity, bound, &mut scratch, &mut ids);
+                    let got: Vec<Atom> = ids
+                        .iter()
+                        .map(|&id| s.get(id).expect("live id").clone())
+                        .collect();
+                    let want = brute_matching(&s, p(pr), arity, bound);
+                    assert_eq!(got, want, "pred {pr} arity {arity} bound {bound:?}");
+                    assert_eq!(got, s.matching_atoms(p(pr), arity, bound));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matching_ids_repeated_position_and_missing() {
+        let mut s = AtomSet::new();
+        s.insert(atom(0, &[v(1), v(1)]));
+        s.insert(atom(0, &[v(1), v(2)]));
+        // The same position bound twice (consistently) is just a filter.
+        let both = s.matching_atoms(p(0), 2, &[(0, v(1)), (1, v(1))]);
+        assert_eq!(both, vec![atom(0, &[v(1), v(1)])]);
+        // Unknown signature, term, or position ⇒ empty, not a panic.
+        assert!(s.matching_atoms(p(7), 2, &[]).is_empty());
+        assert!(s.matching_atoms(p(0), 3, &[]).is_empty());
+        assert!(s.matching_atoms(p(0), 2, &[(1, v(9))]).is_empty());
+    }
+
+    #[test]
+    fn postings_gauge_tracks_removals_and_compaction() {
+        let mut s = AtomSet::new();
+        assert_eq!(s.index_postings(), 0);
+        s.insert(atom(0, &[v(1), v(2)]));
+        // Two positions, one distinct term each ⇒ 2 postings.
+        assert_eq!(s.index_postings(), 2);
+        s.insert(atom(0, &[v(1), v(3)]));
+        // Position 0 shares the v(1) posting; position 1 gains one.
+        assert_eq!(s.index_postings(), 3);
+        s.remove(&atom(0, &[v(1), v(3)]));
+        assert_eq!(s.index_postings(), 2);
+        s.compact();
+        assert_eq!(s.index_postings(), 2);
+        s.remove(&atom(0, &[v(1), v(2)]));
+        assert_eq!(s.index_postings(), 0);
+    }
+
+    #[test]
+    fn matching_survives_auto_compaction() {
+        let mut s = AtomSet::new();
+        for i in 0..200u32 {
+            s.insert(atom(0, &[v(i % 5), v(i)]));
+        }
+        for i in 0..180u32 {
+            s.remove(&atom(0, &[v(i % 5), v(i)]));
+        }
+        assert!(s.arena_len() < 200, "auto-compaction should have fired");
+        let got = s.matching_atoms(p(0), 2, &[(0, v(2))]);
+        let want = brute_matching(&s, p(0), 2, &[(0, v(2))]);
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    #[test]
+    fn auto_compact_flag_disables_and_survives() {
+        let mut s = AtomSet::new();
+        s.set_auto_compact(false);
+        for i in 0..200u32 {
+            let a = atom(0, &[v(i)]);
+            s.insert(a.clone());
+            s.remove(&a);
+        }
+        assert_eq!(s.arena_len(), 200, "auto-compaction must stay off");
+        // The flag survives clone, explicit compaction and apply.
+        let mut c = s.clone();
+        c.compact();
+        assert_eq!(c.arena_len(), 0);
+        for i in 0..200u32 {
+            let a = atom(0, &[v(i)]);
+            c.insert(a.clone());
+            c.remove(&a);
+        }
+        assert_eq!(c.arena_len(), 200);
+        let applied = c.apply(&Substitution::new());
+        let mut a2 = applied;
+        for i in 0..200u32 {
+            let a = atom(1, &[v(i)]);
+            a2.insert(a.clone());
+            a2.remove(&a);
+        }
+        assert_eq!(a2.arena_len(), 200);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! A reusable bitset over [`AtomId`](crate::AtomId) raw indexes.
+//!
+//! [`IdBits`] is the scratch structure behind positional-index candidate
+//! intersection: postings are sorted id lists, and intersecting several of
+//! them marks the smaller list in the bitset and filters the driver with
+//! O(1) membership tests. The caller unmarks exactly the bits it set
+//! (`clear_ids`), so a search can reuse one allocation across thousands of
+//! backtracking nodes without ever paying an O(capacity) clear.
+
+/// A growable bitset indexed by raw atom ids.
+#[derive(Clone, Default, Debug)]
+pub struct IdBits {
+    words: Vec<u64>,
+}
+
+impl IdBits {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the bitset to hold ids `< bits` (no-op when large enough).
+    pub fn ensure(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Sets bit `i`. The bitset must have been [`IdBits::ensure`]d past
+    /// `i`.
+    #[inline]
+    pub fn insert(&mut self, i: u32) {
+        self.words[(i >> 6) as usize] |= 1u64 << (i & 63);
+    }
+
+    /// Is bit `i` set? Out-of-capacity ids are reported unset.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        self.words
+            .get((i >> 6) as usize)
+            .is_some_and(|w| w & (1u64 << (i & 63)) != 0)
+    }
+
+    /// Unsets bit `i` (no-op when out of capacity).
+    #[inline]
+    pub fn remove(&mut self, i: u32) {
+        if let Some(w) = self.words.get_mut((i >> 6) as usize) {
+            *w &= !(1u64 << (i & 63));
+        }
+    }
+
+    /// Unsets exactly the given ids — the sparse clear that makes the
+    /// scratch reusable in O(marked) instead of O(capacity).
+    pub fn clear_ids(&mut self, ids: impl IntoIterator<Item = u32>) {
+        for i in ids {
+            self.remove(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = IdBits::new();
+        b.ensure(200);
+        assert!(!b.contains(0));
+        b.insert(0);
+        b.insert(63);
+        b.insert(64);
+        b.insert(199);
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(199));
+        assert!(!b.contains(1) && !b.contains(198));
+        // Ids past capacity read as unset instead of panicking.
+        assert!(!b.contains(100_000));
+        b.remove(63);
+        assert!(!b.contains(63) && b.contains(64));
+    }
+
+    #[test]
+    fn clear_ids_is_sparse() {
+        let mut b = IdBits::new();
+        b.ensure(1024);
+        for i in [3u32, 700, 1000] {
+            b.insert(i);
+        }
+        b.clear_ids([3u32, 700, 1000]);
+        for i in [3u32, 700, 1000] {
+            assert!(!b.contains(i));
+        }
+    }
+
+    #[test]
+    fn ensure_grows_and_preserves() {
+        let mut b = IdBits::new();
+        b.ensure(10);
+        b.insert(5);
+        b.ensure(1_000);
+        assert!(b.contains(5));
+        b.insert(999);
+        assert!(b.contains(999));
+    }
+}

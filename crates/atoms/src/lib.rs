@@ -24,6 +24,7 @@
 
 mod atom;
 mod atomset;
+mod bitset;
 mod display;
 mod substitution;
 mod term;
@@ -31,6 +32,7 @@ mod vocab;
 
 pub use atom::Atom;
 pub use atomset::{AtomId, AtomSet};
+pub use bitset::IdBits;
 pub use display::{DisplayWith, WithVocab};
 pub use substitution::Substitution;
 pub use term::{ConstId, Term, VarId};

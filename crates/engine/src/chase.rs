@@ -27,8 +27,8 @@ use std::time::{Duration, Instant};
 
 use chase_atoms::{AtomSet, Substitution, Vocabulary};
 use chase_homomorphism::{
-    core_of_budgeted, find_retraction_eliminating_frozen_budgeted, incremental_core, MatchStats,
-    SearchBudget,
+    core_of_budgeted, find_retraction_eliminating_frozen_budgeted, incremental_core, MatchConfig,
+    MatchStats, SearchBudget,
 };
 
 use crate::control::{CancelToken, ChaseEvent, FaultPlan};
@@ -36,7 +36,9 @@ use crate::derivation::Derivation;
 use crate::prng::SplitMix64;
 use crate::rule::RuleSet;
 use crate::skolem::SkolemTable;
-use crate::trigger::{all_triggers, apply_trigger, triggers_using_delta, Trigger};
+use crate::trigger::{
+    all_triggers_counted, apply_trigger, triggers_using_delta_counted, MatchTally, Trigger,
+};
 
 /// Which chase variant to run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -83,6 +85,30 @@ pub enum CoreMaintenance {
     /// parallel. Sound because the pre-application instance is a core.
     #[default]
     Incremental,
+}
+
+/// How the engine's match phase (trigger discovery + satisfaction
+/// checking) enumerates candidate atoms.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum MatchStrategy {
+    /// Exact candidate sets through the positional
+    /// `(pred, arity, position, term)` postings with bitset pruning.
+    #[default]
+    Indexed,
+    /// The pre-index scan-and-filter enumeration. Same results, more
+    /// candidate trials; kept as the benchmark and differential-test
+    /// baseline.
+    NaiveScan,
+}
+
+impl MatchStrategy {
+    /// The matcher configuration implementing this strategy.
+    pub fn match_config(self) -> MatchConfig {
+        MatchConfig {
+            naive_scan: self == MatchStrategy::NaiveScan,
+            ..MatchConfig::default()
+        }
+    }
 }
 
 /// Whether to keep every intermediate instance.
@@ -151,6 +177,15 @@ pub struct ChaseConfig {
     /// budget stops the run with [`ChaseOutcome::Cancelled`]. Process
     /// state, never serialized.
     pub search_budget: SearchBudget,
+    /// How the match phase enumerates candidates. [`MatchStrategy::NaiveScan`]
+    /// reproduces the pre-index behaviour for A/B benchmarking; results
+    /// are identical either way.
+    pub match_strategy: MatchStrategy,
+    /// Max concurrent core-maintenance probe threads. `None` (default)
+    /// uses `available_parallelism` capped at 8; `Some(1)` makes the core
+    /// variant's fold probing sequential and hence fully deterministic —
+    /// what the byte-identical-derivation regression tests pin.
+    pub probe_threads: Option<usize>,
 }
 
 impl Default for ChaseConfig {
@@ -170,6 +205,8 @@ impl Default for ChaseConfig {
             mem_hard: None,
             strata: None,
             search_budget: SearchBudget::unlimited(),
+            match_strategy: MatchStrategy::default(),
+            probe_threads: None,
         }
     }
 }
@@ -263,6 +300,20 @@ impl ChaseConfig {
         self.search_budget = budget;
         self
     }
+
+    /// Sets the match-phase candidate enumeration strategy.
+    pub fn with_match_strategy(mut self, s: MatchStrategy) -> Self {
+        self.match_strategy = s;
+        self
+    }
+
+    /// Pins the number of core-maintenance probe threads (`1` makes core
+    /// fold probing deterministic).
+    pub fn with_probe_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.probe_threads = Some(n);
+        self
+    }
 }
 
 /// Why the chase stopped.
@@ -344,6 +395,19 @@ pub struct ChaseStats {
     /// entries) observed after any application — what the soft/hard
     /// memory ceilings of [`ChaseConfig`] are enforced against.
     pub peak_mem_units: usize,
+    /// Wall-clock microseconds spent in the match phase (trigger
+    /// discovery + satisfaction checking). Nondeterministic, like
+    /// [`ChaseStats::wall_us`].
+    pub match_time_us: u64,
+    /// Homomorphism searches run by the match phase.
+    pub match_searches: usize,
+    /// Candidate trials explored by match-phase searches. Deterministic
+    /// for a given KB and [`MatchStrategy`] — the counter the bench gate
+    /// compares across machines.
+    pub match_trials: usize,
+    /// Largest number of live positional-index postings the instance ever
+    /// carried (a structural gauge of index memory).
+    pub peak_index_postings: usize,
 }
 
 /// The result of a chase run.
@@ -472,7 +536,10 @@ pub fn run_chase_controlled(
     if let Some(token) = cancel {
         budget = budget.with_cancel(token.flag());
     }
-    let probe_threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    let probe_threads = cfg
+        .probe_threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get().min(8)));
+    let mcfg = cfg.match_strategy.match_config();
 
     let mut degraded = false;
 
@@ -538,12 +605,15 @@ pub fn run_chase_controlled(
             break ChaseOutcome::WallBudgetExhausted;
         }
         let current = derivation.last_instance().clone();
+        stats.peak_index_postings = stats.peak_index_postings.max(current.index_postings());
+        let match_phase = Instant::now();
+        let mut tally = MatchTally::default();
         let discovered = if monotonic {
-            let d = triggers_using_delta(rules, &current, &delta);
+            let d = triggers_using_delta_counted(rules, &current, &delta, &mcfg, &mut tally);
             delta.clear();
             d
         } else {
-            all_triggers(rules, &current)
+            all_triggers_counted(rules, &current, &mcfg, &mut tally)
         };
         let mut snapshot: Vec<Trigger> = discovered
             .into_iter()
@@ -556,10 +626,13 @@ pub fn run_chase_controlled(
                 ChaseVariant::Oblivious => !applied_keys.contains(&t.universal_key(rules)),
                 ChaseVariant::SemiOblivious => !applied_keys.contains(&t.frontier_key(rules)),
                 ChaseVariant::Restricted | ChaseVariant::Frugal | ChaseVariant::Core => {
-                    !t.is_satisfied_in(rules, &current)
+                    !t.is_satisfied_in_counted(rules, &current, &mcfg, &mut tally)
                 }
             })
             .collect();
+        stats.match_time_us += match_phase.elapsed().as_micros() as u64;
+        stats.match_searches += tally.searches;
+        stats.match_trials += tally.trials;
         if snapshot.is_empty() {
             if let Some(sets) = &strata_sets {
                 if stratum + 1 < sets.len() {
@@ -599,13 +672,19 @@ pub fn run_chase_controlled(
             }
             let tr = tr.map(rules, &forward);
             let f = derivation.last_instance();
+            let match_phase = Instant::now();
+            let mut tally = MatchTally::default();
             let active = match cfg.variant {
                 ChaseVariant::Oblivious => !applied_keys.contains(&tr.universal_key(rules)),
                 ChaseVariant::SemiOblivious => !applied_keys.contains(&tr.frontier_key(rules)),
                 ChaseVariant::Restricted | ChaseVariant::Frugal | ChaseVariant::Core => {
-                    tr.is_trigger_for(rules, f) && !tr.is_satisfied_in(rules, f)
+                    tr.is_trigger_for(rules, f)
+                        && !tr.is_satisfied_in_counted(rules, f, &mcfg, &mut tally)
                 }
             };
+            stats.match_time_us += match_phase.elapsed().as_micros() as u64;
+            stats.match_searches += tally.searches;
+            stats.match_trials += tally.trials;
             if !active {
                 continue;
             }
@@ -637,6 +716,7 @@ pub fn run_chase_controlled(
             }
             stats.nulls_minted += app.fresh.len();
             stats.peak_atoms = stats.peak_atoms.max(app.result.len());
+            stats.peak_index_postings = stats.peak_index_postings.max(app.result.index_postings());
 
             // Abstract memory accounting: instance atoms at their
             // pre-retraction peak, plus the nulls this slice minted, plus
@@ -758,7 +838,7 @@ pub fn run_chase_controlled(
                         );
                         ms.absorb(probe.outcome);
                         if let Some(r) = probe.retraction {
-                            current = r.apply_set(&current);
+                            current.apply_in_place(&r);
                             sigma = sigma.then(&r);
                         }
                     }
@@ -1038,7 +1118,11 @@ mod tests {
         let b = run(7);
         assert_eq!(a.final_instance, b.final_instance);
         // Wall time is the one genuinely nondeterministic counter.
-        let strip = |s: ChaseStats| ChaseStats { wall_us: 0, ..s };
+        let strip = |s: ChaseStats| ChaseStats {
+            wall_us: 0,
+            match_time_us: 0,
+            ..s
+        };
         assert_eq!(strip(a.stats), strip(b.stats));
         // Different seeds still converge to the same closure (confluence
         // of datalog).
@@ -1745,7 +1829,11 @@ mod skolem_chase_tests {
         let a = run();
         let b = run();
         assert_eq!(a.final_instance, b.final_instance);
-        let strip = |s: ChaseStats| ChaseStats { wall_us: 0, ..s };
+        let strip = |s: ChaseStats| ChaseStats {
+            wall_us: 0,
+            match_time_us: 0,
+            ..s
+        };
         assert_eq!(strip(a.stats), strip(b.stats));
     }
 

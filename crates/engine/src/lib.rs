@@ -37,13 +37,14 @@ mod trigger;
 
 pub use chase::{
     run_chase, run_chase_controlled, run_chase_observed, ChaseConfig, ChaseOutcome, ChaseResult,
-    ChaseStats, ChaseVariant, CoreMaintenance, RecordLevel, SchedulerKind, SuspendReason,
+    ChaseStats, ChaseVariant, CoreMaintenance, MatchStrategy, RecordLevel, SchedulerKind,
+    SuspendReason,
 };
 pub use control::{CancelToken, ChaseEvent, FaultPlan, FaultSite};
 pub use derivation::{Derivation, DerivationStep};
 pub use robust::{RobustSequence, VarTrace};
 pub use rule::{Rule, RuleError, RuleId, RuleSet};
 pub use trigger::{
-    all_triggers, apply_trigger, is_model_of_rules, unsatisfied_triggers, Trigger,
-    TriggerApplication,
+    all_triggers, all_triggers_counted, apply_trigger, is_model_of_rules, triggers_using_delta,
+    triggers_using_delta_counted, unsatisfied_triggers, MatchTally, Trigger, TriggerApplication,
 };

@@ -8,6 +8,28 @@ use chase_homomorphism::{find_homomorphism_extending, for_each_homomorphism, Mat
 
 use crate::rule::{RuleId, RuleSet};
 
+/// Running totals for the engine's match phase: how many homomorphism
+/// searches trigger discovery and satisfaction checking ran, and how many
+/// candidate trials (backtracking nodes) they explored. Trial counts are
+/// deterministic for a given instance and [`MatchConfig`], which makes
+/// them the machine-independent counters the match-phase bench gate
+/// compares.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchTally {
+    /// Homomorphism searches started.
+    pub searches: usize,
+    /// Candidate trials explored across those searches.
+    pub trials: usize,
+}
+
+impl MatchTally {
+    /// Adds a search's outcome to the tally.
+    pub fn absorb(&mut self, outcome: chase_homomorphism::SearchOutcome) {
+        self.searches += 1;
+        self.trials += outcome.nodes;
+    }
+}
+
 /// A trigger `tr = (R, π)`: a rule together with a homomorphism of its
 /// body into an instance.
 ///
@@ -48,6 +70,34 @@ impl Trigger {
         let head_vars: BTreeSet<VarId> = rule.head().vars();
         let seed = self.pi.restrict(&head_vars);
         find_homomorphism_extending(rule.head(), instance, &seed).is_some()
+    }
+
+    /// [`Trigger::is_satisfied_in`] under an explicit [`MatchConfig`]
+    /// (the engine's match-strategy knob), recording the search in
+    /// `tally`.
+    pub fn is_satisfied_in_counted(
+        &self,
+        rules: &RuleSet,
+        instance: &AtomSet,
+        mcfg: &MatchConfig,
+        tally: &mut MatchTally,
+    ) -> bool {
+        let rule = rules.get(self.rule);
+        if !self.is_trigger_for(rules, instance) {
+            return false;
+        }
+        // Seed with π unrestricted: bindings for universal variables
+        // outside the head are inert (they never conflict with the
+        // head's frontier or existential variables), and only existence
+        // matters here — so the per-check `head_vars` set and restricted
+        // substitution of [`Trigger::is_satisfied_in`] are dead weight.
+        let mut found = false;
+        let outcome = for_each_homomorphism(rule.head(), instance, &self.pi, mcfg, |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        tally.absorb(outcome);
+        found
     }
 
     /// Applies a substitution to the trigger: `σ(tr) = (R, σ ∘ π)`,
@@ -130,21 +180,33 @@ pub fn apply_trigger(
 /// Enumerates all triggers of `rules` for `instance`, in deterministic
 /// order (rule-major, then matcher order).
 pub fn all_triggers(rules: &RuleSet, instance: &AtomSet) -> Vec<Trigger> {
+    all_triggers_counted(
+        rules,
+        instance,
+        &MatchConfig::default(),
+        &mut MatchTally::default(),
+    )
+}
+
+/// [`all_triggers`] under an explicit [`MatchConfig`], recording every
+/// body search in `tally`.
+pub fn all_triggers_counted(
+    rules: &RuleSet,
+    instance: &AtomSet,
+    mcfg: &MatchConfig,
+    tally: &mut MatchTally,
+) -> Vec<Trigger> {
     let mut out = Vec::new();
     for (id, rule) in rules.iter() {
-        for_each_homomorphism(
-            rule.body(),
-            instance,
-            &Substitution::new(),
-            &MatchConfig::default(),
-            |pi| {
+        let outcome =
+            for_each_homomorphism(rule.body(), instance, &Substitution::new(), mcfg, |pi| {
                 out.push(Trigger {
                     rule: id,
                     pi: pi.restrict(rule.universal_vars()),
                 });
                 ControlFlow::Continue(())
-            },
-        );
+            });
+        tally.absorb(outcome);
     }
     // Matcher order depends on dynamic candidate counts; sort for a stable
     // cross-run order.
@@ -170,6 +232,24 @@ pub fn triggers_using_delta(
     rules: &RuleSet,
     instance: &AtomSet,
     delta: &[chase_atoms::Atom],
+) -> Vec<Trigger> {
+    triggers_using_delta_counted(
+        rules,
+        instance,
+        delta,
+        &MatchConfig::default(),
+        &mut MatchTally::default(),
+    )
+}
+
+/// [`triggers_using_delta`] under an explicit [`MatchConfig`], recording
+/// every seeded body search in `tally`.
+pub fn triggers_using_delta_counted(
+    rules: &RuleSet,
+    instance: &AtomSet,
+    delta: &[chase_atoms::Atom],
+    mcfg: &MatchConfig,
+    tally: &mut MatchTally,
 ) -> Vec<Trigger> {
     let mut out = Vec::new();
     // A rule whose body repeats a predicate seeds the same homomorphism
@@ -210,22 +290,17 @@ pub fn triggers_using_delta(
                 if !ok {
                     continue;
                 }
-                for_each_homomorphism(
-                    rule.body(),
-                    instance,
-                    &seed,
-                    &MatchConfig::default(),
-                    |pi| {
-                        let tr = Trigger {
-                            rule: id,
-                            pi: pi.restrict(rule.universal_vars()),
-                        };
-                        if seen.insert(tr.universal_key(rules)) {
-                            out.push(tr);
-                        }
-                        ControlFlow::Continue(())
-                    },
-                );
+                let outcome = for_each_homomorphism(rule.body(), instance, &seed, mcfg, |pi| {
+                    let tr = Trigger {
+                        rule: id,
+                        pi: pi.restrict(rule.universal_vars()),
+                    };
+                    if seen.insert(tr.universal_key(rules)) {
+                        out.push(tr);
+                    }
+                    ControlFlow::Continue(())
+                });
+                tally.absorb(outcome);
             }
         }
     }

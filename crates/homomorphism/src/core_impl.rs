@@ -179,7 +179,7 @@ pub fn core_of_budgeted(a: &AtomSet, budget: &SearchBudget) -> (CoreResult, Matc
             let probe = find_retraction_eliminating_budgeted(&current, x, budget);
             agg.absorb(probe.outcome);
             if let Some(r) = probe.retraction {
-                current = r.apply_set(&current);
+                current.apply_in_place(&r);
                 total = total.then(&r);
                 progress = true;
             }

@@ -34,11 +34,11 @@
 //! is unique up to isomorphism) regardless of thread interleaving;
 //! counters such as nodes explored may vary between runs.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use chase_atoms::{Atom, AtomSet, Substitution, Term, VarId};
+use chase_atoms::{Atom, AtomId, AtomSet, IdBits, Substitution, Term, VarId};
 
 use crate::budget::{MatchStats, SearchBudget, SearchOutcome};
 use crate::core_impl::FoldProbe;
@@ -123,13 +123,29 @@ fn dirty_vars(instance: &AtomSet, anchors: &[Atom]) -> BTreeSet<VarId> {
 fn single_var_fold(instance: &AtomSet, x: VarId, stats: &mut MatchStats) -> Option<Substitution> {
     let star: Vec<&Atom> = instance.with_term(Term::Var(x)).collect();
     let first = star.first()?;
-    'cand: for gamma in instance.with_pred(first.pred()) {
+    // `first ↦ gamma` with every non-x position unchanged: exactly the
+    // atoms whose non-x positions carry `first`'s own terms — a single
+    // positional-index intersection instead of a predicate scan.
+    let bound: Vec<(usize, Term)> = first
+        .args()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t != Term::Var(x))
+        .map(|(pos, &t)| (pos, t))
+        .collect();
+    let mut scratch = IdBits::new();
+    let mut cands: Vec<AtomId> = Vec::new();
+    instance.matching_ids(
+        first.pred(),
+        first.arity(),
+        &bound,
+        &mut scratch,
+        &mut cands,
+    );
+    'cand: for id in cands {
+        let gamma = instance.get(id).expect("matching_ids returned dead id");
         stats.nodes += 1;
-        if gamma.arity() != first.arity() {
-            continue;
-        }
-        // `first ↦ gamma` with every non-x position unchanged pins the
-        // image of x (consistently across repeated occurrences).
+        // The image of x must be consistent across repeated occurrences.
         let mut image: Option<Term> = None;
         for (&b, &g) in first.args().iter().zip(gamma.args()) {
             if b == Term::Var(x) {
@@ -137,8 +153,6 @@ fn single_var_fold(instance: &AtomSet, x: VarId, stats: &mut MatchStats) -> Opti
                     Some(t) if t != g => continue 'cand,
                     _ => image = Some(g),
                 }
-            } else if b != g {
-                continue 'cand;
             }
         }
         let t = image.expect("first mentions x");
@@ -186,7 +200,14 @@ struct FoldSearch<'a> {
     /// The variable being eliminated: must move, may not appear in the
     /// image.
     x: VarId,
-    bind: HashMap<VarId, Term>,
+    /// Partial assignment. Ordered so [`FoldSearch::select_pending`]
+    /// walks movers in a deterministic order across runs and platforms.
+    bind: BTreeMap<VarId, Term>,
+    /// Scratch bitset for positional-posting intersection, reused across
+    /// nodes ([`AtomSet::matching_ids`] leaves it clean).
+    scratch: IdBits,
+    /// Reused id buffer for candidate enumeration.
+    cand_buf: Vec<AtomId>,
     nodes: usize,
     truncated: bool,
 }
@@ -243,46 +264,65 @@ impl<'a> FoldSearch<'a> {
         true
     }
 
-    /// Candidate images for a partially-determined atom, anchored through
-    /// the most selective determined position.
-    fn candidates(&self, beta: &Atom) -> Vec<&'a Atom> {
-        let mut anchor: Option<Term> = None;
-        let mut anchor_count = usize::MAX;
-        for &t in beta.args() {
+    /// Fills [`FoldSearch::cand_buf`] with the exact candidate images for
+    /// a partially-determined atom: the intersection of the instance's
+    /// positional postings over `beta`'s determined positions — the same
+    /// [`AtomSet::matching_ids`] API the general matcher enumerates
+    /// through, so the prober cannot drift from its semantics.
+    fn fill_candidates(&mut self, beta: &Atom) {
+        let instance = self.instance;
+        let mut bound: Vec<(usize, Term)> = Vec::with_capacity(beta.arity());
+        for (pos, &t) in beta.args().iter().enumerate() {
             if let Some(img) = self.image(t) {
-                let c = self.instance.term_count(img);
-                if c < anchor_count {
-                    anchor_count = c;
-                    anchor = Some(img);
-                }
+                bound.push((pos, img));
             }
         }
-        let pred = beta.pred();
-        let arity = beta.arity();
-        match anchor {
-            Some(term) => self
-                .instance
-                .with_term(term)
-                .filter(|c| c.pred() == pred && c.arity() == arity)
-                .collect(),
-            None => self
-                .instance
-                .with_pred(pred)
-                .filter(|c| c.arity() == arity)
-                .collect(),
+        instance.matching_ids(
+            beta.pred(),
+            beta.arity(),
+            &bound,
+            &mut self.scratch,
+            &mut self.cand_buf,
+        );
+    }
+
+    /// Exact candidate count for `beta` under the current binding,
+    /// without materialising the list when ≤ 1 position is determined
+    /// (the common case while ranking pending atoms).
+    fn candidate_count(&mut self, beta: &Atom) -> usize {
+        let instance = self.instance;
+        let mut bound: Vec<(usize, Term)> = Vec::with_capacity(beta.arity());
+        for (pos, &t) in beta.args().iter().enumerate() {
+            if let Some(img) = self.image(t) {
+                bound.push((pos, img));
+            }
+        }
+        if bound.len() >= 2 {
+            instance.matching_ids(
+                beta.pred(),
+                beta.arity(),
+                &bound,
+                &mut self.scratch,
+                &mut self.cand_buf,
+            );
+            self.cand_buf.len()
+        } else {
+            instance.matching_count(beta.pred(), beta.arity(), &bound)
         }
     }
 
     /// Finds an atom dragged in by a moved variable that is not yet
     /// satisfied. `Err(())` signals a dead branch (a fully bound atom
     /// whose image is missing from the instance).
-    fn select_pending(&self) -> Result<Option<&'a Atom>, ()> {
+    fn select_pending(&mut self) -> Result<Option<&'a Atom>, ()> {
+        let instance = self.instance;
+        let movers: Vec<(VarId, Term)> = self.bind.iter().map(|(&v, &t)| (v, t)).collect();
         let mut best: Option<(&'a Atom, usize)> = None;
-        for (&v, &t) in self.bind.iter() {
+        for (v, t) in movers {
             if t == Term::Var(v) {
                 continue; // pinned fixpoint: its atoms ride on movers
             }
-            for beta in self.instance.with_term(Term::Var(v)) {
+            for beta in instance.with_term(Term::Var(v)) {
                 let mut determined = true;
                 for &arg in beta.args() {
                     if self.image(arg).is_none() {
@@ -298,12 +338,12 @@ impl<'a> FoldSearch<'a> {
                             .map(|&a| self.image(a).expect("determined"))
                             .collect::<Vec<_>>(),
                     );
-                    if self.instance.contains(&img) {
+                    if instance.contains(&img) {
                         continue; // satisfied
                     }
                     return Err(()); // fully bound but unmapped: dead end
                 }
-                let est = self.candidates(beta).len();
+                let est = self.candidate_count(beta);
                 if est == 0 {
                     return Err(());
                 }
@@ -322,7 +362,16 @@ impl<'a> FoldSearch<'a> {
             Ok(None) => return true,
             Ok(Some(beta)) => beta,
         };
-        let cands = self.candidates(pending);
+        self.fill_candidates(pending);
+        let cands: Vec<&'a Atom> = self
+            .cand_buf
+            .iter()
+            .map(|&id| {
+                self.instance
+                    .get(id)
+                    .expect("matching_ids returned dead id")
+            })
+            .collect();
         for gamma in cands {
             self.nodes += 1;
             if self.budget.exhausted_at(self.nodes) {
@@ -359,7 +408,9 @@ fn probe_fold(instance: &AtomSet, x: VarId, budget: &SearchBudget) -> FoldProbe 
         instance,
         budget,
         x,
-        bind: HashMap::new(),
+        bind: BTreeMap::new(),
+        scratch: IdBits::new(),
+        cand_buf: Vec::new(),
         nodes: 0,
         truncated: false,
     };
@@ -375,10 +426,16 @@ fn probe_fold(instance: &AtomSet, x: VarId, budget: &SearchBudget) -> FoldProbe 
         };
     };
     let mut retraction = None;
-    for gamma in instance.with_pred(beta0.pred()) {
-        if gamma.arity() != beta0.arity() {
-            continue;
-        }
+    // Root candidates through the positional index: the empty bind still
+    // pins beta0's constant positions, so this is already narrower than a
+    // predicate scan.
+    search.fill_candidates(beta0);
+    let roots: Vec<&Atom> = search
+        .cand_buf
+        .iter()
+        .map(|&id| instance.get(id).expect("matching_ids returned dead id"))
+        .collect();
+    for gamma in roots {
         search.nodes += 1;
         if search.budget.exhausted_at(search.nodes) {
             search.truncated = true;
@@ -562,7 +619,11 @@ pub fn incremental_core(
                     (gamma != *beta).then_some(gamma)
                 })
                 .collect();
-            current = r.apply_set(&current);
+            // In place: a fold moves O(1) atoms out of a large instance,
+            // so rebuilding the whole set (and its positional indexes)
+            // per retraction would dominate. Removals may auto-compact
+            // the arena; no AtomIds are held across this point.
+            current.apply_in_place(&r);
             total = total.then(&r);
             worklist.extend(dirty_vars(&current, &changed));
         }

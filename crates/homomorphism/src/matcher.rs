@@ -7,15 +7,23 @@
 //!
 //! Search strategy: at each step pick the unmatched pattern atom with the
 //! fewest candidate target atoms under the current partial assignment
-//! (most-constrained-first), enumerating candidates through the target's
-//! per-term and per-predicate indexes. This is the classic CSP ordering
-//! used by CQ evaluators; it makes the crafted instances in this workspace
-//! (grids, staircases, elevator columns) match in near-linear time.
+//! (most-constrained-first). Candidates are the *exact* intersection of
+//! the target's positional `(pred, arity, position, term)` postings
+//! ([`AtomSet::matching_ids`]), computed via bitset pruning — so the
+//! selector ranks atoms by their true candidate count and the enumeration
+//! visits exactly that set. This is the classic CSP ordering used by CQ
+//! evaluators; it makes the crafted instances in this workspace (grids,
+//! staircases, elevator columns) match in near-linear time.
+//!
+//! The pre-index behaviour — selection by a per-term occurrence *estimate*
+//! that ignores predicates, enumeration by scanning one term or predicate
+//! index and filtering — is kept behind [`MatchConfig::naive_scan`] as the
+//! differential-testing and benchmarking baseline.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::ops::ControlFlow;
 
-use chase_atoms::{Atom, AtomSet, Substitution, Term, VarId};
+use chase_atoms::{Atom, AtomId, AtomSet, IdBits, Substitution, Term, VarId};
 
 use crate::budget::{SearchBudget, SearchOutcome};
 
@@ -38,6 +46,12 @@ pub struct MatchConfig {
     /// certificate; a budgeted *miss* is inconclusive — callers that need
     /// refutations must leave this unset.
     pub node_limit: Option<usize>,
+    /// Use the pre-index scan-and-filter candidate enumeration instead of
+    /// the positional indexes. The enumerated homomorphism set is
+    /// identical; only trial counts and speed differ. This is the
+    /// baseline side of the differential property tests and the
+    /// match-phase benchmark.
+    pub naive_scan: bool,
 }
 
 struct Search<'a> {
@@ -45,8 +59,13 @@ struct Search<'a> {
     target: &'a AtomSet,
     cfg: &'a MatchConfig,
     budget: &'a SearchBudget,
-    bind: HashMap<VarId, Term>,
+    /// Partial assignment. Ordered so both the search trajectory and the
+    /// emitted substitutions are deterministic across runs and platforms.
+    bind: BTreeMap<VarId, Term>,
     used_images: HashSet<Term>,
+    /// Scratch bitset for posting intersection, reused across every node
+    /// of the search ([`AtomSet::matching_ids`] leaves it clean).
+    scratch: IdBits,
     matched: Vec<bool>,
     n_matched: usize,
     nodes: usize,
@@ -68,8 +87,9 @@ impl<'a> Search<'a> {
             target,
             cfg,
             budget,
-            bind: HashMap::new(),
+            bind: BTreeMap::new(),
             used_images: HashSet::new(),
+            scratch: IdBits::new(),
             n_matched: 0,
             nodes: 0,
             truncated: false,
@@ -135,8 +155,129 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Estimated number of candidate target atoms for a pattern atom.
-    fn candidate_estimate(&self, atom: &Atom) -> usize {
+    /// Root-level fast path for the positional-index strategy: a pattern
+    /// atom whose arguments are all determined (constants, or variables
+    /// bound by the seed) either has its image already in the target —
+    /// matched without entering the backtracking search — or refutes the
+    /// whole search conclusively. The constraint flags (`injective_vars`,
+    /// `retraction`, `forbidden_images`, `must_move`) restrict only *new*
+    /// variable bindings, which determined atoms never create, so the
+    /// shortcut is mode-independent. Resolved atoms are hash probes, not
+    /// backtracking nodes, so they do not count against `nodes` budgets.
+    fn resolve_determined(&mut self) -> bool {
+        for i in 0..self.pattern.len() {
+            let atom = self.pattern[i];
+            let mut img: Vec<Term> = Vec::with_capacity(atom.arity());
+            for &t in atom.args() {
+                let Some(u) = self.image(t) else {
+                    img.clear();
+                    break;
+                };
+                img.push(u);
+            }
+            if img.len() < atom.arity() {
+                continue;
+            }
+            if !self.target.contains(&Atom::new(atom.pred(), img)) {
+                return false;
+            }
+            self.matched[i] = true;
+            self.n_matched += 1;
+        }
+        true
+    }
+
+    /// Picks the unmatched pattern atom with the fewest candidates and
+    /// returns its exact candidate set.
+    ///
+    /// Selection and enumeration are one pass: every unmatched atom's
+    /// true candidate set is computed from the positional postings
+    /// ([`AtomSet::matching_ids`]) and the smallest one is memoized as
+    /// the winner — the count that ranks an atom is *exactly* the set the
+    /// search will try, so the most-constrained-first ordering can no
+    /// longer be misled by cross-predicate term occurrences.
+    fn select_indexed(&mut self) -> (usize, Vec<&'a Atom>) {
+        let target = self.target;
+        let mut best_idx = usize::MAX;
+        let mut best_count = usize::MAX;
+        // Ids for the current best atom — only valid when `best_listed`:
+        // atoms with ≤ 1 determined position are counted exactly through
+        // two O(1) index lookups without materialising anything, and the
+        // winner's list is (re)built once at the end.
+        let mut best: Vec<AtomId> = Vec::new();
+        let mut best_listed = false;
+        let mut tmp: Vec<AtomId> = Vec::new();
+        let mut bound: Vec<(usize, Term)> = Vec::new();
+        for i in 0..self.pattern.len() {
+            if self.matched[i] {
+                continue;
+            }
+            let atom = self.pattern[i];
+            bound.clear();
+            for (pos, &t) in atom.args().iter().enumerate() {
+                if let Some(img) = self.image(t) {
+                    bound.push((pos, img));
+                }
+            }
+            let (count, listed) = if bound.len() >= 2 {
+                target.matching_ids(
+                    atom.pred(),
+                    atom.arity(),
+                    &bound,
+                    &mut self.scratch,
+                    &mut tmp,
+                );
+                (tmp.len(), true)
+            } else {
+                (
+                    target.matching_count(atom.pred(), atom.arity(), &bound),
+                    false,
+                )
+            };
+            if best_idx == usize::MAX || count < best_count {
+                best_idx = i;
+                best_count = count;
+                best_listed = listed;
+                if listed {
+                    std::mem::swap(&mut best, &mut tmp);
+                }
+                if count == 0 {
+                    break;
+                }
+            }
+        }
+        if !best_listed {
+            if best_count == 0 {
+                best.clear();
+            } else {
+                let atom = self.pattern[best_idx];
+                bound.clear();
+                for (pos, &t) in atom.args().iter().enumerate() {
+                    if let Some(img) = self.image(t) {
+                        bound.push((pos, img));
+                    }
+                }
+                target.matching_ids(
+                    atom.pred(),
+                    atom.arity(),
+                    &bound,
+                    &mut self.scratch,
+                    &mut best,
+                );
+            }
+        }
+        let atoms = best
+            .iter()
+            .map(|&id| target.get(id).expect("matching_ids returned dead id"))
+            .collect();
+        (best_idx, atoms)
+    }
+
+    /// Pre-index candidate *estimate*: the smaller of the predicate count
+    /// and any determined term's occurrence count — across all
+    /// predicates, which is the historical inexactness `naive_scan`
+    /// preserves for comparison.
+    fn naive_estimate(&self, atom: &Atom) -> usize {
         let mut best = self.target.pred_count(atom.pred());
         for &t in atom.args() {
             if let Some(img) = self.image(t) {
@@ -146,15 +287,15 @@ impl<'a> Search<'a> {
         best
     }
 
-    /// Picks the unmatched pattern atom with the fewest candidates.
-    fn select_atom(&self) -> usize {
+    /// Pre-index selection: rank unmatched atoms by [`Search::naive_estimate`].
+    fn select_naive(&self) -> usize {
         let mut best_idx = usize::MAX;
         let mut best_est = usize::MAX;
         for (i, atom) in self.pattern.iter().enumerate() {
             if self.matched[i] {
                 continue;
             }
-            let est = self.candidate_estimate(atom);
+            let est = self.naive_estimate(atom);
             if est < best_est {
                 best_est = est;
                 best_idx = i;
@@ -166,9 +307,10 @@ impl<'a> Search<'a> {
         best_idx
     }
 
-    /// Candidate target atoms for a pattern atom: same predicate/arity,
-    /// narrowed through the most selective determined-term index.
-    fn candidates(&self, atom: &Atom) -> Vec<&'a Atom> {
+    /// Pre-index candidate enumeration: same predicate/arity, narrowed
+    /// through the most selective determined-term occurrence index, then
+    /// filtered.
+    fn candidates_naive(&self, atom: &Atom) -> Vec<&'a Atom> {
         let mut anchor: Option<Term> = None;
         let mut anchor_count = usize::MAX;
         for &t in atom.args() {
@@ -220,9 +362,13 @@ impl<'a> Search<'a> {
             let sub = Substitution::from_pairs(self.bind.iter().map(|(&v, &t)| (v, t)));
             return on_found(sub);
         }
-        let idx = self.select_atom();
+        let (idx, cands) = if self.cfg.naive_scan {
+            let idx = self.select_naive();
+            (idx, self.candidates_naive(self.pattern[idx]))
+        } else {
+            self.select_indexed()
+        };
         let pattern_atom = self.pattern[idx];
-        let cands = self.candidates(pattern_atom);
         self.matched[idx] = true;
         self.n_matched += 1;
         for cand in cands {
@@ -306,6 +452,14 @@ pub fn for_each_homomorphism_budgeted(
         // A contradictory seed refutes conclusively without any trials.
         return SearchOutcome::default();
     };
+    if !cfg.naive_scan && !search.resolve_determined() {
+        // A determined atom with no image in the target refutes
+        // conclusively; `nodes` keeps the lookups that got here.
+        return SearchOutcome {
+            truncated: false,
+            nodes: search.nodes,
+        };
+    }
     let _ = search.run(&mut on_found);
     SearchOutcome {
         truncated: search.truncated,

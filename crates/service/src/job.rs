@@ -270,6 +270,10 @@ pub fn add_stats(a: ChaseStats, b: ChaseStats) -> ChaseStats {
         nulls_minted: a.nulls_minted + b.nulls_minted,
         peak_trigger_queue: a.peak_trigger_queue.max(b.peak_trigger_queue),
         peak_mem_units: a.peak_mem_units.max(b.peak_mem_units),
+        match_time_us: a.match_time_us + b.match_time_us,
+        match_searches: a.match_searches + b.match_searches,
+        match_trials: a.match_trials + b.match_trials,
+        peak_index_postings: a.peak_index_postings.max(b.peak_index_postings),
     }
 }
 
@@ -312,6 +316,10 @@ mod tests {
             nulls_minted: 6,
             peak_trigger_queue: 4,
             peak_mem_units: 20,
+            match_time_us: 40,
+            match_searches: 7,
+            match_trials: 300,
+            peak_index_postings: 11,
         };
         let b = ChaseStats {
             applications: 3,
@@ -327,6 +335,10 @@ mod tests {
             nulls_minted: 2,
             peak_trigger_queue: 9,
             peak_mem_units: 15,
+            match_time_us: 60,
+            match_searches: 3,
+            match_trials: 200,
+            peak_index_postings: 13,
         };
         let s = add_stats(a, b);
         assert_eq!(s.applications, 8);
@@ -342,5 +354,9 @@ mod tests {
         assert_eq!(s.nulls_minted, 8);
         assert_eq!(s.peak_trigger_queue, 9);
         assert_eq!(s.peak_mem_units, 20);
+        assert_eq!(s.match_time_us, 100);
+        assert_eq!(s.match_searches, 10);
+        assert_eq!(s.match_trials, 500);
+        assert_eq!(s.peak_index_postings, 13);
     }
 }

@@ -522,6 +522,13 @@ pub fn stats_to_json(stats: &ChaseStats) -> Json {
             Json::Int(stats.peak_trigger_queue as i64),
         ),
         ("peak_mem_units", Json::Int(stats.peak_mem_units as i64)),
+        ("match_time_us", Json::Int(stats.match_time_us as i64)),
+        ("match_searches", Json::Int(stats.match_searches as i64)),
+        ("match_trials", Json::Int(stats.match_trials as i64)),
+        (
+            "peak_index_postings",
+            Json::Int(stats.peak_index_postings as i64),
+        ),
     ])
 }
 
@@ -542,6 +549,10 @@ pub fn stats_from_json(v: &Json) -> Result<ChaseStats, String> {
         nulls_minted: v.opt_u64("nulls_minted")?.unwrap_or(0) as usize,
         peak_trigger_queue: v.opt_u64("peak_trigger_queue")?.unwrap_or(0) as usize,
         peak_mem_units: v.opt_u64("peak_mem_units")?.unwrap_or(0) as usize,
+        match_time_us: v.opt_u64("match_time_us")?.unwrap_or(0),
+        match_searches: v.opt_u64("match_searches")?.unwrap_or(0) as usize,
+        match_trials: v.opt_u64("match_trials")?.unwrap_or(0) as usize,
+        peak_index_postings: v.opt_u64("peak_index_postings")?.unwrap_or(0) as usize,
     })
 }
 
@@ -1037,6 +1048,10 @@ mod tests {
             nulls_minted: 21,
             peak_trigger_queue: 12,
             peak_mem_units: 42,
+            match_time_us: 777,
+            match_searches: 31,
+            match_trials: 999,
+            peak_index_postings: 64,
         };
         let back = stats_from_json(&stats_to_json(&stats)).unwrap();
         assert_eq!(back, stats);
