@@ -46,6 +46,7 @@ fn positions_of(var: VarId, atoms: &AtomSet) -> Vec<Position> {
 
 impl PositionGraph {
     /// Builds the dependency graph of a ruleset.
+    #[must_use]
     pub fn build(rules: &RuleSet) -> Self {
         let mut g = PositionGraph::default();
         for (_, rule) in rules.iter() {
@@ -71,6 +72,7 @@ impl PositionGraph {
     }
 
     /// All vertices (positions) mentioned by any edge.
+    #[must_use]
     pub fn positions(&self) -> BTreeSet<Position> {
         self.regular
             .iter()
@@ -83,6 +85,7 @@ impl PositionGraph {
     ///
     /// Decided via strongly connected components of the full graph: a
     /// special edge inside one SCC closes such a cycle.
+    #[must_use]
     pub fn has_special_cycle(&self) -> bool {
         let verts: Vec<Position> = self.positions().into_iter().collect();
         let index: BTreeMap<Position, usize> =
@@ -167,6 +170,7 @@ pub(crate) fn tarjan_scc(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
 
 /// Is the ruleset weakly acyclic (Fagin et al.)? Guarantees chase
 /// termination on every fact base (fes membership).
+#[must_use]
 pub fn weakly_acyclic(rules: &RuleSet) -> bool {
     !PositionGraph::build(rules).has_special_cycle()
 }
@@ -180,6 +184,7 @@ pub fn weakly_acyclic(rules: &RuleSet) -> bool {
 /// The dependency graph has an edge `z → z'` whenever some frontier
 /// variable of `z'`'s rule has all its body positions inside `Pos(z)`;
 /// the ruleset is jointly acyclic iff that graph is acyclic.
+#[must_use]
 pub fn jointly_acyclic(rules: &RuleSet) -> bool {
     // Collect existential variables with their rules.
     let mut exvars: Vec<(usize, VarId)> = Vec::new();

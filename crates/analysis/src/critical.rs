@@ -33,8 +33,7 @@ use chase_homomorphism::SearchBudget;
 /// use [`critical_instance_capped`], which refuses to materialize past
 /// a caller-chosen ceiling.
 pub fn critical_instance(vocab: &mut Vocabulary, rules: &RuleSet) -> AtomSet {
-    critical_instance_capped(vocab, rules, usize::MAX)
-        .expect("critical instance exceeds usize::MAX atoms")
+    critical_instance_capped(vocab, rules, usize::MAX).unwrap_or_default()
 }
 
 /// [`critical_instance`] with an atom ceiling: returns `None` — without
@@ -141,6 +140,7 @@ pub(crate) fn atom_cap(applications: usize) -> usize {
 /// blow past it (high predicate arity over several constants) returns
 /// [`CriticalOutcome::BudgetExhausted`] immediately instead of stalling
 /// the caller on construction.
+#[must_use]
 pub fn critical_instance_test(rules: &RuleSet, budget: &SearchBudget) -> CriticalOutcome {
     let mut vocab = Vocabulary::new();
     let applications = budget.node_limit.unwrap_or(DEFAULT_APPLICATIONS);

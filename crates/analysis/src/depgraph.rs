@@ -35,6 +35,7 @@ pub struct DepGraph {
 
 impl DepGraph {
     /// Builds the dependency graph of a ruleset.
+    #[must_use]
     pub fn build(rules: &RuleSet) -> Self {
         let n = rules.len();
         let mut adj: Vec<BTreeSet<RuleId>> = vec![BTreeSet::new(); n];
@@ -49,21 +50,25 @@ impl DepGraph {
     }
 
     /// Number of rules (vertices).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.adj.len()
     }
 
     /// Is the graph empty (no rules)?
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.adj.is_empty()
     }
 
     /// Does an edge `producer → consumer` exist?
+    #[must_use]
     pub fn depends(&self, producer: RuleId, consumer: RuleId) -> bool {
         self.adj[producer].contains(&consumer)
     }
 
     /// All edges `(producer, consumer)` in deterministic order.
+    #[must_use]
     pub fn edges(&self) -> Vec<(RuleId, RuleId)> {
         let mut out = Vec::new();
         for (p, outs) in self.adj.iter().enumerate() {
@@ -76,6 +81,7 @@ impl DepGraph {
 
     /// SCC condensation with per-component classification, components in
     /// producers-first topological order.
+    #[must_use]
     pub fn condensation(&self, rules: &RuleSet) -> Condensation {
         let n = self.adj.len();
         let adj_vec: Vec<Vec<usize>> = self
@@ -149,6 +155,7 @@ pub struct SccInfo {
 
 /// Can an application of `producer` create a new trigger for
 /// `consumer`? Sound over-approximation by single-atom unification.
+#[must_use]
 pub fn may_trigger(producer: &Rule, consumer: &Rule) -> bool {
     producer
         .head()
@@ -168,8 +175,10 @@ enum Key {
 /// Unifies the producer's head atom with the consumer's body atom under
 /// the piece-unifier constraints: no class may contain two distinct
 /// constants, and a class containing a producer *existential* variable
-/// may contain neither a constant nor a producer *frontier* variable
-/// (a fresh null can never be forced equal to either).
+/// may contain neither a constant, nor a producer *frontier* variable,
+/// nor a *different* producer existential (each existential mints its
+/// own fresh null per application, and two distinct fresh nulls — or a
+/// null and anything pre-existing — can never be forced equal).
 fn atoms_unify(head: &Atom, producer: &Rule, body: &Atom) -> bool {
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
@@ -209,7 +218,7 @@ fn atoms_unify(head: &Atom, producer: &Rule, body: &Atom) -> bool {
     // Aggregate per-class attributes and check the constraints.
     let n = parent.len();
     let mut constant: Vec<Option<ConstId>> = vec![None; n];
-    let mut existential = vec![false; n];
+    let mut existential: Vec<Option<VarId>> = vec![None; n];
     let mut frontier = vec![false; n];
     for (&key, &i) in &index {
         let root = find(&mut parent, i);
@@ -225,7 +234,13 @@ fn atoms_unify(head: &Atom, producer: &Rule, body: &Atom) -> bool {
             }
             Key::Producer(v) => {
                 if producer.existential_vars().contains(&v) {
-                    existential[root] = true;
+                    if let Some(prev) = existential[root] {
+                        if prev != v {
+                            return false;
+                        }
+                    } else {
+                        existential[root] = Some(v);
+                    }
                 } else {
                     frontier[root] = true;
                 }
@@ -233,7 +248,8 @@ fn atoms_unify(head: &Atom, producer: &Rule, body: &Atom) -> bool {
             Key::Consumer(_) => {}
         }
     }
-    (0..n).all(|root| !(existential[root] && (constant[root].is_some() || frontier[root])))
+    (0..n)
+        .all(|root| !(existential[root].is_some() && (constant[root].is_some() || frontier[root])))
 }
 
 #[cfg(test)]
@@ -286,11 +302,42 @@ mod tests {
     }
 
     #[test]
-    fn two_existentials_may_share_a_consumer_variable() {
-        // Head h(Z1, Z2), both existential, against body h(U, U):
-        // Z1 ≡ U ≡ Z2 is a legal unification (both are nulls).
+    fn distinct_existentials_never_merge() {
+        // Head h(Z1, Z2), both existential, against body h(U, U): the
+        // body's repeated variable would need Z1 ≡ Z2, but each
+        // existential mints its own fresh null per application and two
+        // distinct fresh nulls are never equal — no edge.
         let rs = rules("R: p(X) -> h(Z1, Z2). S: h(U, U) -> r(U).");
+        assert!(!DepGraph::build(&rs).depends(0, 1));
+    }
+
+    #[test]
+    fn repeated_existential_unifies_with_a_repeated_body_variable() {
+        // Head h(Z, Z) repeats ONE existential: the single fresh null
+        // fills both positions, so h(U, U) does match — edge stays.
+        let rs = rules("R: p(X) -> h(Z, Z). S: h(U, U) -> r(U).");
         assert!(DepGraph::build(&rs).depends(0, 1));
+    }
+
+    #[test]
+    fn head_constant_blocks_existential_join_through_body_repetition() {
+        // Head h(a, Z): body h(U, U) would need Z ≡ a via U — a fresh
+        // null never equals a constant, so no edge. Body h(a, V) only
+        // touches the null through V: edge.
+        let rs = rules("R: p(X) -> h(a, Z). S: h(U, U) -> r(U). T: h(a, V) -> s(V).");
+        let g = DepGraph::build(&rs);
+        assert!(!g.depends(0, 1));
+        assert!(g.depends(0, 2));
+    }
+
+    #[test]
+    fn two_head_constants_cannot_feed_one_body_variable() {
+        // Head q(a, b) against body q(V, V): V ≡ a and V ≡ b puts two
+        // distinct constants in one class — no edge.
+        let rs = rules("A: p(X) -> q(a, b). B: q(V, V) -> r(V). C: q(W, b) -> s(W).");
+        let g = DepGraph::build(&rs);
+        assert!(!g.depends(0, 1));
+        assert!(g.depends(0, 2));
     }
 
     #[test]

@@ -27,12 +27,14 @@ pub struct Guardedness {
 
 impl Guardedness {
     /// Is every rule guarded (⇒ bts, per Calì–Gottlob–Kifer)?
+    #[must_use]
     pub fn is_guarded(&self) -> bool {
         self.per_rule.iter().all(|&k| k >= GuardKind::Guarded)
     }
 
     /// Is every rule at least frontier-guarded (⇒ bts, per
     /// Baget–Leclère–Mugnier / Baget–Mugnier–Rudolph–Thomazo)?
+    #[must_use]
     pub fn is_frontier_guarded(&self) -> bool {
         self.per_rule
             .iter()
@@ -40,6 +42,7 @@ impl Guardedness {
     }
 
     /// Is every rule linear (single body atom)?
+    #[must_use]
     pub fn is_linear(&self) -> bool {
         self.per_rule.iter().all(|&k| k == GuardKind::Linear)
     }
@@ -66,6 +69,7 @@ pub fn guard_kind(rule: &Rule) -> GuardKind {
 }
 
 /// Classifies every rule of a ruleset.
+#[must_use]
 pub fn guardedness(rules: &RuleSet) -> Guardedness {
     Guardedness {
         per_rule: rules.iter().map(|(_, r)| guard_kind(r)).collect(),

@@ -43,19 +43,25 @@
 #![warn(missing_docs)]
 
 mod acyclicity;
+mod cost;
 mod critical;
 mod depgraph;
 mod guards;
+mod kbounded;
+mod linear;
 mod mfa;
 mod report;
 mod stratify;
 
 pub use acyclicity::{jointly_acyclic, weakly_acyclic, PositionGraph};
+pub use cost::{cost_model, BudgetEnvelope, CostClass, RulesetShape};
 pub use critical::{
     critical_instance, critical_instance_capped, critical_instance_test, CriticalOutcome,
 };
 pub use depgraph::{may_trigger, Condensation, DepGraph, SccInfo};
 pub use guards::{guardedness, GuardKind, Guardedness};
+pub use kbounded::{kbounded_test, KBoundedOutcome};
+pub use linear::{linear_fragment, linear_termination, LinearOutcome};
 pub use mfa::{mfa_test, MfaOutcome};
 pub use report::{
     analyze, analyze_with_budget, Certificate, DynamicEvidence, Refutation, RulesetReport, Verdict,

@@ -68,6 +68,7 @@ pub enum MfaOutcome {
 /// describe tens of millions of atoms) is reported
 /// [`MfaOutcome::BudgetExhausted`] up front, so an admission-time
 /// caller never stalls on construction.
+#[must_use]
 pub fn mfa_test(rules: &RuleSet, budget: &SearchBudget) -> MfaOutcome {
     let mut vocab = Vocabulary::new();
     let max_applications = budget.node_limit.unwrap_or(DEFAULT_APPLICATIONS);

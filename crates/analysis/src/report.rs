@@ -23,10 +23,18 @@ use chase_homomorphism::SearchBudget;
 
 use crate::acyclicity::{jointly_acyclic, weakly_acyclic};
 use crate::guards::{guardedness, Guardedness};
+use crate::kbounded::{kbounded_test, KBoundedOutcome};
+use crate::linear::{linear_fragment, linear_termination, LinearOutcome};
 use crate::mfa::{mfa_test, MfaOutcome};
 
 /// Default application budget for the MFA sub-test of [`analyze`].
 const DEFAULT_MFA_BUDGET: usize = 5_000;
+
+/// Application slice granted to the k-boundedness rank analysis when
+/// the MFA chase hit a cyclic Skolem term: the critical chase usually
+/// diverges past that point, and the rank analysis has no early exit,
+/// so it only gets enough rope for the small terminating exceptions.
+const CYCLIC_KBOUNDED_SLICE: usize = 256;
 
 /// What justified a [`Verdict::Certified`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +53,15 @@ pub enum Certificate {
     FrontierGuarded,
     /// Every rule is linear.
     Linear,
+    /// The exact linear-ruleset termination decision
+    /// ([`crate::linear`], after Leclère–Mugnier–Thomazo–Ulliana):
+    /// derivation-tree-pattern saturation proved the Skolem chase
+    /// terminates on every fact base.
+    LinearTermination,
+    /// The breadth-first chase from the critical instance saturated
+    /// within this many rounds ([`crate::kbounded`], after Delivorias
+    /// et al.): the ruleset is k-bounded, hence fes.
+    KBounded(usize),
     /// Dynamic evidence: the restricted-chase treewidth profile
     /// plateaued at this bound (finite-horizon evidence, not a proof).
     RestrictedWidthProbe(usize),
@@ -55,6 +72,7 @@ pub enum Certificate {
 
 impl Certificate {
     /// Stable kebab-case name for reports and wire formats.
+    #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             Certificate::Datalog => "datalog",
@@ -64,6 +82,8 @@ impl Certificate {
             Certificate::Guarded => "guarded",
             Certificate::FrontierGuarded => "frontier-guarded",
             Certificate::Linear => "linear",
+            Certificate::LinearTermination => "linear-termination",
+            Certificate::KBounded(_) => "k-bounded",
             Certificate::RestrictedWidthProbe(_) => "restricted-width-probe",
             Certificate::CoreWidthProbe(_) => "core-width-probe",
         }
@@ -89,14 +109,26 @@ pub enum Refutation {
     /// Dynamic evidence: the core-chase treewidth profile kept growing
     /// over the whole probe horizon.
     CoreWidthDiverging,
+    /// The exact linear-ruleset decision found a pumpable derivation
+    /// pattern ([`crate::linear`]): a reachable cycle of single-atom
+    /// derivations that re-fires the same rule on its own fresh null
+    /// forever. Unlike an MFA cycle this **is** a proof — linear
+    /// derivations are self-similar, so the loop iterates unboundedly
+    /// and the Skolem chase diverges on the critical instance.
+    LinearNonTermination {
+        /// The rule whose existential is pumped by the cycle.
+        rule: RuleId,
+    },
 }
 
 impl Refutation {
     /// Stable kebab-case name for reports and wire formats.
+    #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             Refutation::MfaCycle { .. } => "mfa-cycle",
             Refutation::CoreWidthDiverging => "core-width-diverging",
+            Refutation::LinearNonTermination { .. } => "linear-non-termination",
         }
     }
 }
@@ -127,21 +159,25 @@ pub enum Verdict {
 
 impl Verdict {
     /// Is the property certified?
+    #[must_use]
     pub fn is_certified(&self) -> bool {
         matches!(self, Verdict::Certified(_))
     }
 
     /// Is the property positively refuted?
+    #[must_use]
     pub fn is_refuted(&self) -> bool {
         matches!(self, Verdict::Refuted(_))
     }
 
     /// Is the property likely refuted (evidence, not proof)?
+    #[must_use]
     pub fn is_likely_refuted(&self) -> bool {
         matches!(self, Verdict::LikelyRefuted(_))
     }
 
     /// Did the budget run out before either direction was decided?
+    #[must_use]
     pub fn is_inconclusive(&self) -> bool {
         matches!(self, Verdict::Inconclusive { .. })
     }
@@ -150,11 +186,13 @@ impl Verdict {
     /// witness, proven or finite-horizon. This is the predicate that
     /// fail-fast policies (tight budgets, strict admission shedding)
     /// key on — deliberately including the evidence-only level.
+    #[must_use]
     pub fn suspects_divergence(&self) -> bool {
         matches!(self, Verdict::Refuted(_) | Verdict::LikelyRefuted(_))
     }
 
     /// The certificate, when certified.
+    #[must_use]
     pub fn certificate(&self) -> Option<&Certificate> {
         match self {
             Verdict::Certified(c) => Some(c),
@@ -163,6 +201,7 @@ impl Verdict {
     }
 
     /// The divergence witness, when refuted or likely refuted.
+    #[must_use]
     pub fn refutation(&self) -> Option<&Refutation> {
         match self {
             Verdict::Refuted(r) | Verdict::LikelyRefuted(r) => Some(r),
@@ -178,6 +217,7 @@ impl fmt::Display for Verdict {
                 Certificate::RestrictedWidthProbe(w) | Certificate::CoreWidthProbe(w) => {
                     write!(f, "certified by {} (width {w})", c.name())
                 }
+                Certificate::KBounded(k) => write!(f, "certified by {} (k {k})", c.name()),
                 _ => write!(f, "certified by {}", c.name()),
             },
             Verdict::Refuted(r) | Verdict::LikelyRefuted(r) => {
@@ -191,6 +231,9 @@ impl fmt::Display for Verdict {
                         write!(f, "{level} by mfa-cycle (rule {rule}, depth {depth})")
                     }
                     Refutation::CoreWidthDiverging => write!(f, "{level} by {}", r.name()),
+                    Refutation::LinearNonTermination { rule } => {
+                        write!(f, "{level} by {} (rule {rule})", r.name())
+                    }
                 }
             }
             Verdict::Inconclusive { budget } => write!(f, "inconclusive (budget {budget})"),
@@ -219,6 +262,7 @@ pub enum WidthObservation {
 
 impl WidthObservation {
     /// The plateau bound, when one was observed.
+    #[must_use]
     pub fn plateau(self) -> Option<usize> {
         match self {
             WidthObservation::Plateau(w) => Some(w),
@@ -227,11 +271,13 @@ impl WidthObservation {
     }
 
     /// Did the profile climb over the whole horizon?
+    #[must_use]
     pub fn is_climbing(self) -> bool {
         matches!(self, WidthObservation::Climbing)
     }
 
     /// Stable kebab-case name for reports and wire formats.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             WidthObservation::Plateau(_) => "plateau",
@@ -270,6 +316,21 @@ pub struct RulesetReport {
     pub guardedness: Guardedness,
     /// Raw outcome of the MFA-style critical-instance test.
     pub mfa: MfaOutcome,
+    /// Raw outcome of the k-boundedness rank analysis
+    /// ([`crate::kbounded`]), always computed: even when a cheaper
+    /// certificate decides the verdict, a `Bounded { k, .. }` outcome
+    /// hands the planner a hard round bound.
+    pub kbounded: KBoundedOutcome,
+    /// The linear fragment: rules with single-atom bodies, in original
+    /// rule-id order.
+    pub linear_rules: Vec<RuleId>,
+    /// Exact termination verdict for the linear fragment analyzed as a
+    /// ruleset of its own ([`crate::linear`]). Always decided for small
+    /// fragments — `Certified(LinearTermination)`,
+    /// `Refuted(LinearNonTermination)` (with the original rule id), or
+    /// `Inconclusive` only when the pattern space outgrew the budget.
+    /// An empty fragment is trivially certified.
+    pub linear_fragment: Verdict,
     /// Chase termination on every fact base (**fes** membership).
     pub terminating: Verdict,
     /// Treewidth-bounded restricted chase on every fact base (**bts**).
@@ -282,16 +343,19 @@ pub struct RulesetReport {
 
 impl RulesetReport {
     /// Does some certificate guarantee **fes** membership?
+    #[must_use]
     pub fn certified_fes(&self) -> bool {
         self.terminating.is_certified()
     }
 
     /// Does some certificate guarantee **bts** membership?
+    #[must_use]
     pub fn certified_bts(&self) -> bool {
         self.bts.is_certified()
     }
 
     /// Does some certificate guarantee **core-bts** membership?
+    #[must_use]
     pub fn certified_core_bts(&self) -> bool {
         self.core_bts.is_certified()
     }
@@ -303,6 +367,7 @@ impl RulesetReport {
     /// [`Verdict::LikelyRefuted`] level — an MFA cycle does not *prove*
     /// non-termination, but shedding on it while no other route is
     /// certified is the analyzer's only actionable signal.
+    #[must_use]
     pub fn refutes_every_route(&self) -> bool {
         self.terminating.suspects_divergence()
             && !self.bts.is_certified()
@@ -360,6 +425,24 @@ impl fmt::Display for RulesetReport {
             }
         };
         writeln!(f, "mfa:              {mfa}")?;
+        let kb = match &self.kbounded {
+            KBoundedOutcome::Bounded { k, applications } => {
+                format!("bounded (k {k}, {applications} applications)")
+            }
+            KBoundedOutcome::DepthUnbounded { applications } => {
+                format!("depth unbounded ({applications} applications)")
+            }
+            KBoundedOutcome::BudgetExhausted { applications } => {
+                format!("budget exhausted ({applications} applications)")
+            }
+        };
+        writeln!(f, "k-bounded:        {kb}")?;
+        writeln!(
+            f,
+            "linear fragment:  {} rule(s), {}",
+            self.linear_rules.len(),
+            self.linear_fragment
+        )?;
         writeln!(f, "⇒ terminating: {}", self.terminating)?;
         writeln!(f, "⇒ bts:         {}", self.bts)?;
         write!(f, "⇒ core-bts:    {}", self.core_bts)
@@ -367,6 +450,7 @@ impl fmt::Display for RulesetReport {
 }
 
 /// Runs every static analysis on a ruleset with the default MFA budget.
+#[must_use]
 pub fn analyze(rules: &RuleSet) -> RulesetReport {
     analyze_with_budget(
         rules,
@@ -376,6 +460,7 @@ pub fn analyze(rules: &RuleSet) -> RulesetReport {
 
 /// Runs every static analysis, granting the dynamic sub-tests (MFA) the
 /// given shared [`SearchBudget`].
+#[must_use]
 pub fn analyze_with_budget(rules: &RuleSet, budget: &SearchBudget) -> RulesetReport {
     let datalog = rules.iter().all(|(_, r)| r.is_datalog());
     let wa = weakly_acyclic(rules);
@@ -384,12 +469,41 @@ pub fn analyze_with_budget(rules: &RuleSet, budget: &SearchBudget) -> RulesetRep
     let mfa = mfa_test(rules, budget);
     let spent = budget.node_limit.unwrap_or(DEFAULT_MFA_BUDGET);
 
-    let terminating = if datalog {
+    // Exact decision for the linear fragment (single-atom-body rules),
+    // run as a ruleset of its own. The verdict names original rule ids.
+    let linear_rules = linear_fragment(rules);
+    let linear_fragment = {
+        let mut sub = RuleSet::new();
+        for &id in &linear_rules {
+            sub.push(rules.get(id).clone());
+        }
+        match linear_termination(&sub, budget) {
+            LinearOutcome::Terminating { .. } => Verdict::Certified(Certificate::LinearTermination),
+            LinearOutcome::NonTerminating { rule } => {
+                Verdict::Refuted(Refutation::LinearNonTermination {
+                    rule: linear_rules[rule],
+                })
+            }
+            LinearOutcome::NotLinear | LinearOutcome::BudgetExhausted { .. } => {
+                Verdict::Inconclusive { budget: spent }
+            }
+        }
+    };
+    let whole_linear = linear_rules.len() == rules.len();
+
+    let terminating = if whole_linear && linear_fragment.is_refuted() {
+        // The exact decision covers the whole ruleset: a pumpable
+        // derivation pattern is a *proof* of non-termination, stronger
+        // than anything the heuristic routes below could say.
+        linear_fragment.clone()
+    } else if datalog {
         Verdict::Certified(Certificate::Datalog)
     } else if wa {
         Verdict::Certified(Certificate::WeaklyAcyclic)
     } else if ja {
         Verdict::Certified(Certificate::JointlyAcyclic)
+    } else if whole_linear && linear_fragment.is_certified() {
+        linear_fragment.clone()
     } else {
         match &mfa {
             MfaOutcome::Acyclic { .. } => Verdict::Certified(Certificate::Mfa),
@@ -402,6 +516,39 @@ pub fn analyze_with_budget(rules: &RuleSet, budget: &SearchBudget) -> RulesetRep
                 })
             }
             MfaOutcome::BudgetExhausted { .. } => Verdict::Inconclusive { budget: spent },
+        }
+    };
+
+    // k-boundedness: even when a cheaper certificate decides the
+    // verdict, a Bounded outcome hands the planner a hard round bound.
+    // As a *verdict* route it can rescue rulesets the routes above
+    // leave open — its certificate (a uniform breadth-first round
+    // bound) even overrides an MFA cycle, which is evidence, not
+    // proof. Unlike MFA the rank analysis has no early exit on
+    // divergence, so its application slice is sized by what the MFA
+    // chase observed: a saturation bound when MFA saturated, a small
+    // fixed slice after a cyclic term (the chase usually diverges and
+    // would burn the whole budget), nothing once MFA itself timed out.
+    let kbounded = match &mfa {
+        MfaOutcome::Acyclic { applications } => {
+            kbounded_test(rules, &budget.clone().with_node_limit(applications + 16))
+        }
+        MfaOutcome::CyclicTerm { .. } => kbounded_test(
+            rules,
+            &budget
+                .clone()
+                .with_node_limit(CYCLIC_KBOUNDED_SLICE.min(spent)),
+        ),
+        MfaOutcome::BudgetExhausted { .. } => KBoundedOutcome::BudgetExhausted { applications: 0 },
+    };
+    let terminating = if terminating.is_certified() || terminating.is_refuted() {
+        terminating
+    } else {
+        match &kbounded {
+            KBoundedOutcome::Bounded { k, .. } => Verdict::Certified(Certificate::KBounded(*k)),
+            KBoundedOutcome::DepthUnbounded { .. } | KBoundedOutcome::BudgetExhausted { .. } => {
+                terminating
+            }
         }
     };
 
@@ -434,6 +581,9 @@ pub fn analyze_with_budget(rules: &RuleSet, budget: &SearchBudget) -> RulesetRep
         jointly_acyclic: ja,
         guardedness: guards,
         mfa,
+        kbounded,
+        linear_rules,
+        linear_fragment,
         terminating,
         bts,
         core_bts,
@@ -474,14 +624,15 @@ mod tests {
         // without width evidence the verdict stays open.
         assert!(!report.certified_core_bts());
         assert!(!report.core_bts.is_refuted());
-        // The MFA cycle is divergence *evidence*: it refutes MFA-class
-        // membership, so termination is likely refuted — never the
-        // proven-refuted level, which the cycle cannot justify.
-        assert!(matches!(
+        // The ruleset is all-linear, so the exact decision applies and
+        // upgrades the old MFA-cycle *evidence* to a proven refutation:
+        // the derivation-pattern cycle pumps forever.
+        assert_eq!(
             report.terminating,
-            Verdict::LikelyRefuted(Refutation::MfaCycle { rule: 0, .. })
-        ));
-        assert!(!report.terminating.is_refuted());
+            Verdict::Refuted(Refutation::LinearNonTermination { rule: 0 })
+        );
+        assert_eq!(report.linear_rules, vec![0]);
+        assert!(report.terminating.is_refuted());
         assert!(report.terminating.suspects_divergence());
     }
 
@@ -520,8 +671,31 @@ mod tests {
         let report = analyze(&rules("R1: p(X) -> q(X, Z), q(Z, X). R2: q(Y, Y) -> p(Y)."));
         assert!(!report.weakly_acyclic);
         assert!(!report.jointly_acyclic);
-        assert_eq!(report.terminating.certificate(), Some(&Certificate::Mfa));
+        // Both rules have single-atom bodies, so the exact linear
+        // decision now outranks MFA on the same ruleset; the raw MFA
+        // outcome still shows the saturation.
+        assert_eq!(
+            report.terminating.certificate(),
+            Some(&Certificate::LinearTermination)
+        );
+        assert!(matches!(report.mfa, MfaOutcome::Acyclic { .. }));
         assert!(report.certified_core_bts());
+    }
+
+    #[test]
+    fn mfa_route_still_fires_for_non_linear_rulesets() {
+        // The same-variable-join pattern from above, plus an unrelated
+        // two-atom-body datalog rule that pushes the ruleset out of the
+        // linear fragment without touching the acyclicity analysis: the
+        // MFA certificate is still the one that lands.
+        let report = analyze(&rules(
+            "R1: p(X) -> q(X, Z), q(Z, X). R2: q(Y, Y) -> p(Y). W: a(X), b(X) -> c(X).",
+        ));
+        assert!(!report.weakly_acyclic);
+        assert!(!report.jointly_acyclic);
+        assert_eq!(report.terminating.certificate(), Some(&Certificate::Mfa));
+        assert_eq!(report.linear_rules, vec![0, 1]);
+        assert!(report.linear_fragment.is_certified());
     }
 
     #[test]
@@ -560,6 +734,36 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("weakly acyclic:   false"));
         assert!(text.contains("⇒ bts:         certified by linear"));
-        assert!(text.contains("mfa-cycle (rule 0"));
+        assert!(text.contains("refuted by linear-non-termination (rule 0)"));
+    }
+
+    #[test]
+    fn kbounded_outcome_reported_alongside_other_certificates() {
+        // Weak acyclicity wins the verdict, but the rank analysis still
+        // hands the planner its round bound.
+        let report = analyze(&rules("R: r(X, Y) -> s(Y, Z). S: s(X, Y) -> t(X)."));
+        assert_eq!(
+            report.terminating.certificate(),
+            Some(&Certificate::WeaklyAcyclic)
+        );
+        assert!(matches!(
+            report.kbounded,
+            KBoundedOutcome::Bounded { k: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn kbounded_route_does_not_rescue_divergence() {
+        // A diverging non-linear ruleset must stay at the evidence
+        // level: the rank analysis exhausts its budget on the diverging
+        // critical chase and certifies nothing.
+        let report = analyze(&rules(
+            "R1: p(X), seed(X) -> q(X, Z). R2: q(X, Z) -> p(Z), seed(Z).",
+        ));
+        assert!(!report.terminating.is_certified());
+        assert!(matches!(
+            report.kbounded,
+            KBoundedOutcome::BudgetExhausted { .. }
+        ));
     }
 }

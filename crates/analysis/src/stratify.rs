@@ -19,7 +19,7 @@
 
 use std::fmt;
 
-use chase_engine::{ChaseConfig, ChaseVariant, CoreMaintenance, RuleId, RuleSet};
+use chase_engine::{ChaseConfig, ChaseVariant, CoreMaintenance, RuleId, RuleSet, SchedulerKind};
 
 use crate::depgraph::DepGraph;
 use crate::guards::GuardKind;
@@ -52,6 +52,7 @@ pub enum StratumShape {
 
 impl StratumShape {
     /// Stable kebab-case name for reports and wire formats.
+    #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             StratumShape::DatalogSaturation => "datalog-saturation",
@@ -64,6 +65,7 @@ impl StratumShape {
     }
 
     /// Does this shape need core maintenance?
+    #[must_use]
     pub fn needs_core(self) -> bool {
         matches!(
             self,
@@ -89,21 +91,29 @@ pub struct Stratum {
 pub struct ChasePlan {
     /// Strata in execution order.
     pub strata: Vec<Stratum>,
+    /// Hard application ceiling carried by a certificate (a
+    /// k-boundedness bound priced through the cost model). `None` when
+    /// no certificate bounds the run; [`ChasePlan::apply`] only ever
+    /// *lowers* the configured ceiling with it.
+    pub max_apps: Option<usize>,
 }
 
 impl ChasePlan {
     /// The rule-id partition in execution order, the format consumed by
     /// `ChaseConfig::with_strata`.
+    #[must_use]
     pub fn partition(&self) -> Vec<Vec<RuleId>> {
         self.strata.iter().map(|s| s.rules.clone()).collect()
     }
 
     /// The worst (most expensive) shape in the plan.
+    #[must_use]
     pub fn worst_shape(&self) -> Option<StratumShape> {
         self.strata.iter().map(|s| s.shape).max_by_key(|s| *s as u8)
     }
 
     /// The chase variant the plan recommends for the whole run.
+    #[must_use]
     pub fn recommended_variant(&self) -> ChaseVariant {
         if self.strata.iter().any(|s| s.shape.needs_core()) {
             ChaseVariant::Core
@@ -112,19 +122,56 @@ impl ChasePlan {
         }
     }
 
+    /// The trigger-ordering strategy the plan recommends, from its
+    /// worst shape. All scheduler kinds preserve fairness (the round
+    /// structure does); the choice only biases *which* fair sequence is
+    /// built: terminating plans keep the deterministic order, guarded
+    /// loops saturate datalog before minting nulls, width-bounded and
+    /// open-ended loops defer null-propagating triggers so satisfaction
+    /// checks prune the deeper chains.
+    #[must_use]
+    pub fn recommended_scheduler(&self) -> SchedulerKind {
+        match self.worst_shape() {
+            None | Some(StratumShape::DatalogSaturation | StratumShape::TerminatingExpansion) => {
+                SchedulerKind::Deterministic
+            }
+            Some(StratumShape::GuardedLoop) => SchedulerKind::ExistentialLast,
+            Some(
+                StratumShape::BoundedWidthLoop
+                | StratumShape::CoreBoundedLoop
+                | StratumShape::UnboundedFrontier,
+            ) => SchedulerKind::NullAverse,
+        }
+    }
+
+    /// Attaches a certificate-derived application ceiling.
+    #[must_use]
+    pub fn with_max_apps(mut self, n: usize) -> Self {
+        self.max_apps = Some(n);
+        self
+    }
+
     /// Applies the plan to a chase configuration: sets the variant, the
-    /// stratified rule schedule, and core maintenance mode.
+    /// stratified rule schedule, the trigger-ordering strategy, core
+    /// maintenance mode, and (when a certificate bounds the run) caps
+    /// the application budget.
+    #[must_use]
     pub fn apply(&self, mut cfg: ChaseConfig) -> ChaseConfig {
         cfg.variant = self.recommended_variant();
         cfg.strata = Some(self.partition());
+        cfg.scheduler = self.recommended_scheduler();
         if cfg.variant == ChaseVariant::Core {
             cfg.core_maintenance = CoreMaintenance::Incremental;
+        }
+        if let Some(n) = self.max_apps {
+            cfg.max_applications = cfg.max_applications.min(n);
         }
         cfg
     }
 
     /// Human-readable plan summary, e.g.
     /// `datalog-saturation[R4] → core-bounded-loop[R1,R2]`.
+    #[must_use]
     pub fn describe(&self, rules: &RuleSet) -> String {
         self.strata
             .iter()
@@ -150,6 +197,7 @@ impl fmt::Display for ChasePlan {
 }
 
 /// Builds a stratified plan from static analysis alone.
+#[must_use]
 pub fn stratified_plan(rules: &RuleSet) -> ChasePlan {
     stratified_plan_with(rules, None)
 }
@@ -162,6 +210,7 @@ pub fn stratified_plan(rules: &RuleSet) -> ChasePlan {
 /// staircase-like component would get the same shape for both. Callers
 /// that can probe sub-rulesets should use [`stratified_plan_probed`],
 /// which asks for evidence per stratum.
+#[must_use]
 pub fn stratified_plan_with(rules: &RuleSet, evidence: Option<&DynamicEvidence>) -> ChasePlan {
     build_plan(rules, &mut |_| evidence.cloned())
 }
@@ -217,7 +266,10 @@ fn build_plan(
             }),
         }
     }
-    ChasePlan { strata }
+    ChasePlan {
+        strata,
+        max_apps: None,
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +389,28 @@ mod tests {
             .strata
             .iter()
             .all(|s| s.shape == StratumShape::BoundedWidthLoop));
+    }
+
+    #[test]
+    fn plan_picks_schedulers_and_caps_applications() {
+        // Guarded loop → existential-last ordering.
+        let plan = stratified_plan(&rules("R: r(X, Y) -> r(Y, Z)."));
+        assert_eq!(plan.recommended_scheduler(), SchedulerKind::ExistentialLast);
+        // Terminating plans keep the deterministic order.
+        let wa = stratified_plan(&rules("A: p(X) -> q(X)."));
+        assert_eq!(wa.recommended_scheduler(), SchedulerKind::Deterministic);
+        // Open-ended loop → null-averse ordering.
+        let open = stratified_plan(&rules("F: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2)."));
+        assert_eq!(open.recommended_scheduler(), SchedulerKind::NullAverse);
+        // A certificate ceiling only ever lowers the configured budget.
+        let cfg = open.clone().with_max_apps(7).apply(ChaseConfig::default());
+        assert_eq!(cfg.max_applications, 7);
+        assert_eq!(cfg.scheduler, SchedulerKind::NullAverse);
+        let cfg = open.with_max_apps(usize::MAX).apply(ChaseConfig::default());
+        assert_eq!(
+            cfg.max_applications,
+            ChaseConfig::default().max_applications
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //! plateaus (`bounded-width-loop`).
 
 use chase_analysis::{
-    analyze_with_budget, stratified_plan_probed, ChasePlan, DynamicEvidence, RulesetReport,
-    WidthObservation,
+    analyze_with_budget, cost_model, stratified_plan_probed, BudgetEnvelope, ChasePlan, CostClass,
+    DynamicEvidence, KBoundedOutcome, RulesetReport, RulesetShape, WidthObservation,
 };
 use chase_engine::RuleSet;
 use chase_homomorphism::SearchBudget;
@@ -40,18 +40,88 @@ use crate::kb::KnowledgeBase;
 /// horizons, where the probe would also get expensive).
 pub const DEFAULT_PROBE_APPLICATIONS: usize = 120;
 
+/// Tunables of the dynamic width probe and its plateau heuristic —
+/// the constants that used to be scattered magic numbers, gathered so
+/// callers (and the `analyze --probe-apps` flag) can vary them
+/// coherently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Chase applications granted to each probe run.
+    pub applications: usize,
+    /// Minimum profile length before the plateau heuristic speaks:
+    /// shorter prefixes have not left the fact base's influence yet and
+    /// read as [`WidthObservation::Unobserved`].
+    pub min_profile: usize,
+    /// Percentage of the profile forming the *leading* window; the
+    /// trailing window is the rest. The default 50/50 split compares
+    /// the two halves.
+    pub split_percent: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        Self {
+            applications: DEFAULT_PROBE_APPLICATIONS,
+            min_profile: 16,
+            split_percent: 50,
+        }
+    }
+}
+
+impl ProbeConfig {
+    /// A default-shaped config with a different probe horizon.
+    pub fn with_applications(applications: usize) -> Self {
+        Self {
+            applications,
+            ..Self::default()
+        }
+    }
+
+    /// Reads a width profile into a [`WidthObservation`]. Three
+    /// outcomes, kept deliberately distinct: a profile shorter than
+    /// `min_profile` is [`WidthObservation::Unobserved`] — *no signal*,
+    /// never a divergence claim — while only a long-enough profile
+    /// whose trailing window exceeds its leading window counts as
+    /// [`WidthObservation::Climbing`].
+    pub fn plateau(&self, profile: &[usize], terminated: bool) -> WidthObservation {
+        if terminated {
+            // A terminated chase is trivially width-bounded by its max.
+            return WidthObservation::Plateau(profile.iter().copied().max().unwrap_or(0));
+        }
+        if profile.len() < self.min_profile.max(2) {
+            return WidthObservation::Unobserved;
+        }
+        let mid = (profile.len() * self.split_percent / 100).clamp(1, profile.len() - 1);
+        let leading = profile[..mid].iter().copied().max().unwrap_or(0);
+        let trailing = profile[mid..].iter().copied().max().unwrap_or(0);
+        if trailing <= leading {
+            WidthObservation::Plateau(trailing)
+        } else {
+            WidthObservation::Climbing
+        }
+    }
+}
+
 /// Everything the admission gate learned about one KB.
 #[derive(Clone, Debug)]
 pub struct AnalysisGate {
     /// The static report, upgraded with dynamic evidence.
     pub report: RulesetReport,
     /// The stratified chase plan derived from the dependency graph and
-    /// the evidence.
+    /// the evidence. Carries a hard application ceiling when a
+    /// k-boundedness certificate priced one.
     pub plan: ChasePlan,
     /// The dynamic evidence extracted from the probe.
     pub evidence: DynamicEvidence,
     /// The raw probe (treewidth profiles, termination flags).
     pub probe: ClassProbe,
+    /// The complexity tier the certificates place the ruleset in.
+    pub cost_class: CostClass,
+    /// The certificate-priced budget envelope for admitted jobs.
+    pub envelope: BudgetEnvelope,
+    /// Which certificate (or refutation) priced the envelope — the
+    /// provenance string surfaced on the wire.
+    pub provenance: String,
 }
 
 impl AnalysisGate {
@@ -62,42 +132,45 @@ impl AnalysisGate {
     }
 }
 
-/// Minimum profile length before the plateau heuristic speaks: shorter
-/// prefixes have not left the fact base's influence yet.
-const MIN_PROFILE: usize = 16;
-
-/// Reads a width profile into a [`WidthObservation`]. Three outcomes,
-/// kept deliberately distinct: a profile shorter than [`MIN_PROFILE`]
-/// is [`WidthObservation::Unobserved`] — *no signal*, never a
-/// divergence claim — while only a long-enough profile whose trailing
-/// half exceeds its leading half counts as
-/// [`WidthObservation::Climbing`].
-fn plateau(profile: &[usize], terminated: bool) -> WidthObservation {
-    if terminated {
-        // A terminated chase is trivially width-bounded by its maximum.
-        return WidthObservation::Plateau(profile.iter().copied().max().unwrap_or(0));
+/// Places the (evidence-upgraded) report in a complexity tier and names
+/// the certificate responsible — the provenance that accompanies the
+/// envelope onto the wire.
+fn classify_cost(report: &RulesetReport) -> (CostClass, String) {
+    if report.datalog {
+        return (CostClass::Polynomial, "datalog".to_string());
     }
-    if profile.len() < MIN_PROFILE {
-        return WidthObservation::Unobserved;
+    if let KBoundedOutcome::Bounded { k, .. } = report.kbounded {
+        // The quantitative round bound prices the job even when a
+        // cheaper certificate decided the verdict.
+        return (CostClass::BoundedRounds(k), "k-bounded".to_string());
     }
-    let mid = profile.len() / 2;
-    let leading = profile[..mid].iter().copied().max().unwrap_or(0);
-    let trailing = profile[mid..].iter().copied().max().unwrap_or(0);
-    if trailing <= leading {
-        WidthObservation::Plateau(trailing)
-    } else {
-        WidthObservation::Climbing
+    if let Some(c) = report.terminating.certificate() {
+        return (CostClass::Terminating, c.name().to_string());
     }
+    if let Some(c) = report.bts.certificate().or(report.core_bts.certificate()) {
+        return (CostClass::BoundedWidth, c.name().to_string());
+    }
+    let provenance = report
+        .terminating
+        .refutation()
+        .map_or("inconclusive", |r| r.name());
+    (CostClass::Open, provenance.to_string())
 }
 
 /// Converts a raw class probe into the evidence shape the analyzer's
-/// verdict lattice understands.
+/// verdict lattice understands, under the default [`ProbeConfig`].
 pub fn evidence_from_probe(probe: &ClassProbe) -> DynamicEvidence {
+    evidence_from_probe_with(probe, &ProbeConfig::default())
+}
+
+/// Converts a raw class probe into evidence under an explicit
+/// [`ProbeConfig`].
+pub fn evidence_from_probe_with(probe: &ClassProbe, cfg: &ProbeConfig) -> DynamicEvidence {
     DynamicEvidence {
         restricted_terminated: probe.restricted_chase_terminated,
-        restricted_width: plateau(&probe.restricted_profile, probe.restricted_chase_terminated),
+        restricted_width: cfg.plateau(&probe.restricted_profile, probe.restricted_chase_terminated),
         core_terminated: probe.core_chase_terminated,
-        core_width: plateau(&probe.core_profile, probe.core_chase_terminated),
+        core_width: cfg.plateau(&probe.core_profile, probe.core_chase_terminated),
     }
 }
 
@@ -121,23 +194,51 @@ pub fn analyze_kb(
     budget: &SearchBudget,
     probe_applications: usize,
 ) -> AnalysisGate {
+    analyze_kb_with(
+        kb,
+        budget,
+        &ProbeConfig::with_applications(probe_applications),
+    )
+}
+
+/// Like [`analyze_kb`], with full control over the probe tunables.
+pub fn analyze_kb_with(
+    kb: &KnowledgeBase,
+    budget: &SearchBudget,
+    probe: &ProbeConfig,
+) -> AnalysisGate {
     let mut report = analyze_with_budget(&kb.rules, budget);
-    let probe = probe_classes_budgeted(kb, probe_applications, budget);
-    let evidence = evidence_from_probe(&probe);
+    let raw_probe = probe_classes_budgeted(kb, probe.applications, budget);
+    let evidence = evidence_from_probe_with(&raw_probe, probe);
     report.attach_evidence(&evidence);
-    let plan = stratified_plan_probed(&kb.rules, |scc| {
+    let mut plan = stratified_plan_probed(&kb.rules, |scc| {
         if scc.len() == kb.rules.len() {
             return evidence.clone();
         }
         let sub_rules: RuleSet = scc.iter().map(|&r| kb.rules.get(r).clone()).collect();
         let sub = KnowledgeBase::new(kb.vocab.clone(), kb.facts.clone(), sub_rules);
-        evidence_from_probe(&probe_classes_budgeted(&sub, probe_applications, budget))
+        evidence_from_probe_with(
+            &probe_classes_budgeted(&sub, probe.applications, budget),
+            probe,
+        )
     });
+    let (cost_class, provenance) = classify_cost(&report);
+    let envelope = cost_model(cost_class, &RulesetShape::of(&kb.rules));
+    if matches!(cost_class, CostClass::BoundedRounds(_)) {
+        // A k-boundedness certificate turns the envelope's application
+        // allowance into a *hard* plan-level ceiling: the chase of any
+        // instance saturates within k rounds, so running past the
+        // priced allowance is never useful work.
+        plan = plan.with_max_apps(envelope.max_apps);
+    }
     AnalysisGate {
         report,
         plan,
         evidence,
-        probe,
+        probe: raw_probe,
+        cost_class,
+        envelope,
+        provenance,
     }
 }
 
@@ -199,5 +300,69 @@ mod tests {
         assert!(gate.report.certified_fes());
         assert!(gate.admissible());
         assert!(gate.plan.strata.iter().all(|s| !s.shape.needs_core()));
+        // The pipeline is k-bounded; the certificate prices the job and
+        // the envelope becomes a hard plan-level application ceiling.
+        assert!(matches!(gate.cost_class, CostClass::BoundedRounds(_)));
+        assert_eq!(gate.provenance, "k-bounded");
+        assert_eq!(gate.plan.max_apps, Some(gate.envelope.max_apps));
+    }
+
+    #[test]
+    fn refuted_kb_gets_the_open_envelope() {
+        // Unguarded, cyclic, diverging, and probed under a horizon too
+        // short for width evidence: no certificate anywhere, so the
+        // envelope collapses to the legacy tight caps with the MFA
+        // refutation as provenance.
+        let kb = KnowledgeBase::from_text(
+            "h(a, b). v(a, a). F: h(X, Y), v(X, X2) -> h(X2, Y2), v(Y, Y2).",
+        )
+        .unwrap();
+        let gate = analyze_kb(&kb, &budget(), 10);
+        assert_eq!(gate.cost_class, CostClass::Open);
+        assert_eq!(gate.envelope.max_apps, 1_000);
+        assert_eq!(gate.provenance, "mfa-cycle");
+    }
+
+    #[test]
+    fn datalog_kb_is_priced_polynomial() {
+        let kb = KnowledgeBase::from_text("e(a, b). T: e(X, Y), e(Y, Z) -> e(X, Z).").unwrap();
+        let gate = analyze_kb(&kb, &budget(), 40);
+        assert_eq!(gate.cost_class, CostClass::Polynomial);
+        assert_eq!(gate.provenance, "datalog");
+        assert!(gate.envelope.max_apps >= 2_000);
+        // Saturation is not round-bounded, so no hard plan ceiling.
+        assert_eq!(gate.plan.max_apps, None);
+    }
+
+    #[test]
+    fn probe_config_tunes_the_plateau_heuristic() {
+        let cfg = ProbeConfig::default();
+        // Too short to judge under the default minimum.
+        assert_eq!(cfg.plateau(&[1, 2, 3], false), WidthObservation::Unobserved);
+        let relaxed = ProbeConfig {
+            min_profile: 2,
+            ..ProbeConfig::default()
+        };
+        assert_eq!(
+            relaxed.plateau(&[1, 2, 3], false),
+            WidthObservation::Climbing
+        );
+        assert_eq!(
+            relaxed.plateau(&[3, 3, 3, 2], false),
+            WidthObservation::Plateau(3)
+        );
+        // A later split point moves the same profile from climbing to
+        // plateaued: the trailing window no longer sees the early rise.
+        let late_split = ProbeConfig {
+            min_profile: 2,
+            split_percent: 80,
+            ..ProbeConfig::default()
+        };
+        assert_eq!(
+            late_split.plateau(&[1, 2, 3, 3, 3], false),
+            WidthObservation::Plateau(3)
+        );
+        // Termination trumps everything.
+        assert_eq!(cfg.plateau(&[5, 9], true), WidthObservation::Plateau(9));
     }
 }

@@ -25,7 +25,7 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use chase_atoms::{AtomSet, Substitution, Vocabulary};
+use chase_atoms::{AtomSet, Substitution, Term, Vocabulary};
 use chase_homomorphism::{
     core_of_budgeted, find_retraction_eliminating_frozen_budgeted, incremental_core, MatchConfig,
     MatchStats, SearchBudget,
@@ -71,6 +71,19 @@ pub enum SchedulerKind {
     /// Datalog (existential-free) rules first, then deterministic — the
     /// priority scheme of the paper's Proposition 6 proof.
     DatalogFirst,
+    /// Datalog triggers first, then existential triggers ascending by
+    /// how many existentials the rule mints. A refinement of
+    /// [`SchedulerKind::DatalogFirst`] for guarded loops: saturating
+    /// cheap facts before each null-minting application gives the
+    /// restricted chase's satisfaction check the best chance to block
+    /// the application outright.
+    ExistentialLast,
+    /// Triggers ascending by the number of nulls in their frontier
+    /// image (ties broken deterministically). Null-propagating triggers
+    /// run last each round, so ground-fact consequences land first and
+    /// satisfaction checks prune deeper null chains — the
+    /// restricted-chase selection strategy for width-bounded loops.
+    NullAverse,
 }
 
 /// How the core variant recomputes the core after an application.
@@ -434,6 +447,23 @@ fn order_snapshot(
         SchedulerKind::Random(_) => rng.shuffle(snapshot),
         SchedulerKind::DatalogFirst => {
             snapshot.sort_by_key(|t| !rules.get(t.rule).is_datalog());
+        }
+        SchedulerKind::ExistentialLast => {
+            snapshot.sort_by_key(|t| {
+                let rule = rules.get(t.rule);
+                (!rule.is_datalog(), rule.existential_vars().len())
+            });
+        }
+        SchedulerKind::NullAverse => {
+            // Instance terms that are variables are labeled nulls, so
+            // the key counts nulls in the trigger's frontier image.
+            snapshot.sort_by_key(|t| {
+                let rule = rules.get(t.rule);
+                rule.frontier_vars()
+                    .iter()
+                    .filter(|&&x| matches!(t.pi.apply_term(Term::Var(x)), Term::Var(_)))
+                    .count()
+            });
         }
     }
 }

@@ -8,7 +8,10 @@
 
 use std::time::Duration;
 
-use chase_analysis::{Certificate, Refutation, RulesetReport, Verdict, WidthObservation};
+use chase_analysis::{
+    BudgetEnvelope, Certificate, KBoundedOutcome, Refutation, RulesetReport, Verdict,
+    WidthObservation,
+};
 use chase_core::AnalysisGate;
 use chase_engine::{
     ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, CoreMaintenance, FaultPlan, FaultSite,
@@ -170,6 +173,8 @@ pub fn config_to_json(cfg: &ChaseConfig) -> Json {
         SchedulerKind::Deterministic => ("deterministic", None),
         SchedulerKind::Random(s) => ("random", Some(s)),
         SchedulerKind::DatalogFirst => ("datalog-first", None),
+        SchedulerKind::ExistentialLast => ("existential-last", None),
+        SchedulerKind::NullAverse => ("null-averse", None),
     };
     Json::obj([
         ("variant", Json::str(variant_name(cfg.variant))),
@@ -230,6 +235,8 @@ pub fn config_from_json(v: &Json) -> Result<ChaseConfig, String> {
         "deterministic" => SchedulerKind::Deterministic,
         "random" => SchedulerKind::Random(v.require_u64("scheduler_seed")?),
         "datalog-first" => SchedulerKind::DatalogFirst,
+        "existential-last" => SchedulerKind::ExistentialLast,
+        "null-averse" => SchedulerKind::NullAverse,
         other => return Err(format!("unknown scheduler `{other}`")),
     };
     cfg.max_applications = v.require_u64("max_applications")? as usize;
@@ -773,6 +780,9 @@ pub fn analysis_verdict_to_json(v: &Verdict) -> Json {
             if let Certificate::RestrictedWidthProbe(w) | Certificate::CoreWidthProbe(w) = c {
                 fields.push(("width".to_string(), Json::Int(*w as i64)));
             }
+            if let Certificate::KBounded(k) = c {
+                fields.push(("k".to_string(), Json::Int(*k as i64)));
+            }
             Json::Obj(fields)
         }
         Verdict::Refuted(r) | Verdict::LikelyRefuted(r) => {
@@ -788,6 +798,9 @@ pub fn analysis_verdict_to_json(v: &Verdict) -> Json {
             if let Refutation::MfaCycle { rule, depth } = r {
                 fields.push(("rule".to_string(), Json::Int(*rule as i64)));
                 fields.push(("depth".to_string(), Json::Int(*depth as i64)));
+            }
+            if let Refutation::LinearNonTermination { rule } = r {
+                fields.push(("rule".to_string(), Json::Int(*rule as i64)));
             }
             Json::Obj(fields)
         }
@@ -812,7 +825,42 @@ pub fn report_to_json(report: &RulesetReport) -> Json {
         ("terminating", analysis_verdict_to_json(&report.terminating)),
         ("bts", analysis_verdict_to_json(&report.bts)),
         ("core_bts", analysis_verdict_to_json(&report.core_bts)),
+        (
+            "linear_rules",
+            Json::Arr(
+                report
+                    .linear_rules
+                    .iter()
+                    .map(|&r| Json::Int(r as i64))
+                    .collect(),
+            ),
+        ),
+        (
+            "linear_fragment",
+            analysis_verdict_to_json(&report.linear_fragment),
+        ),
+        ("kbounded", kbounded_to_json(&report.kbounded)),
     ])
+}
+
+/// Serializes the k-boundedness outcome
+/// (`{"status":"bounded","k":2,"applications":5}`-shaped objects).
+pub fn kbounded_to_json(outcome: &KBoundedOutcome) -> Json {
+    match outcome {
+        KBoundedOutcome::Bounded { k, applications } => Json::obj([
+            ("status", Json::str("bounded")),
+            ("k", Json::Int(*k as i64)),
+            ("applications", Json::Int(*applications as i64)),
+        ]),
+        KBoundedOutcome::DepthUnbounded { applications } => Json::obj([
+            ("status", Json::str("depth-unbounded")),
+            ("applications", Json::Int(*applications as i64)),
+        ]),
+        KBoundedOutcome::BudgetExhausted { applications } => Json::obj([
+            ("status", Json::str("budget-exhausted")),
+            ("applications", Json::Int(*applications as i64)),
+        ]),
+    }
 }
 
 /// Serializes the full admission-gate analysis: report, plan, dynamic
@@ -894,6 +942,24 @@ pub fn analysis_to_json(gate: &AnalysisGate, rules: &RuleSet) -> Json {
             ]),
         ),
         ("admissible", Json::Bool(gate.admissible())),
+        ("cost_class", Json::str(gate.cost_class.name())),
+        ("provenance", Json::str(&gate.provenance)),
+        ("envelope", envelope_to_json(&gate.envelope)),
+    ])
+}
+
+/// Serializes a certificate-priced budget envelope. Attached to
+/// accepted `submit` replies so clients can see exactly which runtime
+/// budgets the admission gate derived from the analysis.
+pub fn envelope_to_json(envelope: &BudgetEnvelope) -> Json {
+    Json::obj([
+        ("max_apps", Json::Int(envelope.max_apps as i64)),
+        ("mem_soft", Json::Int(envelope.mem_soft as i64)),
+        ("mem_hard", Json::Int(envelope.mem_hard as i64)),
+        (
+            "deadline_ms",
+            Json::Int(envelope.deadline.as_millis() as i64),
+        ),
     ])
 }
 

@@ -259,13 +259,14 @@ pub struct Rejection {
     pub retry_after: Option<Duration>,
 }
 
-/// Application ceiling applied by [`Service::submit_analyzed`] when the
-/// analyzer positively refutes termination and the submit pinned no
-/// budget of its own: divergence is expected, so cut early.
+/// Application ceiling the cost model's `Open` envelope collapses to
+/// when no decidability route certifies: divergence is plausible, so
+/// cut early. Kept as a named constant because tests and operators
+/// reason about the worst-case admission budget by this number.
 pub const TIGHT_MAX_APPLICATIONS: usize = 1_000;
-/// Soft memory ceiling (abstract units) for refuted-terminating jobs.
+/// Soft memory ceiling (abstract units) of the `Open` envelope.
 pub const TIGHT_MEM_SOFT: usize = 8_192;
-/// Hard memory ceiling (abstract units) for refuted-terminating jobs.
+/// Hard memory ceiling (abstract units) of the `Open` envelope.
 pub const TIGHT_MEM_HARD: usize = 16_384;
 
 /// What [`Service::submit_analyzed`] decided at admission time.
@@ -281,8 +282,8 @@ pub struct Admission {
     /// The plan's variant + stratified schedule were written into the
     /// job's config (`auto_strategy`).
     pub strategy_applied: bool,
-    /// Default budgets were tightened because termination is refuted
-    /// (`auto_budgets`).
+    /// The certificate-priced budget envelope lowered the job's
+    /// application ceiling (`auto_budgets`).
     pub budgets_tightened: bool,
 }
 
@@ -327,14 +328,24 @@ pub fn apply_admission_gate(
     if spec.auto_strategy {
         spec.config = gate.plan.apply(spec.config.clone());
     }
-    let budgets_tightened = spec.auto_budgets && gate.report.terminating.suspects_divergence();
-    if budgets_tightened {
-        spec.config.max_applications = spec.config.max_applications.min(TIGHT_MAX_APPLICATIONS);
+    // Certificate-priced budgets: the gate's cost model maps the best
+    // certificate (or its absence) to a budget envelope, which replaces
+    // the old flat "tighten to 1000 when refuted" rule. The envelope
+    // only ever *lowers* the application ceiling and fills memory/wall
+    // budgets the submit left open.
+    let mut budgets_tightened = false;
+    if spec.auto_budgets {
+        let before = spec.config.max_applications;
+        spec.config.max_applications = spec.config.max_applications.min(gate.envelope.max_apps);
+        budgets_tightened = spec.config.max_applications < before;
         if spec.config.mem_soft.is_none() {
-            spec.config.mem_soft = Some(TIGHT_MEM_SOFT);
+            spec.config.mem_soft = Some(gate.envelope.mem_soft);
         }
         if spec.config.mem_hard.is_none() {
-            spec.config.mem_hard = Some(TIGHT_MEM_HARD);
+            spec.config.mem_hard = Some(gate.envelope.mem_hard);
+        }
+        if spec.config.max_wall.is_none() {
+            spec.config.max_wall = Some(gate.envelope.deadline);
         }
     }
     Ok(Admission {
@@ -2116,13 +2127,14 @@ mod tests {
         let mut spec = JobSpec::from_kb(
             "auto",
             chase_core::KnowledgeBase::staircase(),
-            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(40),
+            ChaseConfig::variant(ChaseVariant::Restricted).with_max_applications(50_000),
         );
         spec.auto_strategy = true;
         spec.auto_budgets = true;
         let (id, admission) = svc.submit_analyzed(spec).unwrap();
         // The staircase: termination refuted, core width plateaus — the
-        // plan recommends the core variant and the budgets tighten.
+        // plan recommends the core variant and the cost model prices the
+        // job off its core-bts certificate.
         assert!(admission.strategy_applied);
         assert!(admission.budgets_tightened);
         let gate = admission.gate.as_ref().expect("auto submits run the gate");
@@ -2131,9 +2143,15 @@ mod tests {
             chase_engine::ChaseVariant::Core
         );
         assert!(!gate.plan.strata.is_empty());
+        assert_eq!(gate.cost_class, chase_analysis::CostClass::BoundedWidth);
+        assert_eq!(gate.provenance, "core-width-probe");
+        assert!(
+            gate.envelope.max_apps < 50_000,
+            "envelope lowers the pinned ceiling"
+        );
         assert_eq!(svc.wait(id), Some(JobStatus::Finished));
         let apps = svc.with_result(id, |r| r.stats.applications).unwrap();
-        assert!(apps <= TIGHT_MAX_APPLICATIONS);
+        assert!(apps <= gate.envelope.max_apps);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! treechase run <file> [--variant V] [--max-apps N] [--dot OUT.dot]
-//! treechase analyze <file> [--budget N] [--json]
+//! treechase analyze <file> [--budget N] [--probe-apps N] [--json]
 //! treechase decide <file> "<query>" [--max-apps N]
 //! treechase query <file|kb> "<query>" [--variant V] [--max-apps N]
 //!                 [--node-limit N] [--max-wall-ms N]
@@ -48,7 +48,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use treechase::analysis::{critical_instance_test, CriticalOutcome};
-use treechase::core::analyze_kb;
+use treechase::core::{analyze_kb_with, ProbeConfig};
 use treechase::engine::dot::instance_dot;
 use treechase::homomorphism::SearchBudget;
 use treechase::prelude::*;
@@ -64,6 +64,7 @@ struct Args {
     variant: ChaseVariant,
     max_apps: usize,
     budget: usize,
+    probe_apps: Option<usize>,
     node_limit: Option<usize>,
     dot: Option<String>,
     workers: usize,
@@ -98,6 +99,7 @@ impl Default for Args {
             variant: ChaseVariant::Core,
             max_apps: 1_000,
             budget: 80,
+            probe_apps: None,
             node_limit: None,
             dot: None,
             workers: 4,
@@ -169,6 +171,15 @@ const FLAGS: &[FlagSpec] = &[
         commands: &["analyze"],
         apply: |a, v| {
             a.budget = parse_num("--budget", v)?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--probe-apps",
+        metavar: "N",
+        commands: &["analyze"],
+        apply: |a, v| {
+            a.probe_apps = Some(parse_num("--probe-apps", v)?);
             Ok(())
         },
     },
@@ -586,9 +597,11 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         Err(e) => treechase::service::named_kb(path).map_err(|_| e)?,
     };
     // The static sub-tests get a search budget proportional to the
-    // probe budget, so one knob scales the whole analysis.
+    // probe budget, so one knob scales the whole analysis; `--probe-apps`
+    // overrides just the dynamic probe's application horizon.
     let budget = SearchBudget::unlimited().with_node_limit(args.budget.saturating_mul(25));
-    let gate = analyze_kb(&kb, &budget, args.budget);
+    let probe_cfg = ProbeConfig::with_applications(args.probe_apps.unwrap_or(args.budget));
+    let gate = analyze_kb_with(&kb, &budget, &probe_cfg);
     if args.json {
         println!("{}", protocol::analysis_to_json(&gate, &kb.rules));
         return Ok(());
@@ -629,6 +642,15 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         protocol::variant_name(gate.plan.recommended_variant())
     );
     println!("admissible: {}", gate.admissible());
+    println!(
+        "cost model: {} (from {}) -> max_apps {} mem {}/{} deadline {:?}",
+        gate.cost_class.name(),
+        gate.provenance,
+        gate.envelope.max_apps,
+        gate.envelope.mem_soft,
+        gate.envelope.mem_hard,
+        gate.envelope.deadline,
+    );
     Ok(())
 }
 

@@ -3,7 +3,10 @@
 //! paper's two headline KBs landing in distinct plan shapes, and the
 //! analysis block a service submit puts on the wire.
 
-use treechase::analysis::{analyze_with_budget, StratumShape};
+use treechase::analysis::{
+    analyze_with_budget, critical_instance, Certificate, KBoundedOutcome, Refutation, StratumShape,
+    Verdict,
+};
 use treechase::atoms::Vocabulary;
 use treechase::core::{analyze_kb, KnowledgeBase};
 use treechase::engine::{ChaseConfig, ChaseVariant};
@@ -63,6 +66,66 @@ fn certified_fes_rulesets_really_terminate() {
         certified >= 5,
         "only {certified}/40 seeds produced a certified-terminating ruleset; \
          the property test lost its teeth"
+    );
+}
+
+/// Exactness of the linear decision, checked against the engine on the
+/// same seeded random linear rulesets: the decision must never be
+/// inconclusive on a linear ruleset at this budget, a `Certified`
+/// verdict means the Skolem chase really does reach a fixpoint from the
+/// critical instance (the hardest fact base), and a `Refuted` verdict
+/// means the same chase really does blow through a generous application
+/// budget without plateauing. Either direction failing on any seed
+/// would make the "exact" claim of `linear_termination` a lie.
+#[test]
+fn linear_decision_is_exact_on_random_linear_rulesets() {
+    let (mut certified, mut refuted) = (0usize, 0usize);
+    for seed in 0..40u64 {
+        let mut vocab = Vocabulary::new();
+        let rules = random_linear_ruleset(&mut vocab, 4, seed);
+        let report = analyze_with_budget(&rules, &budget());
+        assert_eq!(
+            report.linear_rules.len(),
+            rules.len(),
+            "seed {seed}: every rule of a random linear ruleset is linear"
+        );
+        let facts = critical_instance(&mut vocab, &rules);
+        let kb = KnowledgeBase::new(vocab, facts, rules);
+        let chase = |cap: usize| {
+            kb.chase(&ChaseConfig::variant(ChaseVariant::SemiOblivious).with_max_applications(cap))
+        };
+        match &report.linear_fragment {
+            Verdict::Certified(Certificate::LinearTermination) => {
+                certified += 1;
+                let res = chase(20_000);
+                assert!(
+                    res.outcome.terminated(),
+                    "seed {seed}: linear-certified ruleset did not reach a Skolem \
+                     fixpoint from the critical instance (outcome {:?})",
+                    res.outcome
+                );
+            }
+            Verdict::Refuted(Refutation::LinearNonTermination { rule }) => {
+                refuted += 1;
+                let res = chase(2_000);
+                assert!(
+                    !res.outcome.terminated(),
+                    "seed {seed}: linear refutation (pumping rule {rule}) but the \
+                     critical Skolem chase plateaued after {} applications",
+                    res.stats.applications
+                );
+            }
+            other => panic!(
+                "seed {seed}: the exact linear decision returned a non-verdict \
+                 on a fully linear ruleset: {other:?}"
+            ),
+        }
+    }
+    // The generator mixes swap (datalog) and chain (existential) heads,
+    // so both directions of the decision must be exercised.
+    assert!(
+        certified >= 5 && refuted >= 5,
+        "decision lost its teeth: {certified} certified / {refuted} refuted of 40 seeds"
     );
 }
 
@@ -195,4 +258,106 @@ fn submit_analyzed_attaches_plan_and_analysis_block() {
     let result = svc.take_result(id).expect("job result");
     assert!(result.outcome.terminated(), "{:?}", result.outcome);
     svc.shutdown();
+}
+
+/// Wire-format snapshots of every analyzer-v3 verdict status: the JSON
+/// a client sees for the new exact certificates, the new refutation,
+/// and the k-boundedness outcome, pinned field by field.
+#[test]
+fn new_verdict_statuses_serialize_to_stable_wire_shapes() {
+    let snap = |v: &Verdict| protocol::analysis_verdict_to_json(v).to_string();
+    assert_eq!(
+        snap(&Verdict::Certified(Certificate::LinearTermination)),
+        r#"{"status":"certified","certificate":"linear-termination"}"#
+    );
+    assert_eq!(
+        snap(&Verdict::Certified(Certificate::KBounded(3))),
+        r#"{"status":"certified","certificate":"k-bounded","k":3}"#
+    );
+    assert_eq!(
+        snap(&Verdict::Refuted(Refutation::LinearNonTermination {
+            rule: 2
+        })),
+        r#"{"status":"refuted","refutation":"linear-non-termination","rule":2}"#
+    );
+    assert_eq!(
+        snap(&Verdict::Inconclusive { budget: 7 }),
+        r#"{"status":"inconclusive","budget":7}"#
+    );
+    let ksnap = |o: &KBoundedOutcome| protocol::kbounded_to_json(o).to_string();
+    assert_eq!(
+        ksnap(&KBoundedOutcome::Bounded {
+            k: 2,
+            applications: 5
+        }),
+        r#"{"status":"bounded","k":2,"applications":5}"#
+    );
+    assert_eq!(
+        ksnap(&KBoundedOutcome::DepthUnbounded { applications: 9 }),
+        r#"{"status":"depth-unbounded","applications":9}"#
+    );
+    assert_eq!(
+        ksnap(&KBoundedOutcome::BudgetExhausted { applications: 0 }),
+        r#"{"status":"budget-exhausted","applications":0}"#
+    );
+}
+
+/// End-to-end `analyze --json` shape for a linear, non-terminating KB:
+/// the exact linear refutation reaches the wire (not the MFA evidence
+/// it overrides), the report carries the linear fragment and the
+/// k-boundedness outcome, and the certificate-priced envelope rides
+/// along with its provenance.
+#[test]
+fn analysis_json_carries_linear_fragment_kbounded_and_envelope() {
+    let kb = KnowledgeBase::from_text("r(a, b). Step: r(X, Y) -> r(Y, Z).").unwrap();
+    let gate = analyze_kb(&kb, &budget(), PROBE);
+    let json = protocol::analysis_to_json(&gate, &kb.rules).to_string();
+    let parsed = treechase::service::parse_json(&json).unwrap();
+    let report = parsed.get("report").expect("report");
+    let terminating = report.get("terminating").expect("terminating");
+    assert_eq!(
+        terminating.get("status").and_then(|s| s.as_str()),
+        Some("refuted"),
+        "the linear decision refutes termination outright: {json}"
+    );
+    assert_eq!(
+        terminating.get("refutation").and_then(|s| s.as_str()),
+        Some("linear-non-termination")
+    );
+    assert_eq!(terminating.get("rule").and_then(|r| r.as_i64()), Some(0));
+    assert_eq!(
+        report
+            .get("linear_fragment")
+            .and_then(|f| f.get("status"))
+            .and_then(|s| s.as_str()),
+        Some("refuted")
+    );
+    assert_eq!(
+        report
+            .get("linear_rules")
+            .and_then(|a| a.as_arr())
+            .map(<[_]>::len),
+        Some(1)
+    );
+    assert!(
+        report
+            .get("kbounded")
+            .and_then(|k| k.get("status"))
+            .and_then(|s| s.as_str())
+            .is_some(),
+        "kbounded outcome must serialize: {json}"
+    );
+    assert!(parsed.get("cost_class").and_then(|c| c.as_str()).is_some());
+    let provenance = parsed
+        .get("provenance")
+        .and_then(|p| p.as_str())
+        .expect("provenance names the pricing certificate");
+    assert!(!provenance.is_empty());
+    let envelope = parsed.get("envelope").expect("envelope");
+    for field in ["max_apps", "mem_soft", "mem_hard", "deadline_ms"] {
+        assert!(
+            envelope.get(field).and_then(|v| v.as_i64()).is_some(),
+            "envelope.{field} missing: {json}"
+        );
+    }
 }
